@@ -1,0 +1,182 @@
+package prisim
+
+// One benchmark per table and figure in the paper's evaluation. Each bench
+// regenerates its experiment end to end (simulating every benchmark x
+// machine x policy point it needs) at a reduced per-run budget so the
+// harness itself is what is being measured; use cmd/priexp for full-budget
+// reproduction output.
+//
+//	go test -bench=. -benchmem
+//
+// Shape notes are in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/harness"
+	"prisim/internal/ooo"
+	"prisim/internal/workloads"
+)
+
+// benchBudget keeps testing.B iterations affordable; experiments run every
+// (benchmark, machine, policy) cell they need at this budget.
+var benchBudget = harness.Budget{FastForward: 2000, Run: 6000}
+
+func newRunner() *harness.Runner { return harness.NewRunner(benchBudget) }
+
+func BenchmarkTable1Machines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2BaseIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Table2().Rows) != 27 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig1RegisterLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig1().Rows) != 13 {
+			b.Fatal("fig 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig2OperandSignificance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		intT, fpT := r.Fig2()
+		if len(intT.Rows) != 13 || len(fpT.Rows) != 14 {
+			b.Fatal("fig 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig8LifetimeReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig8().Rows) != 13 {
+			b.Fatal("fig 8 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig9RegisterSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig9(4).Rows) != 27 {
+			b.Fatal("fig 9 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig10IntSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig10(4).Rows) != 14 {
+			b.Fatal("fig 10 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig11Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig11(4).Rows) != 13 {
+			b.Fatal("fig 11 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig12FPSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.Fig12(4).Rows) != 15 {
+			b.Fatal("fig 12 incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationRenameInline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.AblationRenameInline(4).Rows) != 13 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationDisambiguation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.AblationDisambiguation(4).Rows) != 13 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (committed
+// instructions per wall-clock second) on the baseline 4-wide machine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := workloads.ByName("gzip")
+	prog := w.Build(0)
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		p := ooo.New(ooo.Width4(), prog)
+		total += p.Run(5000)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSchemeOverhead compares the simulator's own cost across release
+// policies (the PRI machinery's bookkeeping is part of what this library
+// implements, so its overhead is worth tracking).
+func BenchmarkSchemeOverhead(b *testing.B) {
+	w, _ := workloads.ByName("bzip2")
+	prog := w.Build(0)
+	for _, pol := range []core.Policy{core.PolicyBase, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := ooo.New(ooo.Width4().WithPolicy(pol), prog)
+				p.Run(5000)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationDelayedAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.AblationDelayedAllocation(4).Rows) != 13 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.AblationMSHR(4).Rows) != 13 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if len(r.AblationPrefetch(4).Rows) != 13 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}

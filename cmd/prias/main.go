@@ -1,0 +1,111 @@
+// Command prias is the PRISC-64 assembler tool: it assembles a source file
+// and disassembles it, runs it functionally, or runs it through the timing
+// pipeline.
+//
+// Usage:
+//
+//	prias -d prog.s          # assemble and disassemble
+//	prias -run prog.s        # assemble and execute functionally
+//	prias -time prog.s       # assemble and run on the 4-wide timing model
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"prisim/internal/asm"
+	"prisim/internal/emu"
+	"prisim/internal/ooo"
+	"prisim/internal/trace"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble")
+	run := flag.Bool("run", false, "execute functionally and print output")
+	timeIt := flag.Bool("time", false, "run on the 4-wide timing model")
+	traceOut := flag.String("trace", "", "capture a binary instruction trace to this file")
+	mix := flag.Bool("mix", false, "print the instruction mix after a functional run")
+	limit := flag.Uint64("limit", 100_000_000, "instruction limit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: prias [-d|-run|-time|-mix|-trace out] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prias:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prias:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *traceOut != "":
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prias:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw, err := trace.NewWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prias:", err)
+			os.Exit(1)
+		}
+		n, err := trace.Capture(emu.New(prog), *limit, tw)
+		if err == nil {
+			err = tw.Flush()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prias:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured %d instructions to %s\n", n, *traceOut)
+	case *mix:
+		m := emu.New(prog)
+		var buf bytes.Buffer
+		tw, _ := trace.NewWriter(&buf)
+		trace.Capture(m, *limit, tw)
+		tw.Flush()
+		tr, _ := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		mx, err := trace.AnalyzeMix(tr, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prias:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("total      %d\n", mx.Total)
+		fmt.Printf("loads      %d (%.1f%%)\n", mx.Loads, pct(mx.Loads, mx.Total))
+		fmt.Printf("stores     %d (%.1f%%)\n", mx.Stores, pct(mx.Stores, mx.Total))
+		fmt.Printf("branches   %d (%.1f%%), %.1f%% taken\n", mx.Branches, pct(mx.Branches, mx.Total), 100*mx.TakenFrac)
+		fmt.Printf("jumps      %d\n", mx.Jumps)
+		fmt.Printf("int alu    %d, int mul/div %d, fp %d\n", mx.IntALU, mx.IntMul, mx.FP)
+		fmt.Printf("narrow     %.1f%% of results fit 10 bits\n", 100*mx.NarrowFrac)
+	case *dis:
+		fmt.Print(prog.Disassemble())
+	case *timeIt:
+		p := ooo.New(ooo.Width4(), prog)
+		n := p.Run(*limit)
+		os.Stdout.Write(p.Machine().Output())
+		st := p.Stats()
+		fmt.Printf("\n%d instructions, %d cycles, IPC %.3f\n", n, st.Cycles, st.IPC())
+	case *run:
+		m := emu.New(prog)
+		n := m.Run(*limit)
+		os.Stdout.Write(m.Output())
+		fmt.Printf("\n%d instructions executed, halted=%v\n", n, m.Halted())
+	default:
+		fmt.Printf("assembled %d instructions, %d data segments, entry %#x\n",
+			len(prog.Code), len(prog.Data), prog.Entry)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,115 @@
+// Command priexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	priexp [flags] [experiment ...]
+//
+// Experiments: table1 table2 fig1 fig2 fig8 fig9 fig10 fig11 fig12
+// ablation-inline ablation-mem (default: all paper experiments).
+//
+// Absolute numbers depend on the synthetic workloads and scaled-down run
+// budgets; the shapes (who wins, by roughly what factor) are the
+// reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prisim/internal/harness"
+	"prisim/internal/stats"
+)
+
+func main() {
+	ff := flag.Uint64("ff", harness.DefaultBudget.FastForward, "fast-forward instructions per run")
+	run := flag.Uint64("run", harness.DefaultBudget.Run, "measured instructions per run")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	svgDir := flag.String("svg", "", "also render each figure as SVG into this directory")
+	report := flag.String("report", "", "write a full markdown report (all experiments + shape checklist) to this file and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: priexp [flags] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(names(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	r := harness.NewRunner(harness.Budget{FastForward: *ff, Run: *run})
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "priexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.WriteReport(f); err != nil {
+			fmt.Fprintln(os.Stderr, "priexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"table1", "table2", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	}
+	for _, name := range args {
+		tables, ok := experiments(r)[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "priexp: unknown experiment %q (have: %s)\n",
+				name, strings.Join(names(), " "))
+			os.Exit(2)
+		}
+		ts := tables()
+		for _, t := range ts {
+			fmt.Println(t.String())
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, name, ts); err != nil {
+				fmt.Fprintf(os.Stderr, "priexp: svg: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func experiments(r *harness.Runner) map[string]func() []*stats.Table {
+	one := func(t *stats.Table) []*stats.Table { return []*stats.Table{t} }
+	return map[string]func() []*stats.Table{
+		"table1": func() []*stats.Table { return one(harness.Table1()) },
+		"table2": func() []*stats.Table { return one(r.Table2()) },
+		"fig1":   func() []*stats.Table { return one(r.Fig1()) },
+		"fig2": func() []*stats.Table {
+			a, b := r.Fig2()
+			return []*stats.Table{a, b}
+		},
+		"fig8": func() []*stats.Table { return one(r.Fig8()) },
+		"fig9": func() []*stats.Table {
+			return []*stats.Table{r.Fig9(4), r.Fig9(8)}
+		},
+		"fig10": func() []*stats.Table {
+			return []*stats.Table{r.Fig10(4), r.Fig10(8)}
+		},
+		"fig11": func() []*stats.Table {
+			return []*stats.Table{r.Fig11(4), r.Fig11(8)}
+		},
+		"fig12": func() []*stats.Table {
+			return []*stats.Table{r.Fig12(4), r.Fig12(8)}
+		},
+		"ablation-inline":   func() []*stats.Table { return one(r.AblationRenameInline(4)) },
+		"ablation-mem":      func() []*stats.Table { return one(r.AblationDisambiguation(4)) },
+		"ablation-delayed":  func() []*stats.Table { return one(r.AblationDelayedAllocation(4)) },
+		"ablation-mshr":     func() []*stats.Table { return one(r.AblationMSHR(4)) },
+		"ablation-prefetch": func() []*stats.Table { return one(r.AblationPrefetch(4)) },
+	}
+}
+
+func names() []string {
+	return []string{"table1", "table2", "fig1", "fig2", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "ablation-inline", "ablation-mem", "ablation-delayed", "ablation-mshr", "ablation-prefetch"}
+}

@@ -1,0 +1,149 @@
+// Command prisim runs one benchmark on one machine configuration and prints
+// the detailed statistics (IPC, occupancy, lifetime phases, PRI activity).
+//
+// Usage:
+//
+//	prisim -bench mcf -width 4 -policy pri-rc-ckpt -prs 64
+//	prisim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prisim/internal/core"
+	"prisim/internal/ooo"
+	"prisim/internal/workloads"
+)
+
+var policies = map[string]core.Policy{
+	"base":           core.PolicyBase,
+	"er":             core.PolicyER,
+	"pri-rc-ckpt":    core.PolicyPRIRcCkpt,
+	"pri-rc-lazy":    core.PolicyPRIRcLazy,
+	"pri-ideal-ckpt": core.PolicyPRIIdealCkpt,
+	"pri-ideal-lazy": core.PolicyPRIIdealLazy,
+	"pri+er":         core.PolicyPRIPlusER,
+	"infpr":          core.PolicyInfinite,
+}
+
+func main() {
+	bench := flag.String("bench", "gzip", "workload name")
+	width := flag.Int("width", 4, "machine width (4 or 8)")
+	policy := flag.String("policy", "base", "release policy: "+strings.Join(policyNames(), " "))
+	prs := flag.Int("prs", 0, "physical registers per class (0 = Table 1 default)")
+	ff := flag.Uint64("ff", 20_000, "fast-forward instructions")
+	run := flag.Uint64("run", 80_000, "measured instructions")
+	inline := flag.Bool("rename-inline", false, "enable rename-time inlining extension")
+	delayed := flag.Bool("delayed-alloc", false, "enable virtual-physical delayed register allocation")
+	pipeview := flag.String("pipeview", "", "write an O3PipeView trace (gem5 pipeline-viewer format) to this file")
+	machineFile := flag.String("machine", "", "load the machine configuration from this JSON file (see -dump-machine)")
+	dumpMachine := flag.Bool("dump-machine", false, "print the selected machine configuration as JSON and exit")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-9s %-4s paperIPC(4w)=%.2f  %s\n", w.Name, w.Class, w.PaperIPC4, w.Description)
+		}
+		return
+	}
+	w, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "prisim: unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+	pol, ok := policies[*policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "prisim: unknown policy %q (have: %s)\n", *policy, strings.Join(policyNames(), " "))
+		os.Exit(2)
+	}
+	cfg := ooo.Width4()
+	if *width == 8 {
+		cfg = ooo.Width8()
+	}
+	if *machineFile != "" {
+		// The JSON file is the base machine; explicit flags still win.
+		data, err := os.ReadFile(*machineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prisim:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "prisim: %s: %v\n", *machineFile, err)
+			os.Exit(1)
+		}
+	}
+	cfg = cfg.WithPolicy(pol)
+	if *prs > 0 {
+		if *prs < 32 {
+			fmt.Fprintf(os.Stderr, "prisim: -prs must be at least 32 (one per architected register), got %d\n", *prs)
+			os.Exit(2)
+		}
+		cfg = cfg.WithPRs(*prs)
+	}
+	cfg.InlineAtRename = *inline
+	cfg.DelayedAllocation = *delayed
+	if *dumpMachine {
+		out, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prisim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	p := ooo.New(cfg, w.Build(0))
+	var viewFile *os.File
+	if *pipeview != "" {
+		f, err := os.Create(*pipeview)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prisim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		viewFile = f
+		p.SetPipeView(f)
+	}
+	p.FastForward(*ff)
+	p.Run(*run)
+	if viewFile != nil {
+		p.FlushPipeView()
+		fmt.Fprintf(os.Stderr, "pipeline trace written to %s\n", *pipeview)
+	}
+
+	st := p.Stats()
+	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("machine      %s, policy %s, %d int PRs\n", cfg.Name, pol.Name(), cfg.Rename.IntPRs)
+	fmt.Printf("committed    %d in %d cycles\n", st.Committed, st.Cycles)
+	fmt.Printf("IPC          %.3f (paper baseline %.2f)\n", st.IPC(), w.PaperIPC4)
+	fmt.Printf("occupancy    int %.1f / %d, fp %.1f / %d\n",
+		st.AvgIntOccupancy(), cfg.Rename.IntPRs, st.AvgFPOccupancy(), cfg.Rename.FPPRs)
+	fmt.Printf("mispredict   %.2f%% of %d resolved\n", 100*st.MispredictRate(), st.BranchResolved)
+	fmt.Printf("DL1/L2 miss  %.2f%% / %.2f%%\n", 100*p.Mem().DL1.MissRate(), 100*p.Mem().L2.MissRate())
+	fmt.Printf("replays      %d (latency mis-speculation)\n", st.Replays)
+
+	class := p.Renamer().IntStats()
+	if w.Class == workloads.FP {
+		class = p.Renamer().FPStats()
+	}
+	aw, wr, rr := class.AvgPhases()
+	fmt.Printf("lifetime     alloc->write %.1f, write->lastread %.1f, lastread->release %.1f cycles\n", aw, wr, rr)
+	if pol.PRI {
+		fmt.Printf("PRI          %d results inlined, %d WAW-suppressed, %d deferred frees, %d early frees\n",
+			class.InlinedResults, class.WAWSuppressed, class.DeferredFrees, class.EarlyFrees)
+		fmt.Printf("operands     %.1f%% of source reads served from inlined map entries\n", 100*st.InlineFraction())
+	}
+}
+
+func policyNames() []string {
+	out := make([]string, 0, len(policies))
+	for n := range policies {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module prisim
+
+go 1.22

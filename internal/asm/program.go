@@ -1,0 +1,70 @@
+// Package asm builds PRISC-64 program images. It provides two front ends
+// over the same program representation: a Go builder API (Builder), which
+// the synthetic workload kernels use to generate code, and a small text
+// assembler (Assemble) with labels and data directives, used by cmd/prias
+// and the examples.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"prisim/internal/isa"
+)
+
+// Default memory layout for assembled programs.
+const (
+	// DefaultCodeBase is where the code segment is loaded.
+	DefaultCodeBase = 0x0001_0000
+	// DefaultDataBase is where builder-declared data is laid out.
+	DefaultDataBase = 0x0100_0000
+	// DefaultStackTop is the initial stack pointer handed to programs.
+	DefaultStackTop = 0x7FFF_FF00
+)
+
+// Segment is a contiguous run of initialized memory in a program image.
+type Segment struct {
+	Base  uint64
+	Bytes []byte
+}
+
+// Program is a fully linked PRISC-64 program image.
+type Program struct {
+	Entry    uint64
+	CodeBase uint64
+	Code     []uint32 // encoded instructions, CodeBase-relative
+	Data     []Segment
+	Symbols  map[string]uint64
+}
+
+// CodeEnd returns the first address past the code segment.
+func (p *Program) CodeEnd() uint64 { return p.CodeBase + 4*uint64(len(p.Code)) }
+
+// InstAt decodes the instruction at addr, if addr lies in the code segment.
+func (p *Program) InstAt(addr uint64) (isa.Inst, bool) {
+	if addr < p.CodeBase || addr >= p.CodeEnd() || addr%4 != 0 {
+		return isa.Inst{}, false
+	}
+	return isa.Decode(p.Code[(addr-p.CodeBase)/4]), true
+}
+
+// Disassemble renders the whole code segment, one instruction per line,
+// annotated with addresses and any symbols that point at them.
+func (p *Program) Disassemble() string {
+	bySym := make(map[uint64][]string)
+	for name, addr := range p.Symbols {
+		bySym[addr] = append(bySym[addr], name)
+	}
+	for _, names := range bySym {
+		sort.Strings(names)
+	}
+	out := make([]byte, 0, 32*len(p.Code))
+	for i, w := range p.Code {
+		addr := p.CodeBase + 4*uint64(i)
+		for _, name := range bySym[addr] {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("  %08x:  %s\n", addr, isa.Decode(w))...)
+	}
+	return string(out)
+}

@@ -1,0 +1,224 @@
+package bpred
+
+import (
+	"testing"
+
+	"prisim/internal/isa"
+)
+
+func branchAt(pc uint64) isa.Inst {
+	return isa.Inst{Op: isa.OpBNE, Ra: isa.IntReg(1), Rb: isa.RZero, Imm: -4}
+}
+
+func TestAlwaysTakenBranchConverges(t *testing.T) {
+	p := New(Default())
+	in := branchAt(0x1000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		pred := p.Predict(0x1000, in)
+		if !pred.Taken {
+			miss++
+		}
+		p.Update(0x1000, in, pred, true, in.BranchTarget(0x1000))
+	}
+	if miss > 2 {
+		t.Errorf("always-taken branch mispredicted %d/100 times", miss)
+	}
+}
+
+func TestAlternatingBranchGshareLearns(t *testing.T) {
+	// A strictly alternating branch is perfectly predictable with history.
+	p := New(Default())
+	in := branchAt(0x2000)
+	miss := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		pred := p.Predict(0x2000, in)
+		if pred.Taken != taken {
+			miss++
+			p.Recover(0x2000, in, pred, taken)
+		}
+		p.Update(0x2000, in, pred, taken, in.BranchTarget(0x2000))
+	}
+	// The last 200 iterations should be nearly perfect.
+	if miss > 60 {
+		t.Errorf("alternating branch mispredicted %d/400 times", miss)
+	}
+}
+
+func TestPredictionTargetForDirectBranch(t *testing.T) {
+	p := New(Default())
+	in := branchAt(0x3000)
+	// Train taken.
+	for i := 0; i < 8; i++ {
+		pred := p.Predict(0x3000, in)
+		p.Update(0x3000, in, pred, true, in.BranchTarget(0x3000))
+	}
+	pred := p.Predict(0x3000, in)
+	if !pred.Taken || pred.Target != in.BranchTarget(0x3000) {
+		t.Errorf("pred = %+v", pred)
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := New(Default())
+	call := isa.Inst{Op: isa.OpJAL, Imm: 0x100}
+	ret := isa.Inst{Op: isa.OpJR, Ra: isa.RLR}
+
+	p.Predict(0x1000, call) // pushes 0x1004
+	p.Predict(0x2000, call) // pushes 0x2004
+	pr := p.Predict(0x3000, ret)
+	if !pr.UsedRAS || pr.Target != 0x2004 {
+		t.Errorf("first return predicted %#x, want 0x2004", pr.Target)
+	}
+	pr = p.Predict(0x3010, ret)
+	if pr.Target != 0x1004 {
+		t.Errorf("second return predicted %#x, want 0x1004", pr.Target)
+	}
+}
+
+func TestRASRecovery(t *testing.T) {
+	p := New(Default())
+	call := isa.Inst{Op: isa.OpJAL, Imm: 0x100}
+	ret := isa.Inst{Op: isa.OpJR, Ra: isa.RLR}
+	br := branchAt(0x1100)
+
+	p.Predict(0x1000, call) // RAS: [0x1004]
+	pred := p.Predict(0x1100, br)
+	// Wrong path executes a call and a return, perturbing the RAS.
+	p.Predict(0x5000, call)
+	p.Predict(0x6000, ret)
+	p.Predict(0x6100, ret)
+	// Squash back to the branch.
+	p.Recover(0x1100, br, pred, !pred.Taken)
+	got := p.Predict(0x1200, ret)
+	if got.Target != 0x1004 {
+		t.Errorf("post-recovery return predicted %#x, want 0x1004", got.Target)
+	}
+}
+
+func TestBTBIndirectJumps(t *testing.T) {
+	p := New(Default())
+	jr := isa.Inst{Op: isa.OpJR, Ra: isa.IntReg(5)} // indirect, not a return
+	pred := p.Predict(0x4000, jr)
+	if pred.Target != 0x4004 {
+		t.Errorf("cold BTB predicted %#x, want fallthrough", pred.Target)
+	}
+	p.Update(0x4000, jr, pred, true, 0x9000)
+	pred = p.Predict(0x4000, jr)
+	if pred.Target != 0x9000 {
+		t.Errorf("trained BTB predicted %#x, want 0x9000", pred.Target)
+	}
+}
+
+func TestBTBEvictionLRU(t *testing.T) {
+	cfg := Default()
+	cfg.BTBSets = 1
+	cfg.BTBWays = 2
+	p := New(cfg)
+	jr := isa.Inst{Op: isa.OpJR, Ra: isa.IntReg(5)}
+	// Three different PCs map to the single set; LRU keeps the two hottest.
+	for i, pc := range []uint64{0x1000, 0x2000, 0x1000, 0x3000} {
+		pred := p.Predict(pc, jr)
+		p.Update(pc, jr, pred, true, 0x100*uint64(i+1))
+	}
+	// 0x2000 should be the evicted one.
+	if got := p.Predict(0x2000, jr); got.Target != 0x2004 {
+		t.Errorf("evicted entry still predicts %#x", got.Target)
+	}
+}
+
+func TestUpdateTrainsSelector(t *testing.T) {
+	p := New(Default())
+	in := branchAt(0x7000)
+	// Alternating outcome: gshare wins, selector should migrate to it.
+	before := p.selector[p.selectorIdx(0x7000)]
+	for i := 0; i < 200; i++ {
+		taken := i%2 == 0
+		pred := p.Predict(0x7000, in)
+		if pred.Taken != taken {
+			p.Recover(0x7000, in, pred, taken)
+		}
+		p.Update(0x7000, in, pred, taken, in.BranchTarget(0x7000))
+	}
+	after := p.selector[p.selectorIdx(0x7000)]
+	if after < before {
+		t.Errorf("selector moved away from gshare: %d -> %d", before, after)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := New(Default())
+	in := branchAt(0x100)
+	pred := p.Predict(0x100, in)
+	p.Update(0x100, in, pred, !pred.Taken, in.BranchTarget(0x100))
+	if p.Lookups != 1 || p.DirMiss != 1 {
+		t.Errorf("lookups=%d dirmiss=%d", p.Lookups, p.DirMiss)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size did not panic")
+		}
+	}()
+	cfg := Default()
+	cfg.BimodalEntries = 1000
+	New(cfg)
+}
+
+func TestPredictorDeterminism(t *testing.T) {
+	run := func() uint64 {
+		p := New(Default())
+		in := branchAt(0x100)
+		var hist uint64
+		for i := 0; i < 500; i++ {
+			taken := (i*7)%3 == 0
+			pred := p.Predict(0x100+uint64(i%16)*4, in)
+			if pred.Taken {
+				hist = hist*31 + 1
+			}
+			if pred.Taken != taken {
+				p.Recover(0x100+uint64(i%16)*4, in, pred, taken)
+			}
+			p.Update(0x100+uint64(i%16)*4, in, pred, taken, in.BranchTarget(0x100))
+		}
+		return hist
+	}
+	if run() != run() {
+		t.Error("predictor nondeterministic")
+	}
+}
+
+func TestRASWrapAround(t *testing.T) {
+	cfg := Default()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	call := isa.Inst{Op: isa.OpJAL, Imm: 0x40}
+	ret := isa.Inst{Op: isa.OpJR, Ra: isa.RLR}
+	// Six calls overflow a 4-entry stack; the four most recent survive.
+	for i := 0; i < 6; i++ {
+		p.Predict(uint64(0x1000+0x100*i), call)
+	}
+	for i := 5; i >= 2; i-- {
+		pr := p.Predict(0x9000, ret)
+		want := uint64(0x1000 + 0x100*i + 4)
+		if pr.Target != want {
+			t.Fatalf("return %d predicted %#x, want %#x", 5-i, pr.Target, want)
+		}
+	}
+}
+
+func TestZeroSizedRAS(t *testing.T) {
+	cfg := Default()
+	cfg.RASEntries = 0
+	p := New(cfg)
+	ret := isa.Inst{Op: isa.OpJR, Ra: isa.RLR}
+	pr := p.Predict(0x100, ret)
+	if pr.Target != 0 {
+		t.Errorf("no-RAS return predicted %#x", pr.Target)
+	}
+	// Recovery with no RAS must not panic.
+	p.Recover(0x100, ret, pr, true)
+}

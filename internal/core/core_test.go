@@ -1,0 +1,497 @@
+package core
+
+import (
+	"testing"
+
+	"prisim/internal/isa"
+)
+
+func params(p Policy) Params {
+	cfg := DefaultParams()
+	cfg.Policy = p
+	return cfg
+}
+
+func TestInitialState(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	i, f := r.Occupancy()
+	if i != isa.NumIntRegs || f != isa.NumFPRegs {
+		t.Errorf("initial occupancy = %d, %d", i, f)
+	}
+	if r.FreeCount(false) != 32 || r.FreeCount(true) != 32 {
+		t.Errorf("free = %d, %d", r.FreeCount(false), r.FreeCount(true))
+	}
+	// Every architected register maps to a complete physical register.
+	op := r.LookupSrc(isa.IntReg(5))
+	if op.Kind != OperandPR {
+		t.Fatalf("lookup kind = %v", op.Kind)
+	}
+	r.ReleaseRead(op, 0, true)
+	r.CheckInvariants()
+}
+
+func TestZeroRegisterLookup(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	op := r.LookupSrc(isa.RZero)
+	if op.Kind != OperandZero || !op.Ready() {
+		t.Errorf("zero lookup = %+v", op)
+	}
+}
+
+func TestBaseAllocateCommitRelease(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	a := isa.IntReg(3)
+	al, ok := r.AllocDest(a, 10)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if r.FreeCount(false) != 31 {
+		t.Errorf("free after alloc = %d", r.FreeCount(false))
+	}
+	if e := r.MapEntryFor(a); e.Inlined || e.PR != al.PR {
+		t.Errorf("map not updated: %+v", e)
+	}
+	// Old mapping released only at commit.
+	r.WriteResult(al, 1234567890123, 20) // wide: no inlining even if PRI were on
+	if r.FreeCount(false) != 31 {
+		t.Error("released before commit")
+	}
+	r.CommitRelease(al.Old, 30)
+	if r.FreeCount(false) != 32 {
+		t.Error("commit release did not free")
+	}
+	st := r.IntStats()
+	if st.Released != 1 {
+		t.Errorf("released = %d", st.Released)
+	}
+	r.CheckInvariants()
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	a := isa.IntReg(1)
+	for i := 0; i < 32; i++ {
+		if _, ok := r.AllocDest(a, 0); !ok {
+			t.Fatalf("alloc %d failed early", i)
+		}
+	}
+	if r.CanAllocate(false) {
+		t.Error("CanAllocate true with empty free list")
+	}
+	if _, ok := r.AllocDest(a, 0); ok {
+		t.Error("alloc succeeded with empty free list")
+	}
+	r.CheckInvariants()
+}
+
+func TestInfinitePolicyNeverExhausts(t *testing.T) {
+	r := NewRenamer(params(PolicyInfinite))
+	a := isa.IntReg(1)
+	for i := 0; i < 500; i++ {
+		if _, ok := r.AllocDest(a, 0); !ok {
+			t.Fatalf("infinite alloc %d failed", i)
+		}
+	}
+	r.CheckInvariants()
+}
+
+func TestDuplicateFreeTolerance(t *testing.T) {
+	cfg := params(PolicyPRIRcLazy)
+	r := NewRenamer(cfg)
+	a := isa.IntReg(4)
+	producer, _ := r.AllocDest(a, 0)
+	// Next writer renames before the producer retires.
+	writer, _ := r.AllocDest(a, 5)
+	// Producer retires narrow — but the map has moved on (WAW check), so
+	// no inline.
+	out := r.WriteResult(producer, 3, 10)
+	if out.Inlined {
+		t.Error("inlined despite remap")
+	}
+	if r.IntStats().WAWSuppressed != 1 {
+		t.Error("WAW suppression not counted")
+	}
+	// Writer's commit frees the producer's register (normal rule).
+	free0 := r.FreeCount(false)
+	r.CommitRelease(writer.Old, 20)
+	if r.FreeCount(false) != free0+1 {
+		t.Error("commit release failed")
+	}
+	// A second, duplicate release of the same register is a no-op.
+	r.CommitRelease(writer.Old, 21)
+	if r.FreeCount(false) != free0+1 {
+		t.Error("duplicate release changed the free list")
+	}
+	if r.IntStats().DuplicateFrees == 0 {
+		t.Error("duplicate free not counted")
+	}
+	r.CheckInvariants()
+}
+
+func TestPRIInlineAndEarlyFree(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(7)
+	al, _ := r.AllocDest(a, 0)
+	free0 := r.FreeCount(false)
+	out := r.WriteResult(al, 42, 10) // 42 fits in 7 bits
+	if !out.Inlined || !out.Freed {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if r.FreeCount(false) != free0+1 {
+		t.Error("early free did not return register")
+	}
+	e := r.MapEntryFor(a)
+	if !e.Inlined || e.Value != 42 {
+		t.Errorf("map entry = %+v", e)
+	}
+	// Subsequent consumers read the immediate.
+	op := r.LookupSrc(a)
+	if op.Kind != OperandInline || op.Value != 42 {
+		t.Errorf("lookup = %+v", op)
+	}
+	// The displaced-mapping commit release later is a harmless duplicate.
+	r.CommitRelease(OldMapping{Arch: a, Entry: MapEntry{PR: al.PR}, Gen: al.Gen}, 50)
+	r.CheckInvariants()
+}
+
+func TestPRINegativeNarrowValues(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(2)
+	al, _ := r.AllocDest(a, 0)
+	out := r.WriteResult(al, ^uint64(0) /* -1 */, 5)
+	if !out.Inlined {
+		t.Error("-1 should inline in 7 bits")
+	}
+	al2, _ := r.AllocDest(a, 10)
+	out = r.WriteResult(al2, 64, 15) // 64 needs 8 bits signed: too wide for 7
+	if out.Inlined {
+		t.Error("64 should not inline in 7 bits")
+	}
+}
+
+func TestPRIFPTrivialOnly(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.FPReg(3)
+	al, _ := r.AllocDest(a, 0)
+	if out := r.WriteResult(al, 0, 1); !out.Inlined {
+		t.Error("FP zero pattern should inline")
+	}
+	al2, _ := r.AllocDest(a, 2)
+	if out := r.WriteResult(al2, ^uint64(0), 3); !out.Inlined {
+		t.Error("FP all-ones pattern should inline")
+	}
+	al3, _ := r.AllocDest(a, 4)
+	if out := r.WriteResult(al3, 0x3FF0000000000000, 5); out.Inlined {
+		t.Error("FP 1.0 should not inline")
+	}
+	// With FPInline off, nothing inlines.
+	cfg := params(PolicyPRIRcLazy)
+	cfg.FPInline = false
+	r2 := NewRenamer(cfg)
+	al4, _ := r2.AllocDest(a, 0)
+	if out := r2.WriteResult(al4, 0, 1); out.Inlined {
+		t.Error("FPInline=false still inlined")
+	}
+}
+
+func TestRefcountDefersFreeUntilReadersDrain(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(9)
+	al, _ := r.AllocDest(a, 0)
+	// A consumer renames its source before the producer retires.
+	op := r.LookupSrc(a)
+	if op.Kind != OperandPR || op.PR != al.PR {
+		t.Fatalf("consumer operand = %+v", op)
+	}
+	free0 := r.FreeCount(false)
+	out := r.WriteResult(al, 5, 10)
+	if !out.Inlined || out.Freed || !out.Deferred {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if r.FreeCount(false) != free0 {
+		t.Error("freed while a reader holds a stale pointer (WAR violation)")
+	}
+	// Reader finishes: the free completes.
+	r.ReleaseRead(op, 20, true)
+	if r.FreeCount(false) != free0+1 {
+		t.Error("free did not complete after reader drained")
+	}
+	if r.IntStats().DeferredFrees != 1 {
+		t.Error("deferred free not counted")
+	}
+	r.CheckInvariants()
+}
+
+func TestIdealFixupConvertsReaders(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIIdealLazy))
+	a := isa.IntReg(9)
+	var fixups []uint64
+	var pending []Operand
+	r.OnFixup = func(fp bool, pr PhysReg, value uint64) {
+		for _, op := range pending {
+			if op.PR == pr && op.Arch.IsFP() == fp {
+				fixups = append(fixups, value)
+				r.ReleaseRead(op, 10, false)
+			}
+		}
+		pending = nil
+	}
+	al, _ := r.AllocDest(a, 0)
+	pending = append(pending, r.LookupSrc(a))
+	free0 := r.FreeCount(false)
+	out := r.WriteResult(al, 5, 10)
+	if !out.Inlined || !out.Freed || !out.FixupNeed {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if r.FreeCount(false) != free0+1 {
+		t.Error("ideal mode did not free instantly")
+	}
+	if len(fixups) != 1 || fixups[0] != 5 {
+		t.Errorf("fixups = %v", fixups)
+	}
+	r.CheckInvariants()
+}
+
+func TestCkptRefCountPinsRegisters(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcCkpt))
+	a := isa.IntReg(6)
+	al, _ := r.AllocDest(a, 0)
+	ck := r.TakeCheckpoint() // shadow map names al.PR
+	free0 := r.FreeCount(false)
+	out := r.WriteResult(al, 7, 10)
+	if !out.Inlined || out.Freed || !out.Deferred {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if r.FreeCount(false) != free0 {
+		t.Error("freed while checkpoint references register")
+	}
+	// Branch resolves correctly: checkpoint dies, free completes.
+	r.ResolveCheckpoint(ck, 20)
+	if r.FreeCount(false) != free0+1 {
+		t.Error("free did not complete after checkpoint release")
+	}
+	r.CheckInvariants()
+}
+
+func TestLazyCheckpointPatching(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(6)
+	al, _ := r.AllocDest(a, 0)
+	ck := r.TakeCheckpoint()
+	out := r.WriteResult(al, 7, 10)
+	if !out.Inlined || !out.Freed {
+		t.Fatalf("outcome = %+v (lazy should free with no readers)", out)
+	}
+	// Misprediction at the checkpointed branch: restore must see the
+	// inlined value, not a stale pointer to the freed register.
+	r.RestoreCheckpoint(ck, 20)
+	e := r.MapEntryFor(a)
+	if !e.Inlined || e.Value != 7 {
+		t.Errorf("restored entry = %+v, want inlined 7", e)
+	}
+	r.CheckInvariants()
+}
+
+func TestRestoreCancelsPendingInlineFree(t *testing.T) {
+	// Under ckptcount: producer inlines while a checkpoint taken *after*
+	// its rename still maps arch->PR. On recovery to that checkpoint the
+	// mapping is restored, so the pending free must be cancelled.
+	r := NewRenamer(params(PolicyPRIRcCkpt))
+	a := isa.IntReg(6)
+	al, _ := r.AllocDest(a, 0)
+	ck := r.TakeCheckpoint()
+	out := r.WriteResult(al, 7, 10)
+	if out.Freed || !out.Deferred {
+		t.Fatalf("outcome = %+v", out)
+	}
+	free0 := r.FreeCount(false)
+	r.RestoreCheckpoint(ck, 20)
+	e := r.MapEntryFor(a)
+	if e.Inlined || e.PR != al.PR {
+		t.Errorf("restored entry = %+v, want p%d", e, al.PR)
+	}
+	if r.FreeCount(false) != free0 {
+		t.Error("register freed despite restored mapping")
+	}
+	// It frees later by the normal commit rule.
+	w, _ := r.AllocDest(a, 30)
+	r.CommitRelease(w.Old, 40)
+	if r.FreeCount(false) != free0 {
+		t.Errorf("free count after writer = %d, want %d", r.FreeCount(false), free0)
+	}
+	r.CheckInvariants()
+}
+
+func TestRestoreDiscardsYoungerCheckpoints(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcCkpt))
+	a := isa.IntReg(2)
+	ck1 := r.TakeCheckpoint()
+	al2, _ := r.AllocDest(a, 0)
+	r.TakeCheckpoint() // ck2, younger — discarded by the restore
+	r.TakeCheckpoint() // ck3
+	if r.LiveCheckpoints() != 3 {
+		t.Fatalf("live = %d", r.LiveCheckpoints())
+	}
+	r.RestoreCheckpoint(ck1, 10)
+	if r.LiveCheckpoints() != 0 {
+		t.Errorf("live after restore = %d", r.LiveCheckpoints())
+	}
+	// al2 belongs to a squashed instruction; the pipeline returns it.
+	r.SquashUndo(al2, 11)
+	r.CheckInvariants()
+}
+
+func TestERFreesAfterUnmapCompleteAndDrain(t *testing.T) {
+	r := NewRenamer(params(PolicyER))
+	a := isa.IntReg(8)
+	p1, _ := r.AllocDest(a, 0) // producer
+	op := r.LookupSrc(a)       // consumer
+	free0 := r.FreeCount(false)
+
+	r.WriteResult(p1, 1_000_000_000_000, 5) // wide value; ER does not care
+	if r.FreeCount(false) != free0 {
+		t.Error("ER freed while still mapped")
+	}
+	// Next writer unmaps it...
+	w, _ := r.AllocDest(a, 10)
+	if r.FreeCount(false) != free0-1 {
+		t.Error("ER freed while a reader is outstanding")
+	}
+	// ...and the last reader drains: freed without waiting for commit.
+	r.ReleaseRead(op, 20, true)
+	if r.FreeCount(false) != free0 {
+		t.Error("ER did not free after unmap+complete+drain")
+	}
+	// Two early frees: the displaced initial mapping of a (freed the
+	// moment p1's rename unmapped it — complete, no readers) and p1.
+	if r.IntStats().EarlyFrees != 2 {
+		t.Errorf("early frees = %d, want 2", r.IntStats().EarlyFrees)
+	}
+	// The writer's later commit release is a duplicate no-op.
+	r.CommitRelease(w.Old, 30)
+	if r.IntStats().DuplicateFrees == 0 {
+		t.Error("commit after ER free should count as duplicate")
+	}
+	r.CheckInvariants()
+}
+
+func TestERRespectsCheckpoints(t *testing.T) {
+	r := NewRenamer(params(PolicyER))
+	a := isa.IntReg(8)
+	p1, _ := r.AllocDest(a, 0)
+	ck := r.TakeCheckpoint() // names p1's register
+	r.WriteResult(p1, 99, 5)
+	r.AllocDest(a, 10) // unmap
+	free0 := r.FreeCount(false)
+	// Not freed: the checkpoint still references it.
+	r.ResolveCheckpoint(ck, 20)
+	if r.FreeCount(false) != free0+1 {
+		t.Error("ER did not free after checkpoint release")
+	}
+	r.CheckInvariants()
+}
+
+func TestPRIPlusERUsesBothRules(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIPlusER))
+	// Narrow value: PRI path frees at retire.
+	a := isa.IntReg(3)
+	al, _ := r.AllocDest(a, 0)
+	free0 := r.FreeCount(false)
+	if out := r.WriteResult(al, 3, 5); !out.Freed {
+		t.Error("PRI path did not free narrow value")
+	}
+	// Wide value: ER path frees after unmap.
+	b := isa.IntReg(4)
+	bl, _ := r.AllocDest(b, 10)
+	r.WriteResult(bl, 1<<40, 15)
+	r.AllocDest(b, 20)
+	// Net: +1 PRI free of al, -1 bl alloc, +1 ER free of b's displaced
+	// initial mapping, -1 b's second writer, +1 ER free of bl.
+	if r.FreeCount(false) != free0+1 {
+		t.Errorf("free count = %d, want %d", r.FreeCount(false), free0+1)
+	}
+	r.CheckInvariants()
+}
+
+func TestWriteResultAfterSquashIsNoop(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(5)
+	ck := r.TakeCheckpoint()
+	al, _ := r.AllocDest(a, 0)
+	r.RestoreCheckpoint(ck, 4) // misprediction squashes the instruction
+	r.SquashUndo(al, 5)
+	out := r.WriteResult(al, 3, 10) // stale generation
+	if out.Inlined || out.Freed {
+		t.Errorf("stale WriteResult acted: %+v", out)
+	}
+	r.CheckInvariants()
+}
+
+func TestLifetimePhaseAccounting(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	a := isa.IntReg(3)
+	al, _ := r.AllocDest(a, 100) // alloc at 100
+	op := r.LookupSrc(a)
+	r.WriteResult(al, 7, 130)    // write at 130
+	r.ReleaseRead(op, 150, true) // last read at 150
+	w, _ := r.AllocDest(a, 160)
+	r.CommitRelease(w.Old, 200) // release at 200
+	st := r.IntStats()
+	if st.Released != 1 {
+		t.Fatalf("released = %d", st.Released)
+	}
+	aw, wr, rr := st.AvgPhases()
+	if aw != 30 || wr != 20 || rr != 50 {
+		t.Errorf("phases = %v %v %v, want 30 20 50", aw, wr, rr)
+	}
+}
+
+func TestOccupancyTracksAllocation(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	i0, _ := r.Occupancy()
+	al, _ := r.AllocDest(isa.IntReg(1), 0)
+	i1, _ := r.Occupancy()
+	if i1 != i0+1 {
+		t.Errorf("occupancy after alloc = %d", i1)
+	}
+	r.WriteResult(al, 1, 5) // narrow: early free
+	i2, _ := r.Occupancy()
+	if i2 != i0 {
+		t.Errorf("occupancy after early free = %d", i2)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]Policy{
+		"base": PolicyBase, "er": PolicyER,
+		"pri-rc-ckpt": PolicyPRIRcCkpt, "pri-rc-lazy": PolicyPRIRcLazy,
+		"pri-ideal-ckpt": PolicyPRIIdealCkpt, "pri-ideal-lazy": PolicyPRIIdealLazy,
+		"pri+er": PolicyPRIPlusER, "infpr": PolicyInfinite,
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("policy name = %q, want %q", p.Name(), name)
+		}
+	}
+	if len(AllPolicies) != 7 {
+		t.Errorf("AllPolicies has %d entries", len(AllPolicies))
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	bad := []Params{
+		{IntPRs: 16, FPPRs: 64, IntNarrowBits: 7},
+		{IntPRs: 64, FPPRs: 16, IntNarrowBits: 7},
+		{IntPRs: 64, FPPRs: 64, IntNarrowBits: 99},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad params %d did not panic", i)
+				}
+			}()
+			cfg.Validate()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"prisim/internal/isa"
+)
+
+func TestWouldInlinePredictsWriteResult(t *testing.T) {
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	a := isa.IntReg(5)
+
+	al, _ := r.AllocDest(a, 0)
+	if !r.WouldInline(al, 42) {
+		t.Error("narrow value with live mapping should inline")
+	}
+	if r.WouldInline(al, 1<<20) {
+		t.Error("wide value predicted to inline")
+	}
+	out := r.WriteResult(al, 42, 5)
+	if !out.Inlined {
+		t.Fatal("prediction contradicted by WriteResult")
+	}
+
+	// After a remap, the WAW check fails and the prediction must say no.
+	b2, _ := r.AllocDest(a, 10)
+	c3, _ := r.AllocDest(a, 11)
+	_ = c3
+	if r.WouldInline(b2, 3) {
+		t.Error("remapped register predicted to inline")
+	}
+	if out := r.WriteResult(b2, 3, 20); out.Inlined {
+		t.Error("WriteResult disagreed with prediction")
+	}
+}
+
+func TestWouldInlineRespectsPolicy(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	al, _ := r.AllocDest(isa.IntReg(1), 0)
+	if r.WouldInline(al, 1) {
+		t.Error("base policy predicted inlining")
+	}
+	r2 := NewRenamer(params(PolicyPRIRcLazy))
+	if r2.WouldInline(Allocation{Arch: isa.IntReg(1), PR: NoPR}, 1) {
+		t.Error("NoPR allocation predicted to inline")
+	}
+}
+
+func TestWrittenLiveTracking(t *testing.T) {
+	r := NewRenamer(params(PolicyBase))
+	if got := r.WrittenLive(false); got != isa.NumIntRegs {
+		t.Fatalf("initial written-live = %d, want %d (committed state)", got, isa.NumIntRegs)
+	}
+	a := isa.IntReg(3)
+	al, _ := r.AllocDest(a, 0)
+	if got := r.WrittenLive(false); got != isa.NumIntRegs {
+		t.Errorf("allocation changed written-live to %d", got)
+	}
+	r.WriteResult(al, 123456789, 5)
+	if got := r.WrittenLive(false); got != isa.NumIntRegs+1 {
+		t.Errorf("after write, written-live = %d", got)
+	}
+	w, _ := r.AllocDest(a, 10)
+	r.CommitRelease(w.Old, 20) // releases al's register
+	if got := r.WrittenLive(false); got != isa.NumIntRegs {
+		t.Errorf("after release, written-live = %d", got)
+	}
+	r.CheckInvariants()
+}
+
+func TestWrittenLivePRIInline(t *testing.T) {
+	// An inlined narrow result releases its register in the same call, so
+	// written-live ends where it started.
+	r := NewRenamer(params(PolicyPRIRcLazy))
+	base := r.WrittenLive(false)
+	al, _ := r.AllocDest(isa.IntReg(4), 0)
+	out := r.WriteResult(al, 7, 5)
+	if !out.Freed {
+		t.Fatal("expected immediate inline free")
+	}
+	if got := r.WrittenLive(false); got != base {
+		t.Errorf("written-live = %d, want %d", got, base)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prisim/internal/isa"
+)
+
+// randomDriver models the pipeline's usage contract: instructions rename in
+// order (sources then destination then checkpoint for branches), execute and
+// retire out of order, and commit in order; mispredicted branches restore
+// their checkpoint and squash everything younger. After thousands of random
+// interleavings under every policy, the renamer's invariants must hold and
+// no physical register may leak.
+type rdInst struct {
+	srcs     []Operand
+	released []bool
+	alloc    Allocation
+	hasDest  bool
+	ckpt     *Checkpoint
+	retired  bool
+	value    uint64
+}
+
+func TestRandomizedPipelineContract(t *testing.T) {
+	// Every combination of the five policy bits, not just the paper's
+	// named schemes: cross-feature interactions (e.g. ER with lazy PRI
+	// checkpoint patching) have bitten before.
+	var policies []Policy
+	for bits := 0; bits < 32; bits++ {
+		policies = append(policies, Policy{
+			PRI:          bits&1 != 0,
+			IdealFixup:   bits&2 != 0,
+			CkptRefCount: bits&4 != 0,
+			ER:           bits&8 != 0,
+			Infinite:     bits&16 != 0,
+		})
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(fmt.Sprintf("%s-%+v", pol.Name(), pol), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(42))
+			cfg := DefaultParams()
+			cfg.Policy = pol
+			r := NewRenamer(cfg)
+			if pol.IdealFixup {
+				// The pipeline converts stale consumers instantly; the
+				// driver mimics it by releasing every unreleased read of
+				// the fixed-up register.
+				var inFlight []*rdInst
+				r.OnFixup = func(fp bool, pr PhysReg, value uint64) {
+					for _, in := range inFlight {
+						for i, op := range in.srcs {
+							if !in.released[i] && op.Kind == OperandPR &&
+								op.PR == pr && op.Arch.IsFP() == fp {
+								in.released[i] = true
+								r.ReleaseRead(op, 0, false)
+							}
+						}
+					}
+				}
+				defer func() { inFlight = nil }()
+				runRandomDriver(t, r, rng, &inFlight)
+				return
+			}
+			var inFlight []*rdInst
+			runRandomDriver(t, r, rng, &inFlight)
+		})
+	}
+}
+
+func runRandomDriver(t *testing.T, r *Renamer, rng *rand.Rand, inFlight *[]*rdInst) {
+	now := uint64(0)
+	commitUpTo := func(n int) {
+		for i := 0; i < n && len(*inFlight) > 0; i++ {
+			in := (*inFlight)[0]
+			if !in.retired {
+				return
+			}
+			for j, op := range in.srcs {
+				if !in.released[j] {
+					in.released[j] = true
+					r.ReleaseRead(op, now, true)
+				}
+			}
+			if in.ckpt != nil {
+				r.ResolveCheckpoint(in.ckpt, now)
+				in.ckpt = nil
+			}
+			if in.hasDest {
+				r.CommitRelease(in.alloc.Old, now)
+			}
+			*inFlight = (*inFlight)[1:]
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		now++
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // rename a new instruction
+			in := &rdInst{}
+			nsrc := rng.Intn(3)
+			for i := 0; i < nsrc; i++ {
+				a := isa.Reg(rng.Intn(isa.NumArchRegs))
+				if a == isa.RZero {
+					a = isa.IntReg(1)
+				}
+				in.srcs = append(in.srcs, r.LookupSrc(a))
+				in.released = append(in.released, false)
+			}
+			if rng.Intn(4) > 0 { // 75% have a destination
+				a := isa.Reg(rng.Intn(isa.NumArchRegs))
+				if a == isa.RZero {
+					a = isa.IntReg(2)
+				}
+				if al, ok := r.AllocDest(a, now); ok {
+					in.alloc = al
+					in.hasDest = true
+					in.value = uint64(rng.Int63())
+					if rng.Intn(3) == 0 {
+						in.value = uint64(rng.Intn(100)) // narrow
+					}
+				}
+			}
+			if rng.Intn(6) == 0 { // branch: checkpoint
+				in.ckpt = r.TakeCheckpoint()
+			}
+			*inFlight = append(*inFlight, in)
+		case 4, 5, 6: // retire a random unretired instruction (writeback)
+			for _, idx := range rng.Perm(len(*inFlight)) {
+				in := (*inFlight)[idx]
+				if in.retired {
+					continue
+				}
+				for j, op := range in.srcs { // reads happen before writeback
+					if !in.released[j] && rng.Intn(2) == 0 {
+						in.released[j] = true
+						r.ReleaseRead(op, now, true)
+					}
+				}
+				if in.hasDest {
+					r.WriteResult(in.alloc, in.value, now)
+				}
+				in.retired = true
+				break
+			}
+		case 7: // commit a few from the head
+			commitUpTo(1 + rng.Intn(4))
+		case 8: // misprediction: recover at a random checkpointed instruction
+			bi := -1
+			for _, idx := range rng.Perm(len(*inFlight)) {
+				if (*inFlight)[idx].ckpt != nil {
+					bi = idx
+					break
+				}
+			}
+			if bi < 0 {
+				continue
+			}
+			br := (*inFlight)[bi]
+			r.RestoreCheckpoint(br.ckpt, now)
+			br.ckpt = nil
+			// Squash everything younger, youngest first.
+			for i := len(*inFlight) - 1; i > bi; i-- {
+				y := (*inFlight)[i]
+				for j, op := range y.srcs {
+					if !y.released[j] {
+						y.released[j] = true
+						r.ReleaseRead(op, now, false)
+					}
+				}
+				if y.hasDest {
+					r.SquashUndo(y.alloc, now)
+				}
+				if y.ckpt != nil {
+					// Discarded wholesale by RestoreCheckpoint.
+					y.ckpt = nil
+				}
+			}
+			*inFlight = (*inFlight)[:bi+1]
+		case 9:
+			r.CheckInvariants()
+		}
+	}
+	// Drain: retire and commit everything.
+	for _, in := range *inFlight {
+		if !in.retired {
+			if in.hasDest {
+				r.WriteResult(in.alloc, in.value, now)
+			}
+			in.retired = true
+		}
+	}
+	commitUpTo(len(*inFlight))
+	if len(*inFlight) != 0 {
+		t.Fatalf("drain left %d instructions", len(*inFlight))
+	}
+	r.CheckInvariants()
+	if r.LiveCheckpoints() != 0 {
+		t.Errorf("%d checkpoints leaked", r.LiveCheckpoints())
+	}
+	// With everything committed, occupancy can be at most one register per
+	// architected register — and under PRI it may be lower, because
+	// committed values can live as inlined map entries. (CheckInvariants
+	// above already proved conservation: free + allocated == total.)
+	if !r.Params().Policy.Infinite {
+		iOcc, fOcc := r.Occupancy()
+		if iOcc > isa.NumIntRegs || fOcc > isa.NumFPRegs {
+			t.Errorf("occupancy %d/%d exceeds architected counts", iOcc, fOcc)
+		}
+		if iOcc < isa.NumIntRegs && !r.Params().Policy.PRI {
+			t.Errorf("non-PRI policy lost %d mappings", isa.NumIntRegs-iOcc)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"prisim/internal/isa"
+)
+
+// PhysReg names a physical register within one class's file.
+type PhysReg int32
+
+// NoPR is the absent physical register.
+const NoPR PhysReg = -1
+
+// MapEntry is one RAM map table entry: either a pointer to a physical
+// register (the conventional register addressing mode) or an inlined
+// immediate value (the mode PRI adds).
+type MapEntry struct {
+	Inlined bool
+	PR      PhysReg
+	Value   uint64 // full sign-extended value when Inlined
+}
+
+// prState is the per-physical-register bookkeeping: the flags and counters
+// of Sections 3.2-3.5 plus lifetime stamps for the Figure 1/8 analysis.
+type prState struct {
+	allocated bool
+	gen       uint32 // bumped at every allocation; tags deallocations
+
+	complete    bool // value written (retire)
+	unmappedCur bool // no current map entry points here
+	readers     int32
+	ckptRefs    int32
+	wantFree    bool // PRI decided to free; waiting on counters to drain
+
+	arch isa.Reg // architected register this allocation serves
+
+	allocCycle    uint64
+	writeCycle    uint64
+	lastReadCycle uint64
+	written       bool
+	everRead      bool
+}
+
+// LifetimeStats aggregates physical register lifetime, split into the three
+// phases of the paper's Figure 1.
+type LifetimeStats struct {
+	Released       uint64
+	AllocToWrite   uint64 // cycles summed over released registers
+	WriteToRead    uint64
+	ReadToRelease  uint64
+	NeverWritten   uint64 // released without ever being written (squashed)
+	EarlyFrees     uint64 // freed by PRI or ER before the commit rule
+	InlinedResults uint64 // results written into the map as immediates
+	WAWSuppressed  uint64 // narrow results not inlined: map already remapped
+	DeferredFrees  uint64 // PRI frees delayed by reader/checkpoint counts
+	DuplicateFrees uint64 // commit-time frees that found the register gone
+}
+
+// AvgPhases returns the average per-register cycles in each lifetime phase.
+func (s *LifetimeStats) AvgPhases() (allocToWrite, writeToRead, readToRelease float64) {
+	if s.Released == 0 {
+		return 0, 0, 0
+	}
+	n := float64(s.Released)
+	return float64(s.AllocToWrite) / n, float64(s.WriteToRead) / n, float64(s.ReadToRelease) / n
+}
+
+// regFile is one register class's physical file, map table, and free list.
+type regFile struct {
+	name     string
+	nArch    int
+	cfg      *Params
+	mapTab   []MapEntry
+	prs      []prState
+	free     []PhysReg // FIFO free list
+	freeHd   int
+	nAlloc   int // currently allocated registers
+	nWritten int // allocated registers holding a produced value
+	// frozen suspends early-free side effects while a checkpoint restore
+	// rewrites the map table; the restore ends with a full sweep.
+	frozen bool
+	Stats  LifetimeStats
+}
+
+func newRegFile(name string, nArch, nPhys int, cfg *Params) *regFile {
+	rf := &regFile{
+		name:   name,
+		nArch:  nArch,
+		cfg:    cfg,
+		mapTab: make([]MapEntry, nArch),
+		prs:    make([]prState, nPhys),
+	}
+	// Committed architected state occupies the first nArch physical
+	// registers; the rest are free.
+	for a := 0; a < nArch; a++ {
+		rf.mapTab[a] = MapEntry{PR: PhysReg(a)}
+		rf.prs[a] = prState{allocated: true, complete: true, written: true, arch: isa.Reg(a)}
+	}
+	rf.nAlloc = nArch
+	rf.nWritten = nArch
+	for p := nArch; p < nPhys; p++ {
+		rf.free = append(rf.free, PhysReg(p))
+	}
+	return rf
+}
+
+// FreeCount returns the number of allocatable registers.
+func (rf *regFile) FreeCount() int {
+	if rf.cfg.Policy.Infinite {
+		return 1 << 20
+	}
+	return len(rf.free) - rf.freeHd
+}
+
+// Allocated returns the current occupancy (allocated registers).
+func (rf *regFile) Allocated() int { return rf.nAlloc }
+
+func (rf *regFile) popFree() (PhysReg, bool) {
+	if rf.freeHd < len(rf.free) {
+		pr := rf.free[rf.freeHd]
+		rf.freeHd++
+		// Compact once the consumed prefix dominates.
+		if rf.freeHd > 64 && rf.freeHd*2 > len(rf.free) {
+			rf.free = append(rf.free[:0], rf.free[rf.freeHd:]...)
+			rf.freeHd = 0
+		}
+		return pr, true
+	}
+	if rf.cfg.Policy.Infinite {
+		rf.prs = append(rf.prs, prState{})
+		return PhysReg(len(rf.prs) - 1), true
+	}
+	return NoPR, false
+}
+
+func (rf *regFile) pushFree(pr PhysReg) {
+	rf.free = append(rf.free, pr)
+}
+
+// allocate takes a register off the free list for architected register a.
+func (rf *regFile) allocate(a isa.Reg, now uint64) (PhysReg, uint32, bool) {
+	pr, ok := rf.popFree()
+	if !ok {
+		return NoPR, 0, false
+	}
+	st := &rf.prs[pr]
+	st.allocated = true
+	st.gen++
+	st.complete = false
+	st.unmappedCur = false
+	st.readers = 0
+	st.ckptRefs = 0 // checkpoints never reference a free register
+	st.wantFree = false
+	st.arch = a
+	st.allocCycle = now
+	st.written = false
+	st.everRead = false
+	rf.nAlloc++
+	return pr, st.gen, true
+}
+
+// release returns pr to the free list, recording lifetime statistics. The
+// generation tag makes duplicate deallocation a no-op, as required by the
+// paper's free-list manager (Section 3.2).
+func (rf *regFile) release(pr PhysReg, gen uint32, now uint64) bool {
+	st := &rf.prs[pr]
+	if !st.allocated || st.gen != gen {
+		rf.Stats.DuplicateFrees++
+		return false
+	}
+	if st.ckptRefs > 0 {
+		panic(fmt.Sprintf("core: %s p%d released while checkpoints reference it", rf.name, pr))
+	}
+	st.allocated = false
+	st.wantFree = false
+	rf.nAlloc--
+	if st.written {
+		rf.nWritten--
+	}
+	rf.pushFree(pr)
+
+	rf.Stats.Released++
+	if !st.written {
+		rf.Stats.NeverWritten++
+		rf.Stats.AllocToWrite += now - st.allocCycle
+		return true
+	}
+	write := st.writeCycle
+	if write < st.allocCycle {
+		write = st.allocCycle
+	}
+	lastRead := write
+	if st.everRead && st.lastReadCycle > write {
+		lastRead = st.lastReadCycle
+	}
+	end := now
+	if end < lastRead {
+		end = lastRead
+	}
+	rf.Stats.AllocToWrite += write - st.allocCycle
+	rf.Stats.WriteToRead += lastRead - write
+	rf.Stats.ReadToRelease += end - lastRead
+	return true
+}
+
+// maybeFree completes a deferred early free once every guard has drained.
+func (rf *regFile) maybeFree(pr PhysReg, now uint64) {
+	st := &rf.prs[pr]
+	if rf.frozen || !st.allocated || !st.wantFree {
+		return
+	}
+	if st.readers > 0 || st.ckptRefs > 0 || !st.unmappedCur {
+		return
+	}
+	rf.Stats.EarlyFrees++
+	rf.release(pr, st.gen, now)
+}
+
+// maybeERFree applies the early-release rule: complete ∧ unmapped everywhere
+// ∧ no readers.
+func (rf *regFile) maybeERFree(pr PhysReg, now uint64) {
+	st := &rf.prs[pr]
+	if rf.frozen || !st.allocated || !st.complete || !st.unmappedCur {
+		return
+	}
+	if st.readers > 0 || st.ckptRefs > 0 {
+		return
+	}
+	rf.Stats.EarlyFrees++
+	rf.release(pr, st.gen, now)
+}
+
+func (rf *regFile) decReader(pr PhysReg, now uint64) {
+	st := &rf.prs[pr]
+	if st.readers <= 0 {
+		panic(fmt.Sprintf("core: %s p%d reader underflow", rf.name, pr))
+	}
+	st.readers--
+	if st.readers == 0 && st.allocated {
+		rf.maybeFree(pr, now)
+		if rf.cfg.Policy.ER {
+			rf.maybeERFree(pr, now)
+		}
+	}
+}
+
+func (rf *regFile) decCkptRef(pr PhysReg, now uint64) {
+	st := &rf.prs[pr]
+	if st.ckptRefs <= 0 {
+		panic(fmt.Sprintf("core: %s p%d ckpt ref underflow", rf.name, pr))
+	}
+	st.ckptRefs--
+	if st.ckptRefs == 0 && st.allocated {
+		rf.maybeFree(pr, now)
+		if rf.cfg.Policy.ER {
+			rf.maybeERFree(pr, now)
+		}
+	}
+}
+
+// recomputeUnmapped rebuilds the unmappedCur flags after a checkpoint
+// restore rewrote the whole map table.
+func (rf *regFile) recomputeUnmapped(now uint64) {
+	for p := range rf.prs {
+		st := &rf.prs[p]
+		if st.allocated {
+			st.unmappedCur = true
+		}
+	}
+	for a := range rf.mapTab {
+		e := rf.mapTab[a]
+		if !e.Inlined && e.PR != NoPR {
+			st := &rf.prs[e.PR]
+			st.unmappedCur = false
+			// A restored mapping cancels any pending inline free: the
+			// register is architecturally visible again.
+			st.wantFree = false
+		}
+	}
+	for p := range rf.prs {
+		st := &rf.prs[p]
+		if !st.allocated || !st.unmappedCur {
+			continue
+		}
+		rf.maybeFree(PhysReg(p), now)
+		if rf.cfg.Policy.ER {
+			rf.maybeERFree(PhysReg(p), now)
+		}
+	}
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"fmt"
+
+	"prisim/internal/isa"
+)
+
+// OperandKind classifies what a source-operand map lookup produced.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperandZero   OperandKind = iota // the hardwired zero register
+	OperandInline                    // an immediate inlined in the map entry
+	OperandPR                        // a physical register pointer
+)
+
+// Operand is the payload-RAM view of one renamed source operand: either a
+// ready immediate (zero register or inlined value) or a physical register
+// pointer plus the generation tag used for safe reference release.
+type Operand struct {
+	Kind  OperandKind
+	Value uint64
+	Arch  isa.Reg
+	PR    PhysReg
+	Gen   uint32
+}
+
+// Ready reports whether the operand needs no register read at all.
+func (o Operand) Ready() bool { return o.Kind != OperandPR }
+
+// OldMapping records the mapping displaced by a destination rename; the
+// commit-time release rule frees it when the displacing writer commits.
+type OldMapping struct {
+	Arch  isa.Reg
+	Entry MapEntry
+	Gen   uint32 // generation of Entry.PR at displacement time
+}
+
+// Allocation describes a freshly allocated destination register.
+type Allocation struct {
+	Arch isa.Reg
+	PR   PhysReg
+	Gen  uint32
+	Old  OldMapping
+}
+
+// InlineOutcome reports what WriteResult did with a retiring value.
+type InlineOutcome struct {
+	Inlined   bool // value moved into the map entry
+	Freed     bool // physical register returned to the free list
+	Deferred  bool // inline succeeded but the free awaits counter drain
+	FixupNeed bool // ideal mode: pipeline must convert stale consumers now
+}
+
+// Checkpoint is a shadow copy of both map tables, taken at every
+// (potentially) mispredictable control instruction.
+type Checkpoint struct {
+	id       uint64
+	intMap   []MapEntry
+	fpMap    []MapEntry
+	refsHeld bool
+	released bool
+}
+
+// Renamer is the complete rename stage state: two register classes and the
+// checkpoint stack.
+type Renamer struct {
+	cfg    Params
+	intRF  *regFile
+	fpRF   *regFile
+	ckpts  []*Checkpoint // oldest first
+	nextID uint64
+
+	// OnFixup, when set and the policy is IdealFixup, is invoked when a
+	// value is inlined so the pipeline can instantly convert in-flight
+	// consumers of (class, pr) into immediate operands. The callback must
+	// call ReleaseRead for each consumer it converts.
+	OnFixup func(fp bool, pr PhysReg, value uint64)
+}
+
+// NewRenamer builds the rename machinery for the given parameters.
+func NewRenamer(cfg Params) *Renamer {
+	cfg.Validate()
+	r := &Renamer{cfg: cfg}
+	r.intRF = newRegFile("int", isa.NumIntRegs, cfg.IntPRs, &r.cfg)
+	r.fpRF = newRegFile("fp", isa.NumFPRegs, cfg.FPPRs, &r.cfg)
+	return r
+}
+
+// Params returns the renamer's configuration.
+func (r *Renamer) Params() Params { return r.cfg }
+
+func (r *Renamer) file(a isa.Reg) *regFile {
+	if a.IsFP() {
+		return r.fpRF
+	}
+	return r.intRF
+}
+
+func (r *Renamer) fileFP(fp bool) *regFile {
+	if fp {
+		return r.fpRF
+	}
+	return r.intRF
+}
+
+// IntStats and FPStats expose the per-class lifetime statistics.
+func (r *Renamer) IntStats() *LifetimeStats { return &r.intRF.Stats }
+
+// FPStats exposes the floating-point lifetime statistics.
+func (r *Renamer) FPStats() *LifetimeStats { return &r.fpRF.Stats }
+
+// Occupancy returns the current number of allocated registers per class.
+func (r *Renamer) Occupancy() (intRegs, fpRegs int) {
+	return r.intRF.Allocated(), r.fpRF.Allocated()
+}
+
+// WrittenLive returns, per class, how many allocated registers hold a
+// produced value — the physical-register demand under the virtual-physical
+// delayed-allocation extension, where a register is bound only at
+// writeback.
+func (r *Renamer) WrittenLive(fp bool) int { return r.fileFP(fp).nWritten }
+
+// FreeCount returns the allocatable register count for the class of a.
+func (r *Renamer) FreeCount(fp bool) int { return r.fileFP(fp).FreeCount() }
+
+// LookupSrc renames one source operand, incrementing the reader reference
+// count when the operand is a register pointer. Every OperandPR returned
+// must eventually be balanced by exactly one ReleaseRead (on successful
+// read, squash, or ideal fix-up).
+func (r *Renamer) LookupSrc(a isa.Reg) Operand {
+	if a == isa.RZero {
+		return Operand{Kind: OperandZero, Arch: a}
+	}
+	rf := r.file(a)
+	e := rf.mapTab[a.Index()]
+	if e.Inlined {
+		return Operand{Kind: OperandInline, Value: e.Value, Arch: a}
+	}
+	st := &rf.prs[e.PR]
+	st.readers++
+	return Operand{Kind: OperandPR, Arch: a, PR: e.PR, Gen: st.gen}
+}
+
+// ReleaseRead balances a LookupSrc that returned a register pointer. now is
+// the cycle of the (actual or abandoned) read, which advances the
+// register's last-read stamp on a true read (read=true).
+func (r *Renamer) ReleaseRead(op Operand, now uint64, read bool) {
+	if op.Kind != OperandPR {
+		return
+	}
+	rf := r.fileFP(op.Arch.IsFP())
+	st := &rf.prs[op.PR]
+	if read {
+		st.everRead = true
+		if now > st.lastReadCycle {
+			st.lastReadCycle = now
+		}
+	}
+	rf.decReader(op.PR, now)
+}
+
+// CanAllocate reports whether a destination register of the given class can
+// be renamed this cycle.
+func (r *Renamer) CanAllocate(fp bool) bool { return r.fileFP(fp).FreeCount() > 0 }
+
+// AllocDest renames a destination register: allocates a new physical
+// register, installs the mapping, and returns the displaced mapping for the
+// commit-time release rule. ok is false when the free list is empty (the
+// rename stage must stall).
+func (r *Renamer) AllocDest(a isa.Reg, now uint64) (Allocation, bool) {
+	if a == isa.RZero {
+		panic("core: rename of the zero register")
+	}
+	rf := r.file(a)
+	pr, gen, ok := rf.allocate(a, now)
+	if !ok {
+		return Allocation{}, false
+	}
+	old := rf.mapTab[a.Index()]
+	oldGen := uint32(0)
+	if !old.Inlined {
+		st := &rf.prs[old.PR]
+		oldGen = st.gen
+		st.unmappedCur = true
+		if r.cfg.Policy.ER {
+			rf.maybeERFree(old.PR, now)
+		}
+		rf.maybeFree(old.PR, now)
+	}
+	rf.mapTab[a.Index()] = MapEntry{PR: pr}
+	return Allocation{
+		Arch: a,
+		PR:   pr,
+		Gen:  gen,
+		Old:  OldMapping{Arch: a, Entry: old, Gen: oldGen},
+	}, true
+}
+
+// InlineDest renames a destination whose value is already known narrow (the
+// paper's Section 6 future-work extension: a load-immediate of a narrow
+// value never allocates a physical register). The returned Allocation has
+// PR == NoPR; its Old mapping still participates in the commit release rule.
+func (r *Renamer) InlineDest(a isa.Reg, value uint64, now uint64) Allocation {
+	if a == isa.RZero {
+		panic("core: rename of the zero register")
+	}
+	rf := r.file(a)
+	old := rf.mapTab[a.Index()]
+	oldGen := uint32(0)
+	if !old.Inlined {
+		st := &rf.prs[old.PR]
+		oldGen = st.gen
+		st.unmappedCur = true
+		if r.cfg.Policy.ER {
+			rf.maybeERFree(old.PR, now)
+		}
+		rf.maybeFree(old.PR, now)
+	}
+	rf.mapTab[a.Index()] = MapEntry{Inlined: true, Value: value}
+	rf.Stats.InlinedResults++
+	return Allocation{Arch: a, PR: NoPR, Old: OldMapping{Arch: a, Entry: old, Gen: oldGen}}
+}
+
+// CommitRelease applies the conventional release rule when the displacing
+// writer commits: the previous physical register for the architected
+// register is freed. Thanks to generation tags this tolerates registers
+// already freed early by PRI or ER.
+func (r *Renamer) CommitRelease(old OldMapping, now uint64) {
+	if old.Entry.Inlined || old.Entry.PR == NoPR {
+		return
+	}
+	r.file(old.Arch).release(old.Entry.PR, old.Gen, now)
+}
+
+// SquashUndo returns a squashed instruction's destination register to the
+// free list. Call RestoreCheckpoint first so no live checkpoint still
+// references the register. Inlined destinations (PR == NoPR) are no-ops.
+func (r *Renamer) SquashUndo(alloc Allocation, now uint64) {
+	if alloc.PR == NoPR {
+		return
+	}
+	r.file(alloc.Arch).release(alloc.PR, alloc.Gen, now)
+}
+
+// WriteResult runs the retire-stage PRI logic for a produced value: stamps
+// the write, performs the narrowness and WAW checks, updates the map entry,
+// and frees (or schedules freeing of) the physical register. It must be
+// called for every produced result, PRI or not, because it also maintains
+// the complete flag and lifetime stamps.
+func (r *Renamer) WriteResult(alloc Allocation, value uint64, now uint64) InlineOutcome {
+	if alloc.PR == NoPR {
+		return InlineOutcome{}
+	}
+	rf := r.file(alloc.Arch)
+	st := &rf.prs[alloc.PR]
+	var out InlineOutcome
+	if !st.allocated || st.gen != alloc.Gen {
+		// The register was already released (e.g. squash raced ahead in
+		// the caller); nothing to record.
+		return out
+	}
+	if !st.written {
+		st.written = true
+		st.writeCycle = now
+		st.complete = true
+		rf.nWritten++
+	}
+	if r.cfg.Policy.ER {
+		rf.maybeERFree(alloc.PR, now)
+		if !st.allocated {
+			out.Freed = true
+			return out
+		}
+	}
+	if !r.cfg.Policy.PRI {
+		return out
+	}
+	if !r.narrow(alloc.Arch, value) {
+		return out
+	}
+	// WAW check (Figure 7): inline only if the current map entry still
+	// points at this register.
+	e := rf.mapTab[alloc.Arch.Index()]
+	if e.Inlined || e.PR != alloc.PR {
+		rf.Stats.WAWSuppressed++
+		return out
+	}
+	rf.mapTab[alloc.Arch.Index()] = MapEntry{Inlined: true, Value: value}
+	st.unmappedCur = true
+	rf.Stats.InlinedResults++
+	out.Inlined = true
+
+	if !r.cfg.Policy.CkptRefCount {
+		// Lazy checkpoint update: patch every live shadow copy whose entry
+		// still names this register (the paper's background update logic,
+		// triggered by the second-write-port write).
+		r.patchCheckpoints(alloc.Arch, alloc.PR, value, now)
+		if !st.allocated {
+			// Dropping the patched checkpoints' references (held when ER
+			// is also enabled) can complete the free on the spot.
+			out.Freed = true
+			return out
+		}
+	}
+	if r.cfg.Policy.IdealFixup && st.readers > 0 {
+		out.FixupNeed = true
+		if r.OnFixup != nil {
+			r.OnFixup(alloc.Arch.IsFP(), alloc.PR, value)
+		}
+		if st.readers > 0 {
+			panic(fmt.Sprintf("core: ideal fixup left %d readers on p%d", st.readers, alloc.PR))
+		}
+	}
+	if st.readers > 0 || st.ckptRefs > 0 {
+		st.wantFree = true
+		rf.Stats.DeferredFrees++
+		out.Deferred = true
+		return out
+	}
+	rf.Stats.EarlyFrees++
+	rf.release(alloc.PR, st.gen, now)
+	out.Freed = true
+	return out
+}
+
+// narrow applies the paper's inlining condition for the operand class.
+func (r *Renamer) narrow(a isa.Reg, v uint64) bool {
+	if a.IsFP() {
+		return r.cfg.FPInline && isa.FPTrivial(v)
+	}
+	return isa.FitsSigned(v, r.cfg.IntNarrowBits)
+}
+
+// Narrow reports whether a value produced for architected register a would
+// qualify for inlining under the current parameters (for statistics).
+func (r *Renamer) Narrow(a isa.Reg, v uint64) bool { return r.narrow(a, v) }
+
+// WouldInline reports whether WriteResult called right now for this
+// allocation and value would move the value into the map: the policy has
+// PRI, the value is narrow, and the WAW check (map entry still names this
+// register) passes. The delayed-allocation writeback gate uses it to let
+// values that will never occupy a register bypass the bind stall.
+func (r *Renamer) WouldInline(alloc Allocation, value uint64) bool {
+	if !r.cfg.Policy.PRI || alloc.PR == NoPR || !r.narrow(alloc.Arch, value) {
+		return false
+	}
+	rf := r.file(alloc.Arch)
+	st := &rf.prs[alloc.PR]
+	if !st.allocated || st.gen != alloc.Gen {
+		return false
+	}
+	e := rf.mapTab[alloc.Arch.Index()]
+	return !e.Inlined && e.PR == alloc.PR
+}
+
+func (r *Renamer) patchCheckpoints(a isa.Reg, pr PhysReg, value uint64, now uint64) {
+	idx := a.Index()
+	rf := r.file(a)
+	// Walk a snapshot: dropping a reference below can complete an early
+	// free, but never mutates the checkpoint stack itself.
+	for _, ck := range r.ckpts {
+		m := ck.intMap
+		if a.IsFP() {
+			m = ck.fpMap
+		}
+		if !m[idx].Inlined && m[idx].PR == pr {
+			m[idx] = MapEntry{Inlined: true, Value: value}
+			// A checkpoint that held a reference (ER combined with lazy
+			// PRI) no longer names the register: release the pin, or the
+			// reference leaks and the register is stranded forever.
+			if ck.refsHeld {
+				rf.decCkptRef(pr, now)
+			}
+		}
+	}
+}
+
+// TakeCheckpoint shadows both map tables. Under checkpoint reference
+// counting, every named register is pinned until the checkpoint dies.
+func (r *Renamer) TakeCheckpoint() *Checkpoint {
+	r.nextID++
+	ck := &Checkpoint{
+		id:     r.nextID,
+		intMap: append([]MapEntry(nil), r.intRF.mapTab...),
+		fpMap:  append([]MapEntry(nil), r.fpRF.mapTab...),
+	}
+	if r.cfg.Policy.usesCkptRefs() {
+		ck.refsHeld = true
+		addRefs(r.intRF, ck.intMap)
+		addRefs(r.fpRF, ck.fpMap)
+	}
+	r.ckpts = append(r.ckpts, ck)
+	return ck
+}
+
+func addRefs(rf *regFile, m []MapEntry) {
+	for _, e := range m {
+		if !e.Inlined && e.PR != NoPR {
+			rf.prs[e.PR].ckptRefs++
+		}
+	}
+}
+
+func (r *Renamer) dropRefs(ck *Checkpoint, now uint64) {
+	if !ck.refsHeld {
+		return
+	}
+	ck.refsHeld = false
+	for _, e := range ck.intMap {
+		if !e.Inlined && e.PR != NoPR {
+			r.intRF.decCkptRef(e.PR, now)
+		}
+	}
+	for _, e := range ck.fpMap {
+		if !e.Inlined && e.PR != NoPR {
+			r.fpRF.decCkptRef(e.PR, now)
+		}
+	}
+}
+
+// ResolveCheckpoint releases a checkpoint whose control instruction resolved
+// as correctly predicted.
+func (r *Renamer) ResolveCheckpoint(ck *Checkpoint, now uint64) {
+	if ck.released {
+		return
+	}
+	ck.released = true
+	r.removeCkpt(ck)
+	r.dropRefs(ck, now)
+}
+
+// RestoreCheckpoint recovers from a misprediction at ck's control
+// instruction: all younger checkpoints are discarded, both map tables are
+// restored, and the per-register flags are rebuilt. The caller must then
+// SquashUndo every squashed instruction's allocation.
+func (r *Renamer) RestoreCheckpoint(ck *Checkpoint, now uint64) {
+	if ck.released {
+		panic("core: restore of a released checkpoint")
+	}
+	// Early-free decisions made against the mid-restore map would be
+	// wrong; freeze them and finish with a consistent sweep.
+	r.intRF.frozen, r.fpRF.frozen = true, true
+	// Discard younger checkpoints (they belong to squashed instructions).
+	for i := len(r.ckpts) - 1; i >= 0; i-- {
+		c := r.ckpts[i]
+		r.ckpts = r.ckpts[:i]
+		if c == ck {
+			break
+		}
+		c.released = true
+		r.dropRefs(c, now)
+	}
+	copy(r.intRF.mapTab, ck.intMap)
+	copy(r.fpRF.mapTab, ck.fpMap)
+	ck.released = true
+	r.dropRefs(ck, now)
+	r.intRF.frozen, r.fpRF.frozen = false, false
+	r.intRF.recomputeUnmapped(now)
+	r.fpRF.recomputeUnmapped(now)
+}
+
+func (r *Renamer) removeCkpt(ck *Checkpoint) {
+	for i, c := range r.ckpts {
+		if c == ck {
+			r.ckpts = append(r.ckpts[:i], r.ckpts[i+1:]...)
+			return
+		}
+	}
+}
+
+// LiveCheckpoints returns the number of outstanding shadow maps.
+func (r *Renamer) LiveCheckpoints() int { return len(r.ckpts) }
+
+// MapEntryFor returns the current map entry for an architected register
+// (primarily for tests and debug output).
+func (r *Renamer) MapEntryFor(a isa.Reg) MapEntry {
+	return r.file(a).mapTab[a.Index()]
+}
+
+// CheckInvariants panics if internal bookkeeping is inconsistent; tests run
+// it after randomized operation sequences.
+func (r *Renamer) CheckInvariants() {
+	// Checkpoint references must match the live checkpoint stack exactly:
+	// a register pinned by more references than live shadow maps name it
+	// is stranded forever (the deadlock class the lazy-patch path once
+	// leaked).
+	wantRefs := map[*regFile]map[PhysReg]int32{
+		r.intRF: {}, r.fpRF: {},
+	}
+	for _, ck := range r.ckpts {
+		if !ck.refsHeld {
+			continue
+		}
+		for _, e := range ck.intMap {
+			if !e.Inlined && e.PR != NoPR {
+				wantRefs[r.intRF][e.PR]++
+			}
+		}
+		for _, e := range ck.fpMap {
+			if !e.Inlined && e.PR != NoPR {
+				wantRefs[r.fpRF][e.PR]++
+			}
+		}
+	}
+	for _, rf := range []*regFile{r.intRF, r.fpRF} {
+		for p := range rf.prs {
+			if got, want := rf.prs[p].ckptRefs, wantRefs[rf][PhysReg(p)]; got != want {
+				panic(fmt.Sprintf("core: %s p%d has %d checkpoint refs, live checkpoints hold %d",
+					rf.name, p, got, want))
+			}
+		}
+	}
+	for _, rf := range []*regFile{r.intRF, r.fpRF} {
+		mapped := make(map[PhysReg]bool)
+		for a, e := range rf.mapTab {
+			if e.Inlined {
+				continue
+			}
+			if e.PR < 0 || int(e.PR) >= len(rf.prs) {
+				panic(fmt.Sprintf("core: %s map[%d] names bad register %d", rf.name, a, e.PR))
+			}
+			if mapped[e.PR] {
+				panic(fmt.Sprintf("core: %s p%d mapped twice", rf.name, e.PR))
+			}
+			mapped[e.PR] = true
+			st := &rf.prs[e.PR]
+			if !st.allocated {
+				panic(fmt.Sprintf("core: %s map[%d] names free register p%d", rf.name, a, e.PR))
+			}
+			if st.unmappedCur {
+				panic(fmt.Sprintf("core: %s p%d mapped but flagged unmapped", rf.name, e.PR))
+			}
+		}
+		nAlloc := 0
+		for p := range rf.prs {
+			st := &rf.prs[p]
+			if st.allocated {
+				nAlloc++
+			}
+			if st.readers < 0 || st.ckptRefs < 0 {
+				panic(fmt.Sprintf("core: %s p%d negative counters", rf.name, p))
+			}
+			if !st.allocated && (st.readers != 0 && !r.cfg.Policy.IdealFixup) {
+				// Readers on a free register is the WAR violation PRI's
+				// guards exist to prevent — except transiently under the
+				// ideal scheme, which fixes consumers up at inline time.
+				panic(fmt.Sprintf("core: %s free p%d has %d readers", rf.name, p, st.readers))
+			}
+		}
+		if nAlloc != rf.nAlloc {
+			panic(fmt.Sprintf("core: %s occupancy drifted: counted %d, tracked %d", rf.name, nAlloc, rf.nAlloc))
+		}
+		free := make(map[PhysReg]bool)
+		for _, p := range rf.free[rf.freeHd:] {
+			if free[p] {
+				panic(fmt.Sprintf("core: %s free list holds p%d twice", rf.name, p))
+			}
+			free[p] = true
+			if rf.prs[p].allocated {
+				panic(fmt.Sprintf("core: %s allocated p%d on free list", rf.name, p))
+			}
+		}
+		if !r.cfg.Policy.Infinite && len(free)+nAlloc != len(rf.prs) {
+			panic(fmt.Sprintf("core: %s registers leaked: %d free + %d allocated != %d",
+				rf.name, len(free), nAlloc, len(rf.prs)))
+		}
+	}
+}

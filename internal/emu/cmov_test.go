@@ -1,0 +1,64 @@
+package emu
+
+import (
+	"testing"
+
+	"prisim/internal/isa"
+)
+
+func TestConditionalMoves(t *testing.T) {
+	m := run(t, `
+.text
+main:
+  li r1, 0          ; condition false-y
+  li r2, 1          ; condition truth-y
+  li r3, 77         ; source value
+  li r4, 10         ; destinations
+  li r5, 20
+  li r6, 30
+  li r7, 40
+  cmoveq r4, r1, r3 ; r1 == 0: moves -> 77
+  cmoveq r5, r2, r3 ; r2 != 0: keeps 20
+  cmovne r6, r1, r3 ; r1 == 0: keeps 30
+  cmovne r7, r2, r3 ; r2 != 0: moves -> 77
+  halt
+`)
+	want := map[int]uint64{4: 77, 5: 20, 6: 30, 7: 77}
+	for r, v := range want {
+		if got := m.Reg(isa.IntReg(r)); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestCMOVReadsOldDestination(t *testing.T) {
+	// The old rd value is a real source: the decoded instruction must
+	// report three source registers.
+	in := isa.Inst{Op: isa.OpCMOVEQ, Rd: isa.IntReg(4), Ra: isa.IntReg(1), Rb: isa.IntReg(3)}
+	srcs := in.Sources(nil)
+	if len(srcs) != 3 {
+		t.Fatalf("cmov sources = %v, want 3", srcs)
+	}
+	found := false
+	for _, s := range srcs {
+		if s == isa.IntReg(4) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cmov does not read its destination")
+	}
+}
+
+func TestCMOVRoundTrip(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpCMOVEQ, isa.OpCMOVNE} {
+		in := isa.Inst{Op: op, Rd: isa.IntReg(3), Ra: isa.IntReg(1), Rb: isa.IntReg(2)}
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back := isa.Decode(w); back != in {
+			t.Errorf("%s round trip: %v -> %v", op, in, back)
+		}
+	}
+}

@@ -1,0 +1,538 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	m := New(mustAssemble(t, src))
+	if n := m.Run(1_000_000); n == 1_000_000 {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	m := run(t, `
+.text
+main:
+  li   r1, 6
+  li   r2, 7
+  mul  r3, r1, r2      ; 42
+  sub  r4, r3, r1      ; 36
+  div  r5, r4, r2      ; 5
+  rem  r6, r4, r2      ; 1
+  slt  r7, r1, r2      ; 1
+  sltu r8, r2, r1      ; 0
+  halt
+`)
+	want := map[int]uint64{3: 42, 4: 36, 5: 5, 6: 1, 7: 1, 8: 0}
+	for r, v := range want {
+		if got := m.Reg(isa.IntReg(r)); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, `
+.text
+main:
+  li   r1, 99
+  add  zero, r1, r1
+  addi zero, r1, 5
+  add  r2, zero, zero
+  halt
+`)
+	if m.Reg(isa.RZero) != 0 || m.Reg(isa.IntReg(2)) != 0 {
+		t.Error("zero register was written")
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	if divS(5, 0) != 0 || divS(math.MinInt64, -1) != math.MinInt64 {
+		t.Error("divS edge cases")
+	}
+	if remS(5, 0) != 5 || remS(math.MinInt64, -1) != 0 {
+		t.Error("remS edge cases")
+	}
+	if f2i(math.NaN()) != 0 || f2i(1e300) != math.MaxInt64 || f2i(-1e300) != math.MinInt64 {
+		t.Error("f2i edge cases")
+	}
+	if f2i(-2.9) != -2 {
+		t.Error("f2i truncation")
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	m := run(t, `
+.data
+src: .word 0x1122334455667788
+dst: .space 32
+.text
+main:
+  la   r1, src
+  la   r2, dst
+  ldq  r3, 0(r1)
+  stq  r3, 0(r2)
+  ldl  r4, 0(r1)       ; 0x55667788 sign-extended (positive)
+  ldb  r5, 3(r1)       ; 0x55 sign-extended
+  ldbu r6, 7(r1)       ; 0x11
+  stb  r5, 8(r2)
+  stl  r4, 16(r2)
+  halt
+`)
+	if got := m.Reg(isa.IntReg(3)); got != 0x1122334455667788 {
+		t.Errorf("ldq = %#x", got)
+	}
+	if got := m.Reg(isa.IntReg(4)); got != 0x55667788 {
+		t.Errorf("ldl = %#x", got)
+	}
+	if got := m.Reg(isa.IntReg(5)); got != 0x55 {
+		t.Errorf("ldb = %#x", got)
+	}
+	if got := m.Reg(isa.IntReg(6)); got != 0x11 {
+		t.Errorf("ldbu = %#x", got)
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	m := run(t, `
+.data
+neg: .word 0xFFFFFFFFFFFFFF80
+.text
+main:
+  la   r1, neg
+  ldb  r2, 0(r1)
+  ldbu r3, 0(r1)
+  ldl  r4, 0(r1)
+  halt
+`)
+	if got := int64(m.Reg(isa.IntReg(2))); got != -128 {
+		t.Errorf("ldb = %d, want -128", got)
+	}
+	if got := m.Reg(isa.IntReg(3)); got != 0x80 {
+		t.Errorf("ldbu = %#x", got)
+	}
+	if got := int64(m.Reg(isa.IntReg(4))); got != -128 {
+		t.Errorf("ldl = %d", got)
+	}
+}
+
+func TestControlFlowAndCalls(t *testing.T) {
+	m := run(t, `
+.text
+main:
+  li  r1, 0
+  li  r2, 10
+loop:
+  jal addone
+  addi r2, r2, -1
+  bnez r2, loop
+  j fin
+addone:
+  addi r1, r1, 1
+  ret
+fin:
+  halt
+`)
+	if got := m.Reg(isa.IntReg(1)); got != 10 {
+		t.Errorf("r1 = %d, want 10", got)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+.data
+a: .float 2.0, 8.0
+.text
+main:
+  la    r1, a
+  fld   f1, 0(r1)
+  fld   f2, 8(r1)
+  fadd  f3, f1, f2    ; 10
+  fmul  f4, f1, f2    ; 16
+  fdiv  f5, f2, f1    ; 4
+  fsqrt f6, f4        ; 4
+  fneg  f7, f1        ; -2
+  fabs  f8, f7        ; 2
+  fclt  r2, f1, f2    ; 1
+  cvtfi r3, f3        ; 10
+  li    r4, 3
+  cvtif f9, r4        ; 3.0
+  fmin  f10, f1, f2
+  fmax  f11, f1, f2
+  fceq  r5, f10, f1   ; 1
+  fcle  r6, f2, f11   ; 1
+  halt
+`)
+	fp := func(i int) float64 { return math.Float64frombits(m.Reg(isa.FPReg(i))) }
+	if fp(3) != 10 || fp(4) != 16 || fp(5) != 4 || fp(6) != 4 || fp(7) != -2 || fp(8) != 2 || fp(9) != 3 {
+		t.Errorf("fp results: %v %v %v %v %v %v %v", fp(3), fp(4), fp(5), fp(6), fp(7), fp(8), fp(9))
+	}
+	if m.Reg(isa.IntReg(2)) != 1 || m.Reg(isa.IntReg(3)) != 10 || m.Reg(isa.IntReg(5)) != 1 || m.Reg(isa.IntReg(6)) != 1 {
+		t.Error("fp compares/converts wrong")
+	}
+}
+
+func TestPutcOutput(t *testing.T) {
+	m := run(t, `
+.text
+main:
+  li r1, 104
+  putc r1
+  li r1, 105
+  putc r1
+  halt
+`)
+	if string(m.Output()) != "hi" {
+		t.Errorf("output = %q", m.Output())
+	}
+}
+
+func TestLiExpansionValues(t *testing.T) {
+	values := []int64{
+		0, 1, -1, 100, -100, 32767, -32768, 32768, -32769,
+		1 << 20, -(1 << 20), 1<<31 - 1, -(1 << 31), 1 << 31, 1 << 40,
+		-(1 << 40), math.MaxInt64, math.MinInt64, 0x123456789ABCDEF0,
+	}
+	for _, v := range values {
+		b := asm.NewBuilder()
+		b.Li(isa.IntReg(1), v)
+		b.Halt()
+		m := New(b.MustFinish())
+		m.Run(100)
+		if got := int64(m.Reg(isa.IntReg(1))); got != v {
+			t.Errorf("Li(%d) produced %d", v, got)
+		}
+	}
+}
+
+func TestLiExpansionQuick(t *testing.T) {
+	f := func(v int64) bool {
+		b := asm.NewBuilder()
+		b.Li(isa.IntReg(1), v)
+		b.Halt()
+		m := New(b.MustFinish())
+		m.Run(100)
+		return int64(m.Reg(isa.IntReg(1))) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemorySparseAndUnaligned(t *testing.T) {
+	mem := NewMemory()
+	if mem.ReadU64(0xDEAD0000) != 0 {
+		t.Error("unmapped read not zero")
+	}
+	// Page-crossing write and read.
+	addr := uint64(pageSize - 3)
+	mem.WriteU64(addr, 0x0102030405060708)
+	if got := mem.ReadU64(addr); got != 0x0102030405060708 {
+		t.Errorf("page-crossing u64 = %#x", got)
+	}
+	mem.WriteU32(2*pageSize-2, 0xAABBCCDD)
+	if got := mem.ReadU32(2*pageSize - 2); got != 0xAABBCCDD {
+		t.Errorf("page-crossing u32 = %#x", got)
+	}
+	if mem.Pages() == 0 {
+		t.Error("no pages allocated")
+	}
+}
+
+func TestHaltedStepIsIdempotent(t *testing.T) {
+	m := run(t, ".text\nmain:\n halt")
+	pc := m.PC
+	info := m.Step()
+	if !info.Halted || m.PC != pc || m.Seq() != 1 {
+		t.Error("step after halt changed state")
+	}
+}
+
+func TestRollbackRestoresEverything(t *testing.T) {
+	src := `
+.data
+buf: .space 64
+.text
+main:
+  li   r1, 5
+  la   r2, buf
+  stq  r1, 0(r2)
+  li   r3, 77
+  putc r3
+  stb  r3, 8(r2)
+  addi r1, r1, 100
+  halt
+`
+	m := New(mustAssemble(t, src))
+	m.StartRecording()
+	// Execute up to (not including) the first stq; snapshot; run to halt;
+	// roll back; compare.
+	var snapAt uint64
+	for !m.Halted() {
+		in := m.PeekInst()
+		if in.Op == isa.OpSTQ && snapAt == 0 {
+			snapAt = m.Seq()
+		}
+		m.Step()
+	}
+	if snapAt == 0 {
+		t.Fatal("no stq found")
+	}
+	bufAddr := mustAssemble(t, src).Symbols["buf"]
+	if m.Mem.ReadU64(bufAddr) != 5 || len(m.Output()) != 1 {
+		t.Fatal("pre-rollback state wrong")
+	}
+	m.Rollback(snapAt)
+	if m.Halted() {
+		t.Error("still halted after rollback")
+	}
+	if m.Mem.ReadU64(bufAddr) != 0 {
+		t.Error("memory not rolled back")
+	}
+	if m.Mem.ReadU8(bufAddr+8) != 0 {
+		t.Error("byte store not rolled back")
+	}
+	if len(m.Output()) != 0 {
+		t.Error("output not rolled back")
+	}
+	if m.Reg(isa.IntReg(3)) != 0 {
+		t.Error("r3 not rolled back")
+	}
+	if m.Seq() != snapAt {
+		t.Errorf("seq = %d, want %d", m.Seq(), snapAt)
+	}
+	// Re-execution reaches the same final state.
+	m.Run(0)
+	if m.Mem.ReadU64(bufAddr) != 5 || m.Reg(isa.IntReg(1)) != 105 {
+		t.Error("re-execution diverged")
+	}
+}
+
+func TestRollbackQuickEquivalence(t *testing.T) {
+	// Property: run K steps, record, run N more, roll back, re-run N:
+	// final register state equals a straight-line run of K+N steps.
+	src := `
+.data
+buf: .space 256
+.text
+main:
+  la  r9, buf
+  li  r1, 1
+  li  r2, 0
+  li  r8, 600      ; bounded trip count: the program always halts
+loop:
+  add  r2, r2, r1
+  addi r1, r1, 3
+  andi r3, r2, 31
+  slli r4, r3, 3
+  add  r5, r9, r4
+  stq  r2, 0(r5)
+  ldq  r6, 0(r5)
+  xor  r7, r6, r1
+  addi r8, r8, -1
+  bnez r8, loop
+  halt
+`
+	prog := mustAssemble(t, src)
+	f := func(kRaw, nRaw uint16) bool {
+		// k and n stay >= 1: Run(0) means "no limit", not "zero steps".
+		k, n := uint64(kRaw%200)+1, uint64(nRaw%200)+1
+		ref := New(prog)
+		ref.Run(k + n)
+
+		m := New(prog)
+		m.Run(k)
+		m.StartRecording()
+		base := m.Seq()
+		m.Run(n)
+		m.Rollback(base)
+		m.Run(n)
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if m.Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+				return false
+			}
+		}
+		return m.PC == ref.PC && m.Seq() == ref.Seq()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseUpToBoundsLog(t *testing.T) {
+	src := `
+.text
+main:
+  li r1, 0
+  li r3, 100000
+loop:
+  addi r1, r1, 1
+  slt  r2, r1, r3
+  bnez r2, loop
+  halt
+`
+	m := New(mustAssemble(t, src))
+	m.StartRecording()
+	for !m.Halted() {
+		m.Step()
+		if m.Seq() > 64 {
+			m.ReleaseUpTo(m.Seq() - 64)
+		}
+	}
+	if len(m.frames) > 100000 {
+		t.Errorf("undo log grew unboundedly: %d frames", len(m.frames))
+	}
+	// Rollback within the retained window still works.
+	target := m.Seq() - 10
+	m.Rollback(target)
+	if m.Seq() != target {
+		t.Error("rollback after release failed")
+	}
+}
+
+func TestRollbackPanicsOutsideWindow(t *testing.T) {
+	m := New(mustAssemble(t, ".text\nmain:\n li r1, 1\n li r2, 2\n halt"))
+	m.StartRecording()
+	m.Run(0)
+	for _, bad := range []uint64{m.Seq() + 1} {
+		func() {
+			defer func() { recover() }()
+			m.Rollback(bad)
+			t.Errorf("Rollback(%d) did not panic", bad)
+		}()
+	}
+}
+
+func TestStepInfoFields(t *testing.T) {
+	m := New(mustAssemble(t, `
+.data
+w: .word 42
+.text
+main:
+  la  r1, w
+  ldq r2, 0(r1)
+  beq r2, r2, target
+  nop
+target:
+  halt
+`))
+	var load, branch StepInfo
+	for !m.Halted() {
+		info := m.Step()
+		switch info.Inst.Op {
+		case isa.OpLDQ:
+			load = info
+		case isa.OpBEQ:
+			branch = info
+		}
+	}
+	if !load.IsMem || load.MemSize != 8 || !load.HasResult || load.Result != 42 {
+		t.Errorf("load info: %+v", load)
+	}
+	if !branch.Taken {
+		t.Error("taken branch not reported")
+	}
+	if branch.NextPC != branch.Inst.BranchTarget(branch.PC) {
+		t.Error("branch NextPC wrong")
+	}
+}
+
+func TestJRAlignsTarget(t *testing.T) {
+	// Indirect jumps mask the low two bits, as hardware does.
+	m := run(t, `
+.text
+main:
+  li   r2, 0
+  jal  probe
+  li   r2, 5         ; the masked jr must land exactly here
+  halt
+probe:
+  addi r1, lr, 2     ; misaligned return pointer
+  jr   r1
+`)
+	if m.Reg(isa.IntReg(2)) != 5 {
+		t.Error("misaligned jr did not land on the aligned target")
+	}
+}
+
+func TestPeekInstMatchesStep(t *testing.T) {
+	prog := mustAssemble(t, `
+.data
+d: .word 3
+.text
+main:
+  la  r1, d
+  ldq r2, 0(r1)
+  add r3, r2, r2
+  halt
+`)
+	m := New(prog)
+	for !m.Halted() {
+		peeked := m.PeekInst()
+		info := m.Step()
+		if peeked != info.Inst {
+			t.Fatalf("peek %v != step %v", peeked, info.Inst)
+		}
+	}
+}
+
+func TestOutputRollbackAcrossMultipleFrames(t *testing.T) {
+	prog := mustAssemble(t, `
+.text
+main:
+  li r1, 65
+  putc r1
+  putc r1
+  putc r1
+  halt
+`)
+	m := New(prog)
+	m.StartRecording()
+	m.Run(3) // li + two putc
+	if string(m.Output()) != "AA" {
+		t.Fatalf("output = %q", m.Output())
+	}
+	m.Rollback(2) // keep one putc
+	if string(m.Output()) != "A" {
+		t.Errorf("rolled-back output = %q", m.Output())
+	}
+	m.Run(0)
+	if string(m.Output()) != "AAA" {
+		t.Errorf("final output = %q", m.Output())
+	}
+}
+
+func TestMemoryPagesAccounting(t *testing.T) {
+	mem := NewMemory()
+	if mem.Pages() != 0 {
+		t.Error("fresh memory has pages")
+	}
+	mem.WriteU8(0, 1)
+	mem.WriteU8(1<<20, 1)
+	if mem.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", mem.Pages())
+	}
+	// Reads never allocate.
+	mem.ReadU64(1 << 30)
+	if mem.Pages() != 2 {
+		t.Error("read allocated a page")
+	}
+}

@@ -1,0 +1,145 @@
+// Package emu implements the PRISC-64 functional emulator: sparse memory,
+// architected register state, single-instruction execution, and an undo log
+// that supports precise rollback to any earlier instruction boundary.
+//
+// The undo log is what lets the timing simulator (internal/ooo) execute
+// down mispredicted paths: wrong-path instructions run against real
+// architected state, and when the mispredicted branch resolves the machine
+// is rolled back to the branch boundary, exactly as a hardware checkpoint
+// recovery would.
+package emu
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse, paged, little-endian 64-bit address space. Unmapped
+// locations read as zero; writes allocate pages on demand.
+type Memory struct {
+	pages map[uint64]*page
+	last  *page  // one-entry lookup cache
+	lastN uint64 // page number cached in last
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page), lastN: ^uint64(0)}
+}
+
+func (m *Memory) lookup(pn uint64) *page {
+	if pn == m.lastN {
+		return m.last
+	}
+	p := m.pages[pn]
+	if p != nil {
+		m.last, m.lastN = p, pn
+	}
+	return p
+}
+
+func (m *Memory) ensure(pn uint64) *page {
+	if p := m.lookup(pn); p != nil {
+		return p
+	}
+	p := new(page)
+	m.pages[pn] = p
+	m.last, m.lastN = p, pn
+	return p
+}
+
+// Read fills buf from memory at addr.
+func (m *Memory) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		pn, off := addr>>pageShift, addr&pageMask
+		n := copy(buf, func() []byte {
+			if p := m.lookup(pn); p != nil {
+				return p[off:]
+			}
+			return zeroPage[off:]
+		}())
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+var zeroPage page
+
+// Write copies buf into memory at addr.
+func (m *Memory) Write(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		pn, off := addr>>pageShift, addr&pageMask
+		n := copy(m.ensure(pn)[off:], buf)
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// ReadU64 reads a 64-bit little-endian value.
+func (m *Memory) ReadU64(addr uint64) uint64 {
+	if addr&pageMask <= pageSize-8 {
+		if p := m.lookup(addr >> pageShift); p != nil {
+			return binary.LittleEndian.Uint64(p[addr&pageMask:])
+		}
+		return 0
+	}
+	var buf [8]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// ReadU32 reads a 32-bit little-endian value.
+func (m *Memory) ReadU32(addr uint64) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		if p := m.lookup(addr >> pageShift); p != nil {
+			return binary.LittleEndian.Uint32(p[addr&pageMask:])
+		}
+		return 0
+	}
+	var buf [4]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// ReadU8 reads one byte.
+func (m *Memory) ReadU8(addr uint64) byte {
+	if p := m.lookup(addr >> pageShift); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// WriteU64 writes a 64-bit little-endian value.
+func (m *Memory) WriteU64(addr uint64, v uint64) {
+	if addr&pageMask <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.ensure(addr >> pageShift)[addr&pageMask:], v)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.Write(addr, buf[:])
+}
+
+// WriteU32 writes a 32-bit little-endian value.
+func (m *Memory) WriteU32(addr uint64, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.ensure(addr >> pageShift)[addr&pageMask:], v)
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	m.Write(addr, buf[:])
+}
+
+// WriteU8 writes one byte.
+func (m *Memory) WriteU8(addr uint64, v byte) {
+	m.ensure(addr >> pageShift)[addr&pageMask] = v
+}
+
+// Pages returns the number of resident pages (for tests and footprint stats).
+func (m *Memory) Pages() int { return len(m.pages) }

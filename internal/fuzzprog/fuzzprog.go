@@ -1,0 +1,256 @@
+// Package fuzzprog generates random — but well-formed and terminating —
+// PRISC-64 programs for differential testing: every generated program halts
+// within a bounded instruction count, so the timing pipeline can be checked
+// bit-for-bit against pure functional execution across random control flow,
+// memory traffic, and operand mixes.
+//
+// The generator builds structured code: a fixed-trip outer loop whose body
+// is a random mix of straight-line arithmetic, loads/stores into a private
+// arena, short data-dependent forward branches, counted inner loops, and
+// calls to a small set of generated leaf functions. Unstructured jumps are
+// never emitted, which is what guarantees termination.
+package fuzzprog
+
+import (
+	"math/rand"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Seed       int64
+	OuterTrips int // outer loop iterations (default 40)
+	BodyLen    int // approximate statements per body (default 60)
+	Funcs      int // leaf functions (default 3)
+}
+
+// Generate builds a random program from cfg.
+func Generate(cfg Config) *asm.Program {
+	if cfg.OuterTrips <= 0 {
+		cfg.OuterTrips = 40
+	}
+	if cfg.BodyLen <= 0 {
+		cfg.BodyLen = 60
+	}
+	if cfg.Funcs <= 0 {
+		cfg.Funcs = 3
+	}
+	g := &gen{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		b:   asm.NewBuilder(),
+		cfg: cfg,
+	}
+	return g.program()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	b      *asm.Builder
+	cfg    Config
+	labels int
+	arena  uint64
+	// scratchBase shifts the scratch register window: 0 selects the main
+	// body's r1..r14, 9 selects the leaf-function window r10..r14.
+	scratchBase int
+}
+
+// Register roles: r1..r15 scratch, r16 arena base, r17 outer counter,
+// r18 checksum. f1..f12 fp scratch. Leaf functions only touch r10..r15 and
+// f8..f12, so caller state in low registers survives calls.
+func (g *gen) program() *asm.Program {
+	b := g.b
+	words := make([]uint64, 512)
+	for i := range words {
+		words[i] = g.rng.Uint64() >> uint(g.rng.Intn(56))
+	}
+	g.arena = b.Words("arena", words)
+	b.Space("scratch", 4096)
+
+	b.Label("main")
+	b.La(isa.IntReg(16), "arena")
+	b.Li(isa.IntReg(17), int64(g.cfg.OuterTrips))
+	b.Li(isa.IntReg(18), 0)
+	// Seed fp registers from the arena so fp ops have varied inputs.
+	for i := 1; i <= 6; i++ {
+		b.Load(isa.OpFLD, isa.FPReg(i), isa.IntReg(16), int64(8*i))
+	}
+	b.Label("outer")
+	g.body(g.cfg.BodyLen, true)
+	b.RI(isa.OpADDI, isa.IntReg(17), isa.IntReg(17), -1)
+	b.Bnez(isa.IntReg(17), "outer")
+	// Store the checksum where tests can read it.
+	b.La(isa.IntReg(1), "scratch")
+	b.Store(isa.OpSTQ, isa.IntReg(18), isa.IntReg(1), 0)
+	b.Halt()
+
+	for fn := 0; fn < g.cfg.Funcs; fn++ {
+		b.Label(fname(fn))
+		g.leafBody()
+		b.Ret()
+	}
+	return b.MustFinish()
+}
+
+func fname(i int) string { return "fn" + string(rune('a'+i)) }
+
+func (g *gen) newLabel() string {
+	g.labels++
+	return "L" + itoa(g.labels)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *gen) scratch() isa.Reg { return g.pick() }
+
+// body emits roughly n random statements; calls are only emitted at the
+// top level (allowCalls) so leaf functions stay leaves.
+func (g *gen) body(n int, allowCalls bool) {
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(20); {
+		case k < 8:
+			g.arith()
+		case k < 11:
+			g.memOp()
+		case k < 13:
+			g.fpOp()
+		case k < 15:
+			g.forwardBranch()
+		case k < 17:
+			g.innerLoop()
+		default:
+			if allowCalls && g.cfg.Funcs > 0 {
+				g.b.Call(fname(g.rng.Intn(g.cfg.Funcs)))
+			} else {
+				g.arith()
+			}
+		}
+	}
+	// Fold some state into the checksum.
+	g.b.RR(isa.OpADD, isa.IntReg(18), isa.IntReg(18), g.scratch())
+}
+
+// leafBody is a short call-free body using only the callee register range.
+func (g *gen) leafBody() {
+	old := g.scratchBase
+	g.scratchBase = 9 // r10..r15
+	defer func() { g.scratchBase = old }()
+	g.body(6+g.rng.Intn(8), false)
+}
+
+func (g *gen) arith() {
+	b := g.b
+	rd, ra, rb := g.pick(), g.pick(), g.pick()
+	ops := []isa.Op{isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpAND, isa.OpOR,
+		isa.OpXOR, isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpSLT, isa.OpSLTU,
+		isa.OpSEQ, isa.OpNOR, isa.OpDIV, isa.OpDIVU, isa.OpREM}
+	if g.rng.Intn(3) == 0 {
+		iops := []isa.Op{isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+			isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI}
+		op := iops[g.rng.Intn(len(iops))]
+		imm := int64(g.rng.Intn(256))
+		if op == isa.OpADDI || op == isa.OpSLTI {
+			imm -= 128
+		}
+		if op == isa.OpSLLI || op == isa.OpSRLI || op == isa.OpSRAI {
+			imm = int64(g.rng.Intn(63))
+		}
+		b.RI(op, rd, ra, imm)
+		return
+	}
+	b.RR(ops[g.rng.Intn(len(ops))], rd, ra, rb)
+}
+
+func (g *gen) memOp() {
+	b := g.b
+	// Addresses are arena-relative with a bounded random offset, so all
+	// traffic stays inside the private arena.
+	off := int64(8 * g.rng.Intn(500))
+	data := g.pick()
+	if g.rng.Intn(2) == 0 {
+		lops := []isa.Op{isa.OpLDQ, isa.OpLDL, isa.OpLDB, isa.OpLDBU}
+		b.Load(lops[g.rng.Intn(len(lops))], data, isa.IntReg(16), off)
+	} else {
+		sops := []isa.Op{isa.OpSTQ, isa.OpSTL, isa.OpSTB}
+		b.Store(sops[g.rng.Intn(len(sops))], data, isa.IntReg(16), off)
+	}
+}
+
+func (g *gen) fpOp() {
+	b := g.b
+	fd, fa, fb := g.fpick(), g.fpick(), g.fpick()
+	switch g.rng.Intn(6) {
+	case 0:
+		b.RR(isa.OpFADD, fd, fa, fb)
+	case 1:
+		b.RR(isa.OpFSUB, fd, fa, fb)
+	case 2:
+		b.RR(isa.OpFMUL, fd, fa, fb)
+	case 3:
+		b.R1(isa.OpFABS, fd, fa) // keeps values finite-ish
+	case 4:
+		b.R1(isa.OpCVTIF, fd, g.pick())
+	case 5:
+		b.RR(isa.OpFMIN, fd, fa, fb)
+	}
+}
+
+// forwardBranch emits a compare over live registers that skips a short
+// random straight-line block — always forward, so always terminating.
+func (g *gen) forwardBranch() {
+	b := g.b
+	l := g.newLabel()
+	ops := []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	b.Br(ops[g.rng.Intn(len(ops))], g.pick(), g.pick(), l)
+	for i, n := 0, 1+g.rng.Intn(4); i < n; i++ {
+		g.arith()
+	}
+	b.Label(l)
+}
+
+// innerLoop emits a short counted loop over a dedicated counter register.
+func (g *gen) innerLoop() {
+	b := g.b
+	l := g.newLabel()
+	counter := isa.IntReg(15) // dedicated; bodies may read it but clobbering is harmless
+	b.Li(counter, int64(2+g.rng.Intn(6)))
+	b.Label(l)
+	for i, n := 0, 2+g.rng.Intn(5); i < n; i++ {
+		if g.rng.Intn(3) == 0 {
+			g.memOp()
+		} else {
+			g.arith()
+		}
+	}
+	b.RI(isa.OpADDI, counter, counter, -1)
+	b.Bnez(counter, l)
+}
+
+// pick selects a scratch register from the current window.
+func (g *gen) pick() isa.Reg {
+	base := g.scratchBase
+	if base == 0 {
+		return isa.IntReg(1 + g.rng.Intn(14)) // r1..r14 (r15 is the inner counter)
+	}
+	return isa.IntReg(base + 1 + g.rng.Intn(5)) // r10..r14
+}
+
+func (g *gen) fpick() isa.Reg {
+	if g.scratchBase != 0 {
+		return isa.FPReg(8 + g.rng.Intn(5))
+	}
+	return isa.FPReg(1 + g.rng.Intn(12))
+}

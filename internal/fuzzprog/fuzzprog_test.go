@@ -1,0 +1,95 @@
+package fuzzprog
+
+import (
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+	"prisim/internal/ooo"
+)
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		prog := Generate(Config{Seed: seed})
+		m := emu.New(prog)
+		n := m.Run(3_000_000)
+		if !m.Halted() {
+			t.Fatalf("seed %d: did not halt in %d instructions", seed, n)
+		}
+		if n < 100 {
+			t.Errorf("seed %d: suspiciously short (%d instructions)", seed, n)
+		}
+	}
+}
+
+func TestGeneratedProgramsDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("same seed, different code size")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("same seed, instruction %d differs", i)
+		}
+	}
+}
+
+// TestDifferentialTimingVsFunctional is the fuzzing half of the master
+// correctness property: for many random programs and every release policy,
+// a full out-of-order run (wrong paths, replays, early frees, recoveries)
+// must finish with architected state identical to functional execution.
+func TestDifferentialTimingVsFunctional(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	policies := append([]core.Policy{core.PolicyBase}, core.AllPolicies...)
+	for _, seed := range seeds {
+		prog := Generate(Config{Seed: seed})
+		ref := emu.New(prog)
+		ref.Run(3_000_000)
+		if !ref.Halted() {
+			t.Fatalf("seed %d did not halt", seed)
+		}
+		for _, pol := range policies {
+			cfg := ooo.Width4().WithPolicy(pol).WithPRs(48) // tight file: stress frees
+			p := ooo.New(cfg, prog)
+			p.Run(5_000_000)
+			m := p.Machine()
+			if !m.Halted() {
+				t.Fatalf("seed %d/%s: pipeline did not finish", seed, pol.Name())
+			}
+			for r := 0; r < isa.NumArchRegs; r++ {
+				if m.Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+					t.Errorf("seed %d/%s: %s = %#x, want %#x",
+						seed, pol.Name(), isa.Reg(r), m.Reg(isa.Reg(r)), ref.Reg(isa.Reg(r)))
+				}
+			}
+			if got, want := m.Mem.ReadU64(prog.Symbols["scratch"]), ref.Mem.ReadU64(prog.Symbols["scratch"]); got != want {
+				t.Errorf("seed %d/%s: checksum %#x, want %#x", seed, pol.Name(), got, want)
+			}
+			p.Renamer().CheckInvariants()
+		}
+	}
+}
+
+// TestDifferentialWidth8 repeats the differential check on the 8-wide
+// machine with the rename-inline extension enabled.
+func TestDifferentialWidth8(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		prog := Generate(Config{Seed: seed, BodyLen: 90})
+		ref := emu.New(prog)
+		ref.Run(3_000_000)
+		cfg := ooo.Width8().WithPolicy(core.PolicyPRIPlusER)
+		cfg.InlineAtRename = true
+		p := ooo.New(cfg, prog)
+		p.Run(5_000_000)
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if p.Machine().Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+				t.Errorf("seed %d: %s diverged", seed, isa.Reg(r))
+			}
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package harness drives the experiments that regenerate every table and
+// figure in the paper's evaluation (Tables 1-2, Figures 1-2 and 8-12). Each
+// experiment returns a stats.Table whose rows mirror the series the paper
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/ooo"
+	"prisim/internal/stats"
+	"prisim/internal/workloads"
+)
+
+// Budget bounds one measurement run, mirroring the paper's fast-forward +
+// measure methodology (scaled down from 400M+100M to simulator-friendly
+// sizes; override with cmd/priexp flags).
+type Budget struct {
+	FastForward uint64
+	Run         uint64
+}
+
+// DefaultBudget is used by the experiment drivers unless overridden.
+var DefaultBudget = Budget{FastForward: 20_000, Run: 80_000}
+
+// Result is everything the experiments need from one timing run.
+type Result struct {
+	Bench  string
+	Config string
+	Policy string
+
+	IPC          float64
+	Cycles       uint64
+	Committed    uint64
+	IntOccupancy float64
+	FPOccupancy  float64
+
+	// Register lifetime phases, averaged per released register (cycles),
+	// for the class matching the benchmark suite.
+	AllocToWrite  float64
+	WriteToRead   float64
+	ReadToRelease float64
+
+	InlineFraction float64
+	Mispredict     float64
+	DL1Miss        float64
+	L2Miss         float64
+	Replays        uint64
+}
+
+type runKey struct {
+	bench    string
+	width    int
+	policy   string
+	prs      int
+	inline   bool
+	consv    bool
+	delayed  bool
+	mshrs    int
+	prefetch bool
+	budget   Budget
+}
+
+// Runner executes and caches timing runs; the same (benchmark, machine)
+// point is shared by several figures, so caching roughly halves experiment
+// time.
+type Runner struct {
+	Budget   Budget
+	Progress io.Writer // optional per-run progress lines
+	cache    map[runKey]*Result
+}
+
+// NewRunner returns a Runner with the given budget (zero fields take the
+// defaults).
+func NewRunner(b Budget) *Runner {
+	if b.FastForward == 0 {
+		b.FastForward = DefaultBudget.FastForward
+	}
+	if b.Run == 0 {
+		b.Run = DefaultBudget.Run
+	}
+	return &Runner{Budget: b, cache: make(map[runKey]*Result)}
+}
+
+// Run simulates one benchmark on one machine configuration, memoized.
+func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
+	key := runKey{
+		bench:    w.Name,
+		width:    cfg.Width,
+		policy:   cfg.Rename.Policy.Name(),
+		prs:      cfg.Rename.IntPRs,
+		inline:   cfg.InlineAtRename,
+		consv:    cfg.ConservativeDisambiguation,
+		delayed:  cfg.DelayedAllocation,
+		mshrs:    cfg.Mem.MSHRs,
+		prefetch: cfg.Mem.NextLinePrefetch,
+		budget:   r.Budget,
+	}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "run %-9s %s %-14s prs=%d ... ", w.Name, cfg.Name, key.policy, key.prs)
+	}
+	p := ooo.New(cfg, w.Build(0))
+	p.FastForward(r.Budget.FastForward)
+	p.Run(r.Budget.Run)
+
+	st := p.Stats()
+	life := p.Renamer().IntStats()
+	if w.Class == workloads.FP {
+		life = p.Renamer().FPStats()
+	}
+	aw, wr, rr := life.AvgPhases()
+	res := &Result{
+		Bench:          w.Name,
+		Config:         cfg.Name,
+		Policy:         key.policy,
+		IPC:            st.IPC(),
+		Cycles:         st.Cycles,
+		Committed:      st.Committed,
+		IntOccupancy:   st.AvgIntOccupancy(),
+		FPOccupancy:    st.AvgFPOccupancy(),
+		AllocToWrite:   aw,
+		WriteToRead:    wr,
+		ReadToRelease:  rr,
+		InlineFraction: st.InlineFraction(),
+		Mispredict:     st.MispredictRate(),
+		DL1Miss:        p.Mem().DL1.MissRate(),
+		L2Miss:         p.Mem().L2.MissRate(),
+		Replays:        st.Replays,
+	}
+	r.cache[key] = res
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "IPC %.3f\n", res.IPC)
+	}
+	return res
+}
+
+// machine returns the Table 1 configuration for a width.
+func machine(width int) ooo.Config {
+	if width == 8 {
+		return ooo.Width8()
+	}
+	return ooo.Width4()
+}
+
+// suite returns the workloads of one class.
+func suite(c workloads.Class) []workloads.Workload {
+	if c == workloads.FP {
+		return workloads.FloatingPoint()
+	}
+	return workloads.Integer()
+}
+
+// mean is the arithmetic mean the paper uses for its averages.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Table1 renders the machine configurations (static; the paper's Table 1).
+func Table1() *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: machine configurations",
+		Columns: []string{"parameter", "4-wide", "8-wide"},
+	}
+	c4, c8 := ooo.Width4(), ooo.Width8()
+	row := func(name string, v4, v8 any) { t.AddRow(name, fmt.Sprint(v4), fmt.Sprint(v8)) }
+	row("fetch/issue/commit width", c4.Width, c8.Width)
+	row("ROB entries", c4.ROBSize, c8.ROBSize)
+	row("LSQ entries", c4.LSQSize, c8.LSQSize)
+	row("scheduler entries", c4.SchedSize, c8.SchedSize)
+	row("int physical registers", c4.Rename.IntPRs, c8.Rename.IntPRs)
+	row("fp physical registers", c4.Rename.FPPRs, c8.Rename.FPPRs)
+	row("PRI narrow bits (int)", c4.Rename.IntNarrowBits, c8.Rename.IntNarrowBits)
+	row("PRI fp inlining", "all-zero/all-one patterns", "all-zero/all-one patterns")
+	row("branch predictor", "bimodal4k/gshare4k + selector4k", "same")
+	row("RAS / BTB", "16 / 1k 4-way", "same")
+	row("IL1", "32KB 2-way 32B, 2cyc", "same")
+	row("DL1", "32KB 4-way 16B, 2cyc", "same")
+	row("L2", "512KB 4-way 64B, 12cyc", "same")
+	row("memory latency", c4.Mem.MemLatency, c8.Mem.MemLatency)
+	row("select-to-execute depth", c4.SchedToExec, c8.SchedToExec)
+	return t
+}
+
+// Table2 reproduces the paper's Table 2: baseline IPC for every benchmark
+// on both machine widths.
+func (r *Runner) Table2() *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 2: benchmark programs and baseline IPC",
+		Columns: []string{"bench", "class", "IPC(4w)", "paper(4w)", "IPC(8w)", "paper(8w)"},
+	}
+	for _, w := range workloads.All() {
+		r4 := r.Run(w, machine(4))
+		r8 := r.Run(w, machine(8))
+		t.AddRow(w.Name, w.Class.String(),
+			stats.F(r4.IPC, 2), stats.F(w.PaperIPC4, 2),
+			stats.F(r8.IPC, 2), stats.F(w.PaperIPC8, 2))
+	}
+	return t
+}
+
+// Fig1 reproduces Figure 1: average register lifetime split into the three
+// phases, per integer benchmark, on the baseline 4- and 8-wide machines.
+func (r *Runner) Fig1() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 1: average register lifetime (cycles) split by phase, baseline",
+		Columns: []string{"bench",
+			"alloc->wr(4w)", "wr->rd(4w)", "rd->rel(4w)", "total(4w)",
+			"alloc->wr(8w)", "wr->rd(8w)", "rd->rel(8w)", "total(8w)"},
+	}
+	for _, w := range suite(workloads.Int) {
+		r4 := r.Run(w, machine(4))
+		r8 := r.Run(w, machine(8))
+		t.AddRow(w.Name,
+			stats.F(r4.AllocToWrite, 1), stats.F(r4.WriteToRead, 1), stats.F(r4.ReadToRelease, 1),
+			stats.F(r4.AllocToWrite+r4.WriteToRead+r4.ReadToRelease, 1),
+			stats.F(r8.AllocToWrite, 1), stats.F(r8.WriteToRead, 1), stats.F(r8.ReadToRelease, 1),
+			stats.F(r8.AllocToWrite+r8.WriteToRead+r8.ReadToRelease, 1))
+	}
+	return t
+}
+
+// Fig2 reproduces Figure 2: the cumulative distribution of operand
+// significance — integer operand widths and FP exponent/significand widths —
+// measured over the functional instruction stream.
+func (r *Runner) Fig2() (*stats.Table, *stats.Table) {
+	intT := &stats.Table{
+		Title:   "Figure 2 (top): cumulative % of integer operands representable in N bits",
+		Columns: []string{"bench", "<=4", "<=7", "<=8", "<=10", "<=12", "<=16", "<=24", "<=32", "<=48", "<=64"},
+	}
+	widths := []int{4, 7, 8, 10, 12, 16, 24, 32, 48, 64}
+	for _, w := range suite(workloads.Int) {
+		m := emu.New(w.Build(0))
+		m.Run(r.Budget.FastForward)
+		s := stats.Analyze(m, r.Budget.Run)
+		row := []string{w.Name}
+		for _, n := range widths {
+			row = append(row, stats.Pct(s.IntFracWithin(n)))
+		}
+		intT.AddRow(row...)
+	}
+	fpT := &stats.Table{
+		Title:   "Figure 2 (bottom): FP operand field significance",
+		Columns: []string{"bench", "trivial(all 0/1)", "exp<=1b", "exp<=4b", "exp<=8b", "sig=0b", "sig<=16b", "sig<=32b"},
+	}
+	for _, w := range suite(workloads.FP) {
+		m := emu.New(w.Build(0))
+		m.Run(r.Budget.FastForward)
+		s := stats.Analyze(m, r.Budget.Run)
+		fpT.AddRow(w.Name,
+			stats.Pct(s.FPTrivialFrac()),
+			stats.Pct(s.ExpBits.CumulativeFrac(1)),
+			stats.Pct(s.ExpBits.CumulativeFrac(4)),
+			stats.Pct(s.ExpBits.CumulativeFrac(8)),
+			stats.Pct(s.SigBits.CumulativeFrac(0)),
+			stats.Pct(s.SigBits.CumulativeFrac(16)),
+			stats.Pct(s.SigBits.CumulativeFrac(32)))
+	}
+	return intT, fpT
+}
+
+// Fig8 reproduces Figure 8: lifetime reduction under PRI and PRI+ER versus
+// the baseline, integer benchmarks, both widths.
+func (r *Runner) Fig8() *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 8: avg register lifetime (cycles): base vs PRI(rc+ckpt) vs PRI+ER",
+		Columns: []string{"bench",
+			"base(4w)", "pri(4w)", "pri+er(4w)",
+			"base(8w)", "pri(8w)", "pri+er(8w)"},
+	}
+	total := func(res *Result) string {
+		return stats.F(res.AllocToWrite+res.WriteToRead+res.ReadToRelease, 1)
+	}
+	for _, w := range suite(workloads.Int) {
+		row := []string{w.Name}
+		for _, width := range []int{4, 8} {
+			cfg := machine(width)
+			row = append(row,
+				total(r.Run(w, cfg.WithPolicy(core.PolicyBase))),
+				total(r.Run(w, cfg.WithPolicy(core.PolicyPRIRcCkpt))),
+				total(r.Run(w, cfg.WithPolicy(core.PolicyPRIPlusER))))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig9PRs is the physical register sweep of Figure 9.
+var Fig9PRs = []int{40, 48, 56, 64, 72, 80, 96}
+
+// Fig9 reproduces Figure 9: baseline speedup versus register file size,
+// normalized to 40 registers, for every benchmark at the given width.
+func (r *Runner) Fig9(width int) *stats.Table {
+	cols := []string{"bench"}
+	for _, n := range Fig9PRs {
+		cols = append(cols, fmt.Sprintf("PR=%d", n))
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 9: register file sensitivity, %d-wide (speedup vs PR=40)", width),
+		Columns: cols,
+	}
+	for _, w := range workloads.All() {
+		base := r.Run(w, machine(width).WithPRs(40))
+		row := []string{w.Name}
+		for _, n := range Fig9PRs {
+			res := r.Run(w, machine(width).WithPRs(n))
+			row = append(row, stats.F(res.IPC/base.IPC, 2))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// speedupTable renders Figures 10 and 12: per-benchmark IPC speedup of each
+// scheme over the baseline, plus the arithmetic mean row.
+func (r *Runner) speedupTable(class workloads.Class, width int, title string) *stats.Table {
+	t := &stats.Table{
+		Title: title,
+		Columns: []string{"bench", "ER",
+			"PRI-rc-ckpt", "PRI-rc-lazy", "PRI-ideal-ckpt", "PRI-ideal-lazy",
+			"PRI+ER", "InfPR"},
+	}
+	sums := make([][]float64, len(core.AllPolicies))
+	for _, w := range suite(class) {
+		cfg := machine(width)
+		base := r.Run(w, cfg.WithPolicy(core.PolicyBase))
+		row := []string{w.Name}
+		for i, pol := range core.AllPolicies {
+			res := r.Run(w, cfg.WithPolicy(pol))
+			sp := res.IPC / base.IPC
+			sums[i] = append(sums[i], sp)
+			row = append(row, stats.F(sp, 3))
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for i := range core.AllPolicies {
+		avg = append(avg, stats.F(mean(sums[i]), 3))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig10 reproduces Figure 10: integer speedups for all seven schemes.
+func (r *Runner) Fig10(width int) *stats.Table {
+	return r.speedupTable(workloads.Int, width,
+		fmt.Sprintf("Figure 10: PRI speedup, integer benchmarks, %d-wide (IPC / base IPC)", width))
+}
+
+// Fig12 reproduces Figure 12: floating-point speedups for all seven schemes.
+func (r *Runner) Fig12(width int) *stats.Table {
+	return r.speedupTable(workloads.FP, width,
+		fmt.Sprintf("Figure 12: PRI speedup, floating point benchmarks, %d-wide (IPC / base IPC)", width))
+}
+
+// Fig11 reproduces Figure 11: average physical register file occupancy for
+// base, ER, PRI, and PRI+ER on the integer benchmarks.
+func (r *Runner) Fig11(width int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 11: avg integer PRF occupancy, %d-wide", width),
+		Columns: []string{"bench", "base", "ER", "PRI", "PRI+ER"},
+	}
+	pols := []core.Policy{core.PolicyBase, core.PolicyER, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER}
+	for _, w := range suite(workloads.Int) {
+		row := []string{w.Name}
+		for _, pol := range pols {
+			res := r.Run(w, machine(width).WithPolicy(pol))
+			row = append(row, stats.F(res.IntOccupancy, 1))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationRenameInline compares PRI with and without the Section 6
+// future-work extension (rename-time inlining of narrow load-immediates).
+func (r *Runner) AblationRenameInline(width int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: rename-time inlining extension, %d-wide", width),
+		Columns: []string{"bench", "PRI IPC", "PRI+renameInline IPC", "gain"},
+	}
+	for _, w := range suite(workloads.Int) {
+		cfg := machine(width).WithPolicy(core.PolicyPRIRcCkpt)
+		basePRI := r.Run(w, cfg)
+		cfg.InlineAtRename = true
+		ext := r.Run(w, cfg)
+		t.AddRow(w.Name, stats.F(basePRI.IPC, 3), stats.F(ext.IPC, 3),
+			stats.F(ext.IPC/basePRI.IPC, 3))
+	}
+	return t
+}
+
+// AblationDelayedAllocation explores the paper's Section 6 virtual-physical
+// direction: baseline vs delayed register allocation vs delayed allocation
+// combined with PRI, at the Table 1 register file size.
+func (r *Runner) AblationDelayedAllocation(width int) *stats.Table {
+	// A 40-register file keeps the writeback gate engaged so the
+	// PRI interaction is visible (at 64 registers the gate rarely binds).
+	const prs = 40
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: virtual-physical delayed allocation, %d-wide, %d PRs", width, prs),
+		Columns: []string{"bench", "base IPC", "delayed IPC", "delayed+PRI IPC"},
+	}
+	for _, w := range suite(workloads.Int) {
+		base := r.Run(w, machine(width).WithPRs(prs))
+		cfgD := machine(width).WithPRs(prs)
+		cfgD.DelayedAllocation = true
+		delayed := r.Run(w, cfgD)
+		cfgDP := machine(width).WithPolicy(core.PolicyPRIRcLazy).WithPRs(prs)
+		cfgDP.DelayedAllocation = true
+		both := r.Run(w, cfgDP)
+		t.AddRow(w.Name, stats.F(base.IPC, 3), stats.F(delayed.IPC, 3), stats.F(both.IPC, 3))
+	}
+	return t
+}
+
+// AblationMSHR bounds memory-level parallelism: the default model overlaps
+// misses without limit (as sim-outorder does); this table shows how much of
+// the memory-bound benchmarks' throughput that assumption is worth.
+func (r *Runner) AblationMSHR(width int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: MSHR-bounded miss overlap, %d-wide baseline", width),
+		Columns: []string{"bench", "unlimited IPC", "8 MSHRs", "2 MSHRs"},
+	}
+	for _, w := range suite(workloads.Int) {
+		unlimited := r.Run(w, machine(width))
+		cfg8 := machine(width)
+		cfg8.Mem.MSHRs = 8
+		m8 := r.Run(w, cfg8)
+		cfg2 := machine(width)
+		cfg2.Mem.MSHRs = 2
+		m2 := r.Run(w, cfg2)
+		t.AddRow(w.Name, stats.F(unlimited.IPC, 3), stats.F(m8.IPC, 3), stats.F(m2.IPC, 3))
+	}
+	return t
+}
+
+// AblationPrefetch adds an idealized next-line data prefetcher to the
+// baseline: it shows how much of the streaming benchmarks' miss cost the
+// Table 1 machine (which has none) leaves on the table.
+func (r *Runner) AblationPrefetch(width int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: next-line data prefetch, %d-wide baseline", width),
+		Columns: []string{"bench", "no-prefetch IPC", "prefetch IPC", "gain"},
+	}
+	for _, w := range suite(workloads.Int) {
+		base := r.Run(w, machine(width))
+		cfgP := machine(width)
+		cfgP.Mem.NextLinePrefetch = true
+		pf := r.Run(w, cfgP)
+		t.AddRow(w.Name, stats.F(base.IPC, 3), stats.F(pf.IPC, 3), stats.F(pf.IPC/base.IPC, 3))
+	}
+	return t
+}
+
+// AblationDisambiguation compares oracle and conservative memory
+// disambiguation on the baseline machine (a documented model choice).
+func (r *Runner) AblationDisambiguation(width int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: memory disambiguation, %d-wide baseline", width),
+		Columns: []string{"bench", "oracle IPC", "conservative IPC", "ratio"},
+	}
+	for _, w := range suite(workloads.Int) {
+		oracle := r.Run(w, machine(width))
+		cfg := machine(width)
+		cfg.ConservativeDisambiguation = true
+		cfg.Name = cfg.Name + "-consv"
+		cons := r.Run(w, cfg)
+		t.AddRow(w.Name, stats.F(oracle.IPC, 3), stats.F(cons.IPC, 3),
+			stats.F(cons.IPC/oracle.IPC, 3))
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/ooo"
+	"prisim/internal/workloads"
+)
+
+// tinyBudget keeps the unit tests fast; experiment shape is asserted, not
+// paper-grade numbers.
+var tinyBudget = Budget{FastForward: 500, Run: 4000}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	w, _ := workloads.ByName("gzip")
+	a := r.Run(w, ooo.Width4())
+	b := r.Run(w, ooo.Width4())
+	if a != b {
+		t.Error("identical runs not cached")
+	}
+	c := r.Run(w, ooo.Width4().WithPolicy(core.PolicyPRIRcCkpt))
+	if c == a {
+		t.Error("different policies shared a cache entry")
+	}
+	cons := ooo.Width4()
+	cons.ConservativeDisambiguation = true
+	if r.Run(w, cons) == a {
+		t.Error("disambiguation modes shared a cache entry")
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	w, _ := workloads.ByName("bzip2")
+	res := r.Run(w, ooo.Width4())
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+	if res.Committed == 0 || res.Cycles == 0 {
+		t.Error("empty run")
+	}
+	if res.IntOccupancy < 32 || res.IntOccupancy > 64 {
+		t.Errorf("occupancy = %v", res.IntOccupancy)
+	}
+	if res.AllocToWrite+res.WriteToRead+res.ReadToRelease <= 0 {
+		t.Error("no lifetime data")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"ROB", "512", "scheduler", "32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	intT, fpT := r.Fig2()
+	if len(intT.Rows) != 13 || len(fpT.Rows) != 14 {
+		t.Errorf("fig2 rows: %d int, %d fp", len(intT.Rows), len(fpT.Rows))
+	}
+	// The last integer column is <=64 bits: must be 100%.
+	for _, row := range intT.Rows {
+		if row[len(row)-1] != "100.0%" {
+			t.Errorf("%s: <=64-bit fraction = %s", row[0], row[len(row)-1])
+		}
+	}
+}
+
+func TestSpeedupTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := NewRunner(Budget{FastForward: 500, Run: 2500})
+	// Restrict to a subset by running the full Fig10 at a tiny budget.
+	tb := r.Fig10(4)
+	if len(tb.Rows) != 14 { // 13 benchmarks + average
+		t.Fatalf("fig10 rows = %d", len(tb.Rows))
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "average" {
+		t.Errorf("last row = %v", last[0])
+	}
+	if len(tb.Columns) != 8 {
+		t.Errorf("fig10 columns = %d", len(tb.Columns))
+	}
+}
+
+func TestFig9Normalization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := NewRunner(Budget{FastForward: 200, Run: 1500})
+	tb := r.Fig9(4)
+	if len(tb.Rows) != 27 {
+		t.Fatalf("fig9 rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "1.00" {
+			t.Errorf("%s: PR=40 column = %s, want 1.00", row[0], row[1])
+		}
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil)")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestShapeChecksMostlyPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := NewRunner(Budget{FastForward: 4000, Run: 10000})
+	checks := r.CheckShapes()
+	if len(checks) < 15 {
+		t.Fatalf("only %d shape checks", len(checks))
+	}
+	pass := 0
+	for _, c := range checks {
+		if c.Pass {
+			pass++
+		} else {
+			t.Logf("shape check failed (may be budget noise): %s — %s", c.Name, c.Note)
+		}
+	}
+	// At a reduced budget a couple of checks can be noisy, but the bulk
+	// must hold or the model has regressed.
+	if pass*4 < len(checks)*3 {
+		t.Errorf("only %d/%d shape checks passed", pass, len(checks))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := NewRunner(Budget{FastForward: 300, Run: 1200})
+	var sb strings.Builder
+	if err := r.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Figure 10", "Shape checklist", "checks passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

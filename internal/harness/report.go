@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"prisim/internal/core"
+	"prisim/internal/stats"
+	"prisim/internal/workloads"
+)
+
+// ShapeCheck is one verifiable claim about the reproduction: a property the
+// paper's evaluation exhibits that the regenerated data should too.
+type ShapeCheck struct {
+	Name string
+	Pass bool
+	Note string
+}
+
+// CheckShapes runs the experiment suite's cheap end of the paper's claims
+// against live simulation data and reports which hold. These are the same
+// properties EXPERIMENTS.md discusses; the harness makes them executable so
+// regressions in the model or workloads surface mechanically.
+func (r *Runner) CheckShapes() []ShapeCheck {
+	var checks []ShapeCheck
+	add := func(name string, pass bool, note string) {
+		checks = append(checks, ShapeCheck{Name: name, Pass: pass, Note: note})
+	}
+
+	// Collect per-suite speedup averages for the three headline schemes.
+	type avg struct{ er, pri, priER, inf float64 }
+	averages := map[string]avg{}
+	for _, class := range []workloads.Class{workloads.Int, workloads.FP} {
+		for _, width := range []int{4, 8} {
+			var a avg
+			n := 0
+			for _, w := range suite(class) {
+				base := r.Run(w, machine(width))
+				a.er += r.Run(w, machine(width).WithPolicy(core.PolicyER)).IPC / base.IPC
+				a.pri += r.Run(w, machine(width).WithPolicy(core.PolicyPRIRcLazy)).IPC / base.IPC
+				a.priER += r.Run(w, machine(width).WithPolicy(core.PolicyPRIPlusER)).IPC / base.IPC
+				a.inf += r.Run(w, machine(width).WithPolicy(core.PolicyInfinite)).IPC / base.IPC
+				n++
+			}
+			f := float64(n)
+			averages[key(class, width)] = avg{a.er / f, a.pri / f, a.priER / f, a.inf / f}
+		}
+	}
+
+	for _, k := range []string{"int4", "int8", "fp4", "fp8"} {
+		a := averages[k]
+		add("every scheme gains on average ("+k+")",
+			a.er > 1 && a.pri > 1 && a.priER > 1,
+			fmt.Sprintf("ER %+.1f%%, PRI %+.1f%%, PRI+ER %+.1f%%",
+				100*(a.er-1), 100*(a.pri-1), 100*(a.priER-1)))
+		add("infinite registers bound every scheme ("+k+")",
+			a.inf >= a.er && a.inf >= a.pri && a.inf >= a.priER,
+			fmt.Sprintf("inf %+.1f%%", 100*(a.inf-1)))
+		add("PRI+ER beats ER alone ("+k+")", a.priER > a.er,
+			fmt.Sprintf("%+.1f%% vs %+.1f%%", 100*(a.priER-1), 100*(a.er-1)))
+		add("PRI+ER beats PRI alone ("+k+")", a.priER > a.pri,
+			fmt.Sprintf("%+.1f%% vs %+.1f%%", 100*(a.priER-1), 100*(a.pri-1)))
+	}
+	add("8-wide PRI gains exceed 4-wide (int)",
+		averages["int8"].pri > averages["int4"].pri,
+		fmt.Sprintf("%+.1f%% vs %+.1f%%", 100*(averages["int8"].pri-1), 100*(averages["int4"].pri-1)))
+
+	// Lifetime phases: phase 3 dominates at baseline; PRI+ER shrinks totals.
+	phase3Dominant, lifetimeShrinks := 0, 0
+	for _, w := range suite(workloads.Int) {
+		base := r.Run(w, machine(4))
+		if base.ReadToRelease >= base.AllocToWrite && base.ReadToRelease >= base.WriteToRead {
+			phase3Dominant++
+		}
+		both := r.Run(w, machine(4).WithPolicy(core.PolicyPRIPlusER))
+		if both.AllocToWrite+both.WriteToRead+both.ReadToRelease <
+			base.AllocToWrite+base.WriteToRead+base.ReadToRelease {
+			lifetimeShrinks++
+		}
+	}
+	add("phase 3 (dead time) dominates baseline lifetimes",
+		phase3Dominant >= 8, fmt.Sprintf("%d/13 benchmarks", phase3Dominant))
+	add("PRI+ER shrinks register lifetime",
+		lifetimeShrinks >= 10, fmt.Sprintf("%d/13 benchmarks", lifetimeShrinks))
+
+	// Figure 9 monotonicity at the extremes.
+	monotone := 0
+	for _, w := range workloads.All() {
+		lo := r.Run(w, machine(4).WithPRs(40))
+		hi := r.Run(w, machine(4).WithPRs(96))
+		if hi.IPC >= lo.IPC {
+			monotone++
+		}
+	}
+	add("more registers never hurt (PR=96 vs PR=40)",
+		monotone == len(workloads.All()), fmt.Sprintf("%d/%d benchmarks", monotone, len(workloads.All())))
+
+	return checks
+}
+
+func key(c workloads.Class, width int) string {
+	return c.String() + strconv.Itoa(width)
+}
+
+// WriteReport regenerates the full experiment suite and writes a
+// self-contained markdown report: every table plus the executable shape
+// checklist. It is the machine-written sibling of EXPERIMENTS.md.
+func (r *Runner) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "# prisim experiment report\n\n")
+	fmt.Fprintf(w, "Budget: %d fast-forward + %d measured instructions per point.\n\n",
+		r.Budget.FastForward, r.Budget.Run)
+
+	section := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			fmt.Fprintf(w, "```\n%s```\n\n", t.String())
+		}
+	}
+	section(Table1())
+	section(r.Table2())
+	section(r.Fig1())
+	a, b := r.Fig2()
+	section(a, b)
+	section(r.Fig8())
+	section(r.Fig9(4), r.Fig9(8))
+	section(r.Fig10(4), r.Fig10(8))
+	section(r.Fig11(4), r.Fig11(8))
+	section(r.Fig12(4), r.Fig12(8))
+	section(r.AblationRenameInline(4), r.AblationDisambiguation(4),
+		r.AblationDelayedAllocation(4), r.AblationMSHR(4))
+
+	fmt.Fprintf(w, "## Shape checklist\n\n")
+	pass := 0
+	checks := r.CheckShapes()
+	for _, c := range checks {
+		mark := "FAIL"
+		if c.Pass {
+			mark = "ok"
+			pass++
+		}
+		fmt.Fprintf(w, "- [%s] %s — %s\n", mark, c.Name, c.Note)
+	}
+	fmt.Fprintf(w, "\n%d/%d checks passed.\n", pass, len(checks))
+	return nil
+}

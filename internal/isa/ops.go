@@ -1,0 +1,384 @@
+package isa
+
+import "fmt"
+
+// Op identifies a PRISC-64 operation.
+type Op uint8
+
+// The complete PRISC-64 opcode set.
+const (
+	// OpInvalid is the zero Op; decoding garbage yields it.
+	OpInvalid Op = iota
+
+	// Integer register-register arithmetic and logic.
+	OpADD
+	OpSUB
+	OpMUL
+	OpDIV  // signed quotient; divide by zero yields 0 (no traps)
+	OpDIVU // unsigned quotient
+	OpREM  // signed remainder; x%0 == x
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLL // shift amount is rb&63
+	OpSRL
+	OpSRA
+	OpSLT  // rd = (ra < rb) signed ? 1 : 0
+	OpSLTU // unsigned compare
+	OpSEQ  // rd = (ra == rb) ? 1 : 0
+
+	// Integer immediate forms (imm16 sign-extended unless noted).
+	OpADDI
+	OpANDI // imm zero-extended
+	OpORI  // imm zero-extended
+	OpXORI // imm zero-extended
+	OpSLLI // shift amount imm&63
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpLUI // rd = imm16 << 16 (sign-extended to 64 bits)
+
+	// Loads and stores. Rd is the data register; the effective address is
+	// ra + imm16.
+	OpLDQ  // 64-bit load
+	OpLDL  // 32-bit load, sign-extended
+	OpLDB  // 8-bit load, sign-extended
+	OpLDBU // 8-bit load, zero-extended
+	OpSTQ  // 64-bit store
+	OpSTL  // 32-bit store
+	OpSTB  // 8-bit store
+	OpFLD  // 64-bit FP load
+	OpFST  // 64-bit FP store
+
+	// Compare-and-branch; target is PC + 4 + disp*4.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps. J/JAL carry a 26-bit word-granular region target; JR/JALR
+	// jump through a register. JAL writes LR; JALR writes rd (conventionally
+	// LR). JR lr is the conventional function return and pops the RAS.
+	OpJ
+	OpJAL
+	OpJR
+	OpJALR
+
+	// Floating point (IEEE-754 binary64 carried in 64-bit registers).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+	OpFMOV
+	OpFNEG
+	OpFABS
+	OpFMIN
+	OpFMAX
+	OpCVTIF // fd = float64(int64(ra)); integer source
+	OpCVTFI // rd = int64(trunc(fa)); integer destination
+	OpFCLT  // rd = (fa < fb) ? 1 : 0 (integer destination)
+	OpFCLE
+	OpFCEQ
+
+	// Conditional moves (Alpha-style): rd = cond(ra) ? rb : rd. The old rd
+	// is a source, which is why compilers love them: branches become
+	// dataflow.
+	OpCMOVEQ // move rb into rd when ra == 0
+	OpCMOVNE // move rb into rd when ra != 0
+
+	// Miscellaneous.
+	OpNOP
+	OpHALT // stop the program
+	OpPUTC // write low byte of ra to the emulator's output buffer
+
+	numOps
+)
+
+// NumOps is the number of defined operations (for table-driven tests).
+const NumOps = int(numOps)
+
+// Format describes how an instruction's operand fields are laid out.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtR  Format = iota // op rd, ra, rb (funct-encoded under primary 0/1)
+	FmtI                // op rd, ra, imm16
+	FmtLS               // op rd, imm16(ra)
+	FmtB                // op ra, rb, disp16
+	FmtJ                // op target26
+)
+
+// FUClass names the functional-unit pool an operation issues to.
+type FUClass uint8
+
+// Functional-unit classes. Branches and jumps resolve on the integer ALUs.
+const (
+	FUIntALU FUClass = iota
+	FUIntMulDiv
+	FUMem
+	FUFPAdd // FP add/sub/convert/compare/move
+	FUFPMulDiv
+	NumFUClasses = 5
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUIntALU:
+		return "ialu"
+	case FUIntMulDiv:
+		return "imuldiv"
+	case FUMem:
+		return "mem"
+	case FUFPAdd:
+		return "fpadd"
+	case FUFPMulDiv:
+		return "fpmuldiv"
+	}
+	return "fu?"
+}
+
+type opFlags uint16
+
+const (
+	flagLoad opFlags = 1 << iota
+	flagStore
+	flagBranch // conditional branch
+	flagJump   // unconditional control transfer
+	flagCall   // pushes return address (RAS push)
+	flagReturn // JR through LR (RAS pop)
+	flagReadsRa
+	flagReadsRb
+	flagReadsRdData // stores read the data register held in the rd field
+	flagWritesRd
+	flagRaFP
+	flagRbFP
+	flagRdFP
+	flagUnpipelined // occupies its FU for the full latency
+)
+
+type opInfo struct {
+	name    string
+	format  Format
+	class   FUClass
+	latency int // scheduling latency in cycles (loads add cache time)
+	flags   opFlags
+	primary uint32 // 6-bit primary opcode
+	funct   uint32 // 6-bit funct for FmtR under primary 0 (int) / 1 (fp)
+}
+
+const (
+	latALU    = 1
+	latMul    = 3
+	latDiv    = 20
+	latFPAdd  = 2
+	latFPMul  = 4
+	latFPDiv  = 12
+	latFPSqrt = 24
+	latAgen   = 1 // address generation; cache latency is added by the memory system
+)
+
+// rr/ri/etc build the common flag sets.
+const (
+	rrFlags = flagReadsRa | flagReadsRb | flagWritesRd
+	riFlags = flagReadsRa | flagWritesRd
+	ldFlags = flagLoad | flagReadsRa | flagWritesRd
+	stFlags = flagStore | flagReadsRa | flagReadsRdData
+	brFlags = flagBranch | flagReadsRa | flagReadsRb
+	fpRR    = rrFlags | flagRaFP | flagRbFP | flagRdFP
+	fpR1    = riFlags | flagRaFP | flagRdFP
+)
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {name: "invalid", format: FmtR, class: FUIntALU, latency: 1, primary: 63, funct: 63},
+
+	OpADD:  {name: "add", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 0},
+	OpSUB:  {name: "sub", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 1},
+	OpMUL:  {name: "mul", format: FmtR, class: FUIntMulDiv, latency: latMul, flags: rrFlags, primary: 0, funct: 2},
+	OpDIV:  {name: "div", format: FmtR, class: FUIntMulDiv, latency: latDiv, flags: rrFlags | flagUnpipelined, primary: 0, funct: 3},
+	OpDIVU: {name: "divu", format: FmtR, class: FUIntMulDiv, latency: latDiv, flags: rrFlags | flagUnpipelined, primary: 0, funct: 4},
+	OpREM:  {name: "rem", format: FmtR, class: FUIntMulDiv, latency: latDiv, flags: rrFlags | flagUnpipelined, primary: 0, funct: 5},
+	OpAND:  {name: "and", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 6},
+	OpOR:   {name: "or", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 7},
+	OpXOR:  {name: "xor", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 8},
+	OpNOR:  {name: "nor", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 9},
+	OpSLL:  {name: "sll", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 10},
+	OpSRL:  {name: "srl", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 11},
+	OpSRA:  {name: "sra", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 12},
+	OpSLT:  {name: "slt", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 13},
+	OpSLTU: {name: "sltu", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 14},
+	OpSEQ:  {name: "seq", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags, primary: 0, funct: 15},
+
+	OpADDI: {name: "addi", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 2},
+	OpANDI: {name: "andi", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 3},
+	OpORI:  {name: "ori", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 4},
+	OpXORI: {name: "xori", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 5},
+	OpSLLI: {name: "slli", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 6},
+	OpSRLI: {name: "srli", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 7},
+	OpSRAI: {name: "srai", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 8},
+	OpSLTI: {name: "slti", format: FmtI, class: FUIntALU, latency: latALU, flags: riFlags, primary: 9},
+	OpLUI:  {name: "lui", format: FmtI, class: FUIntALU, latency: latALU, flags: flagWritesRd, primary: 10},
+
+	OpLDQ:  {name: "ldq", format: FmtLS, class: FUMem, latency: latAgen, flags: ldFlags, primary: 12},
+	OpLDL:  {name: "ldl", format: FmtLS, class: FUMem, latency: latAgen, flags: ldFlags, primary: 13},
+	OpLDB:  {name: "ldb", format: FmtLS, class: FUMem, latency: latAgen, flags: ldFlags, primary: 14},
+	OpLDBU: {name: "ldbu", format: FmtLS, class: FUMem, latency: latAgen, flags: ldFlags, primary: 15},
+	OpSTQ:  {name: "stq", format: FmtLS, class: FUMem, latency: latAgen, flags: stFlags, primary: 16},
+	OpSTL:  {name: "stl", format: FmtLS, class: FUMem, latency: latAgen, flags: stFlags, primary: 17},
+	OpSTB:  {name: "stb", format: FmtLS, class: FUMem, latency: latAgen, flags: stFlags, primary: 18},
+	OpFLD:  {name: "fld", format: FmtLS, class: FUMem, latency: latAgen, flags: ldFlags | flagRdFP, primary: 19},
+	OpFST:  {name: "fst", format: FmtLS, class: FUMem, latency: latAgen, flags: stFlags | flagRdFP, primary: 20},
+
+	OpBEQ:  {name: "beq", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 24},
+	OpBNE:  {name: "bne", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 25},
+	OpBLT:  {name: "blt", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 26},
+	OpBGE:  {name: "bge", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 27},
+	OpBLTU: {name: "bltu", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 28},
+	OpBGEU: {name: "bgeu", format: FmtB, class: FUIntALU, latency: latALU, flags: brFlags, primary: 29},
+
+	OpJ:    {name: "j", format: FmtJ, class: FUIntALU, latency: latALU, flags: flagJump, primary: 32},
+	OpJAL:  {name: "jal", format: FmtJ, class: FUIntALU, latency: latALU, flags: flagJump | flagCall | flagWritesRd, primary: 33},
+	OpJR:   {name: "jr", format: FmtR, class: FUIntALU, latency: latALU, flags: flagJump | flagReadsRa, primary: 0, funct: 16},
+	OpJALR: {name: "jalr", format: FmtR, class: FUIntALU, latency: latALU, flags: flagJump | flagCall | flagReadsRa | flagWritesRd, primary: 0, funct: 17},
+
+	OpFADD:  {name: "fadd", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpRR, primary: 1, funct: 0},
+	OpFSUB:  {name: "fsub", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpRR, primary: 1, funct: 1},
+	OpFMUL:  {name: "fmul", format: FmtR, class: FUFPMulDiv, latency: latFPMul, flags: fpRR, primary: 1, funct: 2},
+	OpFDIV:  {name: "fdiv", format: FmtR, class: FUFPMulDiv, latency: latFPDiv, flags: fpRR | flagUnpipelined, primary: 1, funct: 3},
+	OpFSQRT: {name: "fsqrt", format: FmtR, class: FUFPMulDiv, latency: latFPSqrt, flags: fpR1 | flagUnpipelined, primary: 1, funct: 4},
+	OpFMOV:  {name: "fmov", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpR1, primary: 1, funct: 5},
+	OpFNEG:  {name: "fneg", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpR1, primary: 1, funct: 6},
+	OpFABS:  {name: "fabs", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpR1, primary: 1, funct: 7},
+	OpFMIN:  {name: "fmin", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpRR, primary: 1, funct: 8},
+	OpFMAX:  {name: "fmax", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: fpRR, primary: 1, funct: 9},
+	OpCVTIF: {name: "cvtif", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: riFlags | flagRdFP, primary: 1, funct: 10},
+	OpCVTFI: {name: "cvtfi", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: riFlags | flagRaFP, primary: 1, funct: 11},
+	OpFCLT:  {name: "fclt", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: rrFlags | flagRaFP | flagRbFP, primary: 1, funct: 12},
+	OpFCLE:  {name: "fcle", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: rrFlags | flagRaFP | flagRbFP, primary: 1, funct: 13},
+	OpFCEQ:  {name: "fceq", format: FmtR, class: FUFPAdd, latency: latFPAdd, flags: rrFlags | flagRaFP | flagRbFP, primary: 1, funct: 14},
+
+	OpCMOVEQ: {name: "cmoveq", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags | flagReadsRdData, primary: 0, funct: 20},
+	OpCMOVNE: {name: "cmovne", format: FmtR, class: FUIntALU, latency: latALU, flags: rrFlags | flagReadsRdData, primary: 0, funct: 21},
+
+	OpNOP:  {name: "nop", format: FmtR, class: FUIntALU, latency: latALU, primary: 0, funct: 62},
+	OpHALT: {name: "halt", format: FmtR, class: FUIntALU, latency: latALU, primary: 0, funct: 63},
+	OpPUTC: {name: "putc", format: FmtR, class: FUIntALU, latency: latALU, flags: flagReadsRa, primary: 0, funct: 61},
+}
+
+// Name returns the assembly mnemonic.
+func (op Op) Name() string {
+	if int(op) >= NumOps {
+		return "op?"
+	}
+	return opTable[op].name
+}
+
+func (op Op) String() string { return op.Name() }
+
+// Format returns the instruction format of op.
+func (op Op) Format() Format { return opTable[op].format }
+
+// Class returns the functional-unit class op issues to.
+func (op Op) Class() FUClass { return opTable[op].class }
+
+// Latency returns the fixed scheduling latency in cycles. Loads report only
+// address generation; the memory system adds cache access time.
+func (op Op) Latency() int { return opTable[op].latency }
+
+// Unpipelined reports whether op monopolizes its functional unit for its
+// whole latency (divides and square roots).
+func (op Op) Unpipelined() bool { return opTable[op].flags&flagUnpipelined != 0 }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return opTable[op].flags&flagLoad != 0 }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return opTable[op].flags&flagStore != 0 }
+
+// IsMem reports whether op is a load or store.
+func (op Op) IsMem() bool { return opTable[op].flags&(flagLoad|flagStore) != 0 }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return opTable[op].flags&flagBranch != 0 }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool { return opTable[op].flags&flagJump != 0 }
+
+// IsCall reports whether op pushes a return address (JAL, JALR).
+func (op Op) IsCall() bool { return opTable[op].flags&flagCall != 0 }
+
+// IsControl reports whether op changes control flow.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// IsIndirect reports whether op's target comes from a register.
+func (op Op) IsIndirect() bool { return op == OpJR || op == OpJALR }
+
+// WritesRd reports whether op produces a register result.
+func (op Op) WritesRd() bool { return opTable[op].flags&flagWritesRd != 0 }
+
+// RdIsFP reports whether the rd field names a floating-point register.
+func (op Op) RdIsFP() bool { return opTable[op].flags&flagRdFP != 0 }
+
+// RaIsFP reports whether the ra field names a floating-point register.
+func (op Op) RaIsFP() bool { return opTable[op].flags&flagRaFP != 0 }
+
+// RbIsFP reports whether the rb field names a floating-point register.
+func (op Op) RbIsFP() bool { return opTable[op].flags&flagRbFP != 0 }
+
+// ImmZeroExtended reports whether op's 16-bit immediate is zero-extended
+// (the bitwise logical immediates); all other immediates sign-extend.
+func (op Op) ImmZeroExtended() bool {
+	return op == OpANDI || op == OpORI || op == OpXORI
+}
+
+func (op Op) readsRa() bool     { return opTable[op].flags&flagReadsRa != 0 }
+func (op Op) readsRb() bool     { return opTable[op].flags&flagReadsRb != 0 }
+func (op Op) readsRdData() bool { return opTable[op].flags&flagReadsRdData != 0 }
+
+// opByName maps mnemonics to operations for the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// OpByName looks up an operation by its assembly mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// AllOps returns every defined operation (excluding OpInvalid), for
+// table-driven tests.
+func AllOps() []Op {
+	ops := make([]Op, 0, NumOps-1)
+	for op := Op(1); op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func init() {
+	// Guard against encoding collisions when the table is edited.
+	seen := make(map[uint32]Op)
+	for op := Op(1); op < numOps; op++ {
+		info := opTable[op]
+		if info.name == "" {
+			panic(fmt.Sprintf("isa: op %d has no table entry", op))
+		}
+		key := info.primary << 6
+		if info.primary == 0 || info.primary == 1 {
+			key |= info.funct
+		}
+		if prev, dup := seen[key]; dup {
+			panic(fmt.Sprintf("isa: encoding collision between %s and %s", opTable[prev].name, info.name))
+		}
+		seen[key] = op
+	}
+}

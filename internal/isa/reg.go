@@ -1,0 +1,118 @@
+// Package isa defines PRISC-64, the 64-bit load/store RISC instruction set
+// used by the simulator. PRISC-64 is deliberately Alpha/MIPS-flavoured: 32
+// integer registers (r0 hardwired to zero), 32 floating-point registers,
+// fixed 32-bit instruction encodings, and compare-and-branch control flow.
+//
+// The package provides the register model, opcode table (with execution
+// latencies and functional-unit classes), binary encode/decode, and a
+// disassembler. Higher layers build on it: internal/asm assembles programs,
+// internal/emu executes them, and internal/ooo times them.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architected register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumArchRegs is the total number of renamed architected registers
+	// (integer and floating point are renamed in separate spaces).
+	NumArchRegs = NumIntRegs + NumFPRegs
+)
+
+// Reg identifies an architected register. Values 0..31 are integer registers
+// (R0 is hardwired to zero); 32..63 are floating-point registers.
+type Reg uint8
+
+// Well-known registers. The software ABI used by the assembler and the
+// workload kernels reserves SP for the stack, LR for call return addresses,
+// and R0 as the constant zero.
+const (
+	RZero Reg = 0  // hardwired zero
+	RLR   Reg = 30 // link register (written by JAL/JALR)
+	RSP   Reg = 29 // stack pointer by convention
+)
+
+// F0 is the first floating-point register; F(i) = F0 + i.
+const F0 Reg = NumIntRegs
+
+// IntReg returns the i'th integer register.
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the i'th floating-point register.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return F0 + Reg(i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= F0 && r < F0+NumFPRegs }
+
+// IsZero reports whether r is the hardwired integer zero register.
+func (r Reg) IsZero() bool { return r == RZero }
+
+// Index returns the register's index within its own file (0..31).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r - F0)
+	}
+	return int(r)
+}
+
+// Valid reports whether r names an architected register.
+func (r Reg) Valid() bool { return int(r) < NumArchRegs }
+
+// String renders the conventional assembly name (r7, f12, sp, lr, zero).
+func (r Reg) String() string {
+	switch {
+	case r == RZero:
+		return "zero"
+	case r == RSP:
+		return "sp"
+	case r == RLR:
+		return "lr"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	case int(r) < NumIntRegs:
+		return fmt.Sprintf("r%d", int(r))
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// ParseReg parses an assembly register name ("r4", "f9", "sp", "lr",
+// "zero"). It is the inverse of Reg.String.
+func ParseReg(s string) (Reg, error) {
+	switch s {
+	case "zero":
+		return RZero, nil
+	case "sp":
+		return RSP, nil
+	case "lr":
+		return RLR, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'f') {
+		n := 0
+		for _, c := range s[1:] {
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("isa: bad register %q", s)
+			}
+			n = n*10 + int(c-'0')
+			if n >= NumIntRegs {
+				return 0, fmt.Errorf("isa: register %q out of range", s)
+			}
+		}
+		if s[0] == 'f' {
+			return FPReg(n), nil
+		}
+		return IntReg(n), nil
+	}
+	return 0, fmt.Errorf("isa: bad register %q", s)
+}

@@ -1,0 +1,82 @@
+package isa
+
+import "math/bits"
+
+// Value utilities shared by the significance-compression machinery (the
+// heart of physical register inlining) and by the operand-significance
+// analysis that reproduces the paper's Figure 2.
+
+// SignificantBits returns the minimum number of bits needed to represent v
+// as a two's-complement signed integer, including the sign bit. Zero and -1
+// need 1 bit; 1 needs 2 bits (01); -2 needs 2 bits (10).
+func SignificantBits(v uint64) int {
+	if v>>63 != 0 {
+		v = ^v // count leading ones by counting leading zeros of the complement
+	}
+	return 65 - bits.LeadingZeros64(v)
+}
+
+// FitsSigned reports whether v, interpreted as a two's-complement signed
+// integer, can be represented in n bits. This is the paper's integer
+// narrowness test: all high-order 64-n bits equal the n'th bit.
+func FitsSigned(v uint64, n int) bool {
+	if n >= 64 {
+		return true
+	}
+	if n <= 0 {
+		return false
+	}
+	return SignificantBits(v) <= n
+}
+
+// SignExtend returns v's low n bits sign-extended to 64 bits; it models the
+// sign-extension hardware between the payload RAM and the ALU input.
+func SignExtend(v uint64, n int) uint64 {
+	if n >= 64 {
+		return v
+	}
+	shift := uint(64 - n)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// FPTrivial reports whether the 64-bit floating-point bit pattern is all
+// zeroes or all ones — the paper's FP inlining condition. (All-zeroes is
+// +0.0; all-ones is a particular NaN, but the test is on the raw pattern.)
+func FPTrivial(v uint64) bool { return v == 0 || v == ^uint64(0) }
+
+// FPExponentBits returns the number of significant bits in the 11-bit
+// binary64 exponent field, counting the minimum width that can represent
+// the field if its upper bits are all zeroes or all ones (the paper's
+// Figure 2 treats exponents of all zeroes/ones as 0 extra bits; here a
+// field whose high bits are a sign-like run compresses to the run break).
+func FPExponentBits(v uint64) int {
+	exp := (v >> 52) & 0x7FF
+	if exp == 0 || exp == 0x7FF {
+		return 0
+	}
+	// Width under the all-zero/all-one high-bit compression used by
+	// significance compression schemes, over the 11-bit field: complement
+	// a leading run of ones, then count the remaining width plus the run
+	// marker bit.
+	if exp>>10 != 0 {
+		exp = ^exp & 0x7FF
+	}
+	n := bits.Len16(uint16(exp)) + 1
+	if n > 11 {
+		n = 11
+	}
+	return n
+}
+
+// FPSignificandBits returns the number of significant low-order bits in the
+// 52-bit binary64 fraction field: trailing zeroes compress away, so the
+// width is the position of the highest set bit counted from bit 51 downward
+// (mantissas are left-aligned: fewer significant bits means more trailing
+// zeroes). An all-zero fraction returns 0.
+func FPSignificandBits(v uint64) int {
+	frac := v & (1<<52 - 1)
+	if frac == 0 {
+		return 0
+	}
+	return 52 - bits.TrailingZeros64(frac)
+}

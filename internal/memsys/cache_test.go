@@ -1,0 +1,228 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	cfg := Default()
+	if cfg.IL1.Sets() != 512 { // 32KB / (32B * 2)
+		t.Errorf("il1 sets = %d", cfg.IL1.Sets())
+	}
+	if cfg.DL1.Sets() != 512 { // 32KB / (16B * 4)
+		t.Errorf("dl1 sets = %d", cfg.DL1.Sets())
+	}
+	if cfg.L2.Sets() != 2048 { // 512KB / (64B * 4)
+		t.Errorf("l2 sets = %d", cfg.L2.Sets())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(Default())
+	lat := h.Data(0x1000, false)
+	want := 2 + 12 + 150
+	if lat != want {
+		t.Errorf("cold access latency = %d, want %d", lat, want)
+	}
+	if lat := h.Data(0x1000, false); lat != 2 {
+		t.Errorf("hit latency = %d, want 2", lat)
+	}
+	// Same 64B L2 line but different 16B DL1 line: DL1 miss, L2 hit.
+	if lat := h.Data(0x1010, false); lat != 2+12 {
+		t.Errorf("L2 hit latency = %d, want 14", lat)
+	}
+}
+
+func TestInstVsDataSidesShareL2(t *testing.T) {
+	h := New(Default())
+	h.Data(0x8000, false) // fills L2
+	lat := h.InstFetch(0x8000)
+	if lat != 2+12 {
+		t.Errorf("ifetch after data fill = %d, want 14", lat)
+	}
+}
+
+func TestSpatialLocalityWithinLine(t *testing.T) {
+	h := New(Default())
+	h.Data(0x2000, false)
+	for off := uint64(1); off < 16; off++ {
+		if lat := h.Data(0x2000+off, false); lat != 2 {
+			t.Errorf("offset %d latency = %d, want 2", off, lat)
+		}
+	}
+	if lat := h.Data(0x2010, false); lat == 2 {
+		t.Error("next line should miss in DL1")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeBytes: 256, LineBytes: 16, Ways: 2, Latency: 1}
+	c := NewCache(cfg) // 8 sets, 2 ways
+	// Three lines mapping to set 0: strides of sets*line = 128 bytes.
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.probe(a, false)
+	c.probe(b, false)
+	c.probe(a, false) // a most recent
+	c.probe(d, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Error("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeBytes: 64, LineBytes: 16, Ways: 1, Latency: 1}
+	c := NewCache(cfg) // 4 sets, direct mapped
+	c.probe(0, true)   // dirty
+	_, wb := c.probe(64, false)
+	if !wb || c.Writebacks != 1 {
+		t.Errorf("dirty eviction not counted: wb=%v count=%d", wb, c.Writebacks)
+	}
+	_, wb = c.probe(128, false)
+	if wb {
+		t.Error("clean eviction reported writeback")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, LineBytes: 16, Ways: 1, Latency: 1})
+	if c.MissRate() != 0 {
+		t.Error("idle miss rate nonzero")
+	}
+	c.probe(0, false)
+	c.probe(0, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", SizeBytes: 3000, LineBytes: 16, Ways: 1, Latency: 1})
+}
+
+func TestHitAfterFillProperty(t *testing.T) {
+	// Property: immediately re-probing any address hits.
+	h := New(Default())
+	f := func(addr uint64) bool {
+		h.Data(addr, false)
+		return h.Data(addr, false) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsVsOverflows(t *testing.T) {
+	// A working set that fits in DL1 has a near-zero steady-state miss
+	// rate; one that overflows it misses every line on each pass.
+	h := New(Default())
+	small := 16 << 10 // 16KB < 32KB
+	for pass := 0; pass < 4; pass++ {
+		for a := 0; a < small; a += 16 {
+			h.Data(uint64(a), false)
+		}
+	}
+	dl1MissSmall := h.DL1.Misses
+
+	h2 := New(Default())
+	big := 256 << 10
+	for pass := 0; pass < 4; pass++ {
+		for a := 0; a < big; a += 16 {
+			h2.Data(uint64(a), false)
+		}
+	}
+	// Small set: only compulsory misses (1 pass worth). Big set: misses on
+	// every pass.
+	if dl1MissSmall > uint64(small/16+64) {
+		t.Errorf("small working set missed %d times", dl1MissSmall)
+	}
+	if h2.DL1.Misses < uint64(3*big/16) {
+		t.Errorf("big working set only missed %d times", h2.DL1.Misses)
+	}
+}
+
+func TestMSHRUnlimitedByDefault(t *testing.T) {
+	h := New(Default())
+	// Two back-to-back misses at the same cycle both take the raw latency.
+	a := h.DataAt(0x100000, false, 10)
+	b := h.DataAt(0x200000, false, 10)
+	if a != b || h.MSHRWaits != 0 {
+		t.Errorf("unlimited MSHRs: %d vs %d, waits %d", a, b, h.MSHRWaits)
+	}
+}
+
+func TestMSHRBoundSerializesMisses(t *testing.T) {
+	cfg := Default()
+	cfg.MSHRs = 1
+	h := New(cfg)
+	first := h.DataAt(0x100000, false, 100) // memory miss: 12+150 behind the DL1
+	second := h.DataAt(0x200000, false, 100)
+	if second <= first {
+		t.Errorf("second miss (%d) not delayed behind first (%d)", second, first)
+	}
+	if h.MSHRWaits == 0 {
+		t.Error("no MSHR wait recorded")
+	}
+	// A DL1 hit is never charged.
+	h.DataAt(0x100000, false, 101)
+	if lat := h.DataAt(0x100000, false, 102); lat != 2 {
+		t.Errorf("hit latency %d", lat)
+	}
+}
+
+func TestMSHRFreesOverTime(t *testing.T) {
+	cfg := Default()
+	cfg.MSHRs = 2
+	h := New(cfg)
+	h.DataAt(0x100000, false, 0)
+	h.DataAt(0x200000, false, 0)
+	// Much later, the registers are free again: no extra wait.
+	lat := h.DataAt(0x300000, false, 100000)
+	if lat != 2+12+150 {
+		t.Errorf("late miss latency %d", lat)
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	cfg := Default()
+	cfg.NextLinePrefetch = true
+	h := New(cfg)
+	h.Data(0x10000, false) // miss: also prefetches 0x10010
+	if h.Prefetches == 0 {
+		t.Fatal("no prefetch issued")
+	}
+	if lat := h.Data(0x10010, false); lat != 2 {
+		t.Errorf("next line latency %d, want DL1 hit", lat)
+	}
+	// Demand miss statistics exclude the prefetch fills.
+	if h.DL1.Accesses != 2 || h.DL1.Misses != 1 {
+		t.Errorf("demand stats polluted: %d accesses, %d misses", h.DL1.Accesses, h.DL1.Misses)
+	}
+	// Prefetching never fires on the instruction side.
+	h2 := New(cfg)
+	h2.InstFetch(0x20000)
+	if h2.Prefetches != 0 {
+		t.Error("instruction fetch triggered data prefetch")
+	}
+}
+
+func TestPrefetchHelpsStreaming(t *testing.T) {
+	run := func(pf bool) uint64 {
+		cfg := Default()
+		cfg.NextLinePrefetch = pf
+		h := New(cfg)
+		for a := uint64(0); a < 1<<16; a += 8 {
+			h.Data(a, false)
+		}
+		return h.DL1.Misses
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("prefetch did not reduce demand misses: %d vs %d", with, without)
+	}
+}

@@ -1,0 +1,66 @@
+package memsys
+
+// MSHR modeling: by default the hierarchy is a pure latency probe with
+// unlimited memory-level parallelism, as in sim-outorder. Setting
+// Config.MSHRs bounds the number of overlapping data-side misses, the way
+// real miss-status holding registers do: a miss that finds every MSHR busy
+// is delayed until the oldest outstanding miss retires. The bound applies
+// to accesses that leave the DL1 (L2 hits and memory accesses alike).
+//
+// The model is intentionally simple — a ring of busy-until timestamps — but
+// it captures the first-order effect the ablation cares about: how much of
+// the simulated machines' speedup comes from unbounded MLP.
+
+// mshrFile tracks when each outstanding miss completes.
+type mshrFile struct {
+	busyUntil []uint64
+}
+
+func newMSHRFile(n int) *mshrFile {
+	if n <= 0 {
+		return nil
+	}
+	return &mshrFile{busyUntil: make([]uint64, n)}
+}
+
+// admit finds the earliest cycle at or after now when a new miss can begin,
+// books the entry through start+latency, and returns the start cycle.
+func (m *mshrFile) admit(now uint64, latency int) uint64 {
+	best := 0
+	for i, b := range m.busyUntil {
+		if b < m.busyUntil[best] {
+			best = i
+		}
+	}
+	start := now
+	if m.busyUntil[best] > start {
+		start = m.busyUntil[best]
+	}
+	m.busyUntil[best] = start + uint64(latency)
+	return start
+}
+
+// DataAt probes the data side like Data, but charges MSHR occupancy when a
+// bound is configured: the returned latency includes any wait for a free
+// miss register. now is the current cycle.
+func (h *Hierarchy) DataAt(addr uint64, write bool, now uint64) int {
+	lat := h.cfg.DL1.Latency
+	hit, _ := h.DL1.probe(addr, write)
+	if hit {
+		return lat
+	}
+	missLat := h.cfg.L2.Latency
+	hit2, _ := h.L2.probe(addr, false)
+	if h.cfg.NextLinePrefetch {
+		h.prefetchNextLine(addr)
+	}
+	if !hit2 {
+		missLat += h.cfg.MemLatency
+	}
+	if h.mshrs == nil {
+		return lat + missLat
+	}
+	start := h.mshrs.admit(now, missLat)
+	h.MSHRWaits += start - now
+	return lat + int(start-now) + missLat
+}

@@ -1,0 +1,112 @@
+package ooo
+
+import (
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/core"
+	"prisim/internal/isa"
+)
+
+// TestLSQCapacityStallsRename: a miss-blocked commit with hundreds of stores
+// behind it must fill the LSQ and stall rename (window stall counter), not
+// deadlock or overflow.
+func TestLSQCapacityStallsRename(t *testing.T) {
+	b := asm.NewBuilder()
+	n := 1 << 15
+	ring := make([]uint64, n)
+	base := uint64(asm.DefaultDataBase)
+	for i := range ring {
+		ring[i] = base + 8*((uint64(i)+4099)%uint64(n))
+	}
+	b.Words("ring", ring)
+	b.Space("sink", 1<<16)
+	b.Label("main")
+	b.La(isa.IntReg(1), "ring")
+	b.La(isa.IntReg(9), "sink")
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 400)
+	b.Label("loop")
+	b.Load(isa.OpLDQ, isa.IntReg(1), isa.IntReg(1), 0) // serialized miss
+	for i := 0; i < 12; i++ {                          // store burst fills the LSQ
+		b.Store(isa.OpSTQ, isa.IntReg(2), isa.IntReg(9), int64(8*i))
+	}
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bnez(isa.IntReg(2), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	cfg := Width8().WithPolicy(core.PolicyInfinite) // remove register limits
+	cfg.LSQSize = 64
+	p := runToHalt(t, cfg, prog)
+	if p.Stats().RenameStallWindow == 0 {
+		t.Error("LSQ never filled despite a 64-entry queue and store bursts")
+	}
+}
+
+// TestSchedulerCapacityRespected: with infinite registers and a blocked
+// dependence chain, the scheduler occupancy (unissued entries) must bound
+// rename, and the run must still complete.
+func TestSchedulerCapacityRespected(t *testing.T) {
+	b := asm.NewBuilder()
+	n := 1 << 15
+	ring := make([]uint64, n)
+	base := uint64(asm.DefaultDataBase)
+	for i := range ring {
+		ring[i] = base + 8*((uint64(i)+4099)%uint64(n))
+	}
+	b.Words("ring", ring)
+	b.Label("main")
+	b.La(isa.IntReg(1), "ring")
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 300)
+	b.Label("loop")
+	b.Load(isa.OpLDQ, isa.IntReg(1), isa.IntReg(1), 0)
+	for i := 3; i < 20; i++ { // all depend on the missing load
+		b.RR(isa.OpADD, isa.IntReg(i), isa.IntReg(1), isa.IntReg(2))
+	}
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bnez(isa.IntReg(2), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	small := Width8().WithPolicy(core.PolicyInfinite)
+	small.SchedSize = 8
+	big := Width8().WithPolicy(core.PolicyInfinite)
+	ps := runToHalt(t, small, prog)
+	pb := runToHalt(t, big, prog)
+	if ps.Stats().RenameStallWindow == 0 {
+		t.Error("8-entry scheduler never stalled rename")
+	}
+	if ps.Stats().IPC() > pb.Stats().IPC()+1e-9 {
+		t.Errorf("tiny scheduler (%.3f) beat the 512-entry one (%.3f)",
+			ps.Stats().IPC(), pb.Stats().IPC())
+	}
+}
+
+// TestROBCapacityBoundsInFlight: the fetch/rename machinery must never hold
+// more than ROBSize instructions between rename and commit.
+func TestROBCapacityBoundsInFlight(t *testing.T) {
+	prog := buildTest(t)
+	cfg := Width8().WithPolicy(core.PolicyInfinite)
+	cfg.ROBSize = 16
+	p := runToHalt(t, cfg, prog)
+	if p.Stats().RenameStallWindow == 0 {
+		t.Error("16-entry ROB never stalled rename")
+	}
+}
+
+// TestDeterminismAcrossRuns: identical configuration must produce identical
+// cycle counts — the simulator has no hidden nondeterminism.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	prog := buildTest(t)
+	run := func() (uint64, uint64) {
+		p := New(Width8().WithPolicy(core.PolicyPRIPlusER), prog)
+		p.FastForward(500)
+		p.Run(20000)
+		return p.Stats().Cycles, p.Stats().Committed
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", c1, n1, c2, n2)
+	}
+}

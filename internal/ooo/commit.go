@@ -1,0 +1,145 @@
+package ooo
+
+import "prisim/internal/isa"
+
+// commit retires up to Width instructions in program order. An instruction
+// commits once it has been written back (retired); committing the next
+// writer of an architected register frees the previous physical register
+// under the conventional rule (a duplicate-tolerant no-op when PRI or ER
+// already freed it).
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.Width; n++ {
+		d := p.robPeek()
+		if d == nil || !d.retired {
+			return
+		}
+		if d.squashed {
+			panicf("ooo: squashed %v at ROB head", d)
+		}
+		if d.inst.Op.IsStore() {
+			// The store leaves the LSQ and performs its cache write.
+			p.mem.Data(d.info.MemAddr, true)
+		}
+		if d.inst.Op.IsMem() {
+			p.lsqPopHead(d)
+		}
+		if d.hasDest {
+			p.ren.CommitRelease(d.alloc.Old, p.now)
+		}
+		if d.ckpt != nil {
+			// Shadow maps are retained until the branch is architecturally
+			// complete; their register pins release here.
+			p.ren.ResolveCheckpoint(d.ckpt, p.now)
+			d.ckpt = nil
+		}
+		if d.isCtrl {
+			// Train the predictor with architectural outcomes only.
+			actualTarget := d.info.NextPC
+			p.bp.Update(d.pc, d.inst, d.pred, d.info.Taken, actualTarget)
+		}
+		p.view.emit(p, d, p.now)
+		p.robHead = (p.robHead + 1) % p.cfg.ROBSize
+		p.robLen--
+		p.stats.Committed++
+		p.lastCommitCycle = p.now
+		p.m.ReleaseUpTo(d.seq)
+		if d.inst.Op == isa.OpHALT {
+			p.done = true
+			p.view.flush()
+			return
+		}
+	}
+}
+
+func (p *Pipeline) lsqPopHead(d *dynInst) {
+	if p.lsqHead >= len(p.lsq) || p.lsq[p.lsqHead] != d {
+		panicf("ooo: LSQ head mismatch for %v", d)
+	}
+	p.lsq[p.lsqHead] = nil
+	p.lsqHead++
+	if p.lsqHead > 64 && p.lsqHead*2 > len(p.lsq) {
+		p.lsq = append(p.lsq[:0], p.lsq[p.lsqHead:]...)
+		p.lsqHead = 0
+	}
+}
+
+// recover handles a mispredicted control instruction at resolution: squash
+// everything younger, restore the rename map from the instruction's
+// checkpoint, rewind the branch predictor's speculative state, roll the
+// functional machine back to the instruction boundary, and redirect fetch
+// to the architecturally correct target.
+func (p *Pipeline) recover(d *dynInst) {
+	// Restore the map first: it discards the younger checkpoints, so the
+	// per-instruction SquashUndo frees below never collide with live
+	// checkpoint references.
+	if d.ckpt == nil {
+		panicf("ooo: mispredicted %v has no checkpoint", d)
+	}
+	p.ren.RestoreCheckpoint(d.ckpt, p.now)
+	d.ckpt = nil
+
+	// Squash younger instructions from the ROB tail back to d.
+	for p.robLen > 0 {
+		idx := (p.robHead + p.robLen - 1) % p.cfg.ROBSize
+		y := p.rob[idx]
+		if y.seq <= d.seq {
+			break
+		}
+		p.squash(y)
+		p.rob[idx] = nil
+		p.robLen--
+	}
+	// Squash the front-end buffer entirely (all younger than d).
+	for i := p.fetchHead; i < len(p.fetchBuf); i++ {
+		f := p.fetchBuf[i]
+		if f.seq <= d.seq {
+			panicf("ooo: fetch buffer holds %v older than recovery point %v", f, d)
+		}
+		f.squashed = true
+		p.stats.Squashed++
+	}
+	p.fetchBuf = p.fetchBuf[:0]
+	p.fetchHead = 0
+
+	// Trim squashed LSQ tail entries (squash() marked them).
+	for len(p.lsq) > p.lsqHead && p.lsq[len(p.lsq)-1].squashed {
+		p.lsq[len(p.lsq)-1] = nil
+		p.lsq = p.lsq[:len(p.lsq)-1]
+	}
+
+	// Front-end state: predictor history/RAS, functional machine, fetch PC.
+	p.bp.Recover(d.pc, d.inst, d.pred, d.info.Taken)
+	p.m.Rollback(d.seq)
+	p.m.SetPC(d.info.NextPC)
+	// Redirect: the corrected fetch begins after the refill bubble.
+	p.fetchStallUntil = p.now + 2
+}
+
+// squash removes one in-flight instruction from every structure: reader
+// references are returned, the destination register is undone, and the
+// instruction is flagged so queued events ignore it.
+func (p *Pipeline) squash(y *dynInst) {
+	y.squashed = true
+	p.stats.Squashed++
+	p.view.emit(p, y, 0) // zero retire = squashed, in pipeview convention
+	for i := 0; i < y.nsrc; i++ {
+		p.releaseSrc(y, i, false)
+	}
+	if y.hasDest {
+		p.ren.SquashUndo(y.alloc, p.now)
+		if y.alloc.PR >= 0 {
+			cl := classOf(y.alloc.Arch)
+			if p.prProducer[cl][y.alloc.PR] == y {
+				p.prProducer[cl][y.alloc.PR] = nil
+			}
+		}
+	}
+	// Checkpoints of squashed branches were discarded wholesale by
+	// RestoreCheckpoint; just drop the reference.
+	y.ckpt = nil
+	if y.inSched && !y.issued {
+		p.schedCount--
+	}
+	y.inSched = false
+	y.waiters = nil
+}

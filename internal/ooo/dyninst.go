@@ -1,0 +1,86 @@
+package ooo
+
+import (
+	"fmt"
+
+	"prisim/internal/bpred"
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+func panicf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
+
+// srcOperand is one renamed source operand as held in the payload RAM.
+type srcOperand struct {
+	op       core.Operand
+	producer *dynInst // in-flight producer, nil when the value is at rest
+	ready    bool     // wakeup received (possibly speculative)
+	released bool     // reader reference returned to the renamer
+}
+
+// waiter links a scheduler entry to the producer it waits on. srcIdx is the
+// operand index, or -1 for a load waiting on an older store.
+type waiter struct {
+	inst   *dynInst
+	srcIdx int
+}
+
+// dynInst is one in-flight dynamic instruction.
+type dynInst struct {
+	seq  uint64 // emulator sequence number (1-based)
+	pc   uint64
+	inst isa.Inst
+	info emu.StepInfo // functional outcome
+
+	// Control flow.
+	isCtrl     bool
+	pred       bpred.Prediction
+	predNPC    uint64
+	mispredict bool
+	ckpt       *core.Checkpoint
+	resolved   bool
+
+	// Rename.
+	srcs    [3]srcOperand
+	nsrc    int
+	hasDest bool
+	alloc   core.Allocation
+
+	// Scheduler state.
+	inROB     bool
+	inSched   bool
+	issued    bool
+	executed  bool // passed the execute check; completion scheduled
+	completed bool // result available (end of Exe)
+	retired   bool // written back (PRI ran)
+	squashed  bool
+	replays   int
+	notReady  int // operands (and memory orderings) still awaited
+	waiters   []waiter
+
+	// Memory.
+	inLSQ   bool
+	memWait bool // counted one notReady unit for a store conflict
+
+	// Timing.
+	fetchCycle    uint64
+	renameCycle   uint64
+	execStart     uint64
+	readyCycle    uint64 // cycle the result is bypass-available
+	completeCycle uint64
+}
+
+func (d *dynInst) String() string {
+	return fmt.Sprintf("#%d @%#x %s", d.seq, d.pc, d.inst)
+}
+
+// resultAvailableBy reports whether the instruction's result can feed a
+// consumer that begins executing at cycle t.
+func (d *dynInst) resultAvailableBy(t uint64) bool {
+	return d.completed || (d.executed && d.readyCycle <= t)
+}
+
+// addWaiter registers a scheduler-resident consumer to be woken by this
+// instruction.
+func (d *dynInst) addWaiter(w waiter) { d.waiters = append(d.waiters, w) }

@@ -1,0 +1,376 @@
+package ooo
+
+import (
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+// testProgram builds a program exercising branches, calls, loads, stores,
+// narrow and wide values, FP, and a data-dependent branch pattern that
+// defeats the predictor often enough to exercise recovery.
+const testProgram = `
+.data
+buf:   .space 8192
+vec:   .float 1.5, 2.5, 0.0, -3.25
+.text
+main:
+  la   r9, buf
+  la   r10, vec
+  li   r1, 0          ; i
+  li   r2, 500        ; trip count
+  li   r4, 0          ; checksum
+loop:
+  andi r5, r1, 1023
+  slli r6, r5, 3
+  add  r7, r9, r6
+  stq  r4, 0(r7)      ; store checksum
+  ldq  r8, 0(r7)      ; load it back (forwarding)
+  mul  r11, r8, r5
+  add  r4, r4, r11
+  xori r12, r1, 0x55
+  andi r12, r12, 7
+  beqz r12, skip      ; data-dependent branch
+  addi r4, r4, 3
+skip:
+  jal  fpwork
+  addi r1, r1, 1
+  bne  r1, r2, loop
+  la   r7, buf
+  stq  r4, 0(r7)
+  halt
+fpwork:
+  fld  f1, 0(r10)
+  fld  f2, 8(r10)
+  fadd f3, f1, f2
+  fld  f4, 16(r10)    ; 0.0: trivially narrow
+  fadd f5, f3, f4
+  fst  f5, 24(r10)
+  ret
+`
+
+func buildTest(t testing.TB) *asm.Program {
+	p, err := asm.Assemble(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func smallCfg(w int) Config {
+	cfg := Width4()
+	if w == 8 {
+		cfg = Width8()
+	}
+	return cfg
+}
+
+// runToHalt runs the pipeline until HALT commits.
+func runToHalt(t testing.TB, cfg Config, prog *asm.Program) *Pipeline {
+	p := New(cfg, prog)
+	p.Run(1_000_000)
+	if !p.done {
+		t.Fatalf("%s: program did not complete (committed %d)", cfg.Name, p.stats.Committed)
+	}
+	return p
+}
+
+// TestArchitecturalEquivalence is the master correctness check: for every
+// release policy, a full timing simulation (wrong-path execution, rollback,
+// squash, early frees) must leave the architected state identical to a pure
+// functional run.
+func TestArchitecturalEquivalence(t *testing.T) {
+	prog := buildTest(t)
+	ref := emu.New(prog)
+	ref.Run(0)
+
+	policies := append([]core.Policy{core.PolicyBase}, core.AllPolicies...)
+	for _, w := range []int{4, 8} {
+		for _, pol := range policies {
+			cfg := smallCfg(w).WithPolicy(pol)
+			p := runToHalt(t, cfg, prog)
+			m := p.Machine()
+			for r := 0; r < isa.NumArchRegs; r++ {
+				if m.Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+					t.Errorf("w%d/%s: %s = %#x, want %#x",
+						w, pol.Name(), isa.Reg(r), m.Reg(isa.Reg(r)), ref.Reg(isa.Reg(r)))
+				}
+			}
+			bufAddr := prog.Symbols["buf"]
+			if got, want := m.Mem.ReadU64(bufAddr), ref.Mem.ReadU64(bufAddr); got != want {
+				t.Errorf("w%d/%s: checksum = %#x, want %#x", w, pol.Name(), got, want)
+			}
+			if p.stats.Committed != ref.Seq() {
+				t.Errorf("w%d/%s: committed %d, functional ran %d",
+					w, pol.Name(), p.stats.Committed, ref.Seq())
+			}
+			p.Renamer().CheckInvariants()
+		}
+	}
+}
+
+func TestPipelineMakesProgress(t *testing.T) {
+	prog := buildTest(t)
+	p := runToHalt(t, Width4(), prog)
+	st := p.Stats()
+	if st.IPC() <= 0.3 || st.IPC() > 4.0 {
+		t.Errorf("suspicious IPC %.2f", st.IPC())
+	}
+	if st.BranchResolved == 0 || st.BranchMispredicted == 0 {
+		t.Errorf("no branch activity: resolved=%d mispred=%d", st.BranchResolved, st.BranchMispredicted)
+	}
+	if st.Squashed == 0 {
+		t.Error("no squashes despite mispredictions")
+	}
+}
+
+func TestPRIImprovesRegisterPressure(t *testing.T) {
+	// A long dependence-free stream of narrow results under a tiny
+	// register file: PRI should beat base IPC and lower occupancy.
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.RZero, 100)
+	b.Label("loop")
+	for i := 2; i < 26; i++ {
+		b.RI(isa.OpANDI, isa.IntReg(i), isa.IntReg(i), 15) // narrow results
+	}
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.IntReg(1), -1)
+	b.Bnez(isa.IntReg(1), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	cfg := Width4().WithPRs(40)
+	base := runToHalt(t, cfg.WithPolicy(core.PolicyBase), prog)
+	pri := runToHalt(t, cfg.WithPolicy(core.PolicyPRIRcCkpt), prog)
+
+	if pri.Stats().IPC() < base.Stats().IPC() {
+		t.Errorf("PRI IPC %.3f < base %.3f", pri.Stats().IPC(), base.Stats().IPC())
+	}
+	if pri.Stats().AvgIntOccupancy() >= base.Stats().AvgIntOccupancy() {
+		t.Errorf("PRI occupancy %.1f >= base %.1f",
+			pri.Stats().AvgIntOccupancy(), base.Stats().AvgIntOccupancy())
+	}
+	if pri.Stats().RetireInlines == 0 {
+		t.Error("PRI never inlined anything")
+	}
+	if pri.Stats().SrcInlineReads == 0 {
+		t.Error("no source operands read from inlined entries")
+	}
+}
+
+func TestInfiniteRegistersAreUpperBound(t *testing.T) {
+	prog := buildTest(t)
+	cfg := Width4().WithPRs(40)
+	base := runToHalt(t, cfg.WithPolicy(core.PolicyBase), prog)
+	inf := runToHalt(t, cfg.WithPolicy(core.PolicyInfinite), prog)
+	if inf.Stats().IPC()+1e-9 < base.Stats().IPC() {
+		t.Errorf("infinite PRF IPC %.3f < base %.3f", inf.Stats().IPC(), base.Stats().IPC())
+	}
+}
+
+func TestLoadMissCausesReplay(t *testing.T) {
+	// Pointer-chase across a working set far larger than DL1+L2 so loads
+	// miss; dependents scheduled speculatively must replay.
+	b := asm.NewBuilder()
+	n := 1 << 17 // 128K entries * 8B = 1MB, twice the L2
+	ring := make([]uint64, n)
+	base := uint64(asm.DefaultDataBase)
+	for i := range ring {
+		// Additive-stride permutation: 513 is coprime to n, and 513*8 =
+		// 4104-byte jumps defeat every cache level.
+		ring[i] = base + 8*((uint64(i)+513)%uint64(n))
+	}
+	b.Words("ring", ring)
+	b.Label("main")
+	b.La(isa.IntReg(1), "ring")
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 2000) // iterations
+	b.Label("loop")
+	b.Load(isa.OpLDQ, isa.IntReg(1), isa.IntReg(1), 0)
+	b.RR(isa.OpADD, isa.IntReg(3), isa.IntReg(1), isa.IntReg(2)) // dependent op
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bnez(isa.IntReg(2), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	p := runToHalt(t, Width4(), prog)
+	if p.Stats().Replays == 0 {
+		t.Error("no replays despite guaranteed load misses")
+	}
+	if p.Stats().IPC() > 0.5 {
+		t.Errorf("IPC %.2f too high for a miss-bound chase", p.Stats().IPC())
+	}
+	if p.Mem().DL1.MissRate() < 0.5 {
+		t.Errorf("DL1 miss rate %.2f too low", p.Mem().DL1.MissRate())
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	prog := buildTest(t)
+	p := runToHalt(t, Width4(), prog)
+	if p.Stats().LoadForwards == 0 {
+		t.Error("no store-to-load forwarding in a program that stores then loads")
+	}
+}
+
+func TestConservativeDisambiguationSlower(t *testing.T) {
+	prog := buildTest(t)
+	cfg := Width4()
+	oracle := runToHalt(t, cfg, prog)
+	cfg.ConservativeDisambiguation = true
+	cons := runToHalt(t, cfg, prog)
+	if cons.Stats().IPC() > oracle.Stats().IPC()+1e-9 {
+		t.Errorf("conservative disambiguation faster (%.3f) than oracle (%.3f)",
+			cons.Stats().IPC(), oracle.Stats().IPC())
+	}
+	// And it must still be architecturally correct.
+	if cons.Machine().Reg(isa.IntReg(4)) != oracle.Machine().Reg(isa.IntReg(4)) {
+		t.Error("conservative mode diverged")
+	}
+}
+
+func TestInlineAtRenameExtension(t *testing.T) {
+	// A loop full of load-immediates: rename-time inlining should fire.
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.RZero, 200)
+	b.Label("loop")
+	for i := 2; i < 10; i++ {
+		b.RI(isa.OpADDI, isa.IntReg(i), isa.RZero, int64(i)) // immediate loads
+	}
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.IntReg(1), -1)
+	b.Bnez(isa.IntReg(1), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	cfg := Width4().WithPolicy(core.PolicyPRIRcCkpt)
+	cfg.InlineAtRename = true
+	p := runToHalt(t, cfg, prog)
+	if p.Stats().RenameInlines == 0 {
+		t.Error("rename-time inlining never fired")
+	}
+	// Architectural correctness.
+	ref := emu.New(prog)
+	ref.Run(0)
+	for i := 2; i < 10; i++ {
+		if p.Machine().Reg(isa.IntReg(i)) != ref.Reg(isa.IntReg(i)) {
+			t.Errorf("r%d diverged", i)
+		}
+	}
+}
+
+func TestIdealFixupFires(t *testing.T) {
+	// Load-miss-delayed consumers whose other operand is inlined: the
+	// ideal scheme should convert them (the paper's Figure 6 scenario).
+	b := asm.NewBuilder()
+	n := 1 << 15
+	ring := make([]uint64, n)
+	base := uint64(asm.DefaultDataBase)
+	for i := range ring {
+		ring[i] = base + (uint64(i)*4112)%(uint64(n)*8)&^7
+	}
+	b.Words("ring", ring)
+	b.Label("main")
+	b.La(isa.IntReg(1), "ring")
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 1500)
+	b.Label("loop")
+	b.Load(isa.OpLDQ, isa.IntReg(1), isa.IntReg(1), 0)           // misses
+	b.RI(isa.OpANDI, isa.IntReg(4), isa.IntReg(2), 7)            // narrow producer
+	b.RR(isa.OpADD, isa.IntReg(5), isa.IntReg(1), isa.IntReg(4)) // consumer of both
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bnez(isa.IntReg(2), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	p := runToHalt(t, Width4().WithPolicy(core.PolicyPRIIdealLazy), prog)
+	if p.Stats().IdealFixups == 0 {
+		t.Error("ideal payload fix-up never fired")
+	}
+	p.Renamer().CheckInvariants()
+}
+
+func TestWatchdogPanicsOnDeadlock(t *testing.T) {
+	// Sanity-check the watchdog plumbing by making it impossibly tight.
+	prog := buildTest(t)
+	cfg := Width4()
+	cfg.WatchdogCycles = 1
+	defer func() {
+		if recover() == nil {
+			t.Error("watchdog did not fire")
+		}
+	}()
+	p := New(cfg, prog)
+	p.Run(10_000)
+}
+
+func TestRunBudgetStopsEarly(t *testing.T) {
+	prog := buildTest(t)
+	p := New(Width4(), prog)
+	n := p.Run(100)
+	if n < 100 || n > 100+uint64(p.cfg.Width) {
+		t.Errorf("ran %d instructions, want ~100", n)
+	}
+	if p.done {
+		t.Error("done after partial run")
+	}
+}
+
+func TestFastForwardSkipsTiming(t *testing.T) {
+	prog := buildTest(t)
+	p := New(Width4(), prog)
+	ff := p.FastForward(1000)
+	if ff != 1000 {
+		t.Fatalf("fast-forwarded %d", ff)
+	}
+	if p.Stats().Cycles != 0 {
+		t.Error("fast-forward consumed cycles")
+	}
+	p.Run(1_000_000)
+	ref := emu.New(prog)
+	ref.Run(0)
+	if p.Machine().Reg(isa.IntReg(4)) != ref.Reg(isa.IntReg(4)) {
+		t.Error("fast-forward + run diverged from functional execution")
+	}
+}
+
+func TestSchedulerSizeMatters(t *testing.T) {
+	// The miss-bound chase benefits from a big window; a tiny scheduler
+	// should not be faster than a large one.
+	prog := buildTest(t)
+	small := Width4()
+	small.SchedSize = 4
+	big := Width4()
+	big.SchedSize = 256
+	ps := runToHalt(t, small, prog)
+	pb := runToHalt(t, big, prog)
+	if ps.Stats().IPC() > pb.Stats().IPC()*1.05 {
+		t.Errorf("4-entry scheduler (%.3f) beat 256-entry (%.3f)",
+			ps.Stats().IPC(), pb.Stats().IPC())
+	}
+}
+
+func TestOccupancyWithinBounds(t *testing.T) {
+	prog := buildTest(t)
+	p := runToHalt(t, Width4(), prog)
+	occ := p.Stats().AvgIntOccupancy()
+	if occ < 32 || occ > 64 {
+		t.Errorf("average int occupancy %.1f outside [32,64]", occ)
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Cycles: 100, Committed: 150, IntOccupancySum: 4000,
+		BranchResolved: 10, BranchMispredicted: 2, SrcPRReads: 30, SrcInlineReads: 10}
+	if s.IPC() != 1.5 || s.AvgIntOccupancy() != 40 || s.MispredictRate() != 0.2 {
+		t.Error("derived stats wrong")
+	}
+	if s.InlineFraction() != 0.25 {
+		t.Errorf("inline fraction = %v", s.InlineFraction())
+	}
+	var z Stats
+	if z.IPC() != 0 || z.AvgIntOccupancy() != 0 || z.MispredictRate() != 0 || z.InlineFraction() != 0 || z.AvgFPOccupancy() != 0 {
+		t.Error("zero stats not zero")
+	}
+}

@@ -1,0 +1,451 @@
+package ooo
+
+import (
+	"fmt"
+
+	"prisim/internal/asm"
+	"prisim/internal/bpred"
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+	"prisim/internal/memsys"
+)
+
+// Pipeline is one simulated machine: functional emulator, rename machinery,
+// predictors, caches, and all in-flight instruction state.
+type Pipeline struct {
+	cfg Config
+	m   *emu.Machine
+	ren *core.Renamer
+	bp  *bpred.Predictor
+	mem *memsys.Hierarchy
+
+	now  uint64
+	done bool
+
+	// Reorder buffer: ring of in-flight instructions in program order.
+	rob     []*dynInst
+	robHead int
+	robLen  int
+
+	// Load/store queue (in-flight memory ops, program order).
+	lsq     []*dynInst
+	lsqHead int
+
+	// Front end: fetched instructions waiting for rename.
+	fetchBuf        []*dynInst
+	fetchHead       int
+	fetchStallUntil uint64
+
+	// Scheduler.
+	schedCount int
+	readyQ     readyHeap
+	fu         [isa.NumFUClasses][]uint64 // busy-until per unit
+
+	events map[uint64][]event
+
+	// Per-physical-register pipeline bookkeeping (index 0 = int, 1 = fp).
+	prProducer [2][]*dynInst
+	prReaders  [2][][]waiter
+
+	lastCommitCycle uint64
+	renameCursor    uint64 // seq of the youngest renamed instruction
+	view            *pipeView
+	stats           Stats
+}
+
+type eventKind uint8
+
+const (
+	evExecStart eventKind = iota
+	evComplete
+	evRetire
+	evWake
+)
+
+type event struct {
+	kind   eventKind
+	inst   *dynInst
+	srcIdx int
+}
+
+// New builds a pipeline for prog under cfg. The program is loaded but not
+// started; call FastForward and/or Run.
+func New(cfg Config, prog *asm.Program) *Pipeline {
+	cfg.validate()
+	p := &Pipeline{
+		cfg:    cfg,
+		m:      emu.New(prog),
+		ren:    core.NewRenamer(cfg.Rename),
+		bp:     bpred.New(cfg.Bpred),
+		mem:    memsys.New(cfg.Mem),
+		rob:    make([]*dynInst, cfg.ROBSize),
+		events: make(map[uint64][]event),
+	}
+	for cl := range p.fu {
+		p.fu[cl] = make([]uint64, cfg.FUCount[cl])
+	}
+	p.prProducer[0] = make([]*dynInst, cfg.Rename.IntPRs)
+	p.prProducer[1] = make([]*dynInst, cfg.Rename.FPPRs)
+	p.prReaders[0] = make([][]waiter, cfg.Rename.IntPRs)
+	p.prReaders[1] = make([][]waiter, cfg.Rename.FPPRs)
+	if cfg.Rename.Policy.IdealFixup {
+		p.ren.OnFixup = p.idealFixup
+	}
+	return p
+}
+
+// Machine exposes the functional emulator (for output and test inspection).
+func (p *Pipeline) Machine() *emu.Machine { return p.m }
+
+// Renamer exposes the rename machinery (for statistics).
+func (p *Pipeline) Renamer() *core.Renamer { return p.ren }
+
+// Mem exposes the cache hierarchy.
+func (p *Pipeline) Mem() *memsys.Hierarchy { return p.mem }
+
+// Bpred exposes the branch predictor.
+func (p *Pipeline) Bpred() *bpred.Predictor { return p.bp }
+
+// Stats returns the accumulated timing statistics.
+func (p *Pipeline) Stats() *Stats { return &p.stats }
+
+// Now returns the current cycle.
+func (p *Pipeline) Now() uint64 { return p.now }
+
+// FastForward functionally executes n instructions (no timing, no undo log)
+// to skip initialization, as the paper does before measurement. Caches and
+// the branch predictor are warmed functionally so short measurement runs are
+// not dominated by compulsory misses.
+func (p *Pipeline) FastForward(n uint64) uint64 {
+	var done uint64
+	for done < n && !p.m.Halted() {
+		pc := p.m.PC
+		in := p.m.PeekInst()
+		var pred bpred.Prediction
+		if in.Op.IsControl() {
+			pred = p.bp.Predict(pc, in)
+		}
+		info := p.m.Step()
+		done++
+		p.mem.InstFetch(pc)
+		if info.IsMem {
+			p.mem.Data(info.MemAddr, in.Op.IsStore())
+		}
+		if in.Op.IsControl() {
+			predNPC := pc + 4
+			if pred.Taken {
+				predNPC = pred.Target
+			}
+			if predNPC != info.NextPC {
+				p.bp.Recover(pc, in, pred, info.Taken)
+			}
+			p.bp.Update(pc, in, pred, info.Taken, info.NextPC)
+		}
+	}
+	return done
+}
+
+// Run simulates until maxCommit instructions have committed or the program's
+// HALT commits, and returns the number committed.
+func (p *Pipeline) Run(maxCommit uint64) uint64 {
+	// Recording must survive across budgeted Runs: in-flight wrong-path
+	// speculation still needs its rollback window on resumption. It is
+	// torn down only once the program's HALT commits.
+	if !p.m.Recording() {
+		p.m.StartRecording()
+	}
+	start := p.stats.Committed
+	p.lastCommitCycle = p.now
+	for !p.done && p.stats.Committed-start < maxCommit {
+		p.cycle()
+		if p.now-p.lastCommitCycle > p.cfg.WatchdogCycles {
+			panic(fmt.Sprintf("ooo: no commit for %d cycles at cycle %d (head %v)",
+				p.cfg.WatchdogCycles, p.now, p.robPeek()))
+		}
+	}
+	if p.done {
+		p.m.StopRecording()
+	}
+	return p.stats.Committed - start
+}
+
+func (p *Pipeline) robPeek() *dynInst {
+	if p.robLen == 0 {
+		return nil
+	}
+	return p.rob[p.robHead]
+}
+
+// cycle advances the machine one clock. Stage order is back to front so
+// same-cycle structural effects flow like hardware: results produced this
+// cycle wake consumers selectable this cycle, but newly renamed instructions
+// wait for the next select.
+func (p *Pipeline) cycle() {
+	p.now++
+	p.processEvents()
+	p.commit()
+	p.schedule()
+	p.rename()
+	p.fetch()
+	iOcc, fOcc := p.ren.Occupancy()
+	p.stats.Cycles++
+	p.stats.IntOccupancySum += uint64(iOcc)
+	p.stats.FPOccupancySum += uint64(fOcc)
+}
+
+// fetch models the Fetch stage: up to Width instructions per cycle from the
+// (possibly wrong-path) functional machine, stopping at the first
+// predicted-taken control transfer, stalling on instruction cache misses.
+func (p *Pipeline) fetch() {
+	if p.now < p.fetchStallUntil || p.m.Halted() {
+		return
+	}
+	if p.fetchLen() >= (p.cfg.FrontDepth+2)*p.cfg.Width {
+		return
+	}
+	hitLat := p.cfg.Mem.IL1.Latency
+	lat := p.mem.InstFetch(p.m.PC)
+	if lat > hitLat {
+		// Miss: the front end stalls for the extra fill time.
+		p.fetchStallUntil = p.now + uint64(lat-hitLat)
+		return
+	}
+	for n := 0; n < p.cfg.Width; n++ {
+		if p.m.Halted() || p.fetchLen() >= (p.cfg.FrontDepth+2)*p.cfg.Width {
+			break
+		}
+		pc := p.m.PC
+		info := p.m.Step()
+		d := &dynInst{
+			seq:        info.Seq,
+			pc:         pc,
+			inst:       info.Inst,
+			info:       info,
+			fetchCycle: p.now,
+		}
+		p.stats.Fetched++
+		if d.inst.Op.IsControl() {
+			d.isCtrl = true
+			d.pred = p.bp.Predict(pc, d.inst)
+			d.predNPC = pc + 4
+			if d.pred.Taken {
+				d.predNPC = d.pred.Target
+			}
+			d.mispredict = d.predNPC != info.NextPC
+			if d.mispredict {
+				// The machine follows its prediction; the emulator's
+				// undo log lets us run the wrong path for real and roll
+				// back at resolution.
+				p.m.SetPC(d.predNPC)
+			}
+		}
+		p.fetchBuf = append(p.fetchBuf, d)
+		if d.isCtrl && d.predNPC != pc+4 {
+			break // fetch stops at the first taken branch in a cycle
+		}
+		if d.inst.Op == isa.OpHALT {
+			break
+		}
+	}
+}
+
+func (p *Pipeline) fetchLen() int { return len(p.fetchBuf) - p.fetchHead }
+
+func (p *Pipeline) fetchPeek() *dynInst {
+	if p.fetchHead >= len(p.fetchBuf) {
+		return nil
+	}
+	return p.fetchBuf[p.fetchHead]
+}
+
+func (p *Pipeline) fetchPop() {
+	p.fetchHead++
+	if p.fetchHead > 64 && p.fetchHead*2 > len(p.fetchBuf) {
+		p.fetchBuf = append(p.fetchBuf[:0], p.fetchBuf[p.fetchHead:]...)
+		p.fetchHead = 0
+	}
+}
+
+// rename models the Rename stage: in-order resource allocation (ROB, LSQ,
+// scheduler entry, physical register), source lookup through the map table,
+// and checkpointing at every mispredictable control instruction.
+func (p *Pipeline) rename() {
+	for n := 0; n < p.cfg.Width; n++ {
+		d := p.fetchPeek()
+		if d == nil || d.fetchCycle+uint64(p.cfg.FrontDepth) > p.now {
+			return
+		}
+		if p.robLen >= p.cfg.ROBSize || p.schedCount >= p.cfg.SchedSize {
+			p.stats.RenameStallWindow++
+			return
+		}
+		if d.inst.Op.IsMem() && p.lsqLen() >= p.cfg.LSQSize {
+			p.stats.RenameStallWindow++
+			return
+		}
+		dest, hasDest := d.inst.Dest()
+
+		// Rename-time inlining extension: a load-immediate whose value
+		// fits the narrow budget never allocates a register.
+		inlineNow := false
+		var inlineVal uint64
+		if p.cfg.InlineAtRename && p.cfg.Rename.Policy.PRI && hasDest && d.isImmediateLoad() {
+			if p.ren.Narrow(dest, d.info.Result) {
+				inlineNow, inlineVal = true, d.info.Result
+			}
+		}
+		if hasDest && !inlineNow && !p.ren.CanAllocate(dest.IsFP()) {
+			p.stats.RenameStallRegs++
+			return
+		}
+
+		// Sources.
+		var srcRegs [3]isa.Reg
+		regs := d.inst.Sources(srcRegs[:0])
+		d.nsrc = len(regs)
+		for i, a := range regs {
+			op := p.ren.LookupSrc(a)
+			d.srcs[i].op = op
+			switch op.Kind {
+			case core.OperandPR:
+				p.stats.SrcPRReads++
+				cl := classOf(a)
+				producer := p.prProducer[cl][op.PR]
+				d.srcs[i].producer = producer
+				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{d, i})
+				p.linkOperand(d, i, producer)
+			case core.OperandInline:
+				p.stats.SrcInlineReads++
+				d.srcs[i].ready = true
+			default:
+				d.srcs[i].ready = true
+			}
+		}
+
+		// Destination.
+		if hasDest {
+			d.hasDest = true
+			if inlineNow {
+				d.alloc = p.ren.InlineDest(dest, inlineVal, p.now)
+				p.stats.RenameInlines++
+			} else {
+				alloc, ok := p.ren.AllocDest(dest, p.now)
+				if !ok {
+					panic("ooo: allocation failed after CanAllocate")
+				}
+				d.alloc = alloc
+				cl := classOf(dest)
+				p.growPR(cl, int(alloc.PR))
+				p.prProducer[cl][alloc.PR] = d
+			}
+		}
+
+		// Checkpoint after the instruction's own rename so recovery
+		// preserves its destination mapping.
+		if d.inst.Op.IsBranch() || d.inst.Op.IsIndirect() {
+			d.ckpt = p.ren.TakeCheckpoint()
+		}
+
+		d.renameCycle = p.now
+		p.renameCursor = d.seq
+		d.inROB = true
+		p.robPush(d)
+		if d.inst.Op.IsMem() {
+			d.inLSQ = true
+			p.lsq = append(p.lsq, d)
+		}
+		p.schedInsert(d)
+		p.fetchPop()
+	}
+}
+
+// isImmediateLoad reports whether the instruction materializes a constant
+// from no register inputs (addi/ori rd, zero, imm and lui).
+func (d *dynInst) isImmediateLoad() bool {
+	switch d.inst.Op {
+	case isa.OpADDI, isa.OpORI:
+		return d.inst.Ra == isa.RZero
+	case isa.OpLUI:
+		return true
+	}
+	return false
+}
+
+func classOf(a isa.Reg) int {
+	if a.IsFP() {
+		return 1
+	}
+	return 0
+}
+
+// growPR extends the per-PR side tables when the infinite policy grows the
+// register file.
+func (p *Pipeline) growPR(cl, pr int) {
+	for pr >= len(p.prProducer[cl]) {
+		p.prProducer[cl] = append(p.prProducer[cl], nil)
+		p.prReaders[cl] = append(p.prReaders[cl], nil)
+	}
+}
+
+func (p *Pipeline) robPush(d *dynInst) {
+	idx := (p.robHead + p.robLen) % p.cfg.ROBSize
+	p.rob[idx] = d
+	p.robLen++
+}
+
+func (p *Pipeline) lsqLen() int { return len(p.lsq) - p.lsqHead }
+
+// releaseSrc returns one source operand's reader reference exactly once.
+func (p *Pipeline) releaseSrc(d *dynInst, i int, read bool) {
+	s := &d.srcs[i]
+	if s.released {
+		return
+	}
+	s.released = true
+	if s.op.Kind != core.OperandPR {
+		return
+	}
+	cl := classOf(s.op.Arch)
+	p.removeReader(cl, s.op.PR, d, i)
+	p.ren.ReleaseRead(s.op, p.now, read)
+}
+
+func (p *Pipeline) removeReader(cl int, pr core.PhysReg, d *dynInst, i int) {
+	rs := p.prReaders[cl][pr]
+	for j, w := range rs {
+		if w.inst == d && w.srcIdx == i {
+			rs[j] = rs[len(rs)-1]
+			p.prReaders[cl][pr] = rs[:len(rs)-1]
+			return
+		}
+	}
+}
+
+// idealFixup is the paper's instantaneous associative payload-RAM update:
+// every in-flight consumer still holding a pointer to (cl, pr) is converted
+// to an immediate operand and its reader reference released, letting the
+// register free with no delay.
+func (p *Pipeline) idealFixup(fp bool, pr core.PhysReg, value uint64) {
+	cl := 0
+	if fp {
+		cl = 1
+	}
+	readers := p.prReaders[cl][pr]
+	for len(readers) > 0 {
+		w := readers[len(readers)-1]
+		s := &w.inst.srcs[w.srcIdx]
+		op := s.op
+		s.op = core.Operand{Kind: core.OperandInline, Value: value, Arch: op.Arch}
+		s.producer = nil
+		if !s.ready {
+			s.ready = true
+			p.operandBecameReady(w.inst)
+		}
+		s.released = true
+		p.removeReader(cl, pr, w.inst, w.srcIdx)
+		p.ren.ReleaseRead(op, p.now, false)
+		readers = p.prReaders[cl][pr]
+		p.stats.IdealFixups++
+	}
+}

@@ -1,0 +1,349 @@
+package ooo
+
+import (
+	"strings"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+// TestCheckpointsDrainByCommit verifies the shadow-map lifetime rule: when
+// the machine drains, no checkpoints remain live (every branch either
+// committed and released its checkpoint, or was squashed).
+func TestCheckpointsDrainByCommit(t *testing.T) {
+	prog := buildTest(t)
+	p := runToHalt(t, Width4().WithPolicy(core.PolicyPRIRcCkpt), prog)
+	if n := p.Renamer().LiveCheckpoints(); n != 0 {
+		t.Errorf("%d checkpoints still live after halt", n)
+	}
+}
+
+// TestPinnedFreeEventuallyCompletes: under checkpoint refcounting an inlined
+// register's free can be deferred, but the register population must still be
+// conserved for the whole run (CheckInvariants proves free+allocated==total
+// at the end, and the occupancy statistics stay within the file size).
+func TestPinnedFreeEventuallyCompletes(t *testing.T) {
+	prog := buildTest(t)
+	p := runToHalt(t, Width4().WithPolicy(core.PolicyPRIRcCkpt), prog)
+	p.Renamer().CheckInvariants()
+	st := p.Renamer().IntStats()
+	if st.DeferredFrees > 0 && st.EarlyFrees == 0 {
+		t.Error("every deferred free was lost")
+	}
+	if occ := p.Stats().AvgIntOccupancy(); occ > 64 {
+		t.Errorf("occupancy %v exceeds the register file", occ)
+	}
+}
+
+// TestWrongPathDoesNotPolluteArchState runs a branchy program whose wrong
+// paths write memory, and checks a memory region only reachable on wrong
+// paths stays clean after completion.
+func TestWrongPathDoesNotPolluteArchState(t *testing.T) {
+	src := `
+.data
+good: .space 64
+bad:  .space 64
+.text
+main:
+  la   r1, good
+  la   r2, bad
+  li   r3, 400
+  li   r6, 0
+loop:
+  ; data-dependent branch the predictor gets wrong regularly
+  andi r4, r3, 5
+  beqz r4, taken
+  addi r6, r6, 1
+  j next
+taken:
+  addi r6, r6, 2
+next:
+  stq  r6, 0(r1)
+  addi r3, r3, -1
+  bnez r3, loop
+  halt
+  ; unreachable code that clobbers "bad" — only a wrong path can get here
+  li   r7, 123
+  stq  r7, 0(r2)
+  halt
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runToHalt(t, Width4(), prog)
+	if got := p.Machine().Mem.ReadU64(prog.Symbols["bad"]); got != 0 {
+		t.Errorf("wrong-path store leaked into architected memory: %#x", got)
+	}
+	ref := emu.New(prog)
+	ref.Run(0)
+	if p.Machine().Reg(isa.IntReg(6)) != ref.Reg(isa.IntReg(6)) {
+		t.Error("register state diverged")
+	}
+}
+
+// TestEightWideOutperformsFourWide on an ILP-rich workload.
+func TestEightWideOutperformsFourWide(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.RZero, 2000)
+	b.Label("loop")
+	for i := 2; i < 20; i++ {
+		b.RI(isa.OpADDI, isa.IntReg(i), isa.RZero, int64(i)) // independent
+	}
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.IntReg(1), -1)
+	b.Bnez(isa.IntReg(1), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+	p4 := runToHalt(t, Width4().WithPolicy(core.PolicyInfinite), prog)
+	p8 := runToHalt(t, Width8().WithPolicy(core.PolicyInfinite), prog)
+	if p8.Stats().IPC() < p4.Stats().IPC()*1.3 {
+		t.Errorf("8-wide IPC %.2f not clearly above 4-wide %.2f",
+			p8.Stats().IPC(), p4.Stats().IPC())
+	}
+}
+
+// TestUnpipelinedDivideThroughput: divides must serialize on their unit.
+func TestUnpipelinedDivideThroughput(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.RZero, 300)
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 7)
+	b.Label("loop")
+	// Two independent divides per iteration; one divider at width 4.
+	b.RR(isa.OpDIV, isa.IntReg(3), isa.IntReg(1), isa.IntReg(2))
+	b.RR(isa.OpDIV, isa.IntReg(4), isa.IntReg(2), isa.IntReg(1))
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.IntReg(1), -1)
+	b.Bnez(isa.IntReg(1), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+	p := runToHalt(t, Width4(), prog)
+	// 600 unpipelined 20-cycle divides on one unit: at least ~12000 cycles.
+	if p.Stats().Cycles < 11000 {
+		t.Errorf("divides completed in %d cycles; unpipelined unit not modeled", p.Stats().Cycles)
+	}
+}
+
+// TestICacheMissesStallFetch: a program whose code footprint exceeds the IL1
+// must show instruction-side misses.
+func TestICacheMissesStallFetch(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.RZero, 30)
+	b.Label("loop")
+	for i := 0; i < 12000; i++ { // 48KB of code > 32KB IL1
+		b.RR(isa.OpADD, isa.IntReg(2), isa.IntReg(2), isa.IntReg(1))
+	}
+	b.RI(isa.OpADDI, isa.IntReg(1), isa.IntReg(1), -1)
+	b.Bnez(isa.IntReg(1), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+	p := New(Width4(), prog)
+	p.Run(300_000)
+	if p.Mem().IL1.Misses == 0 {
+		t.Error("no IL1 misses on a 48KB code loop")
+	}
+}
+
+// TestReturnAddressStackPays: nested calls predicted by the RAS should beat
+// a BTB-only machine (RAS disabled via size 0).
+func TestReturnAddressStackPays(t *testing.T) {
+	src := `
+.text
+main:
+  li r1, 1500
+loop:
+  jal f1
+  jal f2
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+f1:
+  addi r2, r2, 1
+  ret
+f2:
+  addi r3, r3, 1
+  ret
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := runToHalt(t, Width4(), prog)
+	cfg := Width4()
+	cfg.Bpred.RASEntries = 0
+	without := runToHalt(t, cfg, prog)
+	if with.Stats().IPC() < without.Stats().IPC() {
+		t.Errorf("RAS machine (%.2f) slower than no-RAS machine (%.2f)",
+			with.Stats().IPC(), without.Stats().IPC())
+	}
+}
+
+// TestNarrowBudgetMatters: with a narrower inline budget fewer results
+// qualify, so the 8-wide (10-bit) machine inlines at least as much as a
+// 1-bit-budget variant.
+func TestNarrowBudgetMatters(t *testing.T) {
+	prog := buildTest(t)
+	wide := Width8().WithPolicy(core.PolicyPRIRcLazy)
+	narrow := Width8().WithPolicy(core.PolicyPRIRcLazy)
+	narrow.Rename.IntNarrowBits = 1
+	pw := runToHalt(t, wide, prog)
+	pn := runToHalt(t, narrow, prog)
+	if pw.Renamer().IntStats().InlinedResults < pn.Renamer().IntStats().InlinedResults {
+		t.Errorf("10-bit budget inlined %d < 1-bit budget %d",
+			pw.Renamer().IntStats().InlinedResults, pn.Renamer().IntStats().InlinedResults)
+	}
+}
+
+// TestPipeViewOutput checks the O3PipeView stream is well formed: seven
+// lines per instruction, monotone stage timestamps, zero retire for
+// squashed instructions.
+func TestPipeViewOutput(t *testing.T) {
+	prog := buildTest(t)
+	p := New(Width4(), prog)
+	var buf strings.Builder
+	p.SetPipeView(&buf)
+	p.Run(1_000_000)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines)%7 != 0 {
+		t.Fatalf("pipeview emitted %d lines (not a multiple of 7)", len(lines))
+	}
+	nRecords := len(lines) / 7
+	if uint64(nRecords) < p.Stats().Committed {
+		t.Errorf("%d records for %d committed", nRecords, p.Stats().Committed)
+	}
+	sawSquash := false
+	for i := 0; i < len(lines); i += 7 {
+		if !strings.HasPrefix(lines[i], "O3PipeView:fetch:") {
+			t.Fatalf("record %d starts with %q", i/7, lines[i])
+		}
+		if strings.HasPrefix(lines[i+6], "O3PipeView:retire:0:") {
+			sawSquash = true
+		}
+	}
+	if !sawSquash {
+		t.Error("no squashed records despite mispredictions")
+	}
+}
+
+// TestDelayedAllocation checks the virtual-physical extension: rename never
+// stalls on registers, the writeback gate engages under pressure, programs
+// complete correctly, and PRI composes (narrow results bypass the gate).
+func TestDelayedAllocation(t *testing.T) {
+	prog := buildTest(t)
+	ref := emu.New(prog)
+	ref.Run(0)
+
+	cfg := Width4().WithPRs(40)
+	cfg.DelayedAllocation = true
+	p := runToHalt(t, cfg, prog)
+	if p.Stats().RenameStallRegs != 0 {
+		t.Errorf("rename stalled on registers %d times under delayed allocation",
+			p.Stats().RenameStallRegs)
+	}
+	for r := 0; r < isa.NumArchRegs; r++ {
+		if p.Machine().Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+			t.Errorf("%s diverged", isa.Reg(r))
+		}
+	}
+
+	// Under pressure the gate must actually engage...
+	if p.Stats().WritebackStalls == 0 {
+		t.Error("writeback gate never engaged at 40 registers")
+	}
+	// ...and the virtual scheme should beat plain base at equal PRs, since
+	// unwritten instructions no longer hold registers.
+	base := runToHalt(t, Width4().WithPRs(40), prog)
+	if p.Stats().IPC() < base.Stats().IPC() {
+		t.Errorf("delayed allocation IPC %.3f < base %.3f",
+			p.Stats().IPC(), base.Stats().IPC())
+	}
+
+	// PRI composes: narrow results bypass the gate, so adding PRI to the
+	// virtual-physical machine must not slow it down materially.
+	cfgPRI := cfg.WithPolicy(core.PolicyPRIRcLazy)
+	cfgPRI.DelayedAllocation = true
+	pp := runToHalt(t, cfgPRI, prog)
+	if pp.Stats().IPC() < p.Stats().IPC()*0.98 {
+		t.Errorf("PRI+delayed IPC %.3f well below delayed-only %.3f",
+			pp.Stats().IPC(), p.Stats().IPC())
+	}
+	if pp.Renamer().IntStats().InlinedResults == 0 {
+		t.Error("PRI never inlined under delayed allocation")
+	}
+}
+
+// TestMSHRBoundSlowsMemoryBoundCode: bounding miss overlap must not speed
+// anything up, and must clearly slow a load-parallel miss-heavy kernel.
+func TestMSHRBoundSlowsMemoryBoundCode(t *testing.T) {
+	b := asm.NewBuilder()
+	n := 1 << 16
+	words := make([]uint64, n)
+	b.Words("arr", words)
+	b.Label("main")
+	b.La(isa.IntReg(1), "arr")
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.RZero, 800)
+	// Base pointers 64KB apart so eight independent loads miss every level.
+	for i := 0; i < 8; i++ {
+		b.RI(isa.OpADDI, isa.IntReg(12+i), isa.RZero, 0)
+		b.RR(isa.OpADD, isa.IntReg(12+i), isa.IntReg(1), isa.RZero)
+		for k := 0; k < i; k++ {
+			b.RI(isa.OpADDI, isa.IntReg(12+i), isa.IntReg(12+i), 32000)
+			b.RI(isa.OpADDI, isa.IntReg(12+i), isa.IntReg(12+i), 32000)
+		}
+	}
+	b.Label("loop")
+	for i := 0; i < 8; i++ { // eight independent far-apart loads
+		b.Load(isa.OpLDQ, isa.IntReg(3+i), isa.IntReg(12+i), 0)
+	}
+	for i := 0; i < 8; i++ {
+		b.RI(isa.OpADDI, isa.IntReg(12+i), isa.IntReg(12+i), 16)
+	}
+	b.RI(isa.OpADDI, isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bnez(isa.IntReg(2), "loop")
+	b.Halt()
+	prog := b.MustFinish()
+
+	unlimited := runToHalt(t, Width8(), prog)
+	cfg := Width8()
+	cfg.Mem.MSHRs = 1
+	bounded := runToHalt(t, cfg, prog)
+	if bounded.Stats().IPC() >= unlimited.Stats().IPC() {
+		t.Errorf("1 MSHR (%.3f) not slower than unlimited (%.3f)",
+			bounded.Stats().IPC(), unlimited.Stats().IPC())
+	}
+	if bounded.Mem().MSHRWaits == 0 {
+		t.Error("no MSHR waits recorded")
+	}
+}
+
+// TestUnnamedPolicyCombinations runs the full pipeline under every
+// combination of the release-policy bits, including ones the paper never
+// names (ER with lazy PRI checkpoint patching once leaked checkpoint
+// references and deadlocked rename). Each must complete and preserve
+// architected state.
+func TestUnnamedPolicyCombinations(t *testing.T) {
+	prog := buildTest(t)
+	ref := emu.New(prog)
+	ref.Run(0)
+	for bits := 0; bits < 16; bits++ {
+		pol := core.Policy{
+			PRI:          bits&1 != 0,
+			IdealFixup:   bits&2 != 0,
+			CkptRefCount: bits&4 != 0,
+			ER:           bits&8 != 0,
+		}
+		cfg := Width4().WithPolicy(pol).WithPRs(40) // tight file: leaks deadlock fast
+		p := runToHalt(t, cfg, prog)
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if p.Machine().Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+				t.Fatalf("policy %+v: %s diverged", pol, isa.Reg(r))
+			}
+		}
+		p.Renamer().CheckInvariants()
+	}
+}

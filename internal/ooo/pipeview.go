@@ -1,0 +1,69 @@
+package ooo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PipeView streams per-instruction stage timestamps in the O3PipeView text
+// format that gem5's pipeline viewers (o3-pipeview, Konata) consume, making
+// the 12-stage pipeline's behaviour — stalls, replays, squashes, the
+// register-free waits PRI removes — visually inspectable.
+//
+// Enable it with Pipeline.SetPipeView before Run. One record is emitted per
+// instruction at commit (or at squash, with a zero retire timestamp, the
+// format's squashed-instruction convention).
+type pipeView struct {
+	w *bufio.Writer
+}
+
+// SetPipeView directs pipeline visualization output to w until the
+// pipeline is discarded. Call Flush on your writer after Run if buffering
+// matters; the pipeline flushes on HALT commit.
+func (p *Pipeline) SetPipeView(w io.Writer) {
+	p.view = &pipeView{w: bufio.NewWriter(w)}
+}
+
+func (v *pipeView) emit(p *Pipeline, d *dynInst, retire uint64) {
+	if v == nil {
+		return
+	}
+	// Stage timestamps reconstructed from the instruction's journey.
+	fetch := d.fetchCycle
+	decode := fetch + 1
+	rename := d.renameCycle
+	dispatch := rename + 1
+	issue := d.execStart // end of the Disp/Disp/RF/RF traversal
+	complete := d.completeCycle
+	if issue == 0 {
+		issue = dispatch
+	}
+	if complete == 0 {
+		complete = issue
+	}
+	fmt.Fprintf(v.w, "O3PipeView:fetch:%d:0x%08x:0:%d:%s\n", fetch, d.pc, d.seq, d.inst)
+	fmt.Fprintf(v.w, "O3PipeView:decode:%d\n", decode)
+	fmt.Fprintf(v.w, "O3PipeView:rename:%d\n", rename)
+	fmt.Fprintf(v.w, "O3PipeView:dispatch:%d\n", dispatch)
+	fmt.Fprintf(v.w, "O3PipeView:issue:%d\n", issue)
+	fmt.Fprintf(v.w, "O3PipeView:complete:%d\n", complete)
+	kind := "system"
+	switch {
+	case d.inst.Op.IsLoad():
+		kind = "load"
+	case d.inst.Op.IsStore():
+		kind = "store"
+	}
+	fmt.Fprintf(v.w, "O3PipeView:retire:%d:%s:0\n", retire, kind)
+}
+
+func (v *pipeView) flush() {
+	if v != nil {
+		v.w.Flush()
+	}
+}
+
+// FlushPipeView drains any buffered visualization output; call it after a
+// Run that ended on an instruction budget rather than on HALT.
+func (p *Pipeline) FlushPipeView() { p.view.flush() }

@@ -1,0 +1,407 @@
+package ooo
+
+import (
+	"container/heap"
+	"sort"
+
+	"prisim/internal/core"
+	"prisim/internal/emu"
+)
+
+// readyHeap orders selectable instructions oldest first.
+type readyHeap []*dynInst
+
+func (h readyHeap) Len() int           { return len(h) }
+func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*dynInst)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return d
+}
+
+// schedule is the Sched stage: select up to Width ready instructions,
+// oldest first, subject to functional unit availability. Scheduling is
+// speculative: dependents are woken assuming nominal latencies and repaired
+// by replay if a load misses.
+//
+// A scheduler entry is freed at select; an instruction that replays
+// re-enters its entry (re-entry is never blocked, mirroring designs that
+// reserve issued entries until latency confirmation).
+func (p *Pipeline) schedule() {
+	issued := 0
+	var stash []*dynInst
+	for issued < p.cfg.Width && p.readyQ.Len() > 0 {
+		d := heap.Pop(&p.readyQ).(*dynInst)
+		if d.squashed || d.issued || !d.inSched {
+			continue
+		}
+		// Queue stage: an instruction renamed at cycle t is selectable at
+		// t+2 (Rename | Queue | Sched).
+		if d.renameCycle+2 > p.now {
+			stash = append(stash, d)
+			continue
+		}
+		cl := d.inst.Op.Class()
+		unit := -1
+		for u, busyUntil := range p.fu[cl] {
+			if busyUntil <= p.now {
+				unit = u
+				break
+			}
+		}
+		if unit < 0 {
+			stash = append(stash, d)
+			continue
+		}
+		if d.inst.Op.Unpipelined() {
+			p.fu[cl][unit] = p.now + uint64(p.specLatency(d))
+		} else {
+			p.fu[cl][unit] = p.now + 1
+		}
+		d.issued = true
+		p.schedCount--
+		issued++
+		d.execStart = p.now + uint64(p.cfg.SchedToExec)
+		p.post(d.execStart, event{kind: evExecStart, inst: d})
+		// Speculative wakeup at select + nominal latency.
+		wakeAt := p.now + uint64(p.specLatency(d))
+		for _, w := range d.waiters {
+			p.post(wakeAt, event{kind: evWake, inst: w.inst, srcIdx: w.srcIdx})
+		}
+		d.waiters = d.waiters[:0]
+	}
+	for _, d := range stash {
+		heap.Push(&p.readyQ, d)
+	}
+}
+
+// specLatency is the scheduler's assumed latency: the opcode latency, plus
+// the first-level hit time for loads.
+func (p *Pipeline) specLatency(d *dynInst) int {
+	lat := d.inst.Op.Latency()
+	if d.inst.Op.IsLoad() {
+		lat += p.mem.DL1Latency()
+	}
+	return lat
+}
+
+func (p *Pipeline) schedInsert(d *dynInst) {
+	d.inSched = true
+	d.issued = false
+	p.schedCount++
+	d.notReady = 0
+	for i := 0; i < d.nsrc; i++ {
+		if !d.srcs[i].ready {
+			d.notReady++
+		}
+	}
+	if d.notReady == 0 {
+		heap.Push(&p.readyQ, d)
+	}
+}
+
+// linkOperand decides how a renamed PR operand learns of its readiness.
+func (p *Pipeline) linkOperand(d *dynInst, i int, producer *dynInst) {
+	s := &d.srcs[i]
+	switch {
+	case producer == nil || producer.completed:
+		s.ready = true
+	case producer.executed:
+		if producer.readyCycle <= p.now {
+			s.ready = true
+		} else {
+			p.post(producer.readyCycle, event{kind: evWake, inst: d, srcIdx: i})
+		}
+	case producer.issued:
+		wakeAt := producer.execStart - uint64(p.cfg.SchedToExec) + uint64(p.specLatency(producer))
+		if wakeAt <= p.now {
+			s.ready = true
+		} else {
+			p.post(wakeAt, event{kind: evWake, inst: d, srcIdx: i})
+		}
+	default:
+		producer.addWaiter(waiter{d, i})
+	}
+}
+
+func (p *Pipeline) post(cycle uint64, ev event) {
+	if cycle <= p.now {
+		cycle = p.now + 1
+	}
+	p.events[cycle] = append(p.events[cycle], ev)
+}
+
+func (p *Pipeline) processEvents() {
+	evs, ok := p.events[p.now]
+	if !ok {
+		return
+	}
+	delete(p.events, p.now)
+	// Deterministic order: oldest instruction first; for one instruction,
+	// wake before exec before complete before retire would be stage order,
+	// but kinds never collide for a single instruction in one cycle, so
+	// sequence order alone suffices.
+	sort.SliceStable(evs, func(i, j int) bool {
+		return evs[i].inst.seq < evs[j].inst.seq
+	})
+	for _, ev := range evs {
+		if ev.inst.squashed {
+			continue
+		}
+		switch ev.kind {
+		case evWake:
+			if ev.srcIdx < 0 {
+				p.wakeMem(ev.inst)
+			} else {
+				p.wake(ev.inst, ev.srcIdx)
+			}
+		case evExecStart:
+			p.execStart(ev.inst)
+		case evComplete:
+			p.complete(ev.inst)
+		case evRetire:
+			p.retire(ev.inst)
+		}
+	}
+}
+
+func (p *Pipeline) wake(d *dynInst, i int) {
+	s := &d.srcs[i]
+	if s.ready {
+		return
+	}
+	s.ready = true
+	p.operandBecameReady(d)
+}
+
+// wakeMem clears a load's memory-ordering wait.
+func (p *Pipeline) wakeMem(d *dynInst) {
+	if !d.memWait {
+		return
+	}
+	d.memWait = false
+	p.operandBecameReady(d)
+}
+
+func (p *Pipeline) operandBecameReady(d *dynInst) {
+	d.notReady--
+	if d.notReady < 0 {
+		panicf("ooo: %v notReady underflow", d)
+	}
+	if d.notReady == 0 && d.inSched && !d.issued && !d.squashed {
+		heap.Push(&p.readyQ, d)
+	}
+}
+
+// execStart is the execute check at the end of the Disp/RF stages: with
+// speculative scheduling, operands that were woken speculatively may not
+// actually be there (a producing load missed). Such instructions replay.
+func (p *Pipeline) execStart(d *dynInst) {
+	if !d.issued || d.executed {
+		return
+	}
+	replayNeeded := false
+	for i := 0; i < d.nsrc; i++ {
+		s := &d.srcs[i]
+		if s.op.Kind != core.OperandPR || s.released {
+			continue
+		}
+		if s.producer != nil && !s.producer.resultAvailableBy(p.now) {
+			replayNeeded = true
+			s.ready = false
+			p.relinkForReplay(d, i)
+		}
+	}
+	if replayNeeded {
+		p.replay(d)
+		return
+	}
+	// Loads: memory ordering against older stores in the LSQ.
+	if d.inst.Op.IsLoad() {
+		if blocker := p.loadBlocker(d); blocker != nil {
+			d.memWait = true
+			blocker.addWaiter(waiter{d, -1})
+			p.stats.LoadConflictReplays++
+			p.replay(d)
+			return
+		}
+	}
+
+	// Operands are read here (register read / bypass): release reader
+	// references so PRI's reference-counted frees can drain.
+	for i := 0; i < d.nsrc; i++ {
+		p.releaseSrc(d, i, true)
+	}
+	d.executed = true
+	d.inSched = false
+
+	lat := p.actualLatency(d)
+	d.readyCycle = p.now + uint64(lat)
+	p.post(d.readyCycle, event{kind: evComplete, inst: d})
+	// Anyone who registered while this instruction was in flight (replay
+	// paths, blocked loads) is woken at true readiness. Memory waiters on
+	// a store can go as soon as the address is generated (next cycle).
+	for _, w := range d.waiters {
+		if w.srcIdx < 0 {
+			p.post(p.now+1, event{kind: evWake, inst: w.inst, srcIdx: -1})
+		} else {
+			p.post(d.readyCycle, event{kind: evWake, inst: w.inst, srcIdx: w.srcIdx})
+		}
+	}
+	d.waiters = d.waiters[:0]
+}
+
+// relinkForReplay re-arms operand i's wakeup for the producer's actual
+// completion.
+func (p *Pipeline) relinkForReplay(d *dynInst, i int) {
+	producer := d.srcs[i].producer
+	switch {
+	case producer == nil || producer.completed:
+		d.srcs[i].ready = true
+	case producer.executed:
+		p.post(producer.readyCycle, event{kind: evWake, inst: d, srcIdx: i})
+	default:
+		// The producer itself replayed; wait for its next issue.
+		producer.addWaiter(waiter{d, i})
+	}
+}
+
+func (p *Pipeline) replay(d *dynInst) {
+	d.issued = false
+	d.replays++
+	p.stats.Replays++
+	p.schedCount++
+	d.notReady = 0
+	for i := 0; i < d.nsrc; i++ {
+		if !d.srcs[i].ready {
+			d.notReady++
+		}
+	}
+	if d.memWait {
+		d.notReady++
+	}
+	if d.notReady == 0 {
+		heap.Push(&p.readyQ, d)
+	}
+}
+
+// loadBlocker returns an older store the load must wait for, or nil if the
+// load may proceed. With oracle disambiguation (the default) a load waits
+// only for the youngest overlapping store that has not yet executed; the
+// conservative mode waits for any older store with an unresolved address.
+func (p *Pipeline) loadBlocker(d *dynInst) *dynInst {
+	for idx := len(p.lsq) - 1; idx >= p.lsqHead; idx-- {
+		s := p.lsq[idx]
+		if s.seq >= d.seq || !s.inst.Op.IsStore() {
+			continue
+		}
+		if p.cfg.ConservativeDisambiguation && !s.executed {
+			return s
+		}
+		if overlaps(&s.info, &d.info) {
+			if !s.executed {
+				return s
+			}
+			return nil // forwarded from the closest matching store
+		}
+	}
+	return nil
+}
+
+// forwardedFrom reports whether an executed older store overlaps the load
+// (store-to-load forwarding: the access never goes to the cache).
+func (p *Pipeline) forwardedFrom(d *dynInst) bool {
+	for idx := len(p.lsq) - 1; idx >= p.lsqHead; idx-- {
+		s := p.lsq[idx]
+		if s.seq >= d.seq || !s.inst.Op.IsStore() {
+			continue
+		}
+		if overlaps(&s.info, &d.info) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlaps(a, b *emu.StepInfo) bool {
+	return a.MemAddr < b.MemAddr+uint64(b.MemSize) && b.MemAddr < a.MemAddr+uint64(a.MemSize)
+}
+
+// actualLatency resolves the instruction's true execution latency, probing
+// the data cache for loads.
+func (p *Pipeline) actualLatency(d *dynInst) int {
+	op := d.inst.Op
+	switch {
+	case op.IsLoad():
+		if p.forwardedFrom(d) {
+			p.stats.LoadForwards++
+			return 1 + p.mem.DL1Latency()
+		}
+		return 1 + p.mem.DataAt(d.info.MemAddr, false, p.now)
+	case op.IsStore():
+		return 1 // address generation; the write happens at commit
+	default:
+		return op.Latency()
+	}
+}
+
+// complete marks the result available and resolves control instructions.
+func (p *Pipeline) complete(d *dynInst) {
+	d.completed = true
+	d.completeCycle = p.now
+	if d.isCtrl && !d.resolved {
+		d.resolved = true
+		p.stats.BranchResolved++
+		if d.mispredict {
+			p.stats.BranchMispredicted++
+			p.recover(d)
+		}
+	}
+	p.post(p.now+1, event{kind: evRetire, inst: d})
+}
+
+// retire is the writeback stage: the result reaches the register file and
+// the PRI narrowness/inline logic runs.
+//
+// Under DelayedAllocation, writeback is where the physical register is
+// actually bound, so it stalls while every physical register holds a live
+// value — except for the ROB head, which owns the reserved register that
+// guarantees forward progress.
+func (p *Pipeline) retire(d *dynInst) {
+	if p.cfg.DelayedAllocation && d.hasDest && d.alloc.PR >= 0 && p.robPeek() != d {
+		// PRI composition: the significance and WAW checks run in the same
+		// writeback stage as binding, so a result that will inline into
+		// the map (and therefore never occupy a register) skips the gate.
+		if !p.ren.WouldInline(d.alloc, d.info.Result) {
+			fp := d.alloc.Arch.IsFP()
+			cap := p.cfg.Rename.IntPRs
+			if fp {
+				cap = p.cfg.Rename.FPPRs
+			}
+			if p.ren.WrittenLive(fp) >= cap {
+				p.stats.WritebackStalls++
+				p.post(p.now+1, event{kind: evRetire, inst: d})
+				return
+			}
+		}
+	}
+	d.retired = true
+	if d.hasDest {
+		p.stats.RetireLagSum += p.renameCursor - d.seq
+		p.stats.RetireLagCount++
+	}
+	if d.hasDest {
+		out := p.ren.WriteResult(d.alloc, d.info.Result, p.now)
+		if out.Inlined {
+			p.stats.RetireInlines++
+		}
+		if out.Freed {
+			p.stats.EarlyFreesAtRetire++
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package plot renders the reproduction's figures as standalone SVG files,
+// mirroring the paper's presentation: grouped bars for the scheme speedups
+// (Figures 10/12), stacked bars for register lifetime phases (Figures 1/8),
+// and line series for the CDFs and sensitivity sweeps (Figures 2/9).
+// Everything is generated with the standard library only.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of y-values across the shared x categories.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title      string
+	YLabel     string
+	Categories []string // x-axis labels (benchmarks, bit counts, PR sizes)
+	Series     []Series
+	// Stacked renders series segments on top of each other (lifetime
+	// phases) instead of side by side.
+	Stacked bool
+	// Lines renders the series as polylines instead of bars.
+	Lines bool
+	// YMin forces the y-axis origin (bar charts of speedups read better
+	// anchored at 1.0). NaN means auto.
+	YMin float64
+}
+
+// Geometry constants: fixed-size figures keep the generator simple and the
+// output diffable.
+const (
+	width   = 960
+	height  = 420
+	marginL = 70
+	marginR = 160
+	marginT = 50
+	marginB = 90
+	plotW   = width - marginL - marginR
+	plotH   = height - marginT - marginB
+)
+
+// palette is color-blind-safe (Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00",
+	"#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	lo, hi := c.bounds()
+	y := func(v float64) float64 {
+		if hi == lo {
+			return float64(marginT + plotH)
+		}
+		return float64(marginT) + float64(plotH)*(1-(v-lo)/(hi-lo))
+	}
+
+	c.axes(&sb, lo, hi, y)
+	if c.Lines {
+		c.lines(&sb, y)
+	} else {
+		c.bars(&sb, lo, y)
+	}
+	c.legend(&sb)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func (c *Chart) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	if c.Stacked {
+		for i := range c.Categories {
+			sum := 0.0
+			for _, s := range c.Series {
+				if i < len(s.Values) {
+					sum += s.Values[i]
+				}
+			}
+			hi = math.Max(hi, sum)
+		}
+		lo = 0
+	} else {
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if !math.IsNaN(c.YMin) {
+		lo = c.YMin
+	} else if !c.Lines {
+		lo = math.Min(lo, 0)
+	}
+	if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+		return 0, 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	// Headroom above the tallest value.
+	hi += (hi - lo) * 0.05
+	return lo, hi
+}
+
+func (c *Chart) axes(sb *strings.Builder, lo, hi float64, y func(float64) float64) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Five horizontal gridlines with tick labels.
+	for i := 0; i <= 5; i++ {
+		v := lo + (hi-lo)*float64(i)/5
+		yy := y(v)
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, marginL+plotW, yy)
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, trimFloat(v))
+	}
+	fmt.Fprintf(sb, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+	// Category labels, rotated for readability.
+	n := len(c.Categories)
+	for i, cat := range c.Categories {
+		x := float64(marginL) + float64(plotW)*(float64(i)+0.5)/float64(n)
+		fmt.Fprintf(sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`+"\n",
+			x, marginT+plotH+14, x, marginT+plotH+14, esc(cat))
+	}
+}
+
+func (c *Chart) bars(sb *strings.Builder, lo float64, y func(float64) float64) {
+	n := len(c.Categories)
+	if n == 0 {
+		return
+	}
+	slot := float64(plotW) / float64(n)
+	if c.Stacked {
+		barW := slot * 0.6
+		for i := 0; i < n; i++ {
+			x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+			acc := lo
+			for si, s := range c.Series {
+				if i >= len(s.Values) {
+					continue
+				}
+				top := y(acc + s.Values[i])
+				bot := y(acc)
+				fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, top, barW, bot-top, palette[si%len(palette)])
+				acc += s.Values[i]
+			}
+		}
+		return
+	}
+	group := slot * 0.8
+	barW := group / float64(len(c.Series))
+	for si, s := range c.Series {
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			x := float64(marginL) + slot*float64(i) + (slot-group)/2 + barW*float64(si)
+			top := y(v)
+			base := y(lo)
+			if top > base {
+				top, base = base, top
+			}
+			fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW, base-top, palette[si%len(palette)])
+		}
+	}
+}
+
+func (c *Chart) lines(sb *strings.Builder, y func(float64) float64) {
+	n := len(c.Categories)
+	if n == 0 {
+		return
+	}
+	for si, s := range c.Series {
+		var pts []string
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			x := float64(marginL) + float64(plotW)*(float64(i)+0.5)/float64(n)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y(v)))
+		}
+		fmt.Fprintf(sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), palette[si%len(palette)])
+	}
+}
+
+func (c *Chart) legend(sb *strings.Builder) {
+	x := marginL + plotW + 12
+	for si, s := range c.Series {
+		yy := marginT + 18*si
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			x, yy, palette[si%len(palette)])
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			x+16, yy+10, esc(s.Name))
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"prisim/internal/stats"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGroupedBars(t *testing.T) {
+	c := &Chart{
+		Title:      "speedups",
+		YLabel:     "IPC / base",
+		Categories: []string{"a", "b", "c"},
+		Series: []Series{
+			{Name: "ER", Values: []float64{1.01, 1.05, 1.10}},
+			{Name: "PRI", Values: []float64{1.02, 1.03, 1.20}},
+		},
+		YMin: 1.0,
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "speedups") || !strings.Contains(svg, "ER") {
+		t.Error("missing title or legend")
+	}
+	if strings.Count(svg, "<rect") < 7 { // background + legend + 6 bars
+		t.Errorf("too few rects:\n%s", svg)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	c := &Chart{
+		Title:      "lifetime",
+		Categories: []string{"x", "y"},
+		Stacked:    true,
+		Series: []Series{
+			{Name: "p1", Values: []float64{5, 7}},
+			{Name: "p2", Values: []float64{3, 2}},
+		},
+		YMin: math.NaN(),
+	}
+	wellFormed(t, c.SVG())
+}
+
+func TestLineChart(t *testing.T) {
+	c := &Chart{
+		Title:      "cdf",
+		Categories: []string{"1", "2", "4", "8"},
+		Lines:      true,
+		Series:     []Series{{Name: "bench", Values: []float64{0.1, 0.4, 0.8, 1.0}}},
+		YMin:       math.NaN(),
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("no polyline in line chart")
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty", YMin: math.NaN()}
+	wellFormed(t, c.SVG())
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `a<b>&"c"`, Categories: []string{"x<y"},
+		Series: []Series{{Name: "s&t", Values: []float64{1}}}, YMin: math.NaN()}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tb := &stats.Table{
+		Title:   "demo",
+		Columns: []string{"bench", "ER", "PRI"},
+	}
+	tb.AddRow("gzip", "1.01", "1.05")
+	tb.AddRow("mcf", "1.10", "1.20")
+	tb.AddRow("average", "1.05", "1.12")
+	c, err := FromTable(tb, "speedup", false, false, "average")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Categories) != 2 || len(c.Series) != 2 {
+		t.Fatalf("shape: %d cats, %d series", len(c.Categories), len(c.Series))
+	}
+	if c.Series[1].Values[1] != 1.20 {
+		t.Errorf("parsed %v", c.Series[1].Values)
+	}
+	wellFormed(t, c.SVG())
+}
+
+func TestFromTablePercentCells(t *testing.T) {
+	tb := &stats.Table{Title: "pct", Columns: []string{"bench", "frac"}}
+	tb.AddRow("a", "61.2%")
+	c, err := FromTable(tb, "%", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Series[0].Values[0] != 61.2 {
+		t.Errorf("parsed %v", c.Series[0].Values[0])
+	}
+}
+
+func TestFromTableErrors(t *testing.T) {
+	tb := &stats.Table{Title: "bad", Columns: []string{"bench", "v"}}
+	tb.AddRow("a", "not-a-number")
+	if _, err := FromTable(tb, "", false, false); err == nil {
+		t.Error("bad cell accepted")
+	}
+	empty := &stats.Table{Title: "none", Columns: []string{"bench"}}
+	if _, err := FromTable(empty, "", false, false); err == nil {
+		t.Error("no-data table accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"prisim/internal/stats"
+)
+
+// FromTable converts one of the harness's rendered tables into a chart: the
+// first column becomes the x categories and every other column a series.
+// Cells may carry % suffixes. skipRows names category rows to drop (e.g.
+// the "average" row when plotting per-benchmark bars).
+func FromTable(t *stats.Table, yLabel string, lines, stacked bool, skipRows ...string) (*Chart, error) {
+	if len(t.Columns) < 2 {
+		return nil, fmt.Errorf("plot: table %q has no data columns", t.Title)
+	}
+	skip := make(map[string]bool, len(skipRows))
+	for _, s := range skipRows {
+		skip[s] = true
+	}
+	c := &Chart{
+		Title:   t.Title,
+		YLabel:  yLabel,
+		Lines:   lines,
+		Stacked: stacked,
+		YMin:    math.NaN(),
+	}
+	for _, col := range t.Columns[1:] {
+		c.Series = append(c.Series, Series{Name: col})
+	}
+	for _, row := range t.Rows {
+		if len(row) == 0 || skip[row[0]] {
+			continue
+		}
+		c.Categories = append(c.Categories, row[0])
+		for i := range c.Series {
+			v := 0.0
+			if i+1 < len(row) {
+				parsed, err := parseCell(row[i+1])
+				if err != nil {
+					return nil, fmt.Errorf("plot: table %q row %q col %q: %w",
+						t.Title, row[0], t.Columns[i+1], err)
+				}
+				v = parsed
+			}
+			c.Series[i].Values = append(c.Series[i].Values, v)
+		}
+	}
+	return c, nil
+}
+
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	return strconv.ParseFloat(s, 64)
+}

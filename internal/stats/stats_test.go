@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{1, 2, 2, 3, 100, -5} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if got := h.CumulativeFrac(2); got != 4.0/6 {
+		t.Errorf("cum(2) = %v", got)
+	}
+	if got := h.CumulativeFrac(10); got != 1.0 {
+		t.Errorf("cum(max) = %v", got)
+	}
+	if got := h.CumulativeFrac(100); got != 1.0 {
+		t.Errorf("cum clamped = %v", got)
+	}
+	var empty Histogram
+	if empty.CumulativeFrac(1) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if h.Mean() != 3 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestSignificanceObserve(t *testing.T) {
+	s := NewSignificance()
+	s.Observe(isa.IntReg(1), 5)              // 4 bits
+	s.Observe(isa.IntReg(2), 0xFFFFFFFFFFFF) // wide
+	s.Observe(isa.FPReg(1), 0)               // trivial
+	s.Observe(isa.FPReg(2), math.Float64bits(1.5))
+	if s.IntOperands != 2 || s.FPOperands != 2 || s.FPTrivial != 1 {
+		t.Errorf("counts: %d int %d fp %d trivial", s.IntOperands, s.FPOperands, s.FPTrivial)
+	}
+	if got := s.IntFracWithin(4); got != 0.5 {
+		t.Errorf("IntFracWithin(4) = %v", got)
+	}
+	if got := s.FPTrivialFrac(); got != 0.5 {
+		t.Errorf("FPTrivialFrac = %v", got)
+	}
+	var z Significance
+	if z.FPTrivialFrac() != 0 {
+		t.Error("zero significance not zero")
+	}
+}
+
+func TestAnalyzeProgram(t *testing.T) {
+	prog, err := asm.Assemble(`
+.text
+main:
+  li   r1, 3
+  li   r2, 5
+loop:
+  add  r3, r1, r2     ; reads two narrow operands
+  addi r2, r2, -1
+  bnez r2, loop
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(emu.New(prog), 10_000)
+	if s.IntOperands == 0 {
+		t.Fatal("no operands observed")
+	}
+	if s.IntFracWithin(7) < 0.9 {
+		t.Errorf("narrow loop: only %v within 7 bits", s.IntFracWithin(7))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1.00")
+	tb.AddRow("b", "222.5")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+	if F(1.234, 2) != "1.23" || Pct(0.5) != "50.0%" {
+		t.Error("formatters wrong")
+	}
+}

@@ -1,0 +1,235 @@
+// Package trace provides dynamic instruction traces: capture from the
+// functional emulator into a compact varint-encoded binary stream, read them
+// back, and compute stream-level analyses (instruction mix, operand
+// significance) without re-executing the program. Traces make workload
+// behaviour inspectable and diffable, and give the test suite a way to
+// assert that kernels exercise what their descriptions claim.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+// Record is one dynamic instruction.
+type Record struct {
+	PC      uint64
+	Inst    isa.Inst
+	Taken   bool
+	MemAddr uint64 // valid when the op is a load or store
+	Result  uint64 // destination value when the op writes one
+}
+
+// magic identifies the trace format; version bumps on layout changes.
+const magic = "PRITRACE\x01"
+
+// Writer encodes records to a stream.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// Write appends one record. PCs are delta-encoded (signed zig-zag against
+// the previous PC), which collapses sequential execution to one byte.
+func (t *Writer) Write(r Record) error {
+	w, err := r.Inst.Encode()
+	if err != nil {
+		return fmt.Errorf("trace: unencodable instruction %v: %w", r.Inst, err)
+	}
+	delta := int64(r.PC - t.lastPC)
+	putUvarint(t.w, uint64((delta<<1)^(delta>>63))) // zig-zag
+	t.lastPC = r.PC
+
+	flags := uint64(0)
+	if r.Taken {
+		flags |= 1
+	}
+	if r.Inst.Op.IsMem() {
+		flags |= 2
+	}
+	if r.Inst.Op.WritesRd() {
+		flags |= 4
+	}
+	putUvarint(t.w, uint64(w)<<3|flags)
+	if flags&2 != 0 {
+		putUvarint(t.w, r.MemAddr)
+	}
+	if flags&4 != 0 {
+		putUvarint(t.w, r.Result)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the trace.
+func (t *Reader) Next() (Record, error) {
+	zz, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: %w", err)
+	}
+	delta := int64(zz>>1) ^ -int64(zz&1)
+	pc := t.lastPC + uint64(delta)
+	t.lastPC = pc
+
+	packed, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	flags := packed & 7
+	rec := Record{PC: pc, Inst: isa.Decode(uint32(packed >> 3)), Taken: flags&1 != 0}
+	if flags&2 != 0 {
+		if rec.MemAddr, err = binary.ReadUvarint(t.r); err != nil {
+			return Record{}, fmt.Errorf("trace: truncated address: %w", err)
+		}
+	}
+	if flags&4 != 0 {
+		if rec.Result, err = binary.ReadUvarint(t.r); err != nil {
+			return Record{}, fmt.Errorf("trace: truncated result: %w", err)
+		}
+	}
+	return rec, nil
+}
+
+// Capture runs up to n instructions on m, writing each to w, and returns
+// the number captured.
+func Capture(m *emu.Machine, n uint64, w *Writer) (uint64, error) {
+	var count uint64
+	for count < n && !m.Halted() {
+		pc := m.PC
+		info := m.Step()
+		rec := Record{
+			PC:     pc,
+			Inst:   info.Inst,
+			Taken:  info.Taken,
+			Result: info.Result,
+		}
+		if info.IsMem {
+			rec.MemAddr = info.MemAddr
+		}
+		if err := w.Write(rec); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// Mix is an instruction-class breakdown of a trace.
+type Mix struct {
+	Total      uint64
+	Loads      uint64
+	Stores     uint64
+	Branches   uint64
+	Jumps      uint64
+	IntALU     uint64
+	IntMul     uint64
+	FP         uint64
+	TakenFrac  float64
+	NarrowFrac float64 // results that fit the given narrow budget
+}
+
+// AnalyzeMix consumes the reader and classifies every record. narrowBits is
+// the inline budget used for NarrowFrac (e.g. 7 or 10).
+func AnalyzeMix(r *Reader, narrowBits int) (Mix, error) {
+	var m Mix
+	var taken, results, narrow uint64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return m, err
+		}
+		m.Total++
+		op := rec.Inst.Op
+		switch {
+		case op.IsLoad():
+			m.Loads++
+		case op.IsStore():
+			m.Stores++
+		case op.IsBranch():
+			m.Branches++
+			if rec.Taken {
+				taken++
+			}
+		case op.IsJump():
+			m.Jumps++
+		case op.Class() == isa.FUFPAdd || op.Class() == isa.FUFPMulDiv:
+			m.FP++
+		case op.Class() == isa.FUIntMulDiv:
+			m.IntMul++
+		default:
+			m.IntALU++
+		}
+		if op.WritesRd() {
+			results++
+			if dst, ok := rec.Inst.Dest(); ok {
+				if dst.IsFP() {
+					if isa.FPTrivial(rec.Result) {
+						narrow++
+					}
+				} else if isa.FitsSigned(rec.Result, narrowBits) {
+					narrow++
+				}
+			}
+		}
+	}
+	if m.Branches > 0 {
+		m.TakenFrac = float64(taken) / float64(m.Branches)
+	}
+	if results > 0 {
+		m.NarrowFrac = float64(narrow) / float64(results)
+	}
+	return m, nil
+}

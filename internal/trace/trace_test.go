@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"prisim/internal/emu"
+	"prisim/internal/fuzzprog"
+	"prisim/internal/isa"
+	"prisim/internal/workloads"
+)
+
+func TestRoundTrip(t *testing.T) {
+	prog := fuzzprog.Generate(fuzzprog.Config{Seed: 3, OuterTrips: 5})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(prog)
+	n, err := Capture(m, 5000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || w.Count() != n {
+		t.Fatalf("captured %d, writer says %d", n, w.Count())
+	}
+
+	// Replaying the reference machine step by step must match the trace.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := emu.New(prog)
+	var got uint64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := ref.PC
+		info := ref.Step()
+		if rec.PC != pc || rec.Inst != info.Inst || rec.Taken != info.Taken {
+			t.Fatalf("record %d mismatch: %+v vs pc=%#x %v taken=%v",
+				got, rec, pc, info.Inst, info.Taken)
+		}
+		if info.IsMem && rec.MemAddr != info.MemAddr {
+			t.Fatalf("record %d address mismatch", got)
+		}
+		if info.Inst.Op.WritesRd() && rec.Result != info.Result {
+			t.Fatalf("record %d result mismatch", got)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("read %d records, wrote %d", got, n)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Sequential code should cost only a few bytes per instruction.
+	w2, _ := workloads.ByName("gzip")
+	prog := w2.Build(50)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	m := emu.New(prog)
+	n, _ := Capture(m, 20000, w)
+	w.Flush()
+	perInst := float64(buf.Len()) / float64(n)
+	if perInst > 10 {
+		t.Errorf("trace costs %.1f bytes/instruction", perInst)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	m := emu.New(fuzzprog.Generate(fuzzprog.Config{Seed: 1}))
+	Capture(m, 100, w)
+	w.Flush()
+	// Chop the tail; the reader must fail cleanly, not hang or panic.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break // acceptable: truncation fell on a record boundary prefix
+		}
+		if err != nil {
+			return // clean error: good
+		}
+	}
+}
+
+func TestAnalyzeMix(t *testing.T) {
+	w2, _ := workloads.ByName("bzip2")
+	prog := w2.Build(20)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	m := emu.New(prog)
+	Capture(m, 30000, w)
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	mix, err := AnalyzeMix(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Total == 0 || mix.Loads == 0 || mix.Branches == 0 || mix.Stores == 0 {
+		t.Errorf("mix incomplete: %+v", mix)
+	}
+	if mix.TakenFrac <= 0 || mix.TakenFrac > 1 {
+		t.Errorf("taken fraction %v", mix.TakenFrac)
+	}
+	if mix.NarrowFrac <= 0.05 {
+		t.Errorf("mcf narrow fraction %v suspiciously low", mix.NarrowFrac)
+	}
+	if mix.IntALU == 0 {
+		t.Error("no ALU ops classified")
+	}
+}
+
+func TestUnencodableRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	err := w.Write(Record{Inst: isa.Inst{Op: isa.OpADDI, Rd: isa.IntReg(1), Ra: isa.IntReg(2), Imm: 1 << 40}})
+	if err == nil {
+		t.Error("unencodable instruction accepted")
+	}
+}

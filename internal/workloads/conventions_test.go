@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"testing"
+
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+	"prisim/internal/stats"
+)
+
+// TestKernelsRespectRegisterConventions statically checks every kernel's
+// dynamic stream: the stack pointer and link register are never clobbered
+// (no kernel makes calls), and every loop terminates back at the outer
+// label (implied by the halting test elsewhere). Catches register-window
+// arithmetic slips in the builders.
+func TestKernelsRespectRegisterConventions(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := emu.New(w.Build(3))
+			for i := 0; i < 300_000 && !m.Halted(); i++ {
+				in := m.PeekInst()
+				if d, ok := in.Dest(); ok {
+					if d == isa.RSP || d == isa.RLR {
+						t.Fatalf("%s writes %s at pc %#x: %v", w.Name, d, m.PC, in)
+					}
+				}
+				m.Step()
+			}
+		})
+	}
+}
+
+// TestKernelNarrownessBands: each suite's operand-width profile must stay
+// inside the calibrated bands DESIGN.md documents, so workload edits that
+// silently destroy the paper's Figure 2 shape fail loudly.
+func TestKernelNarrownessBands(t *testing.T) {
+	for _, w := range Integer() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := emu.New(w.Build(0))
+			m.Run(5000)
+			s := stats.Analyze(m, 25000)
+			frac := s.IntFracWithin(10)
+			// Paper band: 23%..82% of operands within 10 bits. Allow a
+			// little slack below for the bitboard-style outliers.
+			if frac < 0.15 || frac > 0.95 {
+				t.Errorf("%s: %.1f%% of operands within 10 bits, outside the calibrated band",
+					w.Name, 100*frac)
+			}
+		})
+	}
+	for _, w := range FloatingPoint() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := emu.New(w.Build(0))
+			m.Run(5000)
+			s := stats.Analyze(m, 25000)
+			if s.FPOperands == 0 {
+				t.Fatalf("%s: no fp operands observed", w.Name)
+			}
+			// Every fp kernel must supply some trivially-inlinable patterns.
+			if s.FPTrivialFrac() < 0.005 {
+				t.Errorf("%s: only %.2f%% trivial fp operands", w.Name, 100*s.FPTrivialFrac())
+			}
+		})
+	}
+}
+
+// TestKernelWorkingSetsDeclared: every kernel's data image must stay within
+// the region its masks address — a mask larger than the backing array would
+// silently read zeroes and distort the workload.
+func TestKernelMemoryStaysInDeclaredData(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(2)
+			// Find the end of declared data (segments plus zeroed Space is
+			// not recorded in segments, so use the symbol map's maximum
+			// plus a generous slab).
+			var hi uint64
+			for _, seg := range prog.Data {
+				if end := seg.Base + uint64(len(seg.Bytes)); end > hi {
+					hi = end
+				}
+			}
+			hi += 32 << 20 // Space() regions are zeroed but legitimate
+			m := emu.New(prog)
+			for i := 0; i < 200_000 && !m.Halted(); i++ {
+				info := m.Step()
+				if info.IsMem && info.MemAddr != 0 {
+					if info.MemAddr < 0x10000 {
+						t.Fatalf("%s touches low memory %#x", w.Name, info.MemAddr)
+					}
+					if info.MemAddr > hi && info.MemAddr < 0x7FFF_0000 {
+						t.Fatalf("%s touches %#x beyond declared data (%#x)", w.Name, info.MemAddr, hi)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,798 @@
+package workloads
+
+import (
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+const (
+	opFADD  = isa.OpFADD
+	opFSUB  = isa.OpFSUB
+	opFMUL  = isa.OpFMUL
+	opFDIV  = isa.OpFDIV
+	opFSQRT = isa.OpFSQRT
+	opFCLT  = isa.OpFCLT
+	opCVTFI = isa.OpCVTFI
+	opCVTIF = isa.OpCVTIF
+)
+
+// fpEpilogue folds the f10 accumulator into the integer checksum at the end
+// of each outer iteration.
+func fpFold(b *asm.Builder) {
+	b.R1(opCVTFI, r(9), f(10))
+	b.RR(opADD, rSum, rSum, r(9))
+}
+
+func init() {
+	register(Workload{
+		Name: "ammp", Class: FP, PaperIPC4: 0.06, PaperIPC8: 0.06,
+		Description:  "molecular-dynamics force walk: a serialized pointer chase through an 8MB cold neighbor list with an FP force term per link (stands in for ammp)",
+		DefaultIters: 3000, build: buildAmmp,
+	})
+}
+
+func buildAmmp(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xA339)
+	n := 256 << 10 // 32B records: next, dx, dy, dz = 8MB
+	base := uint64(asm.DefaultDataBase)
+	recs := make([]uint64, 4*n)
+	for i := 0; i < n; i++ {
+		next := (i + 8191) % n // full-cycle, ~256KB jumps
+		recs[4*i] = base + uint64(32*next)
+		recs[4*i+1] = fbits(rng.float(-2, 2))
+		if rng.intn(2) == 0 {
+			recs[4*i+1] = 0
+		}
+		recs[4*i+2] = fbits(rng.float(-2, 2))
+		recs[4*i+3] = 0 // planar system: dz is zero (FP-trivial operands)
+	}
+	b.Words("neigh", recs)
+	k.begin()
+	b.La(r(1), "neigh")
+	k.loop()
+	b.Li(r(2), 16) // links per outer iteration
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.Label("link")
+	b.Load(opLDQ, r(1), r(1), 0) // serialized chase: cold miss
+	b.Load(opFLD, f(1), r(1), 8)
+	b.Load(opFLD, f(2), r(1), 16)
+	b.Load(opFLD, f(3), r(1), 24)
+	b.RR(opFMUL, f(4), f(1), f(1))
+	b.RR(opFMUL, f(5), f(2), f(2))
+	b.RR(opFADD, f(6), f(4), f(5))
+	b.RR(opFADD, f(6), f(6), f(3))
+	b.RR(opFADD, f(10), f(10), f(6))
+	k.spice(r(2), "amS")
+	b.RI(opADDI, r(2), r(2), -1)
+	b.Bnez(r(2), "link")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "applu", Class: FP, PaperIPC4: 2.05, PaperIPC8: 2.20,
+		Description:  "SSOR relaxation row sweeps over an L2-resident 192x192 grid with independent 5-point updates (stands in for applu)",
+		DefaultIters: 3000, build: buildApplu,
+	})
+}
+
+func buildApplu(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xAB01)
+	dim := 96
+	b.Floats("lugrid", randFloats(rng, dim*dim, -1, 1, 0.55))
+	b.Floats("lucoef", []float64{0.25, 0.2, 0.2, 0.15, 0.15})
+	k.begin()
+	b.La(rBaseA, "lugrid")
+	b.La(r(1), "lucoef")
+	for i := 0; i < 5; i++ {
+		b.Load(isa.OpFLD, f(20+i), r(1), int64(8*i))
+	}
+	b.Li(r(15), int64(dim))
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// Row chosen by counter (interior rows only).
+	b.Li(r(2), int64(dim-2))
+	b.RR(isa.OpREM, r(3), rIter, r(2))
+	b.RI(opADDI, r(3), r(3), 1)
+	b.RR(opMUL, r(4), r(3), r(15))
+	b.RI(opSLLI, r(4), r(4), 3)
+	b.RR(opADD, r(4), rBaseA, r(4)) // row base
+	b.RI(opADDI, r(5), r(4), 8)     // p = &row[1]
+	b.Li(r(6), int64(dim-2))
+	b.Label("pt")
+	// Address generation the way compiled Fortran does it: explicit
+	// narrow index arithmetic per access, diluting FP register pressure.
+	b.RI(opSLLI, r(7), r(6), 3)
+	b.RR(opADD, r(8), r(5), r(7))
+	b.RI(opADDI, r(9), r(8), -8)
+	b.RI(opADDI, r(10), r(8), 8)
+	b.Li(r(11), int64(8*dim))
+	b.RR(opSUB, r(12), r(8), r(11))
+	b.RR(opADD, r(13), r(8), r(11))
+	b.Load(isa.OpFLD, f(1), r(8), 0)
+	b.Load(isa.OpFLD, f(2), r(9), 0)
+	b.Load(isa.OpFLD, f(3), r(10), 0)
+	b.Load(isa.OpFLD, f(4), r(12), 0)
+	b.Load(isa.OpFLD, f(5), r(13), 0)
+	b.RR(opFMUL, f(1), f(1), f(20))
+	b.RR(opFMUL, f(2), f(2), f(21))
+	b.RR(opFMUL, f(3), f(3), f(22))
+	b.RR(opFMUL, f(4), f(4), f(23))
+	b.RR(opFMUL, f(5), f(5), f(24))
+	b.RR(opFADD, f(6), f(1), f(2))
+	b.RR(opFADD, f(7), f(3), f(4))
+	b.RR(opFADD, f(6), f(6), f(7))
+	b.RR(opFADD, f(6), f(6), f(5))
+	b.Store(isa.OpFST, f(6), r(8), 0)
+	b.RR(opADD, rSum, rSum, r(7)) // narrow byte-offset checksum
+	k.spice(r(7), "apS")
+	b.RI(opADDI, r(6), r(6), -1)
+	b.Bnez(r(6), "pt")
+	// Fold a sample of the freshly written row, off the critical path.
+	b.Load(isa.OpFLD, f(10), r(5), 8)
+	b.Load(isa.OpFLD, f(9), r(5), 64)
+	b.RR(opFADD, f(10), f(10), f(9))
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "apsi", Class: FP, PaperIPC4: 1.37, PaperIPC8: 1.50,
+		Description:  "pseudo-spectral column updates mixing stencil arithmetic with periodic square roots (stands in for apsi)",
+		DefaultIters: 4000, build: buildApsi,
+	})
+}
+
+func buildApsi(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xA951)
+	n := 48 << 10 // 384KB column data
+	b.Floats("apsidata", randFloats(rng, n, 0.1, 4, 0.25))
+	k.begin()
+	b.La(rBaseA, "apsidata")
+	b.Li(r(15), int64(n-64))
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.RR(isa.OpREM, r(1), rIter, r(15))
+	b.RI(opSLLI, r(1), r(1), 3)
+	b.RR(opADD, r(1), rBaseA, r(1))
+	b.Li(r(2), 16)
+	b.Label("col")
+	b.Load(isa.OpFLD, f(1), r(1), 0)
+	b.Load(isa.OpFLD, f(2), r(1), 8)
+	b.RR(opFMUL, f(3), f(1), f(2))
+	b.RR(opFADD, f(4), f(1), f(2))
+	b.RI(opANDI, r(3), r(2), 3)
+	b.Bnez(r(3), "nosqrt")
+	b.R1(opFSQRT, f(4), f(4)) // unpipelined 24-cycle root every 4th point
+	b.Label("nosqrt")
+	b.RR(opFADD, f(10), f(10), f(3))
+	b.RR(opFADD, f(10), f(10), f(4))
+	k.spice(r(2), "asS")
+	b.RI(opADDI, r(1), r(1), 16)
+	b.RI(opADDI, r(2), r(2), -1)
+	b.Bnez(r(2), "col")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "art", Class: FP, PaperIPC4: 0.37, PaperIPC8: 0.38,
+		Description:  "adaptive-resonance F1 scan: streaming weight MACs with random 2MB match lookups (stands in for art)",
+		DefaultIters: 2500, build: buildArt,
+	})
+}
+
+func buildArt(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xA47)
+	nW := 256 << 10 // 2MB weights
+	base := uint64(asm.DefaultDataBase)
+	b.Floats("weights", randFloats(rng, nW, 0, 1, 0.5))
+	idx := make([]uint64, 8192)
+	for i := range idx {
+		idx[i] = base + 8*uint64(rng.intn(nW))
+	}
+	b.Words("matchidx", idx)
+	k.begin()
+	b.La(rBaseA, "weights")
+	b.La(rBaseB, "matchidx")
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// Stream a 64-element weight slice; every element also gathers a
+	// random match weight (the cache-hostile part).
+	b.RI(opANDI, r(1), rIter, 2047)
+	b.RI(opSLLI, r(2), r(1), 9) // *512 bytes = 64 doubles
+	b.RR(opADD, r(2), rBaseA, r(2))
+	b.RI(opSLLI, r(3), r(1), 5) // 4 index words per slice
+	b.RR(opADD, r(3), rBaseB, r(3))
+	b.Li(r(4), 16)
+	b.Label("scan")
+	b.Load(isa.OpFLD, f(1), r(2), 0)
+	b.Load(isa.OpFLD, f(2), r(2), 8)
+	b.Load(isa.OpFLD, f(3), r(2), 16)
+	b.Load(isa.OpFLD, f(4), r(2), 24)
+	b.RR(opFADD, f(5), f(1), f(2))
+	b.RR(opFADD, f(6), f(3), f(4))
+	b.RR(opFADD, f(10), f(10), f(5))
+	b.RR(opFADD, f(10), f(10), f(6))
+	b.RI(opANDI, r(5), r(4), 3)
+	b.RI(opSLLI, r(5), r(5), 3)
+	b.RR(opADD, r(5), r(3), r(5))
+	b.Load(opLDQ, r(6), r(5), 0)     // match pointer
+	b.Load(isa.OpFLD, f(7), r(6), 0) // random gather: misses
+	b.RR(opFADD, f(10), f(10), f(7))
+	k.spice(r(4), "arS")
+	b.RI(opADDI, r(2), r(2), 32)
+	b.RI(opADDI, r(4), r(4), -1)
+	b.Bnez(r(4), "scan")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "equake", Class: FP, PaperIPC4: 2.28, PaperIPC8: 2.38,
+		Description:  "sparse matrix-vector rows: sequential values/indices with L2-resident x-vector gathers (stands in for equake)",
+		DefaultIters: 6000, build: buildEquake,
+	})
+}
+
+func buildEquake(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xE993)
+	nX := 3 << 10  // 24KB x vector: mostly DL1-resident, as warmed equake is
+	nnz := 4 << 10 // 32KB value + 32KB index streams: cache-warm rows
+	xBase := uint64(asm.DefaultDataBase)
+	b.Floats("xvec", randFloats(rng, nX, -1, 1, 0.55))
+	vals := randFloats(rng, nnz, -1, 1, 0.5)
+	b.Floats("avals", vals)
+	cols := make([]uint64, nnz)
+	for i := range cols {
+		cols[i] = xBase + 8*uint64(rng.intn(nX))
+	}
+	b.Words("acols", cols)
+	k.begin()
+	b.La(rBaseA, "avals")
+	b.La(rBaseB, "acols")
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// One 16-nonzero row per outer iteration.
+	b.RI(opANDI, r(1), rIter, 255)
+	b.RI(opSLLI, r(2), r(1), 7) // *128 bytes = 16 doubles
+	b.RR(opADD, r(3), rBaseA, r(2))
+	b.RR(opADD, r(4), rBaseB, r(2))
+	b.Li(r(5), 16)
+	b.Li(r(7), 0) // element index within the row: narrow
+	b.Label("nz")
+	b.RI(opSLLI, r(8), r(7), 3)
+	b.RR(opADD, r(9), r(3), r(8))
+	b.RR(opADD, r(10), r(4), r(8))
+	b.Load(isa.OpFLD, f(1), r(9), 0)
+	b.Load(opLDQ, r(6), r(10), 0)
+	b.Load(isa.OpFLD, f(2), r(6), 0) // gather x[col]
+	b.RR(opFMUL, f(3), f(1), f(2))
+	b.RR(opFADD, f(10), f(10), f(3))
+	b.RI(opANDI, r(11), r(6), 255) // narrow column tag
+	b.RR(opADD, rSum, rSum, r(11))
+	k.spice(r(11), "eqS")
+	b.RI(opADDI, r(7), r(7), 1)
+	b.RI(opADDI, r(5), r(5), -1)
+	b.Bnez(r(5), "nz")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "facerec", Class: FP, PaperIPC4: 1.35, PaperIPC8: 1.41,
+		Description:  "windowed image correlation: 16-tap dot products with four parallel accumulators over a 128KB image (stands in for facerec)",
+		DefaultIters: 8000, build: buildFacerec,
+	})
+}
+
+func buildFacerec(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xFACE)
+	n := 4 << 10 // 32KB image: DL1-competitive
+	b.Floats("image", randFloats(rng, n, 0, 1, 0.45))
+	b.Floats("probe", randFloats(rng, 16, -1, 1, 0))
+	k.begin()
+	b.La(rBaseA, "image")
+	b.La(r(1), "probe")
+	for i := 0; i < 16; i++ {
+		b.Load(isa.OpFLD, f(16+i), r(1), int64(8*i))
+	}
+	b.Li(r(15), int64(n-32))
+	k.loop()
+	b.RR(isa.OpREM, r(2), rIter, r(15))
+	b.RI(opSLLI, r(2), r(2), 3)
+	b.RR(opADD, r(2), rBaseA, r(2))
+	// Four independent 4-tap partial sums, then combine.
+	b.R1(opCVTIF, f(10), isa.RZero)
+	for lane := 0; lane < 4; lane++ {
+		b.R1(isa.OpFMOV, f(11+lane), f(10))
+	}
+	for tap := 0; tap < 16; tap++ {
+		lane := tap % 4
+		b.Load(isa.OpFLD, f(1+lane), r(2), int64(8*tap))
+		b.RR(opFMUL, f(5+lane), f(1+lane), f(16+tap))
+		b.RR(opFADD, f(11+lane), f(11+lane), f(5+lane))
+	}
+	b.RR(opFADD, f(11), f(11), f(12))
+	b.RR(opFADD, f(13), f(13), f(14))
+	b.RR(opFADD, f(10), f(11), f(13))
+	k.spice(r(2), "fcS")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "fma3d", Class: FP, PaperIPC4: 1.91, PaperIPC8: 1.94,
+		Description:  "finite-element updates: per-element stress/strain arithmetic streamed over a 1MB element array (stands in for fma3d)",
+		DefaultIters: 6000, build: buildFma3d,
+	})
+}
+
+func buildFma3d(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xF3AD)
+	nEl := 2 << 10 // 8 doubles each = 128KB: L2-hot elements
+	b.Floats("elems", randFloats(rng, 8*nEl, -1, 1, 0.5))
+	k.begin()
+	b.La(rBaseA, "elems")
+	b.Li(r(14), 4602678819172646912) // bits of 0.5
+	b.Emit(isa.Inst{Op: isa.OpSTQ, Rd: r(14), Ra: isa.RSP, Imm: -8})
+	b.Load(isa.OpFLD, f(20), isa.RSP, -8)
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.RI(opANDI, r(1), rIter, 255)
+	b.RI(opSLLI, r(1), r(1), 6) // *64 bytes = one element
+	b.RR(opADD, r(1), rBaseA, r(1))
+	b.Li(r(2), 8) // elements per iteration
+	b.Li(r(3), 0) // element cursor: narrow
+	b.Label("el")
+	b.RI(opSLLI, r(4), r(3), 6)
+	b.RR(opADD, r(5), r(1), r(4))
+	b.RI(opANDI, r(6), r(3), 63) // narrow element tag
+	b.RR(opADD, rSum, rSum, r(6))
+	b.Load(isa.OpFLD, f(1), r(5), 0)
+	b.Load(isa.OpFLD, f(2), r(5), 8)
+	b.Load(isa.OpFLD, f(3), r(5), 16)
+	b.Load(isa.OpFLD, f(4), r(5), 24)
+	b.Load(isa.OpFLD, f(5), r(5), 32)
+	b.Load(isa.OpFLD, f(6), r(5), 40)
+	b.RR(opFMUL, f(7), f(1), f(4))
+	b.RR(opFMUL, f(8), f(2), f(5))
+	b.RR(opFMUL, f(9), f(3), f(6))
+	b.RR(opFADD, f(7), f(7), f(8))
+	b.RR(opFADD, f(7), f(7), f(9))
+	b.RR(opFMUL, f(7), f(7), f(20))
+	b.Store(isa.OpFST, f(7), r(5), 48)
+	b.RR(opFADD, f(10), f(10), f(7))
+	k.spice(r(6), "fmS")
+	b.RI(opADDI, r(3), r(3), 1)
+	b.RI(opADDI, r(2), r(2), -1)
+	b.Bnez(r(2), "el")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "galgel", Class: FP, PaperIPC4: 0.65, PaperIPC8: 0.66,
+		Description:  "Galerkin elimination fragment: pivot reciprocals (unpipelined divides) feeding row updates over a 2MB matrix (stands in for galgel)",
+		DefaultIters: 3000, build: buildGalgel,
+	})
+}
+
+func buildGalgel(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x6A76E1)
+	dim := 512 // 2MB matrix
+	b.Floats("mat", randFloats(rng, dim*dim, 0.5, 2, 0))
+	k.begin()
+	b.La(rBaseA, "mat")
+	b.Li(r(15), int64(dim))
+	b.Li(r(14), 4607182418800017408) // bits of 1.0
+	b.Emit(isa.Inst{Op: isa.OpSTQ, Rd: r(14), Ra: isa.RSP, Imm: -8})
+	b.Load(isa.OpFLD, f(20), isa.RSP, -8)
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// Pivot row and column from the counter.
+	b.RR(isa.OpREM, r(1), rIter, r(15))
+	b.RR(opMUL, r(2), r(1), r(15))
+	b.RR(opADD, r(2), r(2), r(1))
+	b.RI(opSLLI, r(2), r(2), 3)
+	b.RR(opADD, r(2), rBaseA, r(2)) // &a[k][k]
+	b.Load(isa.OpFLD, f(1), r(2), 0)
+	b.RR(opFDIV, f(2), f(20), f(1)) // pivot reciprocal: 12-cycle divide
+	b.Li(r(3), 32)
+	b.Mov(r(4), r(2))
+	b.Label("row")
+	b.Load(isa.OpFLD, f(3), r(4), 8)
+	b.RR(opFMUL, f(4), f(3), f(2))
+	b.RR(opFDIV, f(10), f(10), f(20)) // dependent divide chain drag
+	b.RR(opFADD, f(10), f(10), f(4))
+	b.Store(isa.OpFST, f(4), r(4), 8)
+	k.spice(r(3), "glS")
+	b.RI(opADDI, r(4), r(4), int64(8*dim)) // down the column: misses
+	b.RI(opADDI, r(3), r(3), -1)
+	b.Bnez(r(3), "row")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "lucas", Class: FP, PaperIPC4: 2.29, PaperIPC8: 2.43,
+		Description:  "FFT butterfly passes over a 512KB complex array with fixed twiddles (stands in for lucas' Lucas-Lehmer FFT)",
+		DefaultIters: 5000, build: buildLucas,
+	})
+}
+
+func buildLucas(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x10CA5)
+	n := 8 << 10 // complex pairs: 128KB
+	b.Floats("signal", randFloats(rng, 2*n, -1, 1, 0.5))
+	b.Floats("twiddle", []float64{0.92387953, 0.38268343})
+	k.begin()
+	b.La(rBaseA, "signal")
+	b.La(r(1), "twiddle")
+	b.Load(isa.OpFLD, f(20), r(1), 0) // wr
+	b.Load(isa.OpFLD, f(21), r(1), 8) // wi
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// 16 butterflies at a counter-dependent offset, stride 256 bytes.
+	b.RI(opANDI, r(2), rIter, 255)
+	b.RI(opSLLI, r(2), r(2), 8)
+	b.RR(opADD, r(2), rBaseA, r(2))
+	b.Li(r(3), 16)
+	b.Label("bfly")
+	b.Load(isa.OpFLD, f(1), r(2), 0)   // ar
+	b.Load(isa.OpFLD, f(2), r(2), 8)   // ai
+	b.Load(isa.OpFLD, f(3), r(2), 128) // br
+	b.Load(isa.OpFLD, f(4), r(2), 136) // bi
+	// t = w*b (complex).
+	b.RR(opFMUL, f(5), f(3), f(20))
+	b.RR(opFMUL, f(6), f(4), f(21))
+	b.RR(opFSUB, f(5), f(5), f(6)) // tr
+	b.RR(opFMUL, f(6), f(3), f(21))
+	b.RR(opFMUL, f(7), f(4), f(20))
+	b.RR(opFADD, f(6), f(6), f(7)) // ti
+	b.RR(opFADD, f(8), f(1), f(5))
+	b.RR(opFADD, f(9), f(2), f(6))
+	b.RR(opFSUB, f(11), f(1), f(5))
+	b.RR(opFSUB, f(12), f(2), f(6))
+	b.Store(isa.OpFST, f(8), r(2), 0)
+	b.Store(isa.OpFST, f(9), r(2), 8)
+	b.Store(isa.OpFST, f(11), r(2), 128)
+	b.Store(isa.OpFST, f(12), r(2), 136)
+	b.RR(opFADD, f(10), f(10), f(8))
+	k.spice(r(3), "lcS")
+	b.RI(opADDI, r(2), r(2), 16)
+	b.RI(opADDI, r(3), r(3), -1)
+	b.Bnez(r(3), "bfly")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "mesa", Class: FP, PaperIPC4: 1.97, PaperIPC8: 2.08,
+		Description:  "vertex pipeline: 4x4 matrix transforms with clip tests over a 256KB vertex buffer (stands in for mesa)",
+		DefaultIters: 8000, build: buildMesa,
+	})
+}
+
+func buildMesa(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x3E5A)
+	nV := 1 << 10 // 4 doubles per vertex: 32KB hot batch
+	b.Floats("verts", randFloats(rng, 4*nV, -2, 2, 0.45))
+	mat := make([]float64, 16)
+	for i := range mat {
+		mat[i] = rng.float(-1, 1)
+	}
+	b.Floats("xform", mat)
+	k.begin()
+	b.La(rBaseA, "verts")
+	b.La(r(1), "xform")
+	for i := 0; i < 16; i++ {
+		b.Load(isa.OpFLD, f(16+i), r(1), int64(8*i))
+	}
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.RI(opANDI, r(2), rIter, 511)
+	b.RI(opSLLI, r(2), r(2), 5)
+	b.RR(opADD, r(2), rBaseA, r(2))
+	b.Li(r(3), 2) // vertices per iteration
+	b.Label("vert")
+	b.Load(isa.OpFLD, f(1), r(2), 0)
+	b.Load(isa.OpFLD, f(2), r(2), 8)
+	b.Load(isa.OpFLD, f(3), r(2), 16)
+	b.Load(isa.OpFLD, f(4), r(2), 24)
+	for row := 0; row < 4; row++ {
+		m := 16 + 4*row
+		b.RR(opFMUL, f(5), f(1), f(m))
+		b.RR(opFMUL, f(6), f(2), f(m+1))
+		b.RR(opFMUL, f(7), f(3), f(m+2))
+		b.RR(opFMUL, f(8), f(4), f(m+3))
+		b.RR(opFADD, f(5), f(5), f(6))
+		b.RR(opFADD, f(7), f(7), f(8))
+		b.RR(opFADD, f(11+row), f(5), f(7))
+	}
+	// Clip test: w component positive?
+	b.RR(opFCLT, r(4), f(14), f(10)) // f10 is 0.0 here
+	b.Bnez(r(4), "clip")
+	b.Store(isa.OpFST, f(11), r(2), 0)
+	b.Store(isa.OpFST, f(12), r(2), 8)
+	b.Label("clip")
+	b.RR(opFADD, f(10), f(10), f(11))
+	k.spice(r(3), "msS")
+	b.RI(opADDI, r(2), r(2), 32)
+	b.RI(opADDI, r(3), r(3), -1)
+	b.Bnez(r(3), "vert")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "mgrid", Class: FP, PaperIPC4: 1.54, PaperIPC8: 1.59,
+		Description:  "multigrid smoother: 27-point stencil lines over a 512KB 3D grid (stands in for mgrid)",
+		DefaultIters: 2500, build: buildMgrid,
+	})
+}
+
+func buildMgrid(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x36121D)
+	dim := 20 // 20^3 doubles = 64KB: blocked working set
+	b.Floats("grid3", randFloats(rng, dim*dim*dim, -1, 1, 0.5))
+	k.begin()
+	b.La(rBaseA, "grid3")
+	b.Li(r(15), int64(dim))
+	b.Li(r(14), int64(dim*dim))
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	// Pick an interior line (i, j) from the counter; sweep k.
+	b.Li(r(1), int64((dim-2)*(dim-2)))
+	b.RR(isa.OpREM, r(2), rIter, r(1))
+	b.Li(r(3), int64(dim-2))
+	b.RR(isa.OpDIVU, r(4), r(2), r(3))
+	b.RR(isa.OpREM, r(5), r(2), r(3))
+	b.RI(opADDI, r(4), r(4), 1) // i
+	b.RI(opADDI, r(5), r(5), 1) // j
+	b.RR(opMUL, r(6), r(4), r(14))
+	b.RR(opMUL, r(7), r(5), r(15))
+	b.RR(opADD, r(6), r(6), r(7))
+	b.RI(opADDI, r(6), r(6), 1)
+	b.RI(opSLLI, r(6), r(6), 3)
+	b.RR(opADD, r(6), rBaseA, r(6)) // &g[i][j][1]
+	b.Li(r(8), int64(dim-2))
+	b.Label("kline")
+	// 9 taps (faces + center slice of the 27-point kernel).
+	b.Load(isa.OpFLD, f(1), r(6), 0)
+	b.Load(isa.OpFLD, f(2), r(6), -8)
+	b.Load(isa.OpFLD, f(3), r(6), 8)
+	b.Load(isa.OpFLD, f(4), r(6), int64(-8*dim))
+	b.Load(isa.OpFLD, f(5), r(6), int64(8*dim))
+	b.Load(isa.OpFLD, f(6), r(6), int64(-8*dim*dim))
+	b.Load(isa.OpFLD, f(7), r(6), int64(8*dim*dim))
+	b.Load(isa.OpFLD, f(8), r(6), int64(8*dim+8))
+	b.Load(isa.OpFLD, f(9), r(6), int64(-8*dim-8))
+	b.RR(opFADD, f(2), f(2), f(3))
+	b.RR(opFADD, f(4), f(4), f(5))
+	b.RR(opFADD, f(6), f(6), f(7))
+	b.RR(opFADD, f(8), f(8), f(9))
+	b.RR(opFADD, f(2), f(2), f(4))
+	b.RR(opFADD, f(6), f(6), f(8))
+	b.RR(opFADD, f(2), f(2), f(6))
+	b.RR(opFADD, f(1), f(1), f(2))
+	b.Store(isa.OpFST, f(1), r(6), 0)
+	b.RR(opFADD, f(10), f(10), f(1))
+	k.spice(r(8), "mgS")
+	b.RI(opADDI, r(6), r(6), 8)
+	b.RI(opADDI, r(8), r(8), -1)
+	b.Bnez(r(8), "kline")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "sixtrack", Class: FP, PaperIPC4: 1.38, PaperIPC8: 1.44,
+		Description:  "particle tracking: per-particle dependent polynomial phase-space maps over a 128KB bunch (stands in for sixtrack)",
+		DefaultIters: 8000, build: buildSixtrack,
+	})
+}
+
+func buildSixtrack(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x51C7)
+	nP := 2 << 10 // x, px pairs: 32KB bunch
+	b.Floats("bunch", randFloats(rng, 2*nP, -0.1, 0.1, 0.2))
+	b.Floats("map6", []float64{0.999, 0.02, -0.3, 0.05, 1.0, 0.0})
+	k.begin()
+	b.La(rBaseA, "bunch")
+	b.La(r(1), "map6")
+	for i := 0; i < 4; i++ {
+		b.Load(isa.OpFLD, f(20+i), r(1), int64(8*i))
+	}
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.RI(opANDI, r(2), rIter, 511)
+	b.RI(opSLLI, r(2), r(2), 4)
+	b.RR(opADD, r(2), rBaseA, r(2))
+	b.Li(r(3), 4) // particles per iteration
+	b.Label("part")
+	b.Load(isa.OpFLD, f(1), r(2), 0) // x
+	b.Load(isa.OpFLD, f(2), r(2), 8) // px
+	// Dependent map: x' = c0*x + c1*px; px' = c2*x'^3-ish + c3*px.
+	b.RR(opFMUL, f(3), f(1), f(20))
+	b.RR(opFMUL, f(4), f(2), f(21))
+	b.RR(opFADD, f(3), f(3), f(4)) // x'
+	b.RR(opFMUL, f(5), f(3), f(3))
+	b.RR(opFMUL, f(5), f(5), f(3)) // x'^3
+	b.RR(opFMUL, f(5), f(5), f(22))
+	b.RR(opFMUL, f(6), f(2), f(23))
+	b.RR(opFADD, f(6), f(5), f(6)) // px'
+	b.Store(isa.OpFST, f(3), r(2), 0)
+	b.Store(isa.OpFST, f(6), r(2), 8)
+	b.RR(opFADD, f(10), f(10), f(3))
+	k.spice(r(3), "sxS")
+	b.RI(opADDI, r(2), r(2), 16)
+	b.RI(opADDI, r(3), r(3), -1)
+	b.Bnez(r(3), "part")
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "swim", Class: FP, PaperIPC4: 1.86, PaperIPC8: 1.99,
+		Description:  "shallow-water stencil row sweeps over three 1.1MB grids with streaming misses and wide ILP (stands in for swim)",
+		DefaultIters: 2500, build: buildSwim,
+	})
+}
+
+func buildSwim(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x5319)
+	dim := 96 // three grids, 72KB each: the L2 holds them all
+	b.Floats("gu", randFloats(rng, dim*dim, -1, 1, 0.5))
+	b.Floats("gv", randFloats(rng, dim*dim, -1, 1, 0.5))
+	b.Floats("gp", randFloats(rng, dim*dim, 0, 2, 0.5))
+	k.begin()
+	b.La(rBaseA, "gu")
+	b.La(rBaseB, "gv")
+	b.La(rBaseC, "gp")
+	b.Li(r(15), int64(dim))
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.Li(r(1), int64(dim-2))
+	b.RR(isa.OpREM, r(2), rIter, r(1))
+	b.RI(opADDI, r(2), r(2), 1)
+	b.RR(opMUL, r(3), r(2), r(15))
+	b.RI(opSLLI, r(3), r(3), 3)
+	b.RI(opADDI, r(3), r(3), 8)
+	b.RR(opADD, r(4), rBaseA, r(3)) // u row
+	b.RR(opADD, r(5), rBaseB, r(3)) // v row
+	b.RR(opADD, r(6), rBaseC, r(3)) // p row
+	b.Li(r(7), int64(dim-2))
+	b.Li(r(8), 0) // column index: narrow
+	b.Label("sw")
+	b.RI(opSLLI, r(9), r(8), 3)
+	b.RR(opADD, r(10), r(4), r(9))
+	b.RR(opADD, r(11), r(5), r(9))
+	b.RR(opADD, r(12), r(6), r(9))
+	b.RI(opADDI, r(13), r(12), 8)
+	b.RI(opADDI, r(14), r(12), -8)
+	b.Load(isa.OpFLD, f(1), r(10), 0)
+	b.Load(isa.OpFLD, f(2), r(11), 0)
+	b.Load(isa.OpFLD, f(3), r(13), 0)
+	b.Load(isa.OpFLD, f(4), r(14), 0)
+	b.Load(isa.OpFLD, f(5), r(12), int64(8*dim))
+	b.Load(isa.OpFLD, f(6), r(12), int64(-8*dim))
+	b.RR(opFSUB, f(7), f(3), f(4))
+	b.RR(opFSUB, f(8), f(5), f(6))
+	b.RR(opFADD, f(1), f(1), f(7))
+	b.RR(opFADD, f(2), f(2), f(8))
+	b.Store(isa.OpFST, f(1), r(10), 0)
+	b.Store(isa.OpFST, f(2), r(11), 0)
+	b.RR(opADD, rSum, rSum, r(8)) // narrow column checksum
+	k.spice(r(8), "swS")
+	b.RI(opADDI, r(8), r(8), 1)
+	b.RI(opADDI, r(7), r(7), -1)
+	b.Bnez(r(7), "sw")
+	// Fold samples of the new row off the critical path.
+	b.Load(isa.OpFLD, f(10), r(4), 0)
+	b.Load(isa.OpFLD, f(9), r(5), 0)
+	b.RR(opFADD, f(10), f(10), f(9))
+	fpFold(b)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "wupwise", Class: FP, PaperIPC4: 1.83, PaperIPC8: 1.86,
+		Description:  "lattice-QCD-like complex 2x2 matrix-vector products streamed over 2MB of sites (stands in for wupwise)",
+		DefaultIters: 5000, build: buildWupwise,
+	})
+}
+
+func buildWupwise(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x4B15E)
+	nSites := 4 << 10 // 8 doubles per site: 256KB lattice slab
+	b.Floats("lattice", randFloats(rng, 8*nSites, -1, 1, 0.55))
+	b.Floats("gauge", randFloats(rng, 8, -1, 1, 0))
+	k.begin()
+	b.La(rBaseA, "lattice")
+	b.La(r(1), "gauge")
+	for i := 0; i < 8; i++ {
+		b.Load(isa.OpFLD, f(16+i), r(1), int64(8*i))
+	}
+	k.loop()
+	b.R1(opCVTIF, f(10), isa.RZero)
+	b.RI(opANDI, r(2), rIter, 1023)
+	b.RI(opSLLI, r(2), r(2), 6)
+	b.RR(opADD, r(2), rBaseA, r(2))
+	b.Li(r(3), 4) // sites per iteration
+	b.Li(r(4), 0) // site cursor: narrow
+	b.Label("site")
+	b.RI(opSLLI, r(5), r(4), 6)
+	b.RR(opADD, r(6), r(2), r(5))
+	b.RI(opANDI, r(7), r(4), 127)
+	b.RR(opADD, rSum, rSum, r(7))
+	b.Load(isa.OpFLD, f(1), r(6), 0) // v0.re
+	b.Load(isa.OpFLD, f(2), r(6), 8) // v0.im
+	b.Load(isa.OpFLD, f(3), r(6), 16)
+	b.Load(isa.OpFLD, f(4), r(6), 24)
+	// (m00*v0 + m01*v1) complex for both output components.
+	b.RR(opFMUL, f(5), f(1), f(16))
+	b.RR(opFMUL, f(6), f(2), f(17))
+	b.RR(opFSUB, f(5), f(5), f(6))
+	b.RR(opFMUL, f(6), f(3), f(18))
+	b.RR(opFMUL, f(7), f(4), f(19))
+	b.RR(opFSUB, f(6), f(6), f(7))
+	b.RR(opFADD, f(5), f(5), f(6)) // out0.re
+	b.RR(opFMUL, f(8), f(1), f(20))
+	b.RR(opFMUL, f(9), f(2), f(21))
+	b.RR(opFADD, f(8), f(8), f(9))
+	b.RR(opFMUL, f(9), f(3), f(22))
+	b.RR(opFMUL, f(11), f(4), f(23))
+	b.RR(opFADD, f(9), f(9), f(11))
+	b.RR(opFADD, f(8), f(8), f(9)) // out1.re
+	b.Store(isa.OpFST, f(5), r(6), 32)
+	b.Store(isa.OpFST, f(8), r(6), 40)
+	b.RR(opFADD, f(10), f(10), f(5))
+	k.spice(r(7), "wwS")
+	b.RI(opADDI, r(4), r(4), 1)
+	b.RI(opADDI, r(3), r(3), -1)
+	b.Bnez(r(3), "site")
+	fpFold(b)
+	return k.end()
+}

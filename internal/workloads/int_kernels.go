@@ -1,0 +1,842 @@
+package workloads
+
+import (
+	"fmt"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// Short aliases for the opcodes the kernels lean on.
+const (
+	opADD  = isa.OpADD
+	opSUB  = isa.OpSUB
+	opMUL  = isa.OpMUL
+	opAND  = isa.OpAND
+	opOR   = isa.OpOR
+	opXOR  = isa.OpXOR
+	opSLL  = isa.OpSLL
+	opSRL  = isa.OpSRL
+	opADDI = isa.OpADDI
+	opANDI = isa.OpANDI
+	opORI  = isa.OpORI
+	opXORI = isa.OpXORI
+	opSLLI = isa.OpSLLI
+	opSRLI = isa.OpSRLI
+	opSRAI = isa.OpSRAI
+	opSLT  = isa.OpSLT
+	opSLTU = isa.OpSLTU
+	opLDQ  = isa.OpLDQ
+	opLDL  = isa.OpLDL
+	opLDB  = isa.OpLDB
+	opLDBU = isa.OpLDBU
+	opSTQ  = isa.OpSTQ
+	opSTL  = isa.OpSTL
+	opSTB  = isa.OpSTB
+	opFLD  = isa.OpFLD
+	opFST  = isa.OpFST
+	opBEQ  = isa.OpBEQ
+	opBNE  = isa.OpBNE
+	opBLT  = isa.OpBLT
+	opBGE  = isa.OpBGE
+	opBLTU = isa.OpBLTU
+)
+
+func r(i int) isa.Reg { return isa.IntReg(i) }
+func f(i int) isa.Reg { return isa.FPReg(i) }
+
+// The kernels below mimic -O4 compiled code: hot inner loops are unrolled
+// with rotated register windows, so a value's destination register is not
+// rewritten again for 40+ dynamic instructions. That register-reuse
+// distance is what lets retire-time inlining pass its WAW check (the
+// paper's Figure 7) on real SPEC binaries, and the synthetic kernels must
+// reproduce it to reproduce the paper's effect.
+
+func init() {
+	register(Workload{
+		Name: "bzip2", Class: Int, PaperIPC4: 1.62, PaperIPC8: 1.67,
+		Description:  "run-length + frequency-table byte compressor over a 192KB block, 4x unrolled (stands in for bzip2's BWT/MTF passes)",
+		DefaultIters: 600, build: buildBzip2,
+	})
+}
+
+func buildBzip2(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xB21F)
+	n := 192 << 10
+	data := make([]byte, n)
+	var cur byte
+	run := 0
+	for i := range data {
+		if run == 0 {
+			cur = byte(rng.next() % 96) // text-like alphabet: narrow symbols
+			run = 1 + rng.intn(6)
+		}
+		data[i] = cur
+		run--
+	}
+	b.Bytes("block", data)
+	b.Space("freq", 1024)
+	k.begin()
+	b.La(rBaseA, "block")
+	b.La(rBaseB, "freq")
+	k.loop()
+	// 1KB chunk selected by the outer counter; 4 bytes per inner pass,
+	// each byte through its own register window.
+	b.RI(opANDI, r(1), rIter, 127)
+	b.RI(opSLLI, r(1), r(1), 10)
+	b.RR(opADD, r(1), rBaseA, r(1)) // p
+	b.Li(r(2), 256)                 // groups of 4: narrow downcounter
+	b.Li(r(3), 0)                   // previous symbol
+	b.Label("inner")
+	for u := 0; u < 4; u++ {
+		w := 4 + 4*u // window: w..w+3
+		b.Load(opLDBU, r(w), r(1), int64(u))
+		b.RR(opSUB, r(w+1), r(w), r(3)) // delta to previous symbol: narrow
+		b.RR(opADD, rSum, rSum, r(w+1))
+		// Frequency bump: narrow counters in memory.
+		b.RI(opSLLI, r(w+2), r(w), 2)
+		b.RR(opADD, r(w+2), rBaseB, r(w+2))
+		b.Load(opLDL, r(w+3), r(w+2), 0)
+		b.RI(opADDI, r(w+3), r(w+3), 1)
+		b.Store(opSTL, r(w+3), r(w+2), 0)
+		k.spice(r(w+1), fmt.Sprintf("zA%d", u))
+		k.spice(r(w+3), fmt.Sprintf("zB%d", u))
+		b.Mov(r(3), r(w))
+	}
+	b.RR(opADD, rSum, rSum, r(7))
+	b.RR(opADD, rSum, rSum, r(19))
+	b.RI(opADDI, r(1), r(1), 4)
+	b.RI(opADDI, r(2), r(2), -1)
+	b.Bnez(r(2), "inner")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "crafty", Class: Int, PaperIPC4: 1.35, PaperIPC8: 1.40,
+		Description:  "bitboard move generation: De Bruijn LSB extraction and attack-table lookups, three bits in flight (stands in for crafty)",
+		DefaultIters: 12000, build: buildCrafty,
+	})
+}
+
+func buildCrafty(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xC4AF)
+	b.Words("attacks", randWords(rng, 64, 0))
+	b.Words("mobility", randWords(rng, 64, 28)) // small mobility scores
+	k.begin()
+	b.La(rBaseA, "attacks")
+	b.La(rBaseB, "mobility")
+	b.Li(r(19), 285870213051386505) // De Bruijn multiplier 0x03F79D71B4CA8B09
+	b.Li(r(18), -7046029254386353131)
+	b.Li(r(20), -81986143110479856) // occupancy bitboard
+	b.Li(r(17), 0)
+	k.loop()
+	// Evolve the board (wide values).
+	b.RR(opXOR, r(20), r(20), r(18))
+	b.RR(opXOR, r(20), r(20), r(17)) // feedback from the last attack mask
+	b.RI(opSLLI, r(1), r(20), 13)
+	b.RR(opXOR, r(20), r(20), r(1))
+	b.RI(opSRLI, r(1), r(20), 7)
+	b.RR(opXOR, r(20), r(20), r(1))
+	b.Mov(r(2), r(20))
+	// Pop three bits per pass, each through its own register window; the
+	// square indices are 6-bit narrow values with long lifetimes.
+	b.Label("bits")
+	b.Beqz(r(2), "done")
+	for u := 0; u < 3; u++ {
+		w := 3 + 5*u // window: w..w+4
+		b.RR(opSUB, r(w), isa.RZero, r(2))
+		b.RR(opAND, r(w), r(w), r(2)) // isolated LSB
+		b.RR(opMUL, r(w+1), r(w), r(19))
+		b.RI(opSRLI, r(w+1), r(w+1), 58) // square index: narrow
+		b.RI(opSLLI, r(w+2), r(w+1), 3)
+		b.RR(opADD, r(w+2), rBaseA, r(w+2))
+		b.Load(opLDQ, r(w+3), r(w+2), 0) // attack mask: wide
+		b.Mov(r(17), r(w+3))
+		// Second-level mobility lookup chained through the mask.
+		b.RI(opANDI, r(w+4), r(w+3), 63)
+		b.RI(opSLLI, r(w+4), r(w+4), 3)
+		b.RR(opADD, r(w+4), rBaseB, r(w+4))
+		b.Load(opLDQ, r(w+4), r(w+4), 0) // mobility score: narrow
+		b.RR(opXOR, r(2), r(2), r(w))    // clear LSB
+		b.RR(opADD, rSum, rSum, r(w+4))
+		b.RR(opXOR, rSum, rSum, r(w+3))
+		b.RR(opADD, rSum, rSum, r(w+1))
+		k.spice(r(w+1), fmt.Sprintf("cf%d", u))
+		if u < 2 {
+			b.Beqz(r(2), "done")
+		}
+	}
+	b.Jmp("bits")
+	b.Label("done")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "eon", Class: Int, PaperIPC4: 1.81, PaperIPC8: 2.11,
+		Description:  "fixed-point ray/sphere intersection pairs with high ILP (stands in for eon's probabilistic ray tracer)",
+		DefaultIters: 40000, build: buildEon,
+	})
+}
+
+func buildEon(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0xE0FF)
+	b.Words("spheres", randWords(rng, 4*64, 1<<18))
+	k.begin()
+	b.La(rBaseA, "spheres")
+	b.Li(r(19), 0x10000) // ray origin components
+	b.Li(r(18), 0x08000)
+	k.loop()
+	// Two spheres per pass, independent register windows (w..w+7).
+	b.RI(opANDI, r(1), rIter, 31)
+	b.RI(opSLLI, r(1), r(1), 6)
+	b.RR(opADD, r(1), rBaseA, r(1))
+	for u := 0; u < 2; u++ {
+		w := 2 + 8*u
+		off := int64(32 * u)
+		b.Load(opLDQ, r(w), r(1), off)
+		b.Load(opLDQ, r(w+1), r(1), off+8)
+		b.Load(opLDQ, r(w+2), r(1), off+24)
+		b.RR(opSUB, r(w+3), r(w), r(19))
+		b.RR(opSUB, r(w+4), r(w+1), r(18))
+		b.RR(opMUL, r(w+5), r(w+3), r(w+3))
+		b.RR(opMUL, r(w+6), r(w+4), r(w+4))
+		b.RR(opADD, r(w+5), r(w+5), r(w+6))
+		b.RR(opMUL, r(w+7), r(w+2), r(w+2))
+		b.RI(opSRAI, r(w+5), r(w+5), 26) // quantized distance: narrow
+		b.RI(opSRAI, r(w+7), r(w+7), 26)
+		b.RR(opSLT, r(w+6), r(w+5), r(w+7)) // hit flag: narrow, long-lived
+		k.spice(r(w+5), fmt.Sprintf("eo%d", u))
+	}
+	b.RR(opADD, rSum, rSum, r(8))  // window 0 hit flag
+	b.RR(opADD, rSum, rSum, r(16)) // window 1 hit flag
+	b.RR(opADD, rSum, rSum, r(7))
+	b.Br(opBLT, r(7), r(15), "miss")
+	b.RI(opADDI, rSum, rSum, 3)
+	b.Label("miss")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "gap", Class: Int, PaperIPC4: 1.55, PaperIPC8: 1.59,
+		Description:  "arbitrary-precision arithmetic: carry-propagating multi-limb adds over 64KB bignums, 2x unrolled (stands in for gap)",
+		DefaultIters: 3000, build: buildGap,
+	})
+}
+
+func buildGap(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x6A9)
+	limbs := 1024
+	b.Words("bigA", randWords(rng, limbs, 0))
+	b.Words("bigB", randWords(rng, limbs, 0))
+	b.Space("bigC", uint64(8*limbs))
+	k.begin()
+	b.La(rBaseA, "bigA")
+	b.La(rBaseB, "bigB")
+	b.La(rBaseC, "bigC")
+	b.Li(r(18), 37) // multiplier digit: narrow, loop-invariant
+	k.loop()
+	// C = A + B*digit, two limbs per pass with rotated windows; the carry bits
+	// are 1-bit values that live across the whole window.
+	b.Mov(r(1), rBaseA)
+	b.Mov(r(2), rBaseB)
+	b.Mov(r(3), rBaseC)
+	b.Li(r(4), int64(limbs/2)) // pair count: narrow downcounter
+	b.Li(r(5), 0)              // carry
+	b.Label("addloop")
+	for u := 0; u < 2; u++ {
+		w := 6 + 6*u
+		off := int64(8 * u)
+		b.Load(opLDQ, r(w), r(1), off)
+		b.Load(opLDQ, r(w+1), r(2), off)
+		b.RR(opMUL, r(w+1), r(w+1), r(18)) // scale B by the digit
+		b.RR(opADD, r(w+2), r(w), r(w+1))
+		b.RR(opSLTU, r(w+3), r(w+2), r(w)) // carry out: narrow
+		b.RR(opADD, r(w+4), r(w+2), r(5))
+		b.RR(opSLTU, r(w+5), r(w+4), r(w+2))
+		b.RR(opOR, r(5), r(w+3), r(w+5))
+		b.Store(opSTQ, r(w+4), r(3), off)
+		k.spice(r(w+4), fmt.Sprintf("gp%d", u))
+	}
+	b.RR(opADD, rSum, rSum, r(5))
+	b.RI(opADDI, r(1), r(1), 16)
+	b.RI(opADDI, r(2), r(2), 16)
+	b.RI(opADDI, r(3), r(3), 16)
+	b.RR(opADD, r(18), r(18), r(5)) // next digit depends on the carry
+	b.RI(opADDI, r(4), r(4), -1)
+	b.Bnez(r(4), "addloop")
+	b.RR(opADD, rSum, rSum, r(16))
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "gcc", Class: Int, PaperIPC4: 1.16, PaperIPC8: 1.23,
+		Description:  "pointer-heavy IR walk: explicit-stack traversal of a 2MB expression tree with per-kind dispatch (stands in for gcc)",
+		DefaultIters: 2500, build: buildGcc,
+	})
+}
+
+func buildGcc(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x6CC)
+	// Nodes: kind(8) left(8) right(8) val(8) = 32 bytes; 64K nodes = 2MB.
+	nNodes := 64 << 10
+	base := uint64(asm.DefaultDataBase)
+	nodes := make([]uint64, 4*nNodes)
+	addrOf := func(i int) uint64 { return base + uint64(32*i) }
+	hot := 1 << 10 // 32KB hot subtree absorbs most pointers
+	pick := func() int {
+		if rng.intn(100) < 85 {
+			return rng.intn(hot)
+		}
+		return rng.intn(nNodes)
+	}
+	for i := 0; i < nNodes; i++ {
+		// Kind mix skewed like real IR: mostly leaves and unary nodes,
+		// keeping the dispatch branches predictable.
+		kind := uint64(3)
+		switch p := rng.intn(100); {
+		case p < 10:
+			kind = 0
+		case p < 30:
+			kind = 1
+		case p < 45:
+			kind = 2
+		}
+		nodes[4*i] = kind
+		nodes[4*i+1] = addrOf(pick())
+		nodes[4*i+2] = addrOf(pick())
+		nodes[4*i+3] = rng.next() % 100 // narrow payloads
+	}
+	b.Words("nodes", nodes)
+	b.Space("stack", 8*4096)
+	k.begin()
+	b.La(rBaseA, "nodes")
+	b.La(rBaseB, "stack")
+	k.loop()
+	// Seed the stack with one node chosen by the counter; walk 64 steps.
+	// The walk alternates between two register windows, so kinds, depths,
+	// and payloads survive across two dispatch rounds.
+	b.Li(r(2), 0) // stack depth: narrow
+	for sSeed := 0; sSeed < 6; sSeed++ {
+		b.RI(opANDI, r(1), rIter, 0x3FF)
+		b.RI(opADDI, r(1), r(1), int64(sSeed*97))
+		b.RI(opSLLI, r(1), r(1), 5)
+		b.RR(opADD, r(1), rBaseA, r(1))
+		b.RI(opSLLI, r(17), r(2), 3)
+		b.RR(opADD, r(17), rBaseB, r(17))
+		b.Store(opSTQ, r(1), r(17), 0)
+		b.RI(opADDI, r(2), r(2), 1)
+	}
+	b.Li(r(3), 48) // step budget: narrow
+	for u := 0; u < 2; u++ {
+		w := 4 + 7*u // window w..w+6
+		lbl := fmt.Sprintf("walk%d", u)
+		nxt := fmt.Sprintf("walk%d", 1-u)
+		b.Label(lbl)
+		b.Beqz(r(2), "wdone")
+		b.Beqz(r(3), "wdone")
+		b.RI(opADDI, r(3), r(3), -1)
+		b.RI(opADDI, r(2), r(2), -1)
+		b.RI(opSLLI, r(w), r(2), 3)
+		b.RR(opADD, r(w), rBaseB, r(w))
+		b.Load(opLDQ, r(w+1), r(w), 0)   // node pointer
+		b.Load(opLDQ, r(w+2), r(w+1), 0) // kind: narrow
+		b.Load(opLDQ, r(w+3), r(w+1), 24)
+		b.RR(opADD, rSum, rSum, r(w+3))
+		b.RI(isa.OpSLTI, r(w+4), r(w+2), 2)
+		b.Beqz(r(w+4), "hi"+lbl)
+		// Kind 0/1: push the left child.
+		b.Load(opLDQ, r(w+5), r(w+1), 8)
+		b.RI(opSLLI, r(w+6), r(2), 3)
+		b.RR(opADD, r(w+6), rBaseB, r(w+6))
+		b.Store(opSTQ, r(w+5), r(w+6), 0)
+		b.RI(opADDI, r(2), r(2), 1)
+		b.Bnez(r(w+2), nxt) // kind 1: left only
+		b.Label("hi" + lbl)
+		// Kind 0 or 2: push the right child (kind 3 is a leaf).
+		b.Li(r(w+4), 3)
+		b.Br(opBEQ, r(w+2), r(w+4), nxt)
+		b.Load(opLDQ, r(w+5), r(w+1), 16)
+		b.RI(opSLLI, r(w+6), r(2), 3)
+		b.RR(opADD, r(w+6), rBaseB, r(w+6))
+		b.Store(opSTQ, r(w+5), r(w+6), 0)
+		b.RI(opADDI, r(2), r(2), 1)
+		b.Jmp(nxt)
+	}
+	b.Label("wdone")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "gzip", Class: Int, PaperIPC4: 1.51, PaperIPC8: 1.54,
+		Description:  "LZ77 hash-chain match search over a 64KB window with straight-line match scoring (stands in for gzip's deflate loop)",
+		DefaultIters: 25000, build: buildGzip,
+	})
+}
+
+func buildGzip(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x6219)
+	win := 64 << 10
+	data := make([]byte, win)
+	for i := range data {
+		if i > 64 && rng.intn(4) == 0 {
+			data[i] = data[i-rng.intn(60)-1]
+		} else {
+			data[i] = byte('a' + rng.intn(26))
+		}
+	}
+	b.Bytes("window", data)
+	b.Words("heads", make([]uint64, 8192))
+	k.begin()
+	b.La(rBaseA, "window")
+	b.La(rBaseB, "heads")
+	b.Li(r(20), 8191)
+	k.loop()
+	// Position from counter.
+	b.Li(r(1), 0xFFF0)
+	b.RR(opAND, r(1), rIter, r(1))
+	b.RR(opADD, r(1), rBaseA, r(1)) // p
+	// hash = bytes[0..2] mixed down to 13 bits; each byte in its own
+	// register (narrow, long-lived).
+	b.Load(opLDBU, r(2), r(1), 0)
+	b.Load(opLDBU, r(3), r(1), 1)
+	b.Load(opLDBU, r(4), r(1), 2)
+	b.RI(opSLLI, r(5), r(2), 5)
+	b.RR(opXOR, r(5), r(5), r(3))
+	b.RI(opSLLI, r(6), r(5), 5)
+	b.RR(opXOR, r(6), r(6), r(4))
+	b.RR(opAND, r(7), r(6), r(20)) // hash: 13 bits
+	b.RI(opSLLI, r(8), r(7), 3)
+	b.RR(opADD, r(8), rBaseB, r(8))
+	b.Load(opLDQ, r(9), r(8), 0) // previous position with this hash
+	b.Store(opSTQ, r(1), r(8), 0)
+	b.Beqz(r(9), "nomatch")
+	// Straight-line match scoring: four byte pairs, each pair in its own
+	// register window (narrow byte values, long reuse distance).
+	b.Li(r(10), 0) // match length: narrow
+	for u := 0; u < 4; u++ {
+		w := 11 + 2*u
+		b.Load(opLDBU, r(w), r(1), int64(3+u))
+		b.Load(opLDBU, r(w+1), r(9), int64(3+u))
+		b.RR(isa.OpSEQ, r(19), r(w), r(w+1))
+		b.RR(opADD, r(10), r(10), r(19))
+		k.spice(r(w), fmt.Sprintf("gz%d", u))
+	}
+	b.RR(opADD, rSum, rSum, r(10))
+	b.RR(opADD, rSum, rSum, r(12))
+	b.Label("nomatch")
+	b.RR(opADD, rSum, rSum, r(2))
+	b.RR(opADD, rSum, rSum, r(3))
+	b.RR(opADD, rSum, rSum, r(4))
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "mcf", Class: Int, PaperIPC4: 0.36, PaperIPC8: 0.37,
+		Description:  "network-simplex pricing sweep: streaming arc scan with data-dependent node-potential loads over a 6MB graph, 2x unrolled (stands in for mcf)",
+		DefaultIters: 1200, build: buildMcf,
+	})
+}
+
+func buildMcf(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x3CF)
+	nNodes := 64 << 10 // 512KB of node potentials: the L2 half-holds them
+	nArcs := 128 << 10 // 4MB of arcs (cost, head, tail, flow)
+	nodeBase := uint64(asm.DefaultDataBase)
+	b.Words("nodes", randWords(rng, nNodes, 500)) // small potentials: narrow
+	arcs := make([]uint64, 4*nArcs)
+	for i := 0; i < nArcs; i++ {
+		arcs[4*i] = rng.next() % 100 // cost: narrow
+		arcs[4*i+1] = nodeBase + 8*uint64(rng.intn(nNodes))
+		arcs[4*i+2] = nodeBase + 8*uint64(rng.intn(nNodes))
+		arcs[4*i+3] = rng.next() % 64
+	}
+	b.Words("arcs", arcs)
+	k.begin()
+	b.La(rBaseA, "arcs")
+	k.loop()
+	// Scan a 256-arc slice chosen by the counter, two arcs per pass with
+	// rotated windows.
+	b.RI(opANDI, r(1), rIter, 511)
+	b.RI(opSLLI, r(1), r(1), 13)
+	b.RR(opADD, r(1), rBaseA, r(1))
+	b.Li(r(2), 128)
+	b.Label("arc")
+	for u := 0; u < 2; u++ {
+		w := 3 + 8*u
+		off := int64(32 * u)
+		b.Load(opLDQ, r(w), r(1), off) // cost: narrow
+		b.Load(opLDQ, r(w+1), r(1), off+8)
+		b.Load(opLDQ, r(w+2), r(1), off+16)
+		b.Load(opLDQ, r(w+3), r(w+1), 0)    // head potential: random 2MB miss
+		b.Load(opLDQ, r(w+4), r(w+2), 0)    // tail potential: random 2MB miss
+		b.RR(opSUB, r(w+5), r(w+3), r(w+4)) // potential difference: narrow
+		b.RR(opSUB, r(w+6), r(w), r(w+5))   // reduced cost: narrow
+		b.RI(opSRAI, r(w+7), r(w+6), 63)    // negative flag
+		b.RR(opSUB, rSum, rSum, r(w+7))
+		b.RR(opADD, rSum, rSum, r(w))
+		k.spice(r(w), fmt.Sprintf("mA%d", u))
+		k.spice(r(w+5), fmt.Sprintf("mB%d", u))
+	}
+	b.RI(opADDI, r(1), r(1), 64)
+	b.RI(opADDI, r(2), r(2), -1)
+	b.Bnez(r(2), "arc")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "parser", Class: Int, PaperIPC4: 0.98, PaperIPC8: 1.00,
+		Description:  "dictionary lookup: hash probe plus linked-list walk with byte-wise key compares over a 4MB node pool (stands in for parser)",
+		DefaultIters: 16000, build: buildParser,
+	})
+}
+
+func buildParser(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x9A45E4)
+	nBuckets := 1 << 10 // 8KB bucket table
+	nNodes := 2 << 10   // 64KB node pool: warm, chains hit the DL1/L2
+	bucketBase := uint64(asm.DefaultDataBase)
+	nodeBase := bucketBase + uint64(8*nBuckets)
+	nodes := make([]uint64, 4*nNodes)
+	buckets := make([]uint64, nBuckets)
+	for i := 0; i < nNodes; i++ {
+		key := rng.next()
+		bkt := int(key % uint64(nBuckets))
+		nodes[4*i] = key
+		nodes[4*i+1] = buckets[bkt]
+		nodes[4*i+2] = key % 100 // narrow values
+		buckets[bkt] = nodeBase + uint64(32*i)
+	}
+	b.Words("buckets", buckets)
+	b.Words("nodes", nodes)
+	k.begin()
+	b.La(rBaseA, "buckets")
+	b.Li(r(20), int64(nBuckets-1))
+	k.loop()
+	// Probe key from the counter via xorshift.
+	b.Mov(r(1), rIter)
+	b.RI(opSLLI, r(2), r(1), 13)
+	b.RR(opXOR, r(1), r(1), r(2))
+	b.RI(opSRLI, r(2), r(1), 7)
+	b.RR(opXOR, r(1), r(1), r(2))
+	b.RI(opSLLI, r(2), r(1), 17)
+	b.RR(opXOR, r(1), r(1), r(2))
+	b.RR(opAND, r(3), r(1), r(20))
+	b.RI(opSLLI, r(4), r(3), 3)
+	b.RR(opADD, r(4), rBaseA, r(4))
+	b.Load(opLDQ, r(5), r(4), 0) // list head
+	b.Li(r(6), 3)                // chase budget (two windows per round)
+	for u := 0; u < 2; u++ {
+		w := 7 + 6*u
+		lbl := fmt.Sprintf("chase%d", u)
+		nxt := fmt.Sprintf("chase%d", 1-u)
+		b.Label(lbl)
+		b.Beqz(r(5), "miss")
+		if u == 0 {
+			b.Beqz(r(6), "miss")
+			b.RI(opADDI, r(6), r(6), -1)
+		}
+		b.Load(opLDQ, r(w), r(5), 0) // key
+		b.Br(opBEQ, r(w), r(1), "found")
+		// Byte-compare low bytes (narrow, window-local).
+		b.RI(opANDI, r(w+1), r(w), 255)
+		b.RI(opANDI, r(w+2), r(1), 255)
+		b.RR(opSUB, r(w+3), r(w+1), r(w+2))
+		b.RR(opADD, rSum, rSum, r(w+3))
+		k.spice(r(w+1), fmt.Sprintf("pr%d", u))
+		b.Load(opLDQ, r(5), r(5), 8) // next
+		b.Jmp(nxt)
+	}
+	b.Label("found")
+	b.Load(opLDQ, r(19), r(5), 16)
+	b.RR(opADD, rSum, rSum, r(19))
+	b.Label("miss")
+	b.RI(opADDI, rSum, rSum, 1)
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "perlbmk", Class: Int, PaperIPC4: 1.15, PaperIPC8: 1.21,
+		Description:  "bytecode interpreter: dispatch loop with an operand stack, alternating register windows (stands in for perlbmk's run-time engine)",
+		DefaultIters: 8000, build: buildPerlbmk,
+	})
+}
+
+func buildPerlbmk(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x9E27)
+	code := make([]byte, 16384)
+	for i := range code {
+		code[i] = byte(rng.intn(5))
+	}
+	b.Bytes("bytecode", code)
+	b.Space("vstack", 8*256)
+	k.begin()
+	b.La(rBaseA, "bytecode")
+	b.La(rBaseB, "vstack")
+	b.Li(r(20), 8)  // stack depth: narrow
+	b.Li(r(19), 53) // start-offset stride
+	k.loop()
+	b.RR(opMUL, r(1), rIter, r(19))
+	b.RI(opANDI, r(1), r(1), 16383)
+	b.Li(r(2), 24) // dispatch rounds: narrow downcounter
+	for u := 0; u < 2; u++ {
+		w := 3 + 8*u
+		lbl := fmt.Sprintf("disp%d", u)
+		nxt := fmt.Sprintf("disp%d", 1-u)
+		b.Label(lbl)
+		if u == 0 {
+			b.Beqz(r(2), "pdone")
+			b.RI(opADDI, r(2), r(2), -1)
+		}
+		b.RR(opADD, r(w), rBaseA, r(1))
+		b.Load(opLDBU, r(w+1), r(w), 0) // opcode: narrow, long-lived
+		b.RI(opADDI, r(1), r(1), 1)
+		b.RI(opANDI, r(1), r(1), 16383)
+		b.RI(isa.OpSLTI, r(w+2), r(w+1), 2)
+		b.Bnez(r(w+2), "push"+lbl)
+		b.RI(isa.OpSLTI, r(w+2), r(w+1), 4)
+		b.Bnez(r(w+2), "arith"+lbl)
+		// Op 4: fold top of stack into the checksum.
+		b.RI(opSLLI, r(w+3), r(20), 3)
+		b.RR(opADD, r(w+3), rBaseB, r(w+3))
+		b.Load(opLDQ, r(w+4), r(w+3), 0)
+		b.RR(opADD, rSum, rSum, r(w+4))
+		b.Jmp(nxt)
+		b.Label("push" + lbl) // ops 0,1: push a narrow value
+		b.RR(opADD, r(w+3), r(w+1), r(2))
+		b.RI(opADDI, r(20), r(20), 1)
+		b.RI(opANDI, r(20), r(20), 127)
+		b.RI(opSLLI, r(w+4), r(20), 3)
+		b.RR(opADD, r(w+4), rBaseB, r(w+4))
+		b.Store(opSTQ, r(w+3), r(w+4), 0)
+		b.Jmp(nxt)
+		b.Label("arith" + lbl) // ops 2,3: pop two, combine, push
+		b.RI(opSLLI, r(w+3), r(20), 3)
+		b.RR(opADD, r(w+3), rBaseB, r(w+3))
+		b.Load(opLDQ, r(w+4), r(w+3), 0)
+		b.Load(opLDQ, r(w+5), r(w+3), -8)
+		b.RR(opADD, r(w+6), r(w+4), r(w+5))
+		b.RI(opANDI, r(w+6), r(w+6), 127) // narrow result
+		b.Store(opSTQ, r(w+6), r(w+3), -8)
+		b.RI(opADDI, r(20), r(20), -1)
+		b.RI(isa.OpSLTI, r(w+7), r(20), 8)
+		b.Beqz(r(w+7), nxt)
+		b.Li(r(20), 64)
+		b.Jmp(nxt)
+	}
+	b.Label("pdone")
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "twolf", Class: Int, PaperIPC4: 1.17, PaperIPC8: 1.22,
+		Description:  "simulated-annealing placement: random cell-pair cost evaluation with ~50/50 accept branches, 2x unrolled (stands in for twolf)",
+		DefaultIters: 25000, build: buildTwolf,
+	})
+}
+
+func buildTwolf(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x2701F)
+	nCells := 4 << 10                             // 32KB: DL1-competitive cell array
+	b.Words("cells", randWords(rng, nCells, 400)) // small coordinates: narrow
+	k.begin()
+	b.La(rBaseA, "cells")
+	b.Li(r(20), int64(nCells-1))
+	b.Li(r(19), 0x5F4A7C15)
+	b.Mov(r(18), rIter) // rng state
+	k.loop()
+	for u := 0; u < 2; u++ {
+		w := 1 + 9*u
+		b.RI(opSLLI, r(w), r(18), 13)
+		b.RR(opXOR, r(18), r(18), r(w))
+		b.RI(opSRLI, r(w), r(18), 7)
+		b.RR(opXOR, r(18), r(18), r(w))
+		b.RR(opMUL, r(w), r(18), r(19))
+		b.RR(opAND, r(w+1), r(w), r(20))
+		b.RI(opSRLI, r(w+2), r(w), 20)
+		b.RR(opAND, r(w+2), r(w+2), r(20))
+		b.RI(opSLLI, r(w+1), r(w+1), 3)
+		b.RI(opSLLI, r(w+2), r(w+2), 3)
+		b.RR(opADD, r(w+1), rBaseA, r(w+1))
+		b.RR(opADD, r(w+2), rBaseA, r(w+2))
+		b.Load(opLDQ, r(w+3), r(w+1), 0) // coordinates: narrow
+		b.Load(opLDQ, r(w+4), r(w+2), 0)
+		// Cost delta: |a-b|; accept about half the time.
+		b.RR(opSUB, r(w+5), r(w+3), r(w+4))
+		b.RI(opSRAI, r(w+6), r(w+5), 63)
+		b.RR(opXOR, r(w+5), r(w+5), r(w+6))
+		b.RR(opSUB, r(w+5), r(w+5), r(w+6))   // abs: narrow
+		b.RI(isa.OpSLTI, r(w+7), r(w+5), 330) // accept ~87%: mostly predictable
+		b.Beqz(r(w+7), fmt.Sprintf("rej%d", u))
+		b.Store(opSTQ, r(w+4), r(w+1), 0) // swap on accept
+		b.Store(opSTQ, r(w+3), r(w+2), 0)
+		b.Label(fmt.Sprintf("rej%d", u))
+		b.RR(opADD, rSum, rSum, r(w+5))
+		k.spice(r(w+3), fmt.Sprintf("tw%d", u))
+	}
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "vortex", Class: Int, PaperIPC4: 1.40, PaperIPC8: 1.52,
+		Description:  "object-store transactions: key hash, bucket insert, and rotated-register record copies (stands in for vortex)",
+		DefaultIters: 30000, build: buildVortex,
+	})
+}
+
+func buildVortex(iters int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x04E7E)
+	nBuckets := 4 << 10 // 32KB: cache-friendly index
+	b.Words("vbuckets", make([]uint64, nBuckets))
+	b.Words("records", randWords(rng, 4*1024, 200)) // 32KB of records: narrow fields
+	b.Space("pool", 32*64)                          // hot transaction scratch slots
+	k.begin()
+	b.La(rBaseA, "vbuckets")
+	b.La(rBaseB, "records")
+	b.La(rBaseC, "pool")
+	b.Li(r(20), int64(nBuckets-1))
+	k.loop()
+	// Pick a source record and hash its first word.
+	b.RI(opANDI, r(1), rIter, 1023)
+	b.RI(opSLLI, r(1), r(1), 5)
+	b.RR(opADD, r(1), rBaseB, r(1))
+	b.Load(opLDQ, r(2), r(1), 0)
+	b.RI(opSRLI, r(3), r(2), 3)
+	b.RR(opXOR, r(3), r(3), r(2))
+	b.RR(opAND, r(4), r(3), r(20)) // bucket
+	// Copy the 32-byte record through four distinct registers.
+	b.RI(opANDI, r(5), rIter, 63)
+	b.RI(opSLLI, r(5), r(5), 5)
+	b.RR(opADD, r(5), rBaseC, r(5))
+	for i := 0; i < 4; i++ {
+		b.Load(opLDQ, r(6+i), r(1), int64(8*i)) // r6..r9: narrow fields
+	}
+	for i := 0; i < 4; i++ {
+		b.Store(opSTQ, r(6+i), r(5), int64(8*i))
+	}
+	// Field validation: narrow compares with long-lived flags.
+	k.spice(r(6), "vxA")
+	k.spice(r(7), "vxB")
+	k.spice(r(8), "vxC")
+	b.RR(opSLT, r(10), r(6), r(7))
+	b.RR(opSLT, r(11), r(8), r(9))
+	b.RR(opADD, r(12), r(6), r(9))
+	b.RR(opADD, rSum, rSum, r(10))
+	b.RR(opADD, rSum, rSum, r(11))
+	b.RR(opADD, rSum, rSum, r(12))
+	// Insert: bucket -> slot; checksum the displaced pointer.
+	b.RI(opSLLI, r(13), r(4), 3)
+	b.RR(opADD, r(13), rBaseA, r(13))
+	b.Load(opLDQ, r(14), r(13), 0)
+	b.Store(opSTQ, r(5), r(13), 0)
+	b.RR(opXOR, rSum, rSum, r(14))
+	return k.end()
+}
+
+func init() {
+	register(Workload{
+		Name: "vpr", Class: Int, PaperIPC4: 1.36, PaperIPC8: 1.42,
+		Description:  "maze-router wavefront relaxation on a cache-resident 64x64 grid with narrow routing costs (stands in for vpr, reduced input)",
+		DefaultIters: 7000, build: func(n int) *asm.Program { return buildVpr(n, 64) },
+	})
+	register(Workload{
+		Name: "vpr_ref", Class: Int, PaperIPC4: 0.63, PaperIPC8: 0.64,
+		Description:  "the same router on a 1024x1024 grid (8MB) that defeats the L2, as with vpr's reference input",
+		DefaultIters: 4000, build: func(n int) *asm.Program { return buildVpr(n, 1024) },
+	})
+}
+
+func buildVpr(iters, dim int) *asm.Program {
+	k := newKernel(iters)
+	b := k.b
+	rng := newRand(0x0B94)
+	grid := make([]uint64, dim*dim)
+	for i := range grid {
+		grid[i] = 40 + rng.next()%32 // partially-converged costs: narrow
+	}
+	b.Words("grid", grid)
+	k.begin()
+	b.La(rBaseA, "grid")
+	b.Li(r(20), int64(dim))
+	b.Li(r(19), int64(dim*dim-1))
+	b.Li(r(17), (128<<10)-1) // region size: 128K cells (1MB) beats the L2
+	b.Mov(r(18), rIter)
+	k.loop()
+	// The router works region by region: the region base crawls with the
+	// outer iteration, giving the reference grid L2-ish locality.
+	b.RI(opSLLI, r(16), rIter, 7)
+	b.RR(opAND, r(16), r(16), r(19))
+	// Random walk: relax 16 cell pairs against two neighbours each, two
+	// cells per pass through rotated windows.
+	b.Li(r(1), 16)
+	b.Label("cell")
+	for u := 0; u < 2; u++ {
+		w := 2 + 8*u
+		b.RI(opSLLI, r(w), r(18), 13)
+		b.RR(opXOR, r(18), r(18), r(w))
+		b.RI(opSRLI, r(w), r(18), 7)
+		b.RR(opXOR, r(18), r(18), r(w))
+		b.RR(opAND, r(w), r(18), r(17)) // cell index within the work region
+		b.RR(opADD, r(w), r(w), r(16))  // region base sweeps the grid
+		b.RR(opAND, r(w), r(w), r(19))
+		b.RI(opSLLI, r(w+1), r(w), 3)
+		b.RR(opADD, r(w+1), rBaseA, r(w+1))
+		b.Load(opLDQ, r(w+2), r(w+1), 0) // cost: narrow
+		b.RI(opADDI, r(w+3), r(w), 1)
+		b.RR(opAND, r(w+3), r(w+3), r(19))
+		b.RI(opSLLI, r(w+3), r(w+3), 3)
+		b.RR(opADD, r(w+3), rBaseA, r(w+3))
+		b.Load(opLDQ, r(w+4), r(w+3), 0) // east neighbour: narrow
+		b.RR(opADD, r(w+5), r(w), r(20))
+		b.RR(opAND, r(w+5), r(w+5), r(19))
+		b.RI(opSLLI, r(w+5), r(w+5), 3)
+		b.RR(opADD, r(w+5), rBaseA, r(w+5))
+		b.Load(opLDQ, r(w+6), r(w+5), 0) // south neighbour: narrow
+		// new = min(east, south) + 1; relax if better.
+		b.RR(opSLT, r(w+7), r(w+4), r(w+6))
+		b.Bnez(r(w+7), fmt.Sprintf("p%d", u))
+		b.Mov(r(w+4), r(w+6))
+		b.Label(fmt.Sprintf("p%d", u))
+		b.RI(opADDI, r(w+4), r(w+4), 3) // relax only on clear improvement
+		b.RR(opSLT, r(w+7), r(w+4), r(w+2))
+		b.Beqz(r(w+7), fmt.Sprintf("n%d", u))
+		b.Store(opSTQ, r(w+4), r(w+1), 0)
+		b.Label(fmt.Sprintf("n%d", u))
+		b.RR(opADD, rSum, rSum, r(w+2))
+		k.spice(r(w+2), fmt.Sprintf("vs%d", u))
+	}
+	b.RI(opADDI, r(1), r(1), -1)
+	b.Bnez(r(1), "cell")
+	return k.end()
+}

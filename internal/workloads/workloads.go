@@ -1,0 +1,236 @@
+// Package workloads provides the 27 synthetic benchmark kernels standing in
+// for the paper's SPEC2000 suite (13 integer runs including both vpr inputs,
+// and 14 floating point). Each kernel implements the algorithmic idiom of
+// its namesake — LZ77 hash chains for gzip, network-simplex arc scans for
+// mcf, MD neighbor lists for ammp, shallow-water stencils for swim — with
+// working-set sizes chosen to land in the same cache/memory regime, so the
+// register-pressure and operand-width behaviour the paper measures is
+// recreated rather than assumed.
+//
+// Kernels are deterministic (fixed xorshift seeds), self-checking (each
+// stores a checksum at the "checksum" symbol before HALT), and scalable via
+// the iteration parameter to Build.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// Class separates the paper's two benchmark suites.
+type Class uint8
+
+// Benchmark suite classes.
+const (
+	Int Class = iota
+	FP
+)
+
+func (c Class) String() string {
+	if c == FP {
+		return "fp"
+	}
+	return "int"
+}
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name  string
+	Class Class
+	// What the kernel does and which SPEC2000 program it stands in for.
+	Description string
+	// PaperIPC4 and PaperIPC8 are the paper's Table 2 baseline IPCs, kept
+	// for the paper-vs-measured comparison in EXPERIMENTS.md.
+	PaperIPC4, PaperIPC8 float64
+	// DefaultIters produces a dynamic instruction count comfortably above
+	// the default measurement budget.
+	DefaultIters int
+	build        func(iters int) *asm.Program
+}
+
+// Build assembles the kernel with the given outer iteration count (0 uses
+// DefaultIters).
+func (w Workload) Build(iters int) *asm.Program {
+	if iters <= 0 {
+		iters = w.DefaultIters
+	}
+	return w.build(iters)
+}
+
+var registry []Workload
+
+func register(w Workload) {
+	for _, r := range registry {
+		if r.Name == w.Name {
+			panic(fmt.Sprintf("workloads: duplicate %q", w.Name))
+		}
+	}
+	registry = append(registry, w)
+}
+
+// All returns every workload, integer suite first, in the paper's order.
+func All() []Workload { return append([]Workload(nil), registry...) }
+
+// Integer returns the 13 integer workloads.
+func Integer() []Workload { return filter(Int) }
+
+// FloatingPoint returns the 14 floating-point workloads.
+func FloatingPoint() []Workload { return filter(FP) }
+
+func filter(c Class) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// xorshift is the deterministic generator used for all synthetic data.
+type xorshift uint64
+
+func newRand(seed uint64) *xorshift {
+	x := xorshift(seed | 1)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+func (x *xorshift) float(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(x.next()%(1<<24))/float64(1<<24)
+}
+
+// randWords fills a slice with bounded random values.
+func randWords(r *xorshift, n int, mod uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		v := r.next()
+		if mod != 0 {
+			v %= mod
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// randFloats generates values in [lo, hi) with the given fraction of exact
+// zeroes — SPEC2000 fp operands are roughly half zero (the paper's Figure
+// 2), and that sparsity is what FP inlining exploits.
+func randFloats(r *xorshift, n int, lo, hi, zeroFrac float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if float64(r.next()%1000)/1000 < zeroFrac {
+			continue
+		}
+		out[i] = r.float(lo, hi)
+	}
+	return out
+}
+
+// permutationRing writes a single-cycle pointer ring with the given byte
+// stride between successive elements: ring[i] holds the address of the next
+// element. Chasing it serializes on memory latency when the stride defeats
+// the caches.
+func permutationRing(base uint64, n, idxStride int) []uint64 {
+	ring := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		next := (i + idxStride) % n
+		ring[i] = base + 8*uint64(next)
+	}
+	return ring
+}
+
+// kernel is the shared scaffolding: prologue that loads the iteration count
+// into iterReg, an outer loop label, and an epilogue that stores checksumReg
+// to the "checksum" symbol and halts.
+type kernel struct {
+	b        *asm.Builder
+	iters    int
+	checksum isa.Reg
+	iterReg  isa.Reg
+}
+
+// spice emits a short biased conditional over v — the value-dependent
+// branches that pepper real compiled code every few instructions. Each one
+// costs a rename-map checkpoint, which is what gives the paper's release
+// schemes their distinct pin dynamics; kernels sprinkle these through their
+// unrolled windows to match real branch density (~1 per 6 instructions).
+// The branch is taken when v's three low bits are all zero (biased ~7:1
+// not-taken but data-dependent, so it mispredicts at realistic rates),
+// and the taken side folds v into the checksum.
+func (k *kernel) spice(v isa.Reg, label string) {
+	b := k.b
+	b.RI(isa.OpANDI, isa.IntReg(28), v, 7)
+	b.Bnez(isa.IntReg(28), label)
+	b.RR(isa.OpADD, k.checksum, k.checksum, v)
+	b.Label(label)
+}
+
+// Conventional registers shared by all kernels.
+var (
+	rIter  = isa.IntReg(25) // outer-loop downcounter
+	rSum   = isa.IntReg(24) // running checksum
+	rBaseA = isa.IntReg(23)
+	rBaseB = isa.IntReg(22)
+	rBaseC = isa.IntReg(21)
+)
+
+func newKernel(iters int) *kernel {
+	return &kernel{b: asm.NewBuilder(), iters: iters, checksum: rSum, iterReg: rIter}
+}
+
+// begin emits the prologue. Data must be declared before calling; kernel-
+// specific setup (base address loads) goes between begin and loop.
+func (k *kernel) begin() {
+	b := k.b
+	b.Space("checksum", 8)
+	b.Label("main")
+	b.Li(k.iterReg, int64(k.iters))
+	b.Li(k.checksum, 0)
+}
+
+// loop marks the top of the outer loop.
+func (k *kernel) loop() { k.b.Label("outer") }
+
+// end emits the outer-loop back edge and the checksum epilogue.
+func (k *kernel) end() *asm.Program {
+	b := k.b
+	b.RI(isa.OpADDI, k.iterReg, k.iterReg, -1)
+	b.Bnez(k.iterReg, "outer")
+	tmp := isa.IntReg(1)
+	b.La(tmp, "checksum")
+	b.Store(isa.OpSTQ, k.checksum, tmp, 0)
+	b.Halt()
+	return b.MustFinish()
+}
+
+// Checksum reads the kernel's stored checksum from a finished machine's
+// memory (for self-check tests).
+func Checksum(prog *asm.Program, read func(addr uint64) uint64) uint64 {
+	return read(prog.Symbols["checksum"])
+}
+
+func fbits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"testing"
+
+	"prisim/internal/emu"
+	"prisim/internal/isa"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(Integer()); got != 13 {
+		t.Errorf("integer suite has %d workloads, want 13", got)
+	}
+	if got := len(FloatingPoint()); got != 14 {
+		t.Errorf("fp suite has %d workloads, want 14", got)
+	}
+	names := map[string]bool{}
+	for _, w := range All() {
+		if w.Name == "" || w.Description == "" || w.build == nil {
+			t.Errorf("workload %+v incomplete", w.Name)
+		}
+		if w.PaperIPC4 <= 0 || w.PaperIPC8 <= 0 {
+			t.Errorf("%s missing paper IPC reference", w.Name)
+		}
+		if w.DefaultIters <= 0 {
+			t.Errorf("%s missing default iterations", w.Name)
+		}
+		names[w.Name] = true
+	}
+	for _, want := range []string{"bzip2", "mcf", "vpr", "vpr_ref", "ammp", "swim", "wupwise"} {
+		if !names[want] {
+			t.Errorf("missing workload %q", want)
+		}
+	}
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName found a ghost")
+	}
+}
+
+// TestKernelsRunAndSelfCheck functionally executes every kernel at a small
+// scale: it must halt, store a checksum, and be deterministic.
+func TestKernelsRunAndSelfCheck(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() (uint64, uint64) {
+				prog := w.Build(30)
+				m := emu.New(prog)
+				n := m.Run(30_000_000)
+				if !m.Halted() {
+					t.Fatalf("%s did not halt in 30M instructions", w.Name)
+				}
+				return Checksum(prog, m.Mem.ReadU64), n
+			}
+			c1, n1 := run()
+			c2, n2 := run()
+			if c1 != c2 || n1 != n2 {
+				t.Errorf("%s nondeterministic: (%#x,%d) vs (%#x,%d)", w.Name, c1, n1, c2, n2)
+			}
+			if n1 < 500 {
+				t.Errorf("%s ran only %d instructions at scale 30", w.Name, n1)
+			}
+		})
+	}
+}
+
+// TestKernelInstructionMix checks each kernel exercises the features its
+// description claims: loads, branches, and (for fp kernels) FP arithmetic.
+func TestKernelInstructionMix(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(5)
+			m := emu.New(prog)
+			var loads, stores, branches, fpOps, total uint64
+			for !m.Halted() && total < 2_000_000 {
+				info := m.Step()
+				total++
+				op := info.Inst.Op
+				switch {
+				case op.IsLoad():
+					loads++
+				case op.IsStore():
+					stores++
+				case op.IsBranch():
+					branches++
+				}
+				if op.Class() == isa.FUFPAdd || op.Class() == isa.FUFPMulDiv {
+					fpOps++
+				}
+			}
+			if loads == 0 || branches == 0 {
+				t.Errorf("%s: no loads (%d) or branches (%d)", w.Name, loads, branches)
+			}
+			if w.Class == FP && fpOps*10 < total {
+				t.Errorf("%s: only %d/%d fp ops", w.Name, fpOps, total)
+			}
+			if stores == 0 {
+				t.Errorf("%s: no stores", w.Name)
+			}
+		})
+	}
+}
+
+// TestDefaultScaleBudget ensures the default iteration count provides
+// enough dynamic instructions for the measurement runs (>= 500k).
+func TestDefaultScaleBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(0)
+			m := emu.New(prog)
+			n := m.Run(500_000)
+			if m.Halted() && n < 500_000 {
+				t.Errorf("%s halted after only %d instructions at default scale", w.Name, n)
+			}
+		})
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := newRand(42)
+	if r.intn(10) < 0 || r.intn(10) >= 10 {
+		t.Error("intn out of range")
+	}
+	v := r.float(1, 2)
+	if v < 1 || v >= 2 {
+		t.Errorf("float out of range: %v", v)
+	}
+	fs := randFloats(newRand(7), 1000, -1, 1, 0.5)
+	zeros := 0
+	for _, f := range fs {
+		if f == 0 {
+			zeros++
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Errorf("zero fraction off: %d/1000", zeros)
+	}
+	ring := permutationRing(0x1000, 16, 3)
+	seen := map[uint64]bool{}
+	addr := uint64(0x1000)
+	for i := 0; i < 16; i++ {
+		next := ring[(addr-0x1000)/8]
+		if seen[next] {
+			t.Fatal("ring not a single cycle")
+		}
+		seen[next] = true
+		addr = next
+	}
+}

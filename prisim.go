@@ -1,0 +1,236 @@
+// Package prisim is the public facade over the physical register inlining
+// reproduction: a cycle-level out-of-order PRISC-64 simulator whose rename
+// stage implements the ISCA 2004 "Physical Register Inlining" scheme, the
+// prior-work early-release scheme, and their combination, plus the
+// SPEC2000-like synthetic workload suite and the experiment harness that
+// regenerates the paper's tables and figures.
+//
+// Quick start:
+//
+//	res := prisim.Simulate(prisim.Options{
+//		Benchmark: "mcf",
+//		Width:     4,
+//		Policy:    prisim.PolicyPRI,
+//	})
+//	fmt.Printf("IPC %.3f\n", res.IPC)
+//
+// Deeper control (custom programs, per-cycle inspection) is available
+// through the internal packages for code living in this module; external
+// users drive the simulator through Options and the cmd/ tools.
+package prisim
+
+import (
+	"fmt"
+
+	"prisim/internal/core"
+	"prisim/internal/harness"
+	"prisim/internal/ooo"
+	"prisim/internal/stats"
+	"prisim/internal/workloads"
+)
+
+// Policy names a register release scheme.
+type Policy string
+
+// The eight schemes evaluated in the paper.
+const (
+	PolicyBase         Policy = "base"
+	PolicyER           Policy = "er"
+	PolicyPRI          Policy = "pri-rc-ckpt" // the paper's headline PRI configuration
+	PolicyPRIRcLazy    Policy = "pri-rc-lazy"
+	PolicyPRIIdealCkpt Policy = "pri-ideal-ckpt"
+	PolicyPRIIdealLazy Policy = "pri-ideal-lazy"
+	PolicyPRIPlusER    Policy = "pri+er"
+	PolicyInfinite     Policy = "infpr"
+)
+
+var policyMap = map[Policy]core.Policy{
+	PolicyBase:         core.PolicyBase,
+	PolicyER:           core.PolicyER,
+	PolicyPRI:          core.PolicyPRIRcCkpt,
+	PolicyPRIRcLazy:    core.PolicyPRIRcLazy,
+	PolicyPRIIdealCkpt: core.PolicyPRIIdealCkpt,
+	PolicyPRIIdealLazy: core.PolicyPRIIdealLazy,
+	PolicyPRIPlusER:    core.PolicyPRIPlusER,
+	PolicyInfinite:     core.PolicyInfinite,
+}
+
+// Policies lists every available policy name.
+func Policies() []Policy {
+	return []Policy{PolicyBase, PolicyER, PolicyPRI, PolicyPRIRcLazy,
+		PolicyPRIIdealCkpt, PolicyPRIIdealLazy, PolicyPRIPlusER, PolicyInfinite}
+}
+
+// Options selects a simulation point.
+type Options struct {
+	Benchmark string // a workload name (see Benchmarks)
+	Width     int    // 4 or 8 (Table 1 machines); default 4
+	Policy    Policy // default PolicyBase
+	PhysRegs  int    // per-class physical registers; 0 = Table 1 default (64)
+
+	FastForward uint64 // instructions skipped before measurement (default 20k)
+	Run         uint64 // instructions measured (default 80k)
+
+	// RenameInline enables the paper's Section 6 rename-time inlining
+	// extension (narrow load-immediates never allocate a register).
+	RenameInline bool
+	// DelayedAllocation enables the Section 6 virtual-physical extension
+	// (registers bind at writeback instead of rename).
+	DelayedAllocation bool
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Benchmark string
+	IPC       float64
+	Cycles    uint64
+	Committed uint64
+
+	IntOccupancy float64 // mean allocated integer physical registers
+	FPOccupancy  float64
+
+	// Register lifetime phases (cycles, averaged per released register of
+	// the benchmark's dominant class).
+	AllocToWrite, WriteToRead, ReadToRelease float64
+
+	InlineFraction float64 // source operands served from inlined map entries
+	MispredictRate float64
+	DL1MissRate    float64
+	L2MissRate     float64
+}
+
+// Benchmark describes one available workload.
+type Benchmark struct {
+	Name        string
+	FP          bool
+	Description string
+	PaperIPC4   float64
+}
+
+// Benchmarks lists the 27 available workloads.
+func Benchmarks() []Benchmark {
+	var out []Benchmark
+	for _, w := range workloads.All() {
+		out = append(out, Benchmark{
+			Name:        w.Name,
+			FP:          w.Class == workloads.FP,
+			Description: w.Description,
+			PaperIPC4:   w.PaperIPC4,
+		})
+	}
+	return out
+}
+
+// Simulate runs one benchmark at one machine point and returns the result.
+func Simulate(o Options) (Result, error) {
+	w, ok := workloads.ByName(o.Benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("prisim: unknown benchmark %q", o.Benchmark)
+	}
+	pol := core.PolicyBase
+	if o.Policy != "" {
+		p, ok := policyMap[o.Policy]
+		if !ok {
+			return Result{}, fmt.Errorf("prisim: unknown policy %q", o.Policy)
+		}
+		pol = p
+	}
+	cfg := ooo.Width4()
+	switch o.Width {
+	case 0, 4:
+	case 8:
+		cfg = ooo.Width8()
+	default:
+		return Result{}, fmt.Errorf("prisim: width must be 4 or 8, got %d", o.Width)
+	}
+	cfg = cfg.WithPolicy(pol)
+	if o.PhysRegs > 0 {
+		if o.PhysRegs < 32 {
+			return Result{}, fmt.Errorf("prisim: PhysRegs must be at least 32 (one per architected register), got %d", o.PhysRegs)
+		}
+		cfg = cfg.WithPRs(o.PhysRegs)
+	}
+	cfg.InlineAtRename = o.RenameInline
+	cfg.DelayedAllocation = o.DelayedAllocation
+
+	ff, run := o.FastForward, o.Run
+	if ff == 0 {
+		ff = harness.DefaultBudget.FastForward
+	}
+	if run == 0 {
+		run = harness.DefaultBudget.Run
+	}
+	p := ooo.New(cfg, w.Build(0))
+	p.FastForward(ff)
+	p.Run(run)
+
+	st := p.Stats()
+	life := p.Renamer().IntStats()
+	if w.Class == workloads.FP {
+		life = p.Renamer().FPStats()
+	}
+	aw, wr, rr := life.AvgPhases()
+	return Result{
+		Benchmark:      w.Name,
+		IPC:            st.IPC(),
+		Cycles:         st.Cycles,
+		Committed:      st.Committed,
+		IntOccupancy:   st.AvgIntOccupancy(),
+		FPOccupancy:    st.AvgFPOccupancy(),
+		AllocToWrite:   aw,
+		WriteToRead:    wr,
+		ReadToRelease:  rr,
+		InlineFraction: st.InlineFraction(),
+		MispredictRate: st.MispredictRate(),
+		DL1MissRate:    p.Mem().DL1.MissRate(),
+		L2MissRate:     p.Mem().L2.MissRate(),
+	}, nil
+}
+
+// Experiment regenerates one of the paper's tables or figures as rendered
+// text. Valid names: table1, table2, fig1, fig2, fig8, fig9, fig10, fig11,
+// fig12, ablation-inline, ablation-mem, ablation-delayed, ablation-mshr,
+// ablation-prefetch.
+func Experiment(name string, budget Options) (string, error) {
+	b := harness.Budget{FastForward: budget.FastForward, Run: budget.Run}
+	r := harness.NewRunner(b)
+	var tables []*stats.Table
+	switch name {
+	case "table1":
+		tables = append(tables, harness.Table1())
+	case "table2":
+		tables = append(tables, r.Table2())
+	case "fig1":
+		tables = append(tables, r.Fig1())
+	case "fig2":
+		a, bb := r.Fig2()
+		tables = append(tables, a, bb)
+	case "fig8":
+		tables = append(tables, r.Fig8())
+	case "fig9":
+		tables = append(tables, r.Fig9(4), r.Fig9(8))
+	case "fig10":
+		tables = append(tables, r.Fig10(4), r.Fig10(8))
+	case "fig11":
+		tables = append(tables, r.Fig11(4), r.Fig11(8))
+	case "fig12":
+		tables = append(tables, r.Fig12(4), r.Fig12(8))
+	case "ablation-inline":
+		tables = append(tables, r.AblationRenameInline(4))
+	case "ablation-mem":
+		tables = append(tables, r.AblationDisambiguation(4))
+	case "ablation-delayed":
+		tables = append(tables, r.AblationDelayedAllocation(4))
+	case "ablation-mshr":
+		tables = append(tables, r.AblationMSHR(4))
+	case "ablation-prefetch":
+		tables = append(tables, r.AblationPrefetch(4))
+	default:
+		return "", fmt.Errorf("prisim: unknown experiment %q", name)
+	}
+	out := ""
+	for _, t := range tables {
+		out += t.String() + "\n"
+	}
+	return out, nil
+}
