@@ -11,11 +11,13 @@ package prisim
 // Shape notes are in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"prisim/internal/core"
 	"prisim/internal/harness"
 	"prisim/internal/ooo"
+	"prisim/internal/stats"
 	"prisim/internal/workloads"
 )
 
@@ -23,7 +25,20 @@ import (
 // (benchmark, machine, policy) cell they need at this budget.
 var benchBudget = harness.Budget{FastForward: 2000, Run: 6000}
 
+var benchCtx = context.Background()
+
 func newRunner() *harness.Runner { return harness.NewRunner(benchBudget) }
+
+// rows fails the benchmark unless the driver succeeded and produced n rows.
+func rows(b *testing.B, t *stats.Table, err error, n int) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(t.Rows) != n {
+		b.Fatalf("incomplete: %d rows, want %d", len(t.Rows), n)
+	}
+}
 
 func BenchmarkTable1Machines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -35,26 +50,24 @@ func BenchmarkTable1Machines(b *testing.B) {
 
 func BenchmarkTable2BaseIPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Table2().Rows) != 27 {
-			b.Fatal("table 2 incomplete")
-		}
+		t, err := newRunner().Table2(benchCtx)
+		rows(b, t, err, 27)
 	}
 }
 
 func BenchmarkFig1RegisterLifetime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig1().Rows) != 13 {
-			b.Fatal("fig 1 incomplete")
-		}
+		t, err := newRunner().Fig1(benchCtx)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkFig2OperandSignificance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		intT, fpT := r.Fig2()
+		intT, fpT, err := newRunner().Fig2(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(intT.Rows) != 13 || len(fpT.Rows) != 14 {
 			b.Fatal("fig 2 incomplete")
 		}
@@ -63,64 +76,60 @@ func BenchmarkFig2OperandSignificance(b *testing.B) {
 
 func BenchmarkFig8LifetimeReduction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig8().Rows) != 13 {
-			b.Fatal("fig 8 incomplete")
-		}
+		t, err := newRunner().Fig8(benchCtx)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkFig9RegisterSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig9(4).Rows) != 27 {
-			b.Fatal("fig 9 incomplete")
-		}
+		t, err := newRunner().Fig9(benchCtx, 4)
+		rows(b, t, err, 27)
 	}
 }
 
 func BenchmarkFig10IntSpeedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig10(4).Rows) != 14 {
-			b.Fatal("fig 10 incomplete")
-		}
+		t, err := newRunner().Fig10(benchCtx, 4)
+		rows(b, t, err, 14)
 	}
 }
 
 func BenchmarkFig11Occupancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig11(4).Rows) != 13 {
-			b.Fatal("fig 11 incomplete")
-		}
+		t, err := newRunner().Fig11(benchCtx, 4)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkFig12FPSpeedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.Fig12(4).Rows) != 15 {
-			b.Fatal("fig 12 incomplete")
-		}
+		t, err := newRunner().Fig12(benchCtx, 4)
+		rows(b, t, err, 15)
 	}
 }
 
 func BenchmarkAblationRenameInline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.AblationRenameInline(4).Rows) != 13 {
-			b.Fatal("ablation incomplete")
-		}
+		t, err := newRunner().AblationRenameInline(benchCtx, 4)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkAblationDisambiguation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.AblationDisambiguation(4).Rows) != 13 {
-			b.Fatal("ablation incomplete")
-		}
+		t, err := newRunner().AblationDisambiguation(benchCtx, 4)
+		rows(b, t, err, 13)
+	}
+}
+
+// BenchmarkFig8Parallel measures the same experiment on a worker pool sized
+// by GOMAXPROCS (cold cache each iteration) — the wall-clock win the v2
+// harness exists for.
+func BenchmarkFig8Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.NewParallelRunner(benchBudget, 0).Fig8(benchCtx)
+		rows(b, t, err, 13)
 	}
 }
 
@@ -156,27 +165,21 @@ func BenchmarkSchemeOverhead(b *testing.B) {
 
 func BenchmarkAblationDelayedAllocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.AblationDelayedAllocation(4).Rows) != 13 {
-			b.Fatal("ablation incomplete")
-		}
+		t, err := newRunner().AblationDelayedAllocation(benchCtx, 4)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkAblationMSHR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.AblationMSHR(4).Rows) != 13 {
-			b.Fatal("ablation incomplete")
-		}
+		t, err := newRunner().AblationMSHR(benchCtx, 4)
+		rows(b, t, err, 13)
 	}
 }
 
 func BenchmarkAblationPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := newRunner()
-		if len(r.AblationPrefetch(4).Rows) != 13 {
-			b.Fatal("ablation incomplete")
-		}
+		t, err := newRunner().AblationPrefetch(benchCtx, 4)
+		rows(b, t, err, 13)
 	}
 }

@@ -1,6 +1,6 @@
 // Command prias is the PRISC-64 assembler tool: it assembles a source file
 // and disassembles it, runs it functionally, or runs it through the timing
-// pipeline.
+// pipeline (via the public prisim Engine API).
 //
 // Usage:
 //
@@ -11,13 +11,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"prisim"
 	"prisim/internal/asm"
 	"prisim/internal/emu"
-	"prisim/internal/ooo"
 	"prisim/internal/trace"
 )
 
@@ -87,11 +89,16 @@ func main() {
 	case *dis:
 		fmt.Print(prog.Disassemble())
 	case *timeIt:
-		p := ooo.New(ooo.Width4(), prog)
-		n := p.Run(*limit)
-		os.Stdout.Write(p.Machine().Output())
-		st := p.Stats()
-		fmt.Printf("\n%d instructions, %d cycles, IPC %.3f\n", n, st.Cycles, st.IPC())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := prisim.NewEngine().SimulateProgram(ctx, prisim.NewProgram(prog),
+			prisim.Options{Run: *limit})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prias:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(res.Output)
+		fmt.Printf("\n%d instructions, %d cycles, IPC %.3f\n", res.Committed, res.Cycles, res.IPC)
 	case *run:
 		m := emu.New(prog)
 		n := m.Run(*limit)

@@ -1,4 +1,7 @@
-// Command priexp regenerates the paper's tables and figures.
+// Command priexp regenerates the paper's tables and figures through the
+// public prisim Engine API: every experiment's run matrix executes on a
+// worker pool sized by GOMAXPROCS (override with -j), output tables are
+// byte-identical to a serial run, and ^C cancels mid-sweep.
 //
 // Usage:
 //
@@ -13,42 +16,66 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
-	"prisim/internal/harness"
-	"prisim/internal/stats"
+	"prisim"
 )
 
 func main() {
-	ff := flag.Uint64("ff", harness.DefaultBudget.FastForward, "fast-forward instructions per run")
-	run := flag.Uint64("run", harness.DefaultBudget.Run, "measured instructions per run")
+	ff := flag.Uint64("ff", 0, "fast-forward instructions per run (0 = default 20k)")
+	run := flag.Uint64("run", 0, "measured instructions per run (0 = default 80k)")
+	workers := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	svgDir := flag.String("svg", "", "also render each figure as SVG into this directory")
 	report := flag.String("report", "", "write a full markdown report (all experiments + shape checklist) to this file and exit")
+	timing := flag.String("timing", "", "benchmark serial vs parallel fig8 wall-clock, write JSON to this file, and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: priexp [flags] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(names(), " "))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(prisim.ExperimentNames(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	r := harness.NewRunner(harness.Budget{FastForward: *ff, Run: *run})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []prisim.EngineOption{
+		prisim.WithBudget(*ff, *run),
+		prisim.WithParallelism(*workers),
+	}
 	if *verbose {
-		r.Progress = os.Stderr
+		opts = append(opts, prisim.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs complete", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	eng := prisim.NewEngine(opts...)
+
+	if *timing != "" {
+		if err := writeTiming(ctx, *timing, *ff, *run); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "priexp:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
-		if err := r.WriteReport(f); err != nil {
-			fmt.Fprintln(os.Stderr, "priexp:", err)
-			os.Exit(1)
+		if err := eng.WriteReport(ctx, f, prisim.Options{}); err != nil {
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
 		return
@@ -59,18 +86,19 @@ func main() {
 		args = []string{"table1", "table2", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12"}
 	}
 	for _, name := range args {
-		tables, ok := experiments(r)[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "priexp: unknown experiment %q (have: %s)\n",
-				name, strings.Join(names(), " "))
-			os.Exit(2)
+		tables, err := eng.ExperimentTables(ctx, name, prisim.Options{})
+		if err != nil {
+			if errors.Is(err, prisim.ErrUnknownExperiment) {
+				fmt.Fprintf(os.Stderr, "priexp: %s\n", strings.TrimPrefix(err.Error(), "prisim: "))
+				os.Exit(2)
+			}
+			fatal(err)
 		}
-		ts := tables()
-		for _, t := range ts {
+		for _, t := range tables {
 			fmt.Println(t.String())
 		}
 		if *svgDir != "" {
-			if err := writeSVGs(*svgDir, name, ts); err != nil {
+			if err := writeSVGs(*svgDir, name, tables); err != nil {
 				fmt.Fprintf(os.Stderr, "priexp: svg: %v\n", err)
 				os.Exit(1)
 			}
@@ -78,38 +106,65 @@ func main() {
 	}
 }
 
-func experiments(r *harness.Runner) map[string]func() []*stats.Table {
-	one := func(t *stats.Table) []*stats.Table { return []*stats.Table{t} }
-	return map[string]func() []*stats.Table{
-		"table1": func() []*stats.Table { return one(harness.Table1()) },
-		"table2": func() []*stats.Table { return one(r.Table2()) },
-		"fig1":   func() []*stats.Table { return one(r.Fig1()) },
-		"fig2": func() []*stats.Table {
-			a, b := r.Fig2()
-			return []*stats.Table{a, b}
-		},
-		"fig8": func() []*stats.Table { return one(r.Fig8()) },
-		"fig9": func() []*stats.Table {
-			return []*stats.Table{r.Fig9(4), r.Fig9(8)}
-		},
-		"fig10": func() []*stats.Table {
-			return []*stats.Table{r.Fig10(4), r.Fig10(8)}
-		},
-		"fig11": func() []*stats.Table {
-			return []*stats.Table{r.Fig11(4), r.Fig11(8)}
-		},
-		"fig12": func() []*stats.Table {
-			return []*stats.Table{r.Fig12(4), r.Fig12(8)}
-		},
-		"ablation-inline":   func() []*stats.Table { return one(r.AblationRenameInline(4)) },
-		"ablation-mem":      func() []*stats.Table { return one(r.AblationDisambiguation(4)) },
-		"ablation-delayed":  func() []*stats.Table { return one(r.AblationDelayedAllocation(4)) },
-		"ablation-mshr":     func() []*stats.Table { return one(r.AblationMSHR(4)) },
-		"ablation-prefetch": func() []*stats.Table { return one(r.AblationPrefetch(4)) },
-	}
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "priexp: %s\n", strings.TrimPrefix(err.Error(), "prisim: "))
+	os.Exit(1)
 }
 
-func names() []string {
-	return []string{"table1", "table2", "fig1", "fig2", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "ablation-inline", "ablation-mem", "ablation-delayed", "ablation-mshr", "ablation-prefetch"}
+// timingRecord is the -timing output: one serial and one parallel fig8
+// regeneration from cold caches, and whether their tables matched byte for
+// byte.
+type timingRecord struct {
+	Experiment      string  `json:"experiment"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	ByteIdentical   bool    `json:"byte_identical"`
+	FastForward     uint64  `json:"fast_forward_per_run"`
+	Run             uint64  `json:"run_per_run"`
+}
+
+// writeTiming regenerates fig8 on a fresh single-worker Engine and a fresh
+// GOMAXPROCS-worker Engine, records both wall-clocks, and asserts the
+// rendered tables are identical.
+func writeTiming(ctx context.Context, path string, ff, run uint64) error {
+	time1 := func(workers int) (string, float64, error) {
+		eng := prisim.NewEngine(prisim.WithBudget(ff, run), prisim.WithParallelism(workers))
+		start := time.Now()
+		out, err := eng.Experiment(ctx, "fig8", prisim.Options{})
+		return out, time.Since(start).Seconds(), err
+	}
+	serialOut, serialSec, err := time1(1)
+	if err != nil {
+		return err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	parOut, parSec, err := time1(workers)
+	if err != nil {
+		return err
+	}
+	rec := timingRecord{
+		Experiment:      "fig8",
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ParallelWorkers: workers,
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parSec,
+		Speedup:         serialSec / parSec,
+		ByteIdentical:   serialOut == parOut,
+		FastForward:     ff,
+		Run:             run,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "timing written to %s (serial %.2fs, parallel %.2fs on %d workers, identical=%v)\n",
+		path, serialSec, parSec, workers, rec.ByteIdentical)
+	return nil
 }

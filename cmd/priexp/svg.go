@@ -7,18 +7,19 @@ import (
 	"path/filepath"
 	"strings"
 
+	"prisim"
 	"prisim/internal/plot"
 	"prisim/internal/stats"
 )
 
 // writeSVGs renders the figure-shaped experiments as SVG files in dir.
 // Table-shaped output (table1) has no chart form and is skipped.
-func writeSVGs(dir, name string, tables []*stats.Table) error {
+func writeSVGs(dir, name string, tables []prisim.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for i, t := range tables {
-		chart, err := chartFor(name, t)
+		chart, err := chartFor(name, toStats(t))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -36,6 +37,11 @@ func writeSVGs(dir, name string, tables []*stats.Table) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	return nil
+}
+
+// toStats rebuilds the plot-facing table form from the public API's table.
+func toStats(t prisim.Table) *stats.Table {
+	return &stats.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
 }
 
 func chartFor(name string, t *stats.Table) (*plot.Chart, error) {

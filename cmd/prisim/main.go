@@ -1,5 +1,6 @@
 // Command prisim runs one benchmark on one machine configuration and prints
 // the detailed statistics (IPC, occupancy, lifetime phases, PRI activity).
+// It is a thin shell over the public prisim Engine API.
 //
 // Usage:
 //
@@ -8,27 +9,16 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"prisim/internal/core"
-	"prisim/internal/ooo"
-	"prisim/internal/workloads"
+	"prisim"
 )
-
-var policies = map[string]core.Policy{
-	"base":           core.PolicyBase,
-	"er":             core.PolicyER,
-	"pri-rc-ckpt":    core.PolicyPRIRcCkpt,
-	"pri-rc-lazy":    core.PolicyPRIRcLazy,
-	"pri-ideal-ckpt": core.PolicyPRIIdealCkpt,
-	"pri-ideal-lazy": core.PolicyPRIIdealLazy,
-	"pri+er":         core.PolicyPRIPlusER,
-	"infpr":          core.PolicyInfinite,
-}
 
 func main() {
 	bench := flag.String("bench", "gzip", "workload name")
@@ -46,104 +36,104 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, w := range workloads.All() {
-			fmt.Printf("%-9s %-4s paperIPC(4w)=%.2f  %s\n", w.Name, w.Class, w.PaperIPC4, w.Description)
+		for _, b := range prisim.Benchmarks() {
+			class := "int"
+			if b.FP {
+				class = "fp"
+			}
+			fmt.Printf("%-9s %-4s paperIPC(4w)=%.2f  %s\n", b.Name, class, b.PaperIPC4, b.Description)
 		}
 		return
 	}
-	w, ok := workloads.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "prisim: unknown benchmark %q (use -list)\n", *bench)
-		os.Exit(2)
-	}
-	pol, ok := policies[*policy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "prisim: unknown policy %q (have: %s)\n", *policy, strings.Join(policyNames(), " "))
-		os.Exit(2)
-	}
-	cfg := ooo.Width4()
-	if *width == 8 {
-		cfg = ooo.Width8()
+
+	o := prisim.Options{
+		Benchmark:         *bench,
+		Width:             *width,
+		Policy:            prisim.Policy(*policy),
+		PhysRegs:          *prs,
+		FastForward:       *ff,
+		Run:               *run,
+		RenameInline:      *inline,
+		DelayedAllocation: *delayed,
 	}
 	if *machineFile != "" {
 		// The JSON file is the base machine; explicit flags still win.
 		data, err := os.ReadFile(*machineFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prisim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if err := json.Unmarshal(data, &cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "prisim: %s: %v\n", *machineFile, err)
-			os.Exit(1)
-		}
+		o.MachineJSON = data
 	}
-	cfg = cfg.WithPolicy(pol)
-	if *prs > 0 {
-		if *prs < 32 {
-			fmt.Fprintf(os.Stderr, "prisim: -prs must be at least 32 (one per architected register), got %d\n", *prs)
-			os.Exit(2)
-		}
-		cfg = cfg.WithPRs(*prs)
-	}
-	cfg.InlineAtRename = *inline
-	cfg.DelayedAllocation = *delayed
 	if *dumpMachine {
-		out, err := json.MarshalIndent(cfg, "", "  ")
+		out, err := prisim.MachineJSON(o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prisim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(string(out))
 		return
 	}
-
-	p := ooo.New(cfg, w.Build(0))
 	var viewFile *os.File
 	if *pipeview != "" {
 		f, err := os.Create(*pipeview)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prisim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		viewFile = f
-		p.SetPipeView(f)
+		o.PipeView = f
 	}
-	p.FastForward(*ff)
-	p.Run(*run)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := prisim.NewEngine().Simulate(ctx, o)
+	if err != nil {
+		fatal(err)
+	}
 	if viewFile != nil {
-		p.FlushPipeView()
 		fmt.Fprintf(os.Stderr, "pipeline trace written to %s\n", *pipeview)
 	}
 
-	st := p.Stats()
-	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)
-	fmt.Printf("machine      %s, policy %s, %d int PRs\n", cfg.Name, pol.Name(), cfg.Rename.IntPRs)
-	fmt.Printf("committed    %d in %d cycles\n", st.Committed, st.Cycles)
-	fmt.Printf("IPC          %.3f (paper baseline %.2f)\n", st.IPC(), w.PaperIPC4)
-	fmt.Printf("occupancy    int %.1f / %d, fp %.1f / %d\n",
-		st.AvgIntOccupancy(), cfg.Rename.IntPRs, st.AvgFPOccupancy(), cfg.Rename.FPPRs)
-	fmt.Printf("mispredict   %.2f%% of %d resolved\n", 100*st.MispredictRate(), st.BranchResolved)
-	fmt.Printf("DL1/L2 miss  %.2f%% / %.2f%%\n", 100*p.Mem().DL1.MissRate(), 100*p.Mem().L2.MissRate())
-	fmt.Printf("replays      %d (latency mis-speculation)\n", st.Replays)
-
-	class := p.Renamer().IntStats()
-	if w.Class == workloads.FP {
-		class = p.Renamer().FPStats()
+	var info prisim.Benchmark
+	for _, b := range prisim.Benchmarks() {
+		if b.Name == res.Benchmark {
+			info = b
+		}
 	}
-	aw, wr, rr := class.AvgPhases()
-	fmt.Printf("lifetime     alloc->write %.1f, write->lastread %.1f, lastread->release %.1f cycles\n", aw, wr, rr)
-	if pol.PRI {
+	fmt.Printf("benchmark    %s (%s)\n", res.Benchmark, info.Description)
+	fmt.Printf("machine      %s, policy %s, %d int PRs\n", res.Machine, o.Policy, res.IntPRs)
+	fmt.Printf("committed    %d in %d cycles\n", res.Committed, res.Cycles)
+	fmt.Printf("IPC          %.3f (paper baseline %.2f)\n", res.IPC, info.PaperIPC4)
+	fmt.Printf("occupancy    int %.1f / %d, fp %.1f / %d\n",
+		res.IntOccupancy, res.IntPRs, res.FPOccupancy, res.FPPRs)
+	fmt.Printf("mispredict   %.2f%% of %d resolved\n", 100*res.MispredictRate, res.BranchResolved)
+	fmt.Printf("DL1/L2 miss  %.2f%% / %.2f%%\n", 100*res.DL1MissRate, 100*res.L2MissRate)
+	fmt.Printf("replays      %d (latency mis-speculation)\n", res.Replays)
+	fmt.Printf("lifetime     alloc->write %.1f, write->lastread %.1f, lastread->release %.1f cycles\n",
+		res.AllocToWrite, res.WriteToRead, res.ReadToRelease)
+	if o.Policy.IsPRI() {
 		fmt.Printf("PRI          %d results inlined, %d WAW-suppressed, %d deferred frees, %d early frees\n",
-			class.InlinedResults, class.WAWSuppressed, class.DeferredFrees, class.EarlyFrees)
-		fmt.Printf("operands     %.1f%% of source reads served from inlined map entries\n", 100*st.InlineFraction())
+			res.InlinedResults, res.WAWSuppressed, res.DeferredFrees, res.EarlyFrees)
+		fmt.Printf("operands     %.1f%% of source reads served from inlined map entries\n", 100*res.InlineFraction)
 	}
 }
 
+// fatal prints err once under the command prefix and exits — status 2 for
+// usage errors (bad flag values), 1 for runtime failures, matching v1.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prisim: %s\n", strings.TrimPrefix(err.Error(), "prisim: "))
+	code := 1
+	for _, usage := range []error{prisim.ErrUnknownBenchmark, prisim.ErrUnknownPolicy, prisim.ErrInvalidOptions} {
+		if errors.Is(err, usage) {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
 func policyNames() []string {
-	out := make([]string, 0, len(policies))
-	for n := range policies {
-		out = append(out, n)
+	out := make([]string, 0, len(prisim.Policies()))
+	for _, p := range prisim.Policies() {
+		out = append(out, string(p))
 	}
 	return out
 }

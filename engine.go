@@ -1,0 +1,416 @@
+package prisim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"prisim/internal/asm"
+	"prisim/internal/core"
+	"prisim/internal/harness"
+	"prisim/internal/ooo"
+	"prisim/internal/stats"
+	"prisim/internal/workloads"
+)
+
+// Sentinel errors returned (wrapped, with detail) by Engine methods; test
+// with errors.Is.
+var (
+	ErrUnknownBenchmark  = errors.New("unknown benchmark")
+	ErrUnknownPolicy     = errors.New("unknown policy")
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	ErrInvalidOptions    = errors.New("invalid options")
+)
+
+// Engine is the long-lived v2 entry point. It owns a memoizing, singleflight
+// simulation cache and a bounded worker pool: concurrent Simulate calls for
+// the same point share one run, and Experiment submits its whole run matrix
+// to the pool before assembling rows, so output is byte-identical to serial
+// execution while wall-clock scales with cores. An Engine is safe for use
+// from multiple goroutines and is meant to be created once and reused.
+type Engine struct {
+	budget harness.Budget
+	runner *harness.Runner
+}
+
+type engineSettings struct {
+	budget     harness.Budget
+	workers    int
+	onProgress func(done, total int)
+	log        io.Writer
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineSettings)
+
+// WithBudget sets the default per-run measurement budget: fastForward
+// instructions skipped, then run instructions measured. Zero fields keep
+// the paper-methodology defaults (20k + 80k). Options.FastForward/Run
+// override this per call.
+func WithBudget(fastForward, run uint64) EngineOption {
+	return func(s *engineSettings) {
+		s.budget = harness.Budget{FastForward: fastForward, Run: run}
+	}
+}
+
+// WithParallelism bounds how many simulations run concurrently; n <= 0
+// (the default) selects GOMAXPROCS. n == 1 reproduces serial execution.
+func WithParallelism(n int) EngineOption {
+	return func(s *engineSettings) { s.workers = n }
+}
+
+// WithProgress registers fn to be called after every completed simulation
+// with the number of runs finished and submitted so far, letting CLIs
+// stream completion counts. Calls are serialized; fn must be fast and must
+// not call back into the Engine.
+func WithProgress(fn func(done, total int)) EngineOption {
+	return func(s *engineSettings) { s.onProgress = fn }
+}
+
+// WithRunLog directs a one-line-per-completed-run text log to w.
+func WithRunLog(w io.Writer) EngineOption {
+	return func(s *engineSettings) { s.log = w }
+}
+
+// NewEngine returns an Engine with the given options applied.
+func NewEngine(opts ...EngineOption) *Engine {
+	var s engineSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	r := harness.NewParallelRunner(s.budget, s.workers)
+	if s.onProgress != nil {
+		r.OnProgress(s.onProgress)
+	}
+	if s.log != nil {
+		r.SetProgress(s.log)
+	}
+	return &Engine{budget: r.Budget, runner: r}
+}
+
+// runnerFor returns the Engine's runner viewed at o's per-call budget
+// (zero fields fall back to the Engine default). All views share one cache
+// and worker pool.
+func (e *Engine) runnerFor(o Options) *harness.Runner {
+	return e.runner.WithBudget(harness.Budget{FastForward: o.FastForward, Run: o.Run})
+}
+
+// resolveMachine validates the machine-selection half of o and builds the
+// pipeline configuration.
+func resolveMachine(o Options) (ooo.Config, error) {
+	cfg := ooo.Width4()
+	switch o.Width {
+	case 0, 4:
+	case 8:
+		cfg = ooo.Width8()
+	default:
+		return cfg, fmt.Errorf("prisim: %w: width must be 4 or 8, got %d", ErrInvalidOptions, o.Width)
+	}
+	if len(o.MachineJSON) > 0 {
+		// The JSON is the base machine; the remaining options still win.
+		if err := json.Unmarshal(o.MachineJSON, &cfg); err != nil {
+			return cfg, fmt.Errorf("prisim: %w: MachineJSON: %v", ErrInvalidOptions, err)
+		}
+	}
+	return cfg, nil
+}
+
+// resolveOptions validates o and returns the workload plus the fully
+// configured machine.
+func resolveOptions(o Options) (workloads.Workload, ooo.Config, error) {
+	w, ok := workloads.ByName(o.Benchmark)
+	if !ok {
+		return w, ooo.Config{}, fmt.Errorf("prisim: %w: %q", ErrUnknownBenchmark, o.Benchmark)
+	}
+	cfg, err := machineFor(o)
+	return w, cfg, err
+}
+
+// machineFor builds the complete machine configuration o selects.
+func machineFor(o Options) (ooo.Config, error) {
+	cfg, err := resolveMachine(o)
+	if err != nil {
+		return cfg, err
+	}
+	pol := core.PolicyBase
+	if o.Policy != "" {
+		p, ok := policyMap[o.Policy]
+		if !ok {
+			return cfg, fmt.Errorf("prisim: %w: %q", ErrUnknownPolicy, o.Policy)
+		}
+		pol = p
+	}
+	cfg = cfg.WithPolicy(pol)
+	if o.PhysRegs > 0 {
+		if o.PhysRegs < 32 {
+			return cfg, fmt.Errorf("prisim: %w: PhysRegs must be at least 32 (one per architected register), got %d", ErrInvalidOptions, o.PhysRegs)
+		}
+		cfg = cfg.WithPRs(o.PhysRegs)
+	}
+	cfg.InlineAtRename = o.RenameInline
+	cfg.DelayedAllocation = o.DelayedAllocation
+	return cfg, nil
+}
+
+// toResult converts a harness result into the public form.
+func toResult(hr *harness.Result, cfg ooo.Config) Result {
+	return Result{
+		Benchmark:      hr.Bench,
+		Machine:        cfg.Name,
+		IntPRs:         cfg.Rename.IntPRs,
+		FPPRs:          cfg.Rename.FPPRs,
+		IPC:            hr.IPC,
+		Cycles:         hr.Cycles,
+		Committed:      hr.Committed,
+		IntOccupancy:   hr.IntOccupancy,
+		FPOccupancy:    hr.FPOccupancy,
+		AllocToWrite:   hr.AllocToWrite,
+		WriteToRead:    hr.WriteToRead,
+		ReadToRelease:  hr.ReadToRelease,
+		InlineFraction: hr.InlineFraction,
+		MispredictRate: hr.Mispredict,
+		BranchResolved: hr.BranchResolved,
+		DL1MissRate:    hr.DL1Miss,
+		L2MissRate:     hr.L2Miss,
+		Replays:        hr.Replays,
+		InlinedResults: hr.InlinedResults,
+		WAWSuppressed:  hr.WAWSuppressed,
+		DeferredFrees:  hr.DeferredFrees,
+		EarlyFrees:     hr.EarlyFrees,
+	}
+}
+
+// Simulate runs one benchmark at one machine point and returns the result.
+// Identical concurrent calls share a single simulation; repeated calls hit
+// the Engine's cache. The run aborts with ctx's error if the context is
+// cancelled. Runs with PipeView or MachineJSON set bypass the cache.
+func (e *Engine) Simulate(ctx context.Context, o Options) (Result, error) {
+	w, cfg, err := resolveOptions(o)
+	if err != nil {
+		return Result{}, err
+	}
+	rr := e.runnerFor(o)
+	var hr *harness.Result
+	if o.PipeView != nil || len(o.MachineJSON) > 0 {
+		hr, _, err = harness.RunProgram(ctx, cfg, w.Build(0), w.Class == workloads.FP, rr.Budget, o.PipeView)
+		if hr != nil {
+			hr.Bench = w.Name
+		}
+	} else {
+		hr, err = rr.RunCtx(ctx, w, cfg)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(hr, cfg), nil
+}
+
+// Program is an assembled PRISC-64 program runnable by SimulateProgram.
+type Program struct {
+	prog *asm.Program
+}
+
+// Assemble assembles PRISC-64 assembly text into a Program.
+func Assemble(src string) (*Program, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("prisim: %w", err)
+	}
+	return &Program{prog: p}, nil
+}
+
+// NewProgram wraps an already-assembled image (built with the in-module
+// internal/asm builder API) for SimulateProgram. External users assemble
+// text with Assemble instead.
+func NewProgram(p *asm.Program) *Program { return &Program{prog: p} }
+
+// Disassemble renders the program's code segment as assembly text.
+func (p *Program) Disassemble() string { return p.prog.Disassemble() }
+
+// ProgramResult is SimulateProgram's outcome: the usual timing statistics
+// plus whatever the program wrote to its console.
+type ProgramResult struct {
+	Result
+	Output []byte
+}
+
+// SimulateProgram runs an assembled program through the timing pipeline.
+// Unlike Simulate, the budget in o is taken verbatim: FastForward 0 skips
+// nothing and Run 0 runs until the program halts. o.Benchmark must be
+// empty; the run is never cached.
+func (e *Engine) SimulateProgram(ctx context.Context, p *Program, o Options) (ProgramResult, error) {
+	if o.Benchmark != "" {
+		return ProgramResult{}, fmt.Errorf("prisim: %w: Benchmark must be empty when simulating an assembled program", ErrInvalidOptions)
+	}
+	cfg, err := machineFor(o)
+	if err != nil {
+		return ProgramResult{}, err
+	}
+	run := o.Run
+	if run == 0 {
+		run = math.MaxUint64 / 2 // run to halt
+	}
+	b := harness.Budget{FastForward: o.FastForward, Run: run}
+	hr, out, err := harness.RunProgram(ctx, cfg, p.prog, false, b, o.PipeView)
+	if err != nil {
+		return ProgramResult{}, err
+	}
+	return ProgramResult{Result: toResult(hr, cfg), Output: out}, nil
+}
+
+// MachineJSON renders the machine configuration o selects as JSON — the
+// format Options.MachineJSON and prisim's -machine flag accept.
+func MachineJSON(o Options) ([]byte, error) {
+	cfg, err := machineFor(o)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(cfg, "", "  ")
+}
+
+// Table is a rendered experiment table: the title, column headers, and row
+// cells of one of the paper's figures or tables.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned fixed-width text.
+func (t Table) String() string {
+	st := &stats.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	return st.String()
+}
+
+// experimentOrder lists the valid experiment names in canonical order.
+var experimentOrder = []string{
+	"table1", "table2", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11",
+	"fig12", "ablation-inline", "ablation-mem", "ablation-delayed",
+	"ablation-mshr", "ablation-prefetch",
+}
+
+// experimentFuncs maps each experiment name to its harness driver.
+var experimentFuncs = map[string]func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error){
+	"table1": func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error) {
+		return []*stats.Table{harness.Table1()}, nil
+	},
+	"table2": one((*harness.Runner).Table2),
+	"fig1":   one((*harness.Runner).Fig1),
+	"fig2": func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error) {
+		a, b, err := r.Fig2(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{a, b}, nil
+	},
+	"fig8":              one((*harness.Runner).Fig8),
+	"fig9":              widths((*harness.Runner).Fig9),
+	"fig10":             widths((*harness.Runner).Fig10),
+	"fig11":             widths((*harness.Runner).Fig11),
+	"fig12":             widths((*harness.Runner).Fig12),
+	"ablation-inline":   at4((*harness.Runner).AblationRenameInline),
+	"ablation-mem":      at4((*harness.Runner).AblationDisambiguation),
+	"ablation-delayed":  at4((*harness.Runner).AblationDelayedAllocation),
+	"ablation-mshr":     at4((*harness.Runner).AblationMSHR),
+	"ablation-prefetch": at4((*harness.Runner).AblationPrefetch),
+}
+
+// one adapts a single-table driver.
+func one(fn func(*harness.Runner, context.Context) (*stats.Table, error)) func(context.Context, *harness.Runner) ([]*stats.Table, error) {
+	return func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error) {
+		t, err := fn(r, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+}
+
+// widths adapts a per-width driver run at both machine widths.
+func widths(fn func(*harness.Runner, context.Context, int) (*stats.Table, error)) func(context.Context, *harness.Runner) ([]*stats.Table, error) {
+	return func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error) {
+		t4, err := fn(r, ctx, 4)
+		if err != nil {
+			return nil, err
+		}
+		t8, err := fn(r, ctx, 8)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t4, t8}, nil
+	}
+}
+
+// at4 adapts a per-width driver run at the 4-wide machine only (the
+// ablations).
+func at4(fn func(*harness.Runner, context.Context, int) (*stats.Table, error)) func(context.Context, *harness.Runner) ([]*stats.Table, error) {
+	return func(ctx context.Context, r *harness.Runner) ([]*stats.Table, error) {
+		t, err := fn(r, ctx, 4)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+}
+
+// ExperimentNames lists the valid Experiment names in canonical order.
+func ExperimentNames() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// ExperimentTables regenerates one of the paper's tables or figures and
+// returns its tables in structured form. The experiment's whole run matrix
+// executes on the Engine's worker pool; rows are assembled serially, so
+// repeated calls produce identical tables regardless of parallelism.
+// o supplies the per-run budget (other Options fields are ignored).
+func (e *Engine) ExperimentTables(ctx context.Context, name string, o Options) ([]Table, error) {
+	fn, ok := experimentFuncs[name]
+	if !ok {
+		return nil, fmt.Errorf("prisim: %w: %q (have: %s)",
+			ErrUnknownExperiment, name, strings.Join(experimentOrder, " "))
+	}
+	ts, err := fn(ctx, e.runnerFor(o))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	return out, nil
+}
+
+// Experiment regenerates one of the paper's tables or figures as rendered
+// text. Valid names are listed by ExperimentNames; o supplies the per-run
+// budget.
+func (e *Engine) Experiment(ctx context.Context, name string, o Options) (string, error) {
+	ts, err := e.ExperimentTables(ctx, name, o)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, t := range ts {
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// WriteReport regenerates the full experiment suite — every table plus the
+// executable shape checklist — as a self-contained markdown report on w.
+// o supplies the per-run budget.
+func (e *Engine) WriteReport(ctx context.Context, w io.Writer, o Options) error {
+	return e.runnerFor(o).WriteReport(ctx, w)
+}
+
+// RunsExecuted reports how many distinct simulations the Engine has
+// performed since creation; cache hits and deduplicated concurrent requests
+// do not count. It exists so callers (and the race tests) can observe
+// singleflight behaviour.
+func (e *Engine) RunsExecuted() int { return e.runner.RunsExecuted() }

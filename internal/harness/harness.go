@@ -2,12 +2,26 @@
 // figure in the paper's evaluation (Tables 1-2, Figures 1-2 and 8-12). Each
 // experiment returns a stats.Table whose rows mirror the series the paper
 // plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// The run matrix behind those tables — 27 workloads x 8 release policies x
+// 2 machine widths x a register-count axis — is embarrassingly parallel, so
+// a Runner executes timing runs on a bounded worker pool: every figure
+// driver submits its whole matrix up front, the pool simulates points
+// concurrently, and the driver assembles rows serially from the completed
+// set, so tables are byte-identical to a single-worker run while wall-clock
+// scales with cores. Concurrent requests for the same point are deduplicated
+// singleflight-style (each point simulates exactly once per Runner), and
+// every run observes context cancellation between instruction chunks.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
+	"prisim/internal/asm"
 	"prisim/internal/core"
 	"prisim/internal/emu"
 	"prisim/internal/ooo"
@@ -25,6 +39,17 @@ type Budget struct {
 
 // DefaultBudget is used by the experiment drivers unless overridden.
 var DefaultBudget = Budget{FastForward: 20_000, Run: 80_000}
+
+// orDefault fills zero fields from DefaultBudget.
+func (b Budget) orDefault() Budget {
+	if b.FastForward == 0 {
+		b.FastForward = DefaultBudget.FastForward
+	}
+	if b.Run == 0 {
+		b.Run = DefaultBudget.Run
+	}
+	return b
+}
 
 // Result is everything the experiments need from one timing run.
 type Result struct {
@@ -49,6 +74,13 @@ type Result struct {
 	DL1Miss        float64
 	L2Miss         float64
 	Replays        uint64
+	BranchResolved uint64
+
+	// PRI activity counters for the dominant register class.
+	InlinedResults uint64
+	WAWSuppressed  uint64
+	DeferredFrees  uint64
+	EarlyFrees     uint64
 }
 
 type runKey struct {
@@ -64,30 +96,98 @@ type runKey struct {
 	budget   Budget
 }
 
-// Runner executes and caches timing runs; the same (benchmark, machine)
-// point is shared by several figures, so caching roughly halves experiment
-// time.
+// entry is one singleflight cache slot: the first requester simulates, every
+// concurrent requester for the same key blocks on done and shares the result.
+type entry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// shared is the Runner state common to every budget view: the cache, the
+// worker pool, and the progress counters. Budget-scoped views created with
+// WithBudget alias it, so deduplication spans all of them.
+type shared struct {
+	sem chan struct{} // bounded worker pool
+
+	mu         sync.Mutex
+	cache      map[runKey]*entry
+	progress   io.Writer
+	onProgress func(done, total int)
+	submitted  int
+	completed  int
+}
+
+// Runner executes timing runs on a bounded worker pool and memoizes them;
+// the same (benchmark, machine) point is shared by several figures, and
+// concurrent requests for one point collapse into a single simulation.
+// A Runner is safe for use from multiple goroutines.
 type Runner struct {
-	Budget   Budget
-	Progress io.Writer // optional per-run progress lines
-	cache    map[runKey]*Result
+	Budget Budget
+	s      *shared
 }
 
 // NewRunner returns a Runner with the given budget (zero fields take the
-// defaults).
-func NewRunner(b Budget) *Runner {
-	if b.FastForward == 0 {
-		b.FastForward = DefaultBudget.FastForward
+// defaults) and a worker pool sized by GOMAXPROCS.
+func NewRunner(b Budget) *Runner { return NewParallelRunner(b, 0) }
+
+// NewParallelRunner returns a Runner whose pool admits at most workers
+// concurrent simulations; workers <= 0 selects GOMAXPROCS. workers == 1
+// reproduces the serial execution order exactly.
+func NewParallelRunner(b Budget, workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if b.Run == 0 {
-		b.Run = DefaultBudget.Run
+	return &Runner{
+		Budget: b.orDefault(),
+		s: &shared{
+			sem:   make(chan struct{}, workers),
+			cache: make(map[runKey]*entry),
+		},
 	}
-	return &Runner{Budget: b, cache: make(map[runKey]*Result)}
 }
 
-// Run simulates one benchmark on one machine configuration, memoized.
-func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
-	key := runKey{
+// WithBudget returns a view of the Runner that simulates at budget b (zero
+// fields fall back to the receiver's budget) while sharing the receiver's
+// cache, worker pool, and progress hooks. The budget is part of the cache
+// key, so views never alias each other's results.
+func (r *Runner) WithBudget(b Budget) *Runner {
+	if b.FastForward == 0 {
+		b.FastForward = r.Budget.FastForward
+	}
+	if b.Run == 0 {
+		b.Run = r.Budget.Run
+	}
+	return &Runner{Budget: b, s: r.s}
+}
+
+// SetProgress directs a one-line-per-completed-run log to w (nil disables).
+func (r *Runner) SetProgress(w io.Writer) {
+	r.s.mu.Lock()
+	r.s.progress = w
+	r.s.mu.Unlock()
+}
+
+// OnProgress registers fn to be called after every completed run with the
+// number of runs finished and the number submitted so far. Calls are
+// serialized; fn must not call back into the Runner.
+func (r *Runner) OnProgress(fn func(done, total int)) {
+	r.s.mu.Lock()
+	r.s.onProgress = fn
+	r.s.mu.Unlock()
+}
+
+// RunsExecuted reports how many simulations this Runner (including all
+// budget views) has actually executed — cache hits and deduplicated
+// concurrent requests do not count.
+func (r *Runner) RunsExecuted() int {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.s.completed
+}
+
+func (r *Runner) key(w workloads.Workload, cfg ooo.Config) runKey {
+	return runKey{
 		bench:    w.Name,
 		width:    cfg.Width,
 		policy:   cfg.Rename.Policy.Name(),
@@ -99,26 +199,136 @@ func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
 		prefetch: cfg.Mem.NextLinePrefetch,
 		budget:   r.Budget,
 	}
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "run %-9s %s %-14s prs=%d ... ", w.Name, cfg.Name, key.policy, key.prs)
-	}
-	p := ooo.New(cfg, w.Build(0))
-	p.FastForward(r.Budget.FastForward)
-	p.Run(r.Budget.Run)
+}
 
+// Run simulates one benchmark on one machine configuration, memoized. It is
+// the context-free form of RunCtx and never fails.
+func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
+	res, err := r.RunCtx(context.Background(), w, cfg)
+	if err != nil {
+		// Unreachable: a background context cannot be cancelled, and RunCtx
+		// retries flights that a sibling's cancelled context tore down.
+		panic("harness: Run failed: " + err.Error())
+	}
+	return res
+}
+
+// RunCtx simulates one benchmark on one machine configuration, memoized and
+// deduplicated: concurrent calls for the same point block on one simulation
+// and share its result. The run is bounded by the worker pool and aborts
+// between instruction chunks when ctx is cancelled; a cancelled flight is
+// evicted so later calls retry it.
+func (r *Runner) RunCtx(ctx context.Context, w workloads.Workload, cfg ooo.Config) (*Result, error) {
+	key := r.key(w, cfg)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.s.mu.Lock()
+		if e, ok := r.s.cache[key]; ok {
+			r.s.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.err == nil {
+					return e.res, nil
+				}
+				// The owning flight was cancelled (and evicted); retry
+				// under our own context.
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		e := &entry{done: make(chan struct{})}
+		r.s.cache[key] = e
+		r.s.submitted++
+		r.s.mu.Unlock()
+
+		e.res, e.err = r.simulate(ctx, w, cfg)
+
+		r.s.mu.Lock()
+		var hook func(done, total int)
+		var done, total int
+		if e.err != nil {
+			delete(r.s.cache, key)
+			r.s.submitted--
+		} else {
+			r.s.completed++
+			if r.s.progress != nil {
+				fmt.Fprintf(r.s.progress, "run %-9s %s %-14s prs=%-3d IPC %.3f\n",
+					w.Name, cfg.Name, key.policy, key.prs, e.res.IPC)
+			}
+			hook, done, total = r.s.onProgress, r.s.completed, r.s.submitted
+		}
+		r.s.mu.Unlock()
+		close(e.done)
+		if hook != nil {
+			hook(done, total)
+		}
+		return e.res, e.err
+	}
+}
+
+// ctxChunk is how many instructions execute between context checks.
+const ctxChunk = 16 * 1024
+
+// simulate performs one timing run inside a worker-pool slot.
+func (r *Runner) simulate(ctx context.Context, w workloads.Workload, cfg ooo.Config) (*Result, error) {
+	select {
+	case r.s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.s.sem }()
+
+	p := ooo.New(cfg, w.Build(0))
+	if err := runChunked(ctx, p.FastForward, r.Budget.FastForward); err != nil {
+		return nil, err
+	}
+	if err := runChunked(ctx, p.Run, r.Budget.Run); err != nil {
+		return nil, err
+	}
+	res := buildResult(p, w.Class == workloads.FP)
+	res.Bench = w.Name
+	res.Config = cfg.Name
+	res.Policy = cfg.Rename.Policy.Name()
+	return res, nil
+}
+
+// runChunked drives a resumable budgeted phase (FastForward or Run) in
+// slices, checking ctx between slices so long runs cancel promptly. It
+// accounts the instructions each slice actually retired — the commit stage
+// can overshoot a slice quota by up to width-1 — so the run stops at the
+// same cycle boundary a single phase(n) call would. A slice that falls
+// short of its quota means the program halted, abandoning the rest.
+func runChunked(ctx context.Context, phase func(uint64) uint64, n uint64) error {
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c := uint64(ctxChunk)
+		if n < c {
+			c = n
+		}
+		got := phase(c)
+		if got < c || got >= n {
+			break
+		}
+		n -= got
+	}
+	return nil
+}
+
+// buildResult snapshots a finished pipeline into a Result, reporting the
+// lifetime and PRI counters of the fp or integer register class.
+func buildResult(p *ooo.Pipeline, fp bool) *Result {
 	st := p.Stats()
 	life := p.Renamer().IntStats()
-	if w.Class == workloads.FP {
+	if fp {
 		life = p.Renamer().FPStats()
 	}
 	aw, wr, rr := life.AvgPhases()
-	res := &Result{
-		Bench:          w.Name,
-		Config:         cfg.Name,
-		Policy:         key.policy,
+	return &Result{
 		IPC:            st.IPC(),
 		Cycles:         st.Cycles,
 		Committed:      st.Committed,
@@ -132,12 +342,105 @@ func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
 		DL1Miss:        p.Mem().DL1.MissRate(),
 		L2Miss:         p.Mem().L2.MissRate(),
 		Replays:        st.Replays,
+		BranchResolved: st.BranchResolved,
+		InlinedResults: life.InlinedResults,
+		WAWSuppressed:  life.WAWSuppressed,
+		DeferredFrees:  life.DeferredFrees,
+		EarlyFrees:     life.EarlyFrees,
 	}
-	r.cache[key] = res
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "IPC %.3f\n", res.IPC)
+}
+
+// RunProgram runs an arbitrary assembled program through the timing
+// pipeline, uncached (the caller owns the program, so there is no key to
+// memoize under). The budget is used verbatim — FastForward 0 skips nothing
+// and Run bounds committed instructions, stopping early if the program
+// halts. It honours ctx between instruction chunks, optionally streams an
+// O3PipeView trace to pipeview, and returns the run's Result alongside the
+// program's console output.
+func RunProgram(ctx context.Context, cfg ooo.Config, prog *asm.Program, fp bool, b Budget, pipeview io.Writer) (*Result, []byte, error) {
+	p := ooo.New(cfg, prog)
+	if pipeview != nil {
+		p.SetPipeView(pipeview)
 	}
-	return res
+	if err := runChunked(ctx, p.FastForward, b.FastForward); err != nil {
+		return nil, nil, err
+	}
+	if err := runChunked(ctx, p.Run, b.Run); err != nil {
+		return nil, nil, err
+	}
+	if pipeview != nil {
+		p.FlushPipeView()
+	}
+	res := buildResult(p, fp)
+	res.Config = cfg.Name
+	res.Policy = cfg.Rename.Policy.Name()
+	return res, p.Machine().Output(), nil
+}
+
+// point is one (workload, machine) cell of an experiment's run matrix.
+type point struct {
+	w   workloads.Workload
+	cfg ooo.Config
+}
+
+// warm submits a whole run matrix to the worker pool and blocks until every
+// point has simulated (duplicates collapse via the singleflight cache).
+// Afterwards, RunCtx for any submitted point returns instantly, so drivers
+// can assemble rows serially and deterministically.
+func (r *Runner) warm(ctx context.Context, pts []point) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, pt := range pts {
+		wg.Add(1)
+		go func(pt point) {
+			defer wg.Done()
+			if _, err := r.RunCtx(ctx, pt.w, pt.cfg); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(pt)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// forEach runs fn(i) for i in [0, n) concurrently, bounded by the worker
+// pool, and returns the first error. It backs the functional-emulation
+// experiments that bypass the timing-run cache.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case r.s.sem <- struct{}{}:
+			case <-ctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+				mu.Unlock()
+				return
+			}
+			defer func() { <-r.s.sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // machine returns the Table 1 configuration for a width.
@@ -196,24 +499,44 @@ func Table1() *stats.Table {
 
 // Table2 reproduces the paper's Table 2: baseline IPC for every benchmark
 // on both machine widths.
-func (r *Runner) Table2() *stats.Table {
+func (r *Runner) Table2(ctx context.Context) (*stats.Table, error) {
+	var pts []point
+	for _, w := range workloads.All() {
+		pts = append(pts, point{w, machine(4)}, point{w, machine(8)})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Table 2: benchmark programs and baseline IPC",
 		Columns: []string{"bench", "class", "IPC(4w)", "paper(4w)", "IPC(8w)", "paper(8w)"},
 	}
 	for _, w := range workloads.All() {
-		r4 := r.Run(w, machine(4))
-		r8 := r.Run(w, machine(8))
+		r4, err := r.RunCtx(ctx, w, machine(4))
+		if err != nil {
+			return nil, err
+		}
+		r8, err := r.RunCtx(ctx, w, machine(8))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, w.Class.String(),
 			stats.F(r4.IPC, 2), stats.F(w.PaperIPC4, 2),
 			stats.F(r8.IPC, 2), stats.F(w.PaperIPC8, 2))
 	}
-	return t
+	return t, nil
 }
 
 // Fig1 reproduces Figure 1: average register lifetime split into the three
 // phases, per integer benchmark, on the baseline 4- and 8-wide machines.
-func (r *Runner) Fig1() *stats.Table {
+func (r *Runner) Fig1(ctx context.Context) (*stats.Table, error) {
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		pts = append(pts, point{w, machine(4)}, point{w, machine(8)})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title: "Figure 1: average register lifetime (cycles) split by phase, baseline",
 		Columns: []string{"bench",
@@ -221,44 +544,68 @@ func (r *Runner) Fig1() *stats.Table {
 			"alloc->wr(8w)", "wr->rd(8w)", "rd->rel(8w)", "total(8w)"},
 	}
 	for _, w := range suite(workloads.Int) {
-		r4 := r.Run(w, machine(4))
-		r8 := r.Run(w, machine(8))
+		r4, err := r.RunCtx(ctx, w, machine(4))
+		if err != nil {
+			return nil, err
+		}
+		r8, err := r.RunCtx(ctx, w, machine(8))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name,
 			stats.F(r4.AllocToWrite, 1), stats.F(r4.WriteToRead, 1), stats.F(r4.ReadToRelease, 1),
 			stats.F(r4.AllocToWrite+r4.WriteToRead+r4.ReadToRelease, 1),
 			stats.F(r8.AllocToWrite, 1), stats.F(r8.WriteToRead, 1), stats.F(r8.ReadToRelease, 1),
 			stats.F(r8.AllocToWrite+r8.WriteToRead+r8.ReadToRelease, 1))
 	}
-	return t
+	return t, nil
 }
 
 // Fig2 reproduces Figure 2: the cumulative distribution of operand
 // significance — integer operand widths and FP exponent/significand widths —
-// measured over the functional instruction stream.
-func (r *Runner) Fig2() (*stats.Table, *stats.Table) {
+// measured over the functional instruction stream. The per-benchmark
+// analyses are independent, so they fan out over the worker pool.
+func (r *Runner) Fig2(ctx context.Context) (*stats.Table, *stats.Table, error) {
+	analyze := func(ws []workloads.Workload) ([]*stats.Significance, error) {
+		sigs := make([]*stats.Significance, len(ws))
+		err := r.forEach(ctx, len(ws), func(i int) error {
+			m := emu.New(ws[i].Build(0))
+			m.Run(r.Budget.FastForward)
+			sigs[i] = stats.Analyze(m, r.Budget.Run)
+			return nil
+		})
+		return sigs, err
+	}
+
 	intT := &stats.Table{
 		Title:   "Figure 2 (top): cumulative % of integer operands representable in N bits",
 		Columns: []string{"bench", "<=4", "<=7", "<=8", "<=10", "<=12", "<=16", "<=24", "<=32", "<=48", "<=64"},
 	}
 	widths := []int{4, 7, 8, 10, 12, 16, 24, 32, 48, 64}
-	for _, w := range suite(workloads.Int) {
-		m := emu.New(w.Build(0))
-		m.Run(r.Budget.FastForward)
-		s := stats.Analyze(m, r.Budget.Run)
+	intWs := suite(workloads.Int)
+	intSigs, err := analyze(intWs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, w := range intWs {
 		row := []string{w.Name}
 		for _, n := range widths {
-			row = append(row, stats.Pct(s.IntFracWithin(n)))
+			row = append(row, stats.Pct(intSigs[i].IntFracWithin(n)))
 		}
 		intT.AddRow(row...)
 	}
+
 	fpT := &stats.Table{
 		Title:   "Figure 2 (bottom): FP operand field significance",
 		Columns: []string{"bench", "trivial(all 0/1)", "exp<=1b", "exp<=4b", "exp<=8b", "sig=0b", "sig<=16b", "sig<=32b"},
 	}
-	for _, w := range suite(workloads.FP) {
-		m := emu.New(w.Build(0))
-		m.Run(r.Budget.FastForward)
-		s := stats.Analyze(m, r.Budget.Run)
+	fpWs := suite(workloads.FP)
+	fpSigs, err := analyze(fpWs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, w := range fpWs {
+		s := fpSigs[i]
 		fpT.AddRow(w.Name,
 			stats.Pct(s.FPTrivialFrac()),
 			stats.Pct(s.ExpBits.CumulativeFrac(1)),
@@ -268,12 +615,24 @@ func (r *Runner) Fig2() (*stats.Table, *stats.Table) {
 			stats.Pct(s.SigBits.CumulativeFrac(16)),
 			stats.Pct(s.SigBits.CumulativeFrac(32)))
 	}
-	return intT, fpT
+	return intT, fpT, nil
 }
 
 // Fig8 reproduces Figure 8: lifetime reduction under PRI and PRI+ER versus
 // the baseline, integer benchmarks, both widths.
-func (r *Runner) Fig8() *stats.Table {
+func (r *Runner) Fig8(ctx context.Context) (*stats.Table, error) {
+	pols := []core.Policy{core.PolicyBase, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		for _, width := range []int{4, 8} {
+			for _, pol := range pols {
+				pts = append(pts, point{w, machine(width).WithPolicy(pol)})
+			}
+		}
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title: "Figure 8: avg register lifetime (cycles): base vs PRI(rc+ckpt) vs PRI+ER",
 		Columns: []string{"bench",
@@ -286,15 +645,17 @@ func (r *Runner) Fig8() *stats.Table {
 	for _, w := range suite(workloads.Int) {
 		row := []string{w.Name}
 		for _, width := range []int{4, 8} {
-			cfg := machine(width)
-			row = append(row,
-				total(r.Run(w, cfg.WithPolicy(core.PolicyBase))),
-				total(r.Run(w, cfg.WithPolicy(core.PolicyPRIRcCkpt))),
-				total(r.Run(w, cfg.WithPolicy(core.PolicyPRIPlusER))))
+			for _, pol := range pols {
+				res, err := r.RunCtx(ctx, w, machine(width).WithPolicy(pol))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, total(res))
+			}
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig9PRs is the physical register sweep of Figure 9.
@@ -302,7 +663,16 @@ var Fig9PRs = []int{40, 48, 56, 64, 72, 80, 96}
 
 // Fig9 reproduces Figure 9: baseline speedup versus register file size,
 // normalized to 40 registers, for every benchmark at the given width.
-func (r *Runner) Fig9(width int) *stats.Table {
+func (r *Runner) Fig9(ctx context.Context, width int) (*stats.Table, error) {
+	var pts []point
+	for _, w := range workloads.All() {
+		for _, n := range Fig9PRs {
+			pts = append(pts, point{w, machine(width).WithPRs(n)})
+		}
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	cols := []string{"bench"}
 	for _, n := range Fig9PRs {
 		cols = append(cols, fmt.Sprintf("PR=%d", n))
@@ -312,20 +682,36 @@ func (r *Runner) Fig9(width int) *stats.Table {
 		Columns: cols,
 	}
 	for _, w := range workloads.All() {
-		base := r.Run(w, machine(width).WithPRs(40))
+		base, err := r.RunCtx(ctx, w, machine(width).WithPRs(40))
+		if err != nil {
+			return nil, err
+		}
 		row := []string{w.Name}
 		for _, n := range Fig9PRs {
-			res := r.Run(w, machine(width).WithPRs(n))
+			res, err := r.RunCtx(ctx, w, machine(width).WithPRs(n))
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, stats.F(res.IPC/base.IPC, 2))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // speedupTable renders Figures 10 and 12: per-benchmark IPC speedup of each
 // scheme over the baseline, plus the arithmetic mean row.
-func (r *Runner) speedupTable(class workloads.Class, width int, title string) *stats.Table {
+func (r *Runner) speedupTable(ctx context.Context, class workloads.Class, width int, title string) (*stats.Table, error) {
+	var pts []point
+	for _, w := range suite(class) {
+		pts = append(pts, point{w, machine(width).WithPolicy(core.PolicyBase)})
+		for _, pol := range core.AllPolicies {
+			pts = append(pts, point{w, machine(width).WithPolicy(pol)})
+		}
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title: title,
 		Columns: []string{"bench", "ER",
@@ -335,10 +721,16 @@ func (r *Runner) speedupTable(class workloads.Class, width int, title string) *s
 	sums := make([][]float64, len(core.AllPolicies))
 	for _, w := range suite(class) {
 		cfg := machine(width)
-		base := r.Run(w, cfg.WithPolicy(core.PolicyBase))
+		base, err := r.RunCtx(ctx, w, cfg.WithPolicy(core.PolicyBase))
+		if err != nil {
+			return nil, err
+		}
 		row := []string{w.Name}
 		for i, pol := range core.AllPolicies {
-			res := r.Run(w, cfg.WithPolicy(pol))
+			res, err := r.RunCtx(ctx, w, cfg.WithPolicy(pol))
+			if err != nil {
+				return nil, err
+			}
 			sp := res.IPC / base.IPC
 			sums[i] = append(sums[i], sp)
 			row = append(row, stats.F(sp, 3))
@@ -350,136 +742,242 @@ func (r *Runner) speedupTable(class workloads.Class, width int, title string) *s
 		avg = append(avg, stats.F(mean(sums[i]), 3))
 	}
 	t.AddRow(avg...)
-	return t
+	return t, nil
 }
 
 // Fig10 reproduces Figure 10: integer speedups for all seven schemes.
-func (r *Runner) Fig10(width int) *stats.Table {
-	return r.speedupTable(workloads.Int, width,
+func (r *Runner) Fig10(ctx context.Context, width int) (*stats.Table, error) {
+	return r.speedupTable(ctx, workloads.Int, width,
 		fmt.Sprintf("Figure 10: PRI speedup, integer benchmarks, %d-wide (IPC / base IPC)", width))
 }
 
 // Fig12 reproduces Figure 12: floating-point speedups for all seven schemes.
-func (r *Runner) Fig12(width int) *stats.Table {
-	return r.speedupTable(workloads.FP, width,
+func (r *Runner) Fig12(ctx context.Context, width int) (*stats.Table, error) {
+	return r.speedupTable(ctx, workloads.FP, width,
 		fmt.Sprintf("Figure 12: PRI speedup, floating point benchmarks, %d-wide (IPC / base IPC)", width))
 }
 
 // Fig11 reproduces Figure 11: average physical register file occupancy for
 // base, ER, PRI, and PRI+ER on the integer benchmarks.
-func (r *Runner) Fig11(width int) *stats.Table {
+func (r *Runner) Fig11(ctx context.Context, width int) (*stats.Table, error) {
+	pols := []core.Policy{core.PolicyBase, core.PolicyER, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		for _, pol := range pols {
+			pts = append(pts, point{w, machine(width).WithPolicy(pol)})
+		}
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Figure 11: avg integer PRF occupancy, %d-wide", width),
 		Columns: []string{"bench", "base", "ER", "PRI", "PRI+ER"},
 	}
-	pols := []core.Policy{core.PolicyBase, core.PolicyER, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER}
 	for _, w := range suite(workloads.Int) {
 		row := []string{w.Name}
 		for _, pol := range pols {
-			res := r.Run(w, machine(width).WithPolicy(pol))
+			res, err := r.RunCtx(ctx, w, machine(width).WithPolicy(pol))
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, stats.F(res.IntOccupancy, 1))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // AblationRenameInline compares PRI with and without the Section 6
 // future-work extension (rename-time inlining of narrow load-immediates).
-func (r *Runner) AblationRenameInline(width int) *stats.Table {
+func (r *Runner) AblationRenameInline(ctx context.Context, width int) (*stats.Table, error) {
+	cfgs := func(width int) (ooo.Config, ooo.Config) {
+		cfg := machine(width).WithPolicy(core.PolicyPRIRcCkpt)
+		ext := cfg
+		ext.InlineAtRename = true
+		return cfg, ext
+	}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		cfg, ext := cfgs(width)
+		pts = append(pts, point{w, cfg}, point{w, ext})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: rename-time inlining extension, %d-wide", width),
 		Columns: []string{"bench", "PRI IPC", "PRI+renameInline IPC", "gain"},
 	}
 	for _, w := range suite(workloads.Int) {
-		cfg := machine(width).WithPolicy(core.PolicyPRIRcCkpt)
-		basePRI := r.Run(w, cfg)
-		cfg.InlineAtRename = true
-		ext := r.Run(w, cfg)
+		cfg, extCfg := cfgs(width)
+		basePRI, err := r.RunCtx(ctx, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := r.RunCtx(ctx, w, extCfg)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, stats.F(basePRI.IPC, 3), stats.F(ext.IPC, 3),
 			stats.F(ext.IPC/basePRI.IPC, 3))
 	}
-	return t
+	return t, nil
 }
 
 // AblationDelayedAllocation explores the paper's Section 6 virtual-physical
 // direction: baseline vs delayed register allocation vs delayed allocation
 // combined with PRI, at the Table 1 register file size.
-func (r *Runner) AblationDelayedAllocation(width int) *stats.Table {
+func (r *Runner) AblationDelayedAllocation(ctx context.Context, width int) (*stats.Table, error) {
 	// A 40-register file keeps the writeback gate engaged so the
 	// PRI interaction is visible (at 64 registers the gate rarely binds).
 	const prs = 40
+	cfgs := func(width int) (ooo.Config, ooo.Config, ooo.Config) {
+		base := machine(width).WithPRs(prs)
+		cfgD := machine(width).WithPRs(prs)
+		cfgD.DelayedAllocation = true
+		cfgDP := machine(width).WithPolicy(core.PolicyPRIRcLazy).WithPRs(prs)
+		cfgDP.DelayedAllocation = true
+		return base, cfgD, cfgDP
+	}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		a, b, c := cfgs(width)
+		pts = append(pts, point{w, a}, point{w, b}, point{w, c})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: virtual-physical delayed allocation, %d-wide, %d PRs", width, prs),
 		Columns: []string{"bench", "base IPC", "delayed IPC", "delayed+PRI IPC"},
 	}
 	for _, w := range suite(workloads.Int) {
-		base := r.Run(w, machine(width).WithPRs(prs))
-		cfgD := machine(width).WithPRs(prs)
-		cfgD.DelayedAllocation = true
-		delayed := r.Run(w, cfgD)
-		cfgDP := machine(width).WithPolicy(core.PolicyPRIRcLazy).WithPRs(prs)
-		cfgDP.DelayedAllocation = true
-		both := r.Run(w, cfgDP)
+		cfgB, cfgD, cfgDP := cfgs(width)
+		base, err := r.RunCtx(ctx, w, cfgB)
+		if err != nil {
+			return nil, err
+		}
+		delayed, err := r.RunCtx(ctx, w, cfgD)
+		if err != nil {
+			return nil, err
+		}
+		both, err := r.RunCtx(ctx, w, cfgDP)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, stats.F(base.IPC, 3), stats.F(delayed.IPC, 3), stats.F(both.IPC, 3))
 	}
-	return t
+	return t, nil
 }
 
 // AblationMSHR bounds memory-level parallelism: the default model overlaps
 // misses without limit (as sim-outorder does); this table shows how much of
 // the memory-bound benchmarks' throughput that assumption is worth.
-func (r *Runner) AblationMSHR(width int) *stats.Table {
+func (r *Runner) AblationMSHR(ctx context.Context, width int) (*stats.Table, error) {
+	cfgs := func(width int) (ooo.Config, ooo.Config, ooo.Config) {
+		cfg8 := machine(width)
+		cfg8.Mem.MSHRs = 8
+		cfg2 := machine(width)
+		cfg2.Mem.MSHRs = 2
+		return machine(width), cfg8, cfg2
+	}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		a, b, c := cfgs(width)
+		pts = append(pts, point{w, a}, point{w, b}, point{w, c})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: MSHR-bounded miss overlap, %d-wide baseline", width),
 		Columns: []string{"bench", "unlimited IPC", "8 MSHRs", "2 MSHRs"},
 	}
 	for _, w := range suite(workloads.Int) {
-		unlimited := r.Run(w, machine(width))
-		cfg8 := machine(width)
-		cfg8.Mem.MSHRs = 8
-		m8 := r.Run(w, cfg8)
-		cfg2 := machine(width)
-		cfg2.Mem.MSHRs = 2
-		m2 := r.Run(w, cfg2)
+		cfgU, cfg8, cfg2 := cfgs(width)
+		unlimited, err := r.RunCtx(ctx, w, cfgU)
+		if err != nil {
+			return nil, err
+		}
+		m8, err := r.RunCtx(ctx, w, cfg8)
+		if err != nil {
+			return nil, err
+		}
+		m2, err := r.RunCtx(ctx, w, cfg2)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, stats.F(unlimited.IPC, 3), stats.F(m8.IPC, 3), stats.F(m2.IPC, 3))
 	}
-	return t
+	return t, nil
 }
 
 // AblationPrefetch adds an idealized next-line data prefetcher to the
 // baseline: it shows how much of the streaming benchmarks' miss cost the
 // Table 1 machine (which has none) leaves on the table.
-func (r *Runner) AblationPrefetch(width int) *stats.Table {
+func (r *Runner) AblationPrefetch(ctx context.Context, width int) (*stats.Table, error) {
+	pfCfg := func(width int) ooo.Config {
+		cfg := machine(width)
+		cfg.Mem.NextLinePrefetch = true
+		return cfg
+	}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		pts = append(pts, point{w, machine(width)}, point{w, pfCfg(width)})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: next-line data prefetch, %d-wide baseline", width),
 		Columns: []string{"bench", "no-prefetch IPC", "prefetch IPC", "gain"},
 	}
 	for _, w := range suite(workloads.Int) {
-		base := r.Run(w, machine(width))
-		cfgP := machine(width)
-		cfgP.Mem.NextLinePrefetch = true
-		pf := r.Run(w, cfgP)
+		base, err := r.RunCtx(ctx, w, machine(width))
+		if err != nil {
+			return nil, err
+		}
+		pf, err := r.RunCtx(ctx, w, pfCfg(width))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, stats.F(base.IPC, 3), stats.F(pf.IPC, 3), stats.F(pf.IPC/base.IPC, 3))
 	}
-	return t
+	return t, nil
 }
 
 // AblationDisambiguation compares oracle and conservative memory
 // disambiguation on the baseline machine (a documented model choice).
-func (r *Runner) AblationDisambiguation(width int) *stats.Table {
+func (r *Runner) AblationDisambiguation(ctx context.Context, width int) (*stats.Table, error) {
+	consCfg := func(width int) ooo.Config {
+		cfg := machine(width)
+		cfg.ConservativeDisambiguation = true
+		cfg.Name = cfg.Name + "-consv"
+		return cfg
+	}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		pts = append(pts, point{w, machine(width)}, point{w, consCfg(width)})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: memory disambiguation, %d-wide baseline", width),
 		Columns: []string{"bench", "oracle IPC", "conservative IPC", "ratio"},
 	}
 	for _, w := range suite(workloads.Int) {
-		oracle := r.Run(w, machine(width))
-		cfg := machine(width)
-		cfg.ConservativeDisambiguation = true
-		cfg.Name = cfg.Name + "-consv"
-		cons := r.Run(w, cfg)
+		oracle, err := r.RunCtx(ctx, w, machine(width))
+		if err != nil {
+			return nil, err
+		}
+		cons, err := r.RunCtx(ctx, w, consCfg(width))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, stats.F(oracle.IPC, 3), stats.F(cons.IPC, 3),
 			stats.F(cons.IPC/oracle.IPC, 3))
 	}
-	return t
+	return t, nil
 }

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"prisim/internal/core"
 	"prisim/internal/ooo"
@@ -13,6 +16,8 @@ import (
 // paper-grade numbers.
 var tinyBudget = Budget{FastForward: 500, Run: 4000}
 
+var bg = context.Background()
+
 func TestRunnerCaching(t *testing.T) {
 	r := NewRunner(tinyBudget)
 	w, _ := workloads.ByName("gzip")
@@ -20,6 +25,9 @@ func TestRunnerCaching(t *testing.T) {
 	b := r.Run(w, ooo.Width4())
 	if a != b {
 		t.Error("identical runs not cached")
+	}
+	if got := r.RunsExecuted(); got != 1 {
+		t.Errorf("RunsExecuted = %d after one unique point, want 1", got)
 	}
 	c := r.Run(w, ooo.Width4().WithPolicy(core.PolicyPRIRcCkpt))
 	if c == a {
@@ -29,6 +37,134 @@ func TestRunnerCaching(t *testing.T) {
 	cons.ConservativeDisambiguation = true
 	if r.Run(w, cons) == a {
 		t.Error("disambiguation modes shared a cache entry")
+	}
+}
+
+func TestBudgetViewsShareCache(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	w, _ := workloads.ByName("gzip")
+	a := r.Run(w, ooo.Width4())
+	// Same budget through a view: must hit the same entry.
+	if r.WithBudget(tinyBudget).Run(w, ooo.Width4()) != a {
+		t.Error("same-budget view missed the shared cache")
+	}
+	// A different budget is a different point.
+	b := r.WithBudget(Budget{FastForward: 500, Run: 2000}).Run(w, ooo.Width4())
+	if b == a {
+		t.Error("different budgets shared a cache entry")
+	}
+	if got := r.RunsExecuted(); got != 2 {
+		t.Errorf("RunsExecuted = %d, want 2", got)
+	}
+}
+
+// TestSingleflightDeduplication hammers one Runner with 16 goroutines all
+// requesting the same small set of points and asserts each point simulated
+// exactly once. Run under -race this also exercises the cache's locking.
+func TestSingleflightDeduplication(t *testing.T) {
+	r := NewParallelRunner(Budget{FastForward: 200, Run: 1000}, 4)
+	w1, _ := workloads.ByName("gzip")
+	w2, _ := workloads.ByName("mcf")
+	cfgs := []ooo.Config{
+		ooo.Width4(),
+		ooo.Width4().WithPolicy(core.PolicyPRIRcCkpt),
+		ooo.Width8(),
+	}
+	const goroutines = 16
+	results := make([][]*Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, w := range []workloads.Workload{w1, w2} {
+				for _, cfg := range cfgs {
+					res, err := r.RunCtx(bg, w, cfg)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[g] = append(results[g], res)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.RunsExecuted(); got != 6 {
+		t.Errorf("RunsExecuted = %d for 6 unique points hammered by %d goroutines, want 6", got, goroutines)
+	}
+	// Every goroutine must have observed the identical shared results.
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d result %d not shared", g, i)
+			}
+		}
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	// Already-cancelled context: no simulation happens.
+	r := NewRunner(tinyBudget)
+	w, _ := workloads.ByName("gzip")
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := r.RunCtx(ctx, w, ooo.Width4()); err != context.Canceled {
+		t.Errorf("cancelled RunCtx error = %v", err)
+	}
+	if r.RunsExecuted() != 0 {
+		t.Error("cancelled context still simulated")
+	}
+
+	// Mid-run cancellation: a budget far beyond the context deadline must
+	// abort between chunks, and the point must remain retryable.
+	big := NewRunner(Budget{FastForward: 100, Run: 50_000_000})
+	ctx2, cancel2 := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel2()
+	if _, err := big.RunCtx(ctx2, w, ooo.Width4()); err == nil {
+		t.Fatal("mid-run cancellation did not surface")
+	}
+	// The cancelled flight was evicted; a fresh context retries cleanly.
+	small := big.WithBudget(Budget{FastForward: 100, Run: 1000})
+	if _, err := small.RunCtx(bg, w, ooo.Width4()); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+// TestParallelMatchesSerial asserts the headline property: a figure
+// regenerated on a multi-worker pool is byte-identical to the single-worker
+// (serial order) run.
+func TestParallelMatchesSerial(t *testing.T) {
+	b := Budget{FastForward: 300, Run: 1500}
+	serial, err := NewParallelRunner(b, 1).Fig8(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewParallelRunner(b, 8).Fig8(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel fig8 differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	var mu sync.Mutex
+	var dones []int
+	r.OnProgress(func(done, total int) {
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+	})
+	w, _ := workloads.ByName("gzip")
+	r.Run(w, ooo.Width4())
+	r.Run(w, ooo.Width4()) // cache hit: no callback
+	r.Run(w, ooo.Width8())
+	if len(dones) != 2 {
+		t.Fatalf("progress callback fired %d times, want 2", len(dones))
 	}
 }
 
@@ -50,6 +186,18 @@ func TestRunProducesSaneResult(t *testing.T) {
 	}
 }
 
+func TestRunProgram(t *testing.T) {
+	w, _ := workloads.ByName("gzip")
+	res, _, err := RunProgram(bg, ooo.Width4(), w.Build(0), false,
+		Budget{FastForward: 100, Run: 2000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Committed == 0 {
+		t.Errorf("empty program run: %+v", res)
+	}
+}
+
 func TestTable1Static(t *testing.T) {
 	out := Table1().String()
 	for _, want := range []string{"ROB", "512", "scheduler", "32"} {
@@ -61,7 +209,10 @@ func TestTable1Static(t *testing.T) {
 
 func TestFig2Shapes(t *testing.T) {
 	r := NewRunner(tinyBudget)
-	intT, fpT := r.Fig2()
+	intT, fpT, err := r.Fig2(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(intT.Rows) != 13 || len(fpT.Rows) != 14 {
 		t.Errorf("fig2 rows: %d int, %d fp", len(intT.Rows), len(fpT.Rows))
 	}
@@ -79,7 +230,10 @@ func TestSpeedupTableShape(t *testing.T) {
 	}
 	r := NewRunner(Budget{FastForward: 500, Run: 2500})
 	// Restrict to a subset by running the full Fig10 at a tiny budget.
-	tb := r.Fig10(4)
+	tb, err := r.Fig10(bg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 14 { // 13 benchmarks + average
 		t.Fatalf("fig10 rows = %d", len(tb.Rows))
 	}
@@ -97,7 +251,10 @@ func TestFig9Normalization(t *testing.T) {
 		t.Skip("long")
 	}
 	r := NewRunner(Budget{FastForward: 200, Run: 1500})
-	tb := r.Fig9(4)
+	tb, err := r.Fig9(bg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 27 {
 		t.Fatalf("fig9 rows = %d", len(tb.Rows))
 	}
@@ -105,6 +262,27 @@ func TestFig9Normalization(t *testing.T) {
 		if row[1] != "1.00" {
 			t.Errorf("%s: PR=40 column = %s, want 1.00", row[0], row[1])
 		}
+	}
+}
+
+func TestExperimentCancellationMidSweep(t *testing.T) {
+	// A sweep large enough that cancellation lands mid-flight.
+	r := NewRunner(Budget{FastForward: 2000, Run: 50_000})
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Fig8(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled Fig8 returned no error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Fig8 did not return")
 	}
 }
 
@@ -122,7 +300,10 @@ func TestShapeChecksMostlyPass(t *testing.T) {
 		t.Skip("long")
 	}
 	r := NewRunner(Budget{FastForward: 4000, Run: 10000})
-	checks := r.CheckShapes()
+	checks, err := r.CheckShapes(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(checks) < 15 {
 		t.Fatalf("only %d shape checks", len(checks))
 	}
@@ -147,7 +328,7 @@ func TestWriteReport(t *testing.T) {
 	}
 	r := NewRunner(Budget{FastForward: 300, Run: 1200})
 	var sb strings.Builder
-	if err := r.WriteReport(&sb); err != nil {
+	if err := r.WriteReport(bg, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

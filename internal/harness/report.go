@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -22,12 +23,30 @@ type ShapeCheck struct {
 // against live simulation data and reports which hold. These are the same
 // properties EXPERIMENTS.md discusses; the harness makes them executable so
 // regressions in the model or workloads surface mechanically.
-func (r *Runner) CheckShapes() []ShapeCheck {
+func (r *Runner) CheckShapes(ctx context.Context) ([]ShapeCheck, error) {
+	// The whole matrix the checks consult, submitted up front.
+	pols := []core.Policy{core.PolicyBase, core.PolicyER, core.PolicyPRIRcLazy,
+		core.PolicyPRIPlusER, core.PolicyInfinite}
+	var pts []point
+	for _, w := range workloads.All() {
+		for _, width := range []int{4, 8} {
+			for _, pol := range pols {
+				pts = append(pts, point{w, machine(width).WithPolicy(pol)})
+			}
+		}
+		pts = append(pts, point{w, machine(4).WithPRs(40)}, point{w, machine(4).WithPRs(96)})
+	}
+	for _, w := range suite(workloads.Int) {
+		pts = append(pts, point{w, machine(4).WithPolicy(core.PolicyPRIPlusER)})
+	}
+	if err := r.warm(ctx, pts); err != nil {
+		return nil, err
+	}
+
 	var checks []ShapeCheck
 	add := func(name string, pass bool, note string) {
 		checks = append(checks, ShapeCheck{Name: name, Pass: pass, Note: note})
 	}
-
 	// Collect per-suite speedup averages for the three headline schemes.
 	type avg struct{ er, pri, priER, inf float64 }
 	averages := map[string]avg{}
@@ -36,11 +55,30 @@ func (r *Runner) CheckShapes() []ShapeCheck {
 			var a avg
 			n := 0
 			for _, w := range suite(class) {
-				base := r.Run(w, machine(width))
-				a.er += r.Run(w, machine(width).WithPolicy(core.PolicyER)).IPC / base.IPC
-				a.pri += r.Run(w, machine(width).WithPolicy(core.PolicyPRIRcLazy)).IPC / base.IPC
-				a.priER += r.Run(w, machine(width).WithPolicy(core.PolicyPRIPlusER)).IPC / base.IPC
-				a.inf += r.Run(w, machine(width).WithPolicy(core.PolicyInfinite)).IPC / base.IPC
+				base, err := r.RunCtx(ctx, w, machine(width))
+				if err != nil {
+					return nil, err
+				}
+				er, err := r.RunCtx(ctx, w, machine(width).WithPolicy(core.PolicyER))
+				if err != nil {
+					return nil, err
+				}
+				pri, err := r.RunCtx(ctx, w, machine(width).WithPolicy(core.PolicyPRIRcLazy))
+				if err != nil {
+					return nil, err
+				}
+				priER, err := r.RunCtx(ctx, w, machine(width).WithPolicy(core.PolicyPRIPlusER))
+				if err != nil {
+					return nil, err
+				}
+				inf, err := r.RunCtx(ctx, w, machine(width).WithPolicy(core.PolicyInfinite))
+				if err != nil {
+					return nil, err
+				}
+				a.er += er.IPC / base.IPC
+				a.pri += pri.IPC / base.IPC
+				a.priER += priER.IPC / base.IPC
+				a.inf += inf.IPC / base.IPC
 				n++
 			}
 			f := float64(n)
@@ -69,11 +107,17 @@ func (r *Runner) CheckShapes() []ShapeCheck {
 	// Lifetime phases: phase 3 dominates at baseline; PRI+ER shrinks totals.
 	phase3Dominant, lifetimeShrinks := 0, 0
 	for _, w := range suite(workloads.Int) {
-		base := r.Run(w, machine(4))
+		base, err := r.RunCtx(ctx, w, machine(4))
+		if err != nil {
+			return nil, err
+		}
 		if base.ReadToRelease >= base.AllocToWrite && base.ReadToRelease >= base.WriteToRead {
 			phase3Dominant++
 		}
-		both := r.Run(w, machine(4).WithPolicy(core.PolicyPRIPlusER))
+		both, err := r.RunCtx(ctx, w, machine(4).WithPolicy(core.PolicyPRIPlusER))
+		if err != nil {
+			return nil, err
+		}
 		if both.AllocToWrite+both.WriteToRead+both.ReadToRelease <
 			base.AllocToWrite+base.WriteToRead+base.ReadToRelease {
 			lifetimeShrinks++
@@ -87,8 +131,14 @@ func (r *Runner) CheckShapes() []ShapeCheck {
 	// Figure 9 monotonicity at the extremes.
 	monotone := 0
 	for _, w := range workloads.All() {
-		lo := r.Run(w, machine(4).WithPRs(40))
-		hi := r.Run(w, machine(4).WithPRs(96))
+		lo, err := r.RunCtx(ctx, w, machine(4).WithPRs(40))
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.RunCtx(ctx, w, machine(4).WithPRs(96))
+		if err != nil {
+			return nil, err
+		}
 		if hi.IPC >= lo.IPC {
 			monotone++
 		}
@@ -96,7 +146,7 @@ func (r *Runner) CheckShapes() []ShapeCheck {
 	add("more registers never hurt (PR=96 vs PR=40)",
 		monotone == len(workloads.All()), fmt.Sprintf("%d/%d benchmarks", monotone, len(workloads.All())))
 
-	return checks
+	return checks, nil
 }
 
 func key(c workloads.Class, width int) string {
@@ -106,7 +156,7 @@ func key(c workloads.Class, width int) string {
 // WriteReport regenerates the full experiment suite and writes a
 // self-contained markdown report: every table plus the executable shape
 // checklist. It is the machine-written sibling of EXPERIMENTS.md.
-func (r *Runner) WriteReport(w io.Writer) error {
+func (r *Runner) WriteReport(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "# prisim experiment report\n\n")
 	fmt.Fprintf(w, "Budget: %d fast-forward + %d measured instructions per point.\n\n",
 		r.Budget.FastForward, r.Budget.Run)
@@ -116,22 +166,43 @@ func (r *Runner) WriteReport(w io.Writer) error {
 			fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 		}
 	}
+	var firstErr error
+	get := func(t *stats.Table, err error) *stats.Table {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if t == nil {
+			t = &stats.Table{}
+		}
+		return t
+	}
 	section(Table1())
-	section(r.Table2())
-	section(r.Fig1())
-	a, b := r.Fig2()
-	section(a, b)
-	section(r.Fig8())
-	section(r.Fig9(4), r.Fig9(8))
-	section(r.Fig10(4), r.Fig10(8))
-	section(r.Fig11(4), r.Fig11(8))
-	section(r.Fig12(4), r.Fig12(8))
-	section(r.AblationRenameInline(4), r.AblationDisambiguation(4),
-		r.AblationDelayedAllocation(4), r.AblationMSHR(4))
+	section(get(r.Table2(ctx)))
+	section(get(r.Fig1(ctx)))
+	a, b, err := r.Fig2(ctx)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if a != nil && b != nil {
+		section(a, b)
+	}
+	section(get(r.Fig8(ctx)))
+	section(get(r.Fig9(ctx, 4)), get(r.Fig9(ctx, 8)))
+	section(get(r.Fig10(ctx, 4)), get(r.Fig10(ctx, 8)))
+	section(get(r.Fig11(ctx, 4)), get(r.Fig11(ctx, 8)))
+	section(get(r.Fig12(ctx, 4)), get(r.Fig12(ctx, 8)))
+	section(get(r.AblationRenameInline(ctx, 4)), get(r.AblationDisambiguation(ctx, 4)),
+		get(r.AblationDelayedAllocation(ctx, 4)), get(r.AblationMSHR(ctx, 4)))
+	if firstErr != nil {
+		return firstErr
+	}
 
 	fmt.Fprintf(w, "## Shape checklist\n\n")
 	pass := 0
-	checks := r.CheckShapes()
+	checks, err := r.CheckShapes(ctx)
+	if err != nil {
+		return err
+	}
 	for _, c := range checks {
 		mark := "FAIL"
 		if c.Pass {

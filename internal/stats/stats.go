@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"prisim/internal/emu"
 	"prisim/internal/isa"
@@ -132,18 +133,28 @@ func (s *Significance) FPTrivialFrac() float64 {
 }
 
 // Table renders a fixed-width text table: the harness uses it for every
-// figure and table reproduction.
+// figure and table reproduction. AddRow and String are safe to call from
+// multiple goroutines, so parallel experiment drivers can assemble one
+// table concurrently; Title and Columns are set once before sharing.
 type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+
+	mu sync.Mutex
 }
 
 // AddRow appends a row of cells.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+func (t *Table) AddRow(cells ...string) {
+	t.mu.Lock()
+	t.Rows = append(t.Rows, cells)
+	t.mu.Unlock()
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)

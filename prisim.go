@@ -5,27 +5,32 @@
 // SPEC2000-like synthetic workload suite and the experiment harness that
 // regenerates the paper's tables and figures.
 //
-// Quick start:
+// The v2 entry point is a long-lived, concurrency-safe Engine:
 //
-//	res := prisim.Simulate(prisim.Options{
+//	eng := prisim.NewEngine()
+//	res, err := eng.Simulate(ctx, prisim.Options{
 //		Benchmark: "mcf",
 //		Width:     4,
 //		Policy:    prisim.PolicyPRI,
 //	})
 //	fmt.Printf("IPC %.3f\n", res.IPC)
 //
-// Deeper control (custom programs, per-cycle inspection) is available
-// through the internal packages for code living in this module; external
-// users drive the simulator through Options and the cmd/ tools.
+// An Engine memoizes timing runs and executes experiment run matrices on a
+// bounded worker pool (see WithParallelism), deduplicates concurrent
+// requests for the same simulation point, honours context cancellation, and
+// reports failures with errors.Is-able sentinels (ErrUnknownBenchmark,
+// ErrUnknownPolicy, ErrUnknownExperiment, ErrInvalidOptions).
+//
+// The package-level Simulate and Experiment functions are the deprecated v1
+// API; they delegate to a shared default Engine.
 package prisim
 
 import (
-	"fmt"
+	"context"
+	"io"
+	"sync"
 
 	"prisim/internal/core"
-	"prisim/internal/harness"
-	"prisim/internal/ooo"
-	"prisim/internal/stats"
 	"prisim/internal/workloads"
 )
 
@@ -61,6 +66,13 @@ func Policies() []Policy {
 		PolicyPRIIdealCkpt, PolicyPRIIdealLazy, PolicyPRIPlusER, PolicyInfinite}
 }
 
+// IsPRI reports whether p is one of the physical-register-inlining schemes
+// (for which Result's PRI activity counters are meaningful).
+func (p Policy) IsPRI() bool {
+	cp, ok := policyMap[p]
+	return ok && cp.PRI
+}
+
 // Options selects a simulation point.
 type Options struct {
 	Benchmark string // a workload name (see Benchmarks)
@@ -77,11 +89,25 @@ type Options struct {
 	// DelayedAllocation enables the Section 6 virtual-physical extension
 	// (registers bind at writeback instead of rename).
 	DelayedAllocation bool
+
+	// MachineJSON, when non-empty, overrides the Width-selected machine
+	// with a JSON configuration (the format MachineJSON produces); Policy,
+	// PhysRegs, and the extension flags still apply on top. Runs with a
+	// custom machine bypass the Engine's memoization cache.
+	MachineJSON []byte
+	// PipeView, when non-nil, receives a gem5 O3PipeView-format pipeline
+	// trace of the run. Traced runs bypass the memoization cache so the
+	// trace is always produced.
+	PipeView io.Writer
 }
 
 // Result summarizes one simulation.
 type Result struct {
 	Benchmark string
+	Machine   string // machine configuration name ("4wide" / "8wide")
+	IntPRs    int    // integer physical register file size simulated
+	FPPRs     int    // floating-point physical register file size simulated
+
 	IPC       float64
 	Cycles    uint64
 	Committed uint64
@@ -95,8 +121,17 @@ type Result struct {
 
 	InlineFraction float64 // source operands served from inlined map entries
 	MispredictRate float64
+	BranchResolved uint64
 	DL1MissRate    float64
 	L2MissRate     float64
+	Replays        uint64 // scheduler latency mis-speculation replays
+
+	// PRI activity counters for the benchmark's dominant register class
+	// (zero under non-PRI policies; see Policy.IsPRI).
+	InlinedResults uint64
+	WAWSuppressed  uint64
+	DeferredFrees  uint64
+	EarlyFrees     uint64
 }
 
 // Benchmark describes one available workload.
@@ -121,116 +156,27 @@ func Benchmarks() []Benchmark {
 	return out
 }
 
+// defaultEngine backs the deprecated package-level API: one shared Engine,
+// built on first use, so legacy callers still benefit from memoization.
+var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine() })
+
 // Simulate runs one benchmark at one machine point and returns the result.
+//
+// Deprecated: Simulate is the v1 entry point; it delegates to a shared
+// default Engine with a background context. Use NewEngine and
+// Engine.Simulate for context cancellation, parallelism control, and
+// progress reporting.
 func Simulate(o Options) (Result, error) {
-	w, ok := workloads.ByName(o.Benchmark)
-	if !ok {
-		return Result{}, fmt.Errorf("prisim: unknown benchmark %q", o.Benchmark)
-	}
-	pol := core.PolicyBase
-	if o.Policy != "" {
-		p, ok := policyMap[o.Policy]
-		if !ok {
-			return Result{}, fmt.Errorf("prisim: unknown policy %q", o.Policy)
-		}
-		pol = p
-	}
-	cfg := ooo.Width4()
-	switch o.Width {
-	case 0, 4:
-	case 8:
-		cfg = ooo.Width8()
-	default:
-		return Result{}, fmt.Errorf("prisim: width must be 4 or 8, got %d", o.Width)
-	}
-	cfg = cfg.WithPolicy(pol)
-	if o.PhysRegs > 0 {
-		if o.PhysRegs < 32 {
-			return Result{}, fmt.Errorf("prisim: PhysRegs must be at least 32 (one per architected register), got %d", o.PhysRegs)
-		}
-		cfg = cfg.WithPRs(o.PhysRegs)
-	}
-	cfg.InlineAtRename = o.RenameInline
-	cfg.DelayedAllocation = o.DelayedAllocation
-
-	ff, run := o.FastForward, o.Run
-	if ff == 0 {
-		ff = harness.DefaultBudget.FastForward
-	}
-	if run == 0 {
-		run = harness.DefaultBudget.Run
-	}
-	p := ooo.New(cfg, w.Build(0))
-	p.FastForward(ff)
-	p.Run(run)
-
-	st := p.Stats()
-	life := p.Renamer().IntStats()
-	if w.Class == workloads.FP {
-		life = p.Renamer().FPStats()
-	}
-	aw, wr, rr := life.AvgPhases()
-	return Result{
-		Benchmark:      w.Name,
-		IPC:            st.IPC(),
-		Cycles:         st.Cycles,
-		Committed:      st.Committed,
-		IntOccupancy:   st.AvgIntOccupancy(),
-		FPOccupancy:    st.AvgFPOccupancy(),
-		AllocToWrite:   aw,
-		WriteToRead:    wr,
-		ReadToRelease:  rr,
-		InlineFraction: st.InlineFraction(),
-		MispredictRate: st.MispredictRate(),
-		DL1MissRate:    p.Mem().DL1.MissRate(),
-		L2MissRate:     p.Mem().L2.MissRate(),
-	}, nil
+	return defaultEngine().Simulate(context.Background(), o)
 }
 
 // Experiment regenerates one of the paper's tables or figures as rendered
-// text. Valid names: table1, table2, fig1, fig2, fig8, fig9, fig10, fig11,
-// fig12, ablation-inline, ablation-mem, ablation-delayed, ablation-mshr,
-// ablation-prefetch.
+// text. Valid names are listed by ExperimentNames.
+//
+// Deprecated: Experiment is the v1 entry point; it delegates to a shared
+// default Engine with a background context. Use NewEngine and
+// Engine.Experiment, which add cancellation and run the experiment's whole
+// simulation matrix on a worker pool.
 func Experiment(name string, budget Options) (string, error) {
-	b := harness.Budget{FastForward: budget.FastForward, Run: budget.Run}
-	r := harness.NewRunner(b)
-	var tables []*stats.Table
-	switch name {
-	case "table1":
-		tables = append(tables, harness.Table1())
-	case "table2":
-		tables = append(tables, r.Table2())
-	case "fig1":
-		tables = append(tables, r.Fig1())
-	case "fig2":
-		a, bb := r.Fig2()
-		tables = append(tables, a, bb)
-	case "fig8":
-		tables = append(tables, r.Fig8())
-	case "fig9":
-		tables = append(tables, r.Fig9(4), r.Fig9(8))
-	case "fig10":
-		tables = append(tables, r.Fig10(4), r.Fig10(8))
-	case "fig11":
-		tables = append(tables, r.Fig11(4), r.Fig11(8))
-	case "fig12":
-		tables = append(tables, r.Fig12(4), r.Fig12(8))
-	case "ablation-inline":
-		tables = append(tables, r.AblationRenameInline(4))
-	case "ablation-mem":
-		tables = append(tables, r.AblationDisambiguation(4))
-	case "ablation-delayed":
-		tables = append(tables, r.AblationDelayedAllocation(4))
-	case "ablation-mshr":
-		tables = append(tables, r.AblationMSHR(4))
-	case "ablation-prefetch":
-		tables = append(tables, r.AblationPrefetch(4))
-	default:
-		return "", fmt.Errorf("prisim: unknown experiment %q", name)
-	}
-	out := ""
-	for _, t := range tables {
-		out += t.String() + "\n"
-	}
-	return out, nil
+	return defaultEngine().Experiment(context.Background(), name, budget)
 }
