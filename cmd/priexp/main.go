@@ -112,23 +112,28 @@ func fatal(err error) {
 }
 
 // timingRecord is the -timing output: one serial and one parallel fig8
-// regeneration from cold caches, and whether their tables matched byte for
-// byte.
+// regeneration from cold caches, whether their tables matched byte for
+// byte, and the raw kernel throughput of a single simulation (committed
+// instructions per wall-clock second, the number BENCH_kernel.json tracks).
 type timingRecord struct {
-	Experiment      string  `json:"experiment"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	ParallelWorkers int     `json:"parallel_workers"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
-	ByteIdentical   bool    `json:"byte_identical"`
-	FastForward     uint64  `json:"fast_forward_per_run"`
-	Run             uint64  `json:"run_per_run"`
+	Experiment        string  `json:"experiment"`
+	NumCPU            int     `json:"num_cpu"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+	SerialSeconds     float64 `json:"serial_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	ByteIdentical     bool    `json:"byte_identical"`
+	KernelInstrPerSec float64 `json:"kernel_instr_per_sec"`
+	FastForward       uint64  `json:"fast_forward_per_run"`
+	Run               uint64  `json:"run_per_run"`
 }
 
 // writeTiming regenerates fig8 on a fresh single-worker Engine and a fresh
-// GOMAXPROCS-worker Engine, records both wall-clocks, and asserts the
-// rendered tables are identical.
+// multi-worker Engine, records both wall-clocks, and asserts the rendered
+// tables are identical. The worker count is GOMAXPROCS but at least 2, so
+// the race-safety claim (parallel == serial output) is exercised even on a
+// single-core host where no wall-clock speedup is possible.
 func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 	time1 := func(workers int) (string, float64, error) {
 		eng := prisim.NewEngine(prisim.WithBudget(ff, run), prisim.WithParallelism(workers))
@@ -141,20 +146,29 @@ func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 		return err
 	}
 	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
 	parOut, parSec, err := time1(workers)
 	if err != nil {
 		return err
 	}
+	kernelIPS, err := kernelThroughput(ctx, ff, run)
+	if err != nil {
+		return err
+	}
 	rec := timingRecord{
-		Experiment:      "fig8",
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		ParallelWorkers: workers,
-		SerialSeconds:   serialSec,
-		ParallelSeconds: parSec,
-		Speedup:         serialSec / parSec,
-		ByteIdentical:   serialOut == parOut,
-		FastForward:     ff,
-		Run:             run,
+		Experiment:        "fig8",
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		ParallelWorkers:   workers,
+		SerialSeconds:     serialSec,
+		ParallelSeconds:   parSec,
+		Speedup:           serialSec / parSec,
+		ByteIdentical:     serialOut == parOut,
+		KernelInstrPerSec: kernelIPS,
+		FastForward:       ff,
+		Run:               run,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -164,7 +178,20 @@ func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "timing written to %s (serial %.2fs, parallel %.2fs on %d workers, identical=%v)\n",
-		path, serialSec, parSec, workers, rec.ByteIdentical)
+	fmt.Fprintf(os.Stderr, "timing written to %s (serial %.2fs, parallel %.2fs on %d workers, identical=%v, kernel %.0f instr/s)\n",
+		path, serialSec, parSec, workers, rec.ByteIdentical, kernelIPS)
 	return nil
+}
+
+// kernelThroughput times one mcf simulation (the fig8 matrix's dominant
+// workload) on the baseline machine and returns committed instructions per
+// second — a construction-free view of the simulation kernel's speed.
+func kernelThroughput(ctx context.Context, ff, run uint64) (float64, error) {
+	eng := prisim.NewEngine(prisim.WithBudget(ff, run))
+	start := time.Now()
+	res, err := eng.Simulate(ctx, prisim.Options{Benchmark: "mcf"})
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Committed) / time.Since(start).Seconds(), nil
 }

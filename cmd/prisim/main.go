@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"prisim"
@@ -31,6 +33,8 @@ func main() {
 	delayed := flag.Bool("delayed-alloc", false, "enable virtual-physical delayed register allocation")
 	pipeview := flag.String("pipeview", "", "write an O3PipeView trace (gem5 pipeline-viewer format) to this file")
 	machineFile := flag.String("machine", "", "load the machine configuration from this JSON file (see -dump-machine)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the simulation to this file")
 	dumpMachine := flag.Bool("dump-machine", false, "print the selected machine configuration as JSON and exit")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -83,11 +87,35 @@ func main() {
 		o.PipeView = f
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := prisim.NewEngine().Simulate(ctx, o)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // flush accumulated allocation records
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
 	}
 	if viewFile != nil {
 		fmt.Fprintf(os.Stderr, "pipeline trace written to %s\n", *pipeview)

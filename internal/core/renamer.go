@@ -67,11 +67,12 @@ type Checkpoint struct {
 // Renamer is the complete rename stage state: two register classes and the
 // checkpoint stack.
 type Renamer struct {
-	cfg    Params
-	intRF  *regFile
-	fpRF   *regFile
-	ckpts  []*Checkpoint // oldest first
-	nextID uint64
+	cfg      Params
+	intRF    *regFile
+	fpRF     *regFile
+	ckpts    []*Checkpoint // oldest first
+	ckptPool []*Checkpoint // released checkpoints kept for reuse
+	nextID   uint64
 
 	// OnFixup, when set and the policy is IdealFixup, is invoked when a
 	// value is inlined so the pipeline can instantly convert in-flight
@@ -380,12 +381,27 @@ func (r *Renamer) patchCheckpoints(a isa.Reg, pr PhysReg, value uint64, now uint
 
 // TakeCheckpoint shadows both map tables. Under checkpoint reference
 // counting, every named register is pinned until the checkpoint dies.
+// Checkpoint objects and their shadow-map arrays come from a pool refilled
+// by ResolveCheckpoint/RestoreCheckpoint, so steady-state checkpoint
+// traffic allocates nothing; callers must drop their pointer once the
+// checkpoint is released.
 func (r *Renamer) TakeCheckpoint() *Checkpoint {
 	r.nextID++
-	ck := &Checkpoint{
-		id:     r.nextID,
-		intMap: append([]MapEntry(nil), r.intRF.mapTab...),
-		fpMap:  append([]MapEntry(nil), r.fpRF.mapTab...),
+	var ck *Checkpoint
+	if n := len(r.ckptPool); n > 0 {
+		ck = r.ckptPool[n-1]
+		r.ckptPool[n-1] = nil
+		r.ckptPool = r.ckptPool[:n-1]
+		ck.id = r.nextID
+		ck.intMap = append(ck.intMap[:0], r.intRF.mapTab...)
+		ck.fpMap = append(ck.fpMap[:0], r.fpRF.mapTab...)
+		ck.refsHeld, ck.released = false, false
+	} else {
+		ck = &Checkpoint{
+			id:     r.nextID,
+			intMap: append([]MapEntry(nil), r.intRF.mapTab...),
+			fpMap:  append([]MapEntry(nil), r.fpRF.mapTab...),
+		}
 	}
 	if r.cfg.Policy.usesCkptRefs() {
 		ck.refsHeld = true
@@ -430,6 +446,7 @@ func (r *Renamer) ResolveCheckpoint(ck *Checkpoint, now uint64) {
 	ck.released = true
 	r.removeCkpt(ck)
 	r.dropRefs(ck, now)
+	r.ckptPool = append(r.ckptPool, ck)
 }
 
 // RestoreCheckpoint recovers from a misprediction at ck's control
@@ -452,11 +469,13 @@ func (r *Renamer) RestoreCheckpoint(ck *Checkpoint, now uint64) {
 		}
 		c.released = true
 		r.dropRefs(c, now)
+		r.ckptPool = append(r.ckptPool, c)
 	}
 	copy(r.intRF.mapTab, ck.intMap)
 	copy(r.fpRF.mapTab, ck.fpMap)
 	ck.released = true
 	r.dropRefs(ck, now)
+	r.ckptPool = append(r.ckptPool, ck)
 	r.intRF.frozen, r.fpRF.frozen = false, false
 	r.intRF.recomputeUnmapped(now)
 	r.fpRF.recomputeUnmapped(now)

@@ -19,26 +19,37 @@ const (
 
 type page [pageSize]byte
 
+// tlbSize is the size of the direct-mapped page-translation cache that
+// fronts the page map. Simulated workloads touch a handful of hot pages
+// (stack, globals, the current working set), so even a small cache turns
+// nearly every access into two compares instead of a map probe.
+const tlbSize = 64
+
+type tlbEntry struct {
+	pn uint64
+	p  *page // nil = invalid slot
+}
+
 // Memory is a sparse, paged, little-endian 64-bit address space. Unmapped
 // locations read as zero; writes allocate pages on demand.
 type Memory struct {
 	pages map[uint64]*page
-	last  *page  // one-entry lookup cache
-	lastN uint64 // page number cached in last
+	tlb   [tlbSize]tlbEntry // direct-mapped translation cache
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*page), lastN: ^uint64(0)}
+	return &Memory{pages: make(map[uint64]*page)}
 }
 
 func (m *Memory) lookup(pn uint64) *page {
-	if pn == m.lastN {
-		return m.last
+	e := &m.tlb[pn%tlbSize]
+	if e.pn == pn && e.p != nil {
+		return e.p
 	}
 	p := m.pages[pn]
 	if p != nil {
-		m.last, m.lastN = p, pn
+		e.pn, e.p = pn, p
 	}
 	return p
 }
@@ -49,7 +60,8 @@ func (m *Memory) ensure(pn uint64) *page {
 	}
 	p := new(page)
 	m.pages[pn] = p
-	m.last, m.lastN = p, pn
+	e := &m.tlb[pn%tlbSize]
+	e.pn, e.p = pn, p
 	return p
 }
 

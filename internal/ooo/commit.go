@@ -6,7 +6,9 @@ import "prisim/internal/isa"
 // commits once it has been written back (retired); committing the next
 // writer of an architected register frees the previous physical register
 // under the conventional rule (a duplicate-tolerant no-op when PRI or ER
-// already freed it).
+// already freed it). The committed dynInst is recycled: its ROB slot and
+// producer-table entry are cleared here, and any reference that survives in
+// a queued event or ready-queue entry is invalidated by the generation bump.
 func (p *Pipeline) commit() {
 	for n := 0; n < p.cfg.Width; n++ {
 		d := p.robPeek()
@@ -38,16 +40,34 @@ func (p *Pipeline) commit() {
 			p.bp.Update(d.pc, d.inst, d.pred, d.info.Taken, actualTarget)
 		}
 		p.view.emit(p, d, p.now)
+		p.rob[p.robHead] = nil
 		p.robHead = (p.robHead + 1) % p.cfg.ROBSize
 		p.robLen--
 		p.stats.Committed++
 		p.lastCommitCycle = p.now
 		p.m.ReleaseUpTo(d.seq)
-		if d.inst.Op == isa.OpHALT {
+		halt := d.inst.Op == isa.OpHALT
+		p.clearProducer(d)
+		p.recycle(d)
+		if halt {
 			p.done = true
 			p.view.flush()
 			return
 		}
+	}
+}
+
+// clearProducer removes d from the per-PR producer table so later renames
+// see "value at rest" instead of a recycled instruction. The entry may
+// already name a newer producer if the register was freed early (PRI/ER)
+// and reallocated while d was still in flight.
+func (p *Pipeline) clearProducer(d *dynInst) {
+	if !d.hasDest || d.alloc.PR < 0 {
+		return
+	}
+	cl := classOf(d.alloc.Arch)
+	if int(d.alloc.PR) < len(p.prProducer[cl]) && p.prProducer[cl][d.alloc.PR] == d {
+		p.prProducer[cl][d.alloc.PR] = nil
 	}
 }
 
@@ -78,7 +98,10 @@ func (p *Pipeline) recover(d *dynInst) {
 	p.ren.RestoreCheckpoint(d.ckpt, p.now)
 	d.ckpt = nil
 
-	// Squash younger instructions from the ROB tail back to d.
+	// Squash younger instructions from the ROB tail back to d. Recycling is
+	// deferred until the LSQ below has been trimmed: the trim reads the
+	// squashed flag, which recycling resets.
+	scratch := p.squashScratch[:0]
 	for p.robLen > 0 {
 		idx := (p.robHead + p.robLen - 1) % p.cfg.ROBSize
 		y := p.rob[idx]
@@ -88,24 +111,38 @@ func (p *Pipeline) recover(d *dynInst) {
 		p.squash(y)
 		p.rob[idx] = nil
 		p.robLen--
+		scratch = append(scratch, y)
 	}
-	// Squash the front-end buffer entirely (all younger than d).
-	for i := p.fetchHead; i < len(p.fetchBuf); i++ {
-		f := p.fetchBuf[i]
+	// Squash the front-end ring entirely (all younger than d). Fetched-but-
+	// unrenamed instructions hold no structural references, so they recycle
+	// immediately.
+	for i := 0; i < p.fetchCount; i++ {
+		idx := (p.fetchHead + i) % len(p.fetchBuf)
+		f := p.fetchBuf[idx]
 		if f.seq <= d.seq {
 			panicf("ooo: fetch buffer holds %v older than recovery point %v", f, d)
 		}
 		f.squashed = true
 		p.stats.Squashed++
+		p.recycle(f)
+		p.fetchBuf[idx] = nil
 	}
-	p.fetchBuf = p.fetchBuf[:0]
-	p.fetchHead = 0
+	p.fetchHead, p.fetchCount = 0, 0
 
 	// Trim squashed LSQ tail entries (squash() marked them).
 	for len(p.lsq) > p.lsqHead && p.lsq[len(p.lsq)-1].squashed {
 		p.lsq[len(p.lsq)-1] = nil
 		p.lsq = p.lsq[:len(p.lsq)-1]
 	}
+
+	// Every structure has dropped its pointers; recycle the squashed set.
+	// Events, waiter entries, and ready-queue entries that still name these
+	// instructions are neutralized by the generation bump.
+	for i, y := range scratch {
+		p.recycle(y)
+		scratch[i] = nil
+	}
+	p.squashScratch = scratch[:0]
 
 	// Front-end state: predictor history/RAS, functional machine, fetch PC.
 	p.bp.Recover(d.pc, d.inst, d.pred, d.info.Taken)
@@ -117,7 +154,8 @@ func (p *Pipeline) recover(d *dynInst) {
 
 // squash removes one in-flight instruction from every structure: reader
 // references are returned, the destination register is undone, and the
-// instruction is flagged so queued events ignore it.
+// instruction is flagged so queued events ignore it. The caller recycles it
+// once no pipeline structure points at it.
 func (p *Pipeline) squash(y *dynInst) {
 	y.squashed = true
 	p.stats.Squashed++
@@ -141,5 +179,5 @@ func (p *Pipeline) squash(y *dynInst) {
 		p.schedCount--
 	}
 	y.inSched = false
-	y.waiters = nil
+	y.waiters = y.waiters[:0]
 }

@@ -1,0 +1,67 @@
+package ooo
+
+import (
+	"fmt"
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/emu"
+	"prisim/internal/fuzzprog"
+	"prisim/internal/isa"
+)
+
+// fingerprint flattens every observable outcome of a finished run — the full
+// timing statistics, both register-class lifetime statistics, and cache miss
+// rates — into one comparable string.
+func fingerprint(p *Pipeline) string {
+	return fmt.Sprintf("stats=%+v\nint=%+v\nfp=%+v\ndl1=%v l2=%v\n",
+		*p.Stats(), *p.Renamer().IntStats(), *p.Renamer().FPStats(),
+		p.Mem().DL1.MissRate(), p.Mem().L2.MissRate())
+}
+
+// TestSquashHeavyDeterminism runs randomly generated programs — whose
+// data-dependent branches defeat the predictor and keep the recovery path
+// hot — twice per configuration and demands bit-identical statistics. This
+// is the regression net for the recycling kernel: a stale dynInst reference
+// surviving recycling (in a wheel bucket, a waiter list, or the ready
+// queue) perturbs timing long before it corrupts architected state, and
+// any perturbation shows up here as a fingerprint mismatch. Run it under
+// -race to also catch unsynchronized sharing.
+func TestSquashHeavyDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			prog := fuzzprog.Generate(fuzzprog.Config{Seed: seed, OuterTrips: 8, BodyLen: 40})
+
+			ref := emu.New(prog)
+			ref.Run(0)
+
+			for _, pol := range []core.Policy{core.PolicyBase, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER} {
+				cfg := Width4().WithPolicy(pol)
+				first := runToHalt(t, cfg, prog)
+				second := runToHalt(t, cfg, prog)
+				if a, b := fingerprint(first), fingerprint(second); a != b {
+					t.Errorf("%s: non-deterministic run:\nfirst:  %s\nsecond: %s", pol.Name(), a, b)
+				}
+				// The squash-heavy timing run must still land on the exact
+				// architected state of a pure functional execution.
+				m := first.Machine()
+				for r := 0; r < isa.NumArchRegs; r++ {
+					if m.Reg(isa.Reg(r)) != ref.Reg(isa.Reg(r)) {
+						t.Errorf("%s: %s = %#x, want %#x",
+							pol.Name(), isa.Reg(r), m.Reg(isa.Reg(r)), ref.Reg(isa.Reg(r)))
+					}
+				}
+				if first.Stats().Committed != ref.Seq() {
+					t.Errorf("%s: committed %d, functional ran %d",
+						pol.Name(), first.Stats().Committed, ref.Seq())
+				}
+				if first.Stats().Squashed == 0 {
+					t.Errorf("%s: fuzz program squashed nothing; recovery path untested", pol.Name())
+				}
+				first.Renamer().CheckInvariants()
+			}
+		})
+	}
+}

@@ -15,20 +15,37 @@ func panicf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
 type srcOperand struct {
 	op       core.Operand
 	producer *dynInst // in-flight producer, nil when the value is at rest
+	pgen     uint32   // producer's generation when the link was made
 	ready    bool     // wakeup received (possibly speculative)
 	released bool     // reader reference returned to the renamer
 }
 
+// producerLive reports whether the operand's producer link still points at
+// the producing instruction. A generation mismatch means the producer left
+// the pipeline and was recycled — which, since readers are always younger
+// than their producer, can only mean it committed and the value is at rest.
+func (s *srcOperand) producerLive() bool {
+	return s.producer != nil && s.producer.gen == s.pgen
+}
+
 // waiter links a scheduler entry to the producer it waits on. srcIdx is the
-// operand index, or -1 for a load waiting on an older store.
+// operand index, or -1 for a load waiting on an older store. gen detects
+// waiters that were squashed and recycled before the producer fired.
 type waiter struct {
 	inst   *dynInst
+	gen    uint32
 	srcIdx int
 }
 
-// dynInst is one in-flight dynamic instruction.
+// dynInst is one in-flight dynamic instruction. Instances are owned by the
+// Pipeline's free list: commit and squash recycle them, bumping gen so that
+// any reference that outlives the instruction (a queued event, a producer's
+// waiter entry, a ready-queue entry, a consumer's producer link) is
+// detectably stale — the software twin of the paper's stale-physical-register
+// hazard.
 type dynInst struct {
 	seq  uint64 // emulator sequence number (1-based)
+	gen  uint32 // recycling generation; bumped when returned to the free list
 	pc   uint64
 	inst isa.Inst
 	info emu.StepInfo // functional outcome
@@ -84,3 +101,28 @@ func (d *dynInst) resultAvailableBy(t uint64) bool {
 // addWaiter registers a scheduler-resident consumer to be woken by this
 // instruction.
 func (d *dynInst) addWaiter(w waiter) { d.waiters = append(d.waiters, w) }
+
+// newInst takes an instruction from the free list (or allocates one on a
+// cold start). All fields are zero except gen and the retained waiters
+// capacity.
+func (p *Pipeline) newInst() *dynInst {
+	if n := len(p.freeInsts); n > 0 {
+		d := p.freeInsts[n-1]
+		p.freeInsts[n-1] = nil
+		p.freeInsts = p.freeInsts[:n-1]
+		return d
+	}
+	return new(dynInst)
+}
+
+// recycle returns an instruction that has left the pipeline (committed or
+// squashed) to the free list. The caller must have removed it from every
+// structural slot (ROB, LSQ, fetch ring, producer table); references in
+// queued events, waiter lists, and the ready queue may remain — the
+// generation bump renders them inert.
+func (p *Pipeline) recycle(d *dynInst) {
+	g := d.gen + 1
+	w := d.waiters[:0]
+	*d = dynInst{gen: g, waiters: w}
+	p.freeInsts = append(p.freeInsts, d)
+}

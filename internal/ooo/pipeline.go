@@ -32,17 +32,24 @@ type Pipeline struct {
 	lsq     []*dynInst
 	lsqHead int
 
-	// Front end: fetched instructions waiting for rename.
+	// Front end: ring of fetched instructions waiting for rename.
 	fetchBuf        []*dynInst
 	fetchHead       int
+	fetchCount      int
 	fetchStallUntil uint64
 
 	// Scheduler.
 	schedCount int
-	readyQ     readyHeap
+	readyQ     readyQueue
+	schedStash []readyEnt // not-yet-selectable entries, reused every cycle
 	fu         [isa.NumFUClasses][]uint64 // busy-until per unit
 
-	events map[uint64][]event
+	wheel eventWheel
+
+	// dynInst recycling: instructions return here at commit or squash and
+	// are reused by fetch, so the steady-state loop allocates nothing.
+	freeInsts     []*dynInst
+	squashScratch []*dynInst
 
 	// Per-physical-register pipeline bookkeeping (index 0 = int, 1 = fp).
 	prProducer [2][]*dynInst
@@ -63,10 +70,15 @@ const (
 	evWake
 )
 
+// event is one pending pipeline action. gen and seq are frozen at post time:
+// gen invalidates the event if inst is recycled first, and seq preserves the
+// deterministic oldest-first processing order regardless of recycling.
 type event struct {
 	kind   eventKind
-	inst   *dynInst
 	srcIdx int
+	gen    uint32
+	seq    uint64
+	inst   *dynInst
 }
 
 // New builds a pipeline for prog under cfg. The program is loaded but not
@@ -74,14 +86,15 @@ type event struct {
 func New(cfg Config, prog *asm.Program) *Pipeline {
 	cfg.validate()
 	p := &Pipeline{
-		cfg:    cfg,
-		m:      emu.New(prog),
-		ren:    core.NewRenamer(cfg.Rename),
-		bp:     bpred.New(cfg.Bpred),
-		mem:    memsys.New(cfg.Mem),
-		rob:    make([]*dynInst, cfg.ROBSize),
-		events: make(map[uint64][]event),
+		cfg:      cfg,
+		m:        emu.New(prog),
+		ren:      core.NewRenamer(cfg.Rename),
+		bp:       bpred.New(cfg.Bpred),
+		mem:      memsys.New(cfg.Mem),
+		rob:      make([]*dynInst, cfg.ROBSize),
+		fetchBuf: make([]*dynInst, (cfg.FrontDepth+2)*cfg.Width),
 	}
+	p.wheel.init()
 	for cl := range p.fu {
 		p.fu[cl] = make([]uint64, cfg.FUCount[cl])
 	}
@@ -197,11 +210,13 @@ func (p *Pipeline) cycle() {
 // fetch models the Fetch stage: up to Width instructions per cycle from the
 // (possibly wrong-path) functional machine, stopping at the first
 // predicted-taken control transfer, stalling on instruction cache misses.
+// The fetch buffer is a fixed ring sized to the front-end capacity, so
+// advancing it never copies and its slots are recycled in place.
 func (p *Pipeline) fetch() {
 	if p.now < p.fetchStallUntil || p.m.Halted() {
 		return
 	}
-	if p.fetchLen() >= (p.cfg.FrontDepth+2)*p.cfg.Width {
+	if p.fetchCount >= len(p.fetchBuf) {
 		return
 	}
 	hitLat := p.cfg.Mem.IL1.Latency
@@ -212,18 +227,17 @@ func (p *Pipeline) fetch() {
 		return
 	}
 	for n := 0; n < p.cfg.Width; n++ {
-		if p.m.Halted() || p.fetchLen() >= (p.cfg.FrontDepth+2)*p.cfg.Width {
+		if p.m.Halted() || p.fetchCount >= len(p.fetchBuf) {
 			break
 		}
 		pc := p.m.PC
 		info := p.m.Step()
-		d := &dynInst{
-			seq:        info.Seq,
-			pc:         pc,
-			inst:       info.Inst,
-			info:       info,
-			fetchCycle: p.now,
-		}
+		d := p.newInst()
+		d.seq = info.Seq
+		d.pc = pc
+		d.inst = info.Inst
+		d.info = info
+		d.fetchCycle = p.now
 		p.stats.Fetched++
 		if d.inst.Op.IsControl() {
 			d.isCtrl = true
@@ -240,7 +254,8 @@ func (p *Pipeline) fetch() {
 				p.m.SetPC(d.predNPC)
 			}
 		}
-		p.fetchBuf = append(p.fetchBuf, d)
+		p.fetchBuf[(p.fetchHead+p.fetchCount)%len(p.fetchBuf)] = d
+		p.fetchCount++
 		if d.isCtrl && d.predNPC != pc+4 {
 			break // fetch stops at the first taken branch in a cycle
 		}
@@ -250,21 +265,17 @@ func (p *Pipeline) fetch() {
 	}
 }
 
-func (p *Pipeline) fetchLen() int { return len(p.fetchBuf) - p.fetchHead }
-
 func (p *Pipeline) fetchPeek() *dynInst {
-	if p.fetchHead >= len(p.fetchBuf) {
+	if p.fetchCount == 0 {
 		return nil
 	}
 	return p.fetchBuf[p.fetchHead]
 }
 
 func (p *Pipeline) fetchPop() {
-	p.fetchHead++
-	if p.fetchHead > 64 && p.fetchHead*2 > len(p.fetchBuf) {
-		p.fetchBuf = append(p.fetchBuf[:0], p.fetchBuf[p.fetchHead:]...)
-		p.fetchHead = 0
-	}
+	p.fetchBuf[p.fetchHead] = nil
+	p.fetchHead = (p.fetchHead + 1) % len(p.fetchBuf)
+	p.fetchCount--
 }
 
 // rename models the Rename stage: in-order resource allocation (ROB, LSQ,
@@ -313,7 +324,10 @@ func (p *Pipeline) rename() {
 				cl := classOf(a)
 				producer := p.prProducer[cl][op.PR]
 				d.srcs[i].producer = producer
-				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{d, i})
+				if producer != nil {
+					d.srcs[i].pgen = producer.gen
+				}
+				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{inst: d, gen: d.gen, srcIdx: i})
 				p.linkOperand(d, i, producer)
 			case core.OperandInline:
 				p.stats.SrcInlineReads++

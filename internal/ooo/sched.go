@@ -1,27 +1,62 @@
 package ooo
 
 import (
-	"container/heap"
-	"sort"
-
 	"prisim/internal/core"
 	"prisim/internal/emu"
 )
 
-// readyHeap orders selectable instructions oldest first.
-type readyHeap []*dynInst
+// readyEnt is one selectable instruction in the ready queue. seq and gen are
+// frozen at push: seq keeps the heap order stable even if the instruction is
+// recycled while queued, and gen lets select discard such stale entries.
+type readyEnt struct {
+	seq uint64
+	gen uint32
+	d   *dynInst
+}
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*dynInst)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	d := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return d
+// readyQueue orders selectable instructions oldest first. It is a plain
+// binary min-heap over readyEnt — no interface boxing, no allocation in
+// steady state (container/heap's any-typed Push boxed every element).
+type readyQueue []readyEnt
+
+func (q *readyQueue) push(d *dynInst) { q.pushEnt(readyEnt{seq: d.seq, gen: d.gen, d: d}) }
+
+func (q *readyQueue) pushEnt(e readyEnt) {
+	h := append(*q, e)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h[parent].seq <= h[i].seq {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *readyQueue) pop() readyEnt {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = readyEnt{}
+	h = h[:n]
+	for i := 0; ; {
+		s := i
+		if l := 2*i + 1; l < n && h[l].seq < h[s].seq {
+			s = l
+		}
+		if r := 2*i + 2; r < n && h[r].seq < h[s].seq {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	*q = h
+	return top
 }
 
 // schedule is the Sched stage: select up to Width ready instructions,
@@ -34,16 +69,17 @@ func (h *readyHeap) Pop() any {
 // reserve issued entries until latency confirmation).
 func (p *Pipeline) schedule() {
 	issued := 0
-	var stash []*dynInst
-	for issued < p.cfg.Width && p.readyQ.Len() > 0 {
-		d := heap.Pop(&p.readyQ).(*dynInst)
-		if d.squashed || d.issued || !d.inSched {
+	stash := p.schedStash[:0]
+	for issued < p.cfg.Width && len(p.readyQ) > 0 {
+		e := p.readyQ.pop()
+		d := e.d
+		if d.gen != e.gen || d.squashed || d.issued || !d.inSched {
 			continue
 		}
 		// Queue stage: an instruction renamed at cycle t is selectable at
 		// t+2 (Rename | Queue | Sched).
 		if d.renameCycle+2 > p.now {
-			stash = append(stash, d)
+			stash = append(stash, e)
 			continue
 		}
 		cl := d.inst.Op.Class()
@@ -55,7 +91,7 @@ func (p *Pipeline) schedule() {
 			}
 		}
 		if unit < 0 {
-			stash = append(stash, d)
+			stash = append(stash, e)
 			continue
 		}
 		if d.inst.Op.Unpipelined() {
@@ -67,17 +103,21 @@ func (p *Pipeline) schedule() {
 		p.schedCount--
 		issued++
 		d.execStart = p.now + uint64(p.cfg.SchedToExec)
-		p.post(d.execStart, event{kind: evExecStart, inst: d})
+		p.post(d.execStart, evExecStart, d, 0)
 		// Speculative wakeup at select + nominal latency.
 		wakeAt := p.now + uint64(p.specLatency(d))
 		for _, w := range d.waiters {
-			p.post(wakeAt, event{kind: evWake, inst: w.inst, srcIdx: w.srcIdx})
+			p.postWaiter(wakeAt, w)
 		}
 		d.waiters = d.waiters[:0]
 	}
-	for _, d := range stash {
-		heap.Push(&p.readyQ, d)
+	for _, e := range stash {
+		p.readyQ.pushEnt(e)
 	}
+	for i := range stash {
+		stash[i] = readyEnt{}
+	}
+	p.schedStash = stash[:0]
 }
 
 // specLatency is the scheduler's assumed latency: the opcode latency, plus
@@ -101,7 +141,7 @@ func (p *Pipeline) schedInsert(d *dynInst) {
 		}
 	}
 	if d.notReady == 0 {
-		heap.Push(&p.readyQ, d)
+		p.readyQ.push(d)
 	}
 }
 
@@ -115,59 +155,64 @@ func (p *Pipeline) linkOperand(d *dynInst, i int, producer *dynInst) {
 		if producer.readyCycle <= p.now {
 			s.ready = true
 		} else {
-			p.post(producer.readyCycle, event{kind: evWake, inst: d, srcIdx: i})
+			p.post(producer.readyCycle, evWake, d, i)
 		}
 	case producer.issued:
 		wakeAt := producer.execStart - uint64(p.cfg.SchedToExec) + uint64(p.specLatency(producer))
 		if wakeAt <= p.now {
 			s.ready = true
 		} else {
-			p.post(wakeAt, event{kind: evWake, inst: d, srcIdx: i})
+			p.post(wakeAt, evWake, d, i)
 		}
 	default:
-		producer.addWaiter(waiter{d, i})
+		producer.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: i})
 	}
 }
 
-func (p *Pipeline) post(cycle uint64, ev event) {
+// post schedules an event targeting a live instruction.
+func (p *Pipeline) post(cycle uint64, kind eventKind, d *dynInst, srcIdx int) {
 	if cycle <= p.now {
 		cycle = p.now + 1
 	}
-	p.events[cycle] = append(p.events[cycle], ev)
+	p.wheel.add(p.now, cycle, event{kind: kind, srcIdx: srcIdx, gen: d.gen, seq: d.seq, inst: d})
+}
+
+// postWaiter schedules a wakeup for a registered waiter, carrying the
+// generation frozen at registration so a recycled waiter is skipped.
+func (p *Pipeline) postWaiter(cycle uint64, w waiter) {
+	if cycle <= p.now {
+		cycle = p.now + 1
+	}
+	p.wheel.add(p.now, cycle, event{kind: evWake, srcIdx: w.srcIdx, gen: w.gen, seq: w.inst.seq, inst: w.inst})
 }
 
 func (p *Pipeline) processEvents() {
-	evs, ok := p.events[p.now]
-	if !ok {
+	evs := p.wheel.due(p.now)
+	if len(evs) == 0 {
 		return
 	}
-	delete(p.events, p.now)
-	// Deterministic order: oldest instruction first; for one instruction,
-	// wake before exec before complete before retire would be stage order,
-	// but kinds never collide for a single instruction in one cycle, so
-	// sequence order alone suffices.
-	sort.SliceStable(evs, func(i, j int) bool {
-		return evs[i].inst.seq < evs[j].inst.seq
-	})
-	for _, ev := range evs {
-		if ev.inst.squashed {
+	for i := range evs {
+		ev := &evs[i]
+		d := ev.inst
+		if d.gen != ev.gen || d.squashed {
 			continue
 		}
 		switch ev.kind {
 		case evWake:
 			if ev.srcIdx < 0 {
-				p.wakeMem(ev.inst)
+				p.wakeMem(d)
 			} else {
-				p.wake(ev.inst, ev.srcIdx)
+				p.wake(d, ev.srcIdx)
 			}
 		case evExecStart:
-			p.execStart(ev.inst)
+			p.execStart(d)
 		case evComplete:
-			p.complete(ev.inst)
+			p.complete(d)
 		case evRetire:
-			p.retire(ev.inst)
+			p.retire(d)
 		}
 	}
+	p.wheel.reset(p.now)
 }
 
 func (p *Pipeline) wake(d *dynInst, i int) {
@@ -194,7 +239,7 @@ func (p *Pipeline) operandBecameReady(d *dynInst) {
 		panicf("ooo: %v notReady underflow", d)
 	}
 	if d.notReady == 0 && d.inSched && !d.issued && !d.squashed {
-		heap.Push(&p.readyQ, d)
+		p.readyQ.push(d)
 	}
 }
 
@@ -211,7 +256,7 @@ func (p *Pipeline) execStart(d *dynInst) {
 		if s.op.Kind != core.OperandPR || s.released {
 			continue
 		}
-		if s.producer != nil && !s.producer.resultAvailableBy(p.now) {
+		if s.producerLive() && !s.producer.resultAvailableBy(p.now) {
 			replayNeeded = true
 			s.ready = false
 			p.relinkForReplay(d, i)
@@ -225,7 +270,7 @@ func (p *Pipeline) execStart(d *dynInst) {
 	if d.inst.Op.IsLoad() {
 		if blocker := p.loadBlocker(d); blocker != nil {
 			d.memWait = true
-			blocker.addWaiter(waiter{d, -1})
+			blocker.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: -1})
 			p.stats.LoadConflictReplays++
 			p.replay(d)
 			return
@@ -242,15 +287,15 @@ func (p *Pipeline) execStart(d *dynInst) {
 
 	lat := p.actualLatency(d)
 	d.readyCycle = p.now + uint64(lat)
-	p.post(d.readyCycle, event{kind: evComplete, inst: d})
+	p.post(d.readyCycle, evComplete, d, 0)
 	// Anyone who registered while this instruction was in flight (replay
 	// paths, blocked loads) is woken at true readiness. Memory waiters on
 	// a store can go as soon as the address is generated (next cycle).
 	for _, w := range d.waiters {
 		if w.srcIdx < 0 {
-			p.post(p.now+1, event{kind: evWake, inst: w.inst, srcIdx: -1})
+			p.postWaiter(p.now+1, w)
 		} else {
-			p.post(d.readyCycle, event{kind: evWake, inst: w.inst, srcIdx: w.srcIdx})
+			p.postWaiter(d.readyCycle, w)
 		}
 	}
 	d.waiters = d.waiters[:0]
@@ -259,15 +304,16 @@ func (p *Pipeline) execStart(d *dynInst) {
 // relinkForReplay re-arms operand i's wakeup for the producer's actual
 // completion.
 func (p *Pipeline) relinkForReplay(d *dynInst, i int) {
-	producer := d.srcs[i].producer
+	s := &d.srcs[i]
+	producer := s.producer
 	switch {
-	case producer == nil || producer.completed:
-		d.srcs[i].ready = true
+	case !s.producerLive() || producer.completed:
+		s.ready = true
 	case producer.executed:
-		p.post(producer.readyCycle, event{kind: evWake, inst: d, srcIdx: i})
+		p.post(producer.readyCycle, evWake, d, i)
 	default:
 		// The producer itself replayed; wait for its next issue.
-		producer.addWaiter(waiter{d, i})
+		producer.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: i})
 	}
 }
 
@@ -286,7 +332,7 @@ func (p *Pipeline) replay(d *dynInst) {
 		d.notReady++
 	}
 	if d.notReady == 0 {
-		heap.Push(&p.readyQ, d)
+		p.readyQ.push(d)
 	}
 }
 
@@ -362,7 +408,7 @@ func (p *Pipeline) complete(d *dynInst) {
 			p.recover(d)
 		}
 	}
-	p.post(p.now+1, event{kind: evRetire, inst: d})
+	p.post(p.now+1, evRetire, d, 0)
 }
 
 // retire is the writeback stage: the result reaches the register file and
@@ -385,7 +431,7 @@ func (p *Pipeline) retire(d *dynInst) {
 			}
 			if p.ren.WrittenLive(fp) >= cap {
 				p.stats.WritebackStalls++
-				p.post(p.now+1, event{kind: evRetire, inst: d})
+				p.post(p.now+1, evRetire, d, 0)
 				return
 			}
 		}

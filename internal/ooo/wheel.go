@@ -1,0 +1,90 @@
+package ooo
+
+// The simulator's event queue is a bucketed event wheel: a ring of per-cycle
+// event slices indexed by cycle & (wheelSize-1). Every pending wheel event is
+// within wheelSize-1 cycles of now (post sends anything farther — memory-miss
+// completions beyond the horizon — to a small overflow list), so each bucket
+// holds at most one cycle's events and bucket backing arrays are reused
+// across laps with no per-cycle map or slice allocation.
+//
+// Events carry the target instruction's generation and sequence number frozen
+// at post time: the generation detects targets that were recycled (squash or
+// commit returned the dynInst to the free list) so stale events are inert,
+// and the frozen sequence keeps the per-cycle deterministic oldest-first
+// processing order independent of recycling.
+
+const (
+	wheelBits = 9
+	wheelSize = 1 << wheelBits // cycles covered without overflow
+	wheelMask = wheelSize - 1
+)
+
+type farEvent struct {
+	cycle uint64
+	ev    event
+}
+
+type eventWheel struct {
+	buckets  [wheelSize][]event
+	overflow []farEvent // events more than wheelSize-1 cycles out
+}
+
+// init carves every bucket out of one pre-sized backing array, so posting
+// allocates only when a single cycle exceeds bucketSeedCap events (the
+// grown bucket then keeps its larger array for subsequent laps).
+func (w *eventWheel) init() {
+	const bucketSeedCap = 8
+	backing := make([]event, wheelSize*bucketSeedCap)
+	for i := range w.buckets {
+		w.buckets[i] = backing[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
+	}
+}
+
+// add schedules ev for cycle (cycle > now required).
+func (w *eventWheel) add(now, cycle uint64, ev event) {
+	if cycle-now < wheelSize {
+		idx := cycle & wheelMask
+		w.buckets[idx] = append(w.buckets[idx], ev)
+		return
+	}
+	w.overflow = append(w.overflow, farEvent{cycle: cycle, ev: ev})
+}
+
+// due returns the events scheduled for cycle now, sorted oldest instruction
+// first, migrating any overflow entries that have come due. The returned
+// slice is valid until the next call to reset.
+func (w *eventWheel) due(now uint64) []event {
+	idx := now & wheelMask
+	evs := w.buckets[idx]
+	if len(w.overflow) != 0 {
+		kept := w.overflow[:0]
+		for _, fe := range w.overflow {
+			if fe.cycle == now {
+				evs = append(evs, fe.ev)
+			} else {
+				kept = append(kept, fe)
+			}
+		}
+		for i := len(kept); i < len(w.overflow); i++ {
+			w.overflow[i] = farEvent{}
+		}
+		w.overflow = kept
+		w.buckets[idx] = evs
+	}
+	// Insertion sort: buckets are small and almost sorted (posts arrive
+	// roughly in program order), and unlike sort.SliceStable this allocates
+	// nothing. Stability for equal sequence numbers preserves post order.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].seq < evs[j-1].seq; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	return evs
+}
+
+// reset recycles cycle now's bucket after processing, keeping its backing
+// array for the wheel's next lap.
+func (w *eventWheel) reset(now uint64) {
+	idx := now & wheelMask
+	w.buckets[idx] = w.buckets[idx][:0]
+}
