@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,27 @@ import (
 	"prisim/internal/trace"
 )
 
+// fatal prints err once under the command prefix and exits — status 2 for
+// usage errors (bad option values), 1 for runtime failures, matching
+// prisim and priexp.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prias:", err)
+	code := 1
+	for _, usage := range []error{prisim.ErrUnknownBenchmark, prisim.ErrUnknownPolicy, prisim.ErrInvalidOptions} {
+		if errors.Is(err, usage) {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// usageFatal is fatal for input the user got wrong (a source file that
+// does not assemble): always exit 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "prias:", err)
+	os.Exit(2)
+}
+
 func main() {
 	dis := flag.Bool("d", false, "disassemble")
 	run := flag.Bool("run", false, "execute functionally and print output")
@@ -30,41 +52,41 @@ func main() {
 	traceOut := flag.String("trace", "", "capture a binary instruction trace to this file")
 	mix := flag.Bool("mix", false, "print the instruction mix after a functional run")
 	limit := flag.Uint64("limit", 100_000_000, "instruction limit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("prias", prisim.Version)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: prias [-d|-run|-time|-mix|-trace out] prog.s")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prias:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	prog, err := asm.Assemble(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prias:", err)
-		os.Exit(1)
+		usageFatal(err)
 	}
 	switch {
 	case *traceOut != "":
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prias:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		tw, err := trace.NewWriter(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prias:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		n, err := trace.Capture(emu.New(prog), *limit, tw)
 		if err == nil {
 			err = tw.Flush()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prias:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("captured %d instructions to %s\n", n, *traceOut)
 	case *mix:
@@ -76,8 +98,7 @@ func main() {
 		tr, _ := trace.NewReader(bytes.NewReader(buf.Bytes()))
 		mx, err := trace.AnalyzeMix(tr, 10)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prias:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("total      %d\n", mx.Total)
 		fmt.Printf("loads      %d (%.1f%%)\n", mx.Loads, pct(mx.Loads, mx.Total))
@@ -94,8 +115,7 @@ func main() {
 		res, err := prisim.NewEngine().SimulateProgram(ctx, prisim.NewProgram(prog),
 			prisim.Options{Run: *limit})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prias:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		os.Stdout.Write(res.Output)
 		fmt.Printf("\n%d instructions, %d cycles, IPC %.3f\n", res.Committed, res.Cycles, res.IPC)

@@ -38,12 +38,17 @@ func main() {
 	svgDir := flag.String("svg", "", "also render each figure as SVG into this directory")
 	report := flag.String("report", "", "write a full markdown report (all experiments + shape checklist) to this file and exit")
 	timing := flag.String("timing", "", "benchmark serial vs parallel fig8 wall-clock, write JSON to this file, and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: priexp [flags] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(prisim.ExperimentNames(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println("priexp", prisim.Version)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -88,10 +93,6 @@ func main() {
 	for _, name := range args {
 		tables, err := eng.ExperimentTables(ctx, name, prisim.Options{})
 		if err != nil {
-			if errors.Is(err, prisim.ErrUnknownExperiment) {
-				fmt.Fprintf(os.Stderr, "priexp: %s\n", strings.TrimPrefix(err.Error(), "prisim: "))
-				os.Exit(2)
-			}
 			fatal(err)
 		}
 		for _, t := range tables {
@@ -106,9 +107,19 @@ func main() {
 	}
 }
 
+// fatal prints err once under the command prefix and exits — status 2 for
+// usage errors (bad experiment or option values), 1 for runtime failures,
+// matching prisim and prias.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "priexp: %s\n", strings.TrimPrefix(err.Error(), "prisim: "))
-	os.Exit(1)
+	code := 1
+	for _, usage := range []error{prisim.ErrUnknownExperiment, prisim.ErrUnknownBenchmark,
+		prisim.ErrUnknownPolicy, prisim.ErrInvalidOptions} {
+		if errors.Is(err, usage) {
+			code = 2
+		}
+	}
+	os.Exit(code)
 }
 
 // timingRecord is the -timing output: one serial and one parallel fig8

@@ -37,8 +37,13 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the simulation to this file")
 	dumpMachine := flag.Bool("dump-machine", false, "print the selected machine configuration as JSON and exit")
 	list := flag.Bool("list", false, "list workloads and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println("prisim", prisim.Version)
+		return
+	}
 	if *list {
 		for _, b := range prisim.Benchmarks() {
 			class := "int"

@@ -1,0 +1,246 @@
+// Command prisimctl is the CLI client for prisimd.
+//
+// Usage:
+//
+//	prisimctl [-addr URL] <command> [args]
+//
+// Commands:
+//
+//	simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
+//	experiment <name> [-ff N] [-run N] [-wait]
+//	status <job-id>
+//	result <job-id>
+//	wait <job-id>
+//	watch <job-id>        stream SSE progress events
+//	cancel <job-id>
+//	jobs                  list jobs
+//	benchmarks            list workload names
+//	experiments           list experiment names
+//	metrics               dump the /metrics page
+//	version               client and server versions
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"prisim"
+	"prisim/prisimclient"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prisimctl [-addr URL] <command> [args]
+commands:
+  simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
+  experiment <name> [-ff N] [-run N] [-wait]
+  status|result|wait|watch|cancel <job-id>
+  jobs | benchmarks | experiments | metrics | version`)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8064", "prisimd base URL")
+	version := flag.Bool("version", false, "print client version and exit")
+	flag.Usage = func() { usage(); flag.PrintDefaults() }
+	flag.Parse()
+	if *version {
+		fmt.Println("prisimctl", prisim.Version)
+		return
+	}
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr // tolerate a bare host:port
+	}
+	c := prisimclient.New(*addr, nil)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "simulate":
+		err = submit(ctx, c, prisimclient.KindSimulate, args)
+	case "experiment":
+		err = submit(ctx, c, prisimclient.KindExperiment, args)
+	case "status":
+		err = withJobID(args, func(id string) error {
+			j, err := c.Job(ctx, id)
+			return printJSON(j, err)
+		})
+	case "result":
+		err = withJobID(args, func(id string) error { return printResult(ctx, c, id) })
+	case "wait":
+		err = withJobID(args, func(id string) error {
+			j, err := c.Wait(ctx, id, 0)
+			if err != nil {
+				return err
+			}
+			return printJSON(j, nil)
+		})
+	case "watch":
+		err = withJobID(args, func(id string) error {
+			_, err := c.Stream(ctx, id, func(ev prisimclient.Event) {
+				fmt.Printf("%-8s state=%-9s progress=%d/%d %s\n",
+					ev.Type, ev.State, ev.Progress.Done, ev.Progress.Total, ev.Error)
+			})
+			return err
+		})
+	case "cancel":
+		err = withJobID(args, func(id string) error {
+			j, err := c.Cancel(ctx, id)
+			return printJSON(j, err)
+		})
+	case "jobs":
+		js, jerr := c.Jobs(ctx)
+		if jerr == nil {
+			for _, j := range js {
+				fmt.Printf("%-8s %-10s %-10s %-9s %d/%d %s\n",
+					j.ID, j.Request.Kind, j.Request.Benchmark+j.Request.Experiment,
+					j.State, j.Progress.Done, j.Progress.Total, j.Error)
+			}
+		}
+		err = jerr
+	case "benchmarks":
+		err = printList(c.Benchmarks(ctx))
+	case "experiments":
+		err = printList(c.Experiments(ctx))
+	case "metrics":
+		var page string
+		if page, err = c.Metrics(ctx); err == nil {
+			fmt.Print(page)
+		}
+	case "version":
+		fmt.Println("client", prisim.Version)
+		var v string
+		if v, err = c.Version(ctx); err == nil {
+			fmt.Println("server", v)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "prisimctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// fatal prints the error and exits: 2 for usage-class errors (bad request,
+// unknown name — HTTP 4xx other than 409/410/429), 1 otherwise.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prisimctl: %s\n", err)
+	var apiErr *prisimclient.APIError
+	if errors.As(err, &apiErr) && (apiErr.StatusCode == 400 || apiErr.StatusCode == 404) {
+		os.Exit(2)
+	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+var errUsage = errors.New("missing job id")
+
+func withJobID(args []string, fn func(id string) error) error {
+	if len(args) != 1 {
+		return errUsage
+	}
+	return fn(args[0])
+}
+
+func printJSON(v any, err error) error {
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func printList(names []string, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+// printResult renders a finished job: tables as text, simulate results as
+// JSON.
+func printResult(ctx context.Context, c *prisimclient.Client, id string) error {
+	res, err := c.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+	if len(res.Tables) > 0 {
+		fmt.Print(res.Text())
+		return nil
+	}
+	return printJSON(res.Result, nil)
+}
+
+// submit parses a simulate/experiment subcommand, submits it, and either
+// prints the accepted job or (with -wait) blocks for the result.
+func submit(ctx context.Context, c *prisimclient.Client, kind string, args []string) error {
+	fs := flag.NewFlagSet(kind, flag.ExitOnError)
+	width := fs.Int("width", 0, "machine width (4 or 8)")
+	policy := fs.String("policy", "", "release policy")
+	prs := fs.Int("prs", 0, "physical registers per class")
+	ff := fs.Uint64("ff", 0, "fast-forward instructions")
+	run := fs.Uint64("run", 0, "measured instructions")
+	inline := fs.Bool("rename-inline", false, "rename-time inlining extension")
+	delayed := fs.Bool("delayed-alloc", false, "delayed register allocation")
+	wait := fs.Bool("wait", false, "wait for the job and print its result")
+	if len(args) < 1 || args[0] == "" || args[0][0] == '-' {
+		fmt.Fprintf(os.Stderr, "usage: prisimctl %s <name> [flags]\n", kind)
+		os.Exit(2)
+	}
+	name := args[0]
+	fs.Parse(args[1:])
+
+	req := prisimclient.JobRequest{
+		Kind:              kind,
+		Width:             *width,
+		Policy:            *policy,
+		PhysRegs:          *prs,
+		FastForward:       *ff,
+		Run:               *run,
+		RenameInline:      *inline,
+		DelayedAllocation: *delayed,
+	}
+	if kind == prisimclient.KindSimulate {
+		req.Benchmark = name
+	} else {
+		req.Experiment = name
+	}
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(j, nil)
+	}
+	final, err := c.Wait(ctx, j.ID, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if final.State != prisimclient.StateDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	return printResult(ctx, c, final.ID)
+}

@@ -1,0 +1,110 @@
+// Command prisimd serves simulations over HTTP: a bounded job queue with
+// backpressure (429 + Retry-After), a worker pool over one shared prisim
+// Engine (identical requests coalesce in its singleflight cache), per-job
+// cancellation and timeout, SSE progress streaming, Prometheus-format
+// metrics, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	prisimd -addr :8064 -queue 32 -workers 0 -job-timeout 10m
+//	curl -s localhost:8064/api/v1/jobs -d '{"kind":"simulate","benchmark":"mcf"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"prisim"
+	"prisim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8064", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queue depth before 429 (0 = 4x workers)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution limit (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM before in-flight jobs are cancelled")
+	ff := flag.Uint64("ff", 0, "default fast-forward instructions per run (0 = engine default 20k)")
+	run := flag.Uint64("run", 0, "default measured instructions per run (0 = engine default 80k)")
+	quiet := flag.Bool("quiet", false, "suppress request/job logging")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println("prisimd", prisim.Version)
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: prisimd [flags] (run 'prisimd -h' for flags)")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "prisimd: ", log.LstdFlags|log.Lmsgprefix)
+	cfg := service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	}
+	cfg.Budget.FastForward = *ff
+	cfg.Budget.Run = *run
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	srv := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	effQueue := *queue
+	if effQueue <= 0 {
+		effQueue = 4 * effWorkers
+	}
+	logger.Printf("version=%s addr=%s workers=%d queue=%d job-timeout=%s drain-timeout=%s",
+		prisim.Version, ln.Addr(), effWorkers, effQueue, *jobTimeout, *drainTimeout)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("signal=%s draining (deadline %s)", sig, *drainTimeout)
+	case err := <-errCh:
+		logger.Printf("serve: %v", err)
+		srv.Close()
+		os.Exit(1)
+	}
+
+	// Stop intake first (readyz flips to 503 and new submits get 503),
+	// then drain jobs, then close the HTTP listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	} else {
+		logger.Printf("drained cleanly")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("exit")
+}

@@ -414,3 +414,30 @@ func (e *Engine) WriteReport(ctx context.Context, w io.Writer, o Options) error 
 // do not count. It exists so callers (and the race tests) can observe
 // singleflight behaviour.
 func (e *Engine) RunsExecuted() int { return e.runner.RunsExecuted() }
+
+// CacheStats is a snapshot of the Engine's memoization counters.
+type CacheStats struct {
+	Executed  int // simulations actually performed
+	Hits      int // requests answered instantly from a completed cache entry
+	Coalesced int // requests that waited on another caller's in-flight run
+}
+
+// CacheStats reports how the Engine's singleflight run cache has been used
+// since creation, across every view of the Engine. Services built on a
+// shared Engine export these counters to show request coalescing.
+func (e *Engine) CacheStats() CacheStats {
+	cs := e.runner.CacheStats()
+	return CacheStats{Executed: cs.Executed, Hits: cs.Hits, Coalesced: cs.Coalesced}
+}
+
+// ProgressView returns a view of the Engine that reports per-view progress
+// to fn while sharing the parent's cache and worker pool. fn is called
+// after each simulation point requested through the view resolves — by the
+// view's own run or by joining another caller's in-flight run — with the
+// points resolved and requested so far; points answered instantly from the
+// cache do not fire it. Calls are serialized; fn must be fast and must not
+// call back into the Engine. This is how a server streams per-request
+// progress while every request shares one Engine.
+func (e *Engine) ProgressView(fn func(done, total int)) *Engine {
+	return &Engine{budget: e.budget, runner: e.runner.ProgressView(fn)}
+}

@@ -116,6 +116,28 @@ type shared struct {
 	onProgress func(done, total int)
 	submitted  int
 	completed  int
+	hits       int // requests served by an already-completed cache entry
+	coalesced  int // requests that joined another caller's in-flight run
+}
+
+// CacheStats is a snapshot of the Runner's memoization counters, spanning
+// every budget/progress view of one shared cache.
+type CacheStats struct {
+	Executed  int // simulations actually performed
+	Hits      int // requests answered from a completed cache entry
+	Coalesced int // requests that waited on another caller's in-flight run
+}
+
+// viewState is the per-view progress accounting behind ProgressView: done
+// counts the view's requests that have resolved (by its own flight, by
+// joining another flight, or — for requests made before the point was
+// cached — never; completed-entry hits resolve instantly and are not
+// counted), submitted counts requests that found no completed entry.
+type viewState struct {
+	mu        sync.Mutex
+	hook      func(done, total int)
+	done      int
+	submitted int
 }
 
 // Runner executes timing runs on a bounded worker pool and memoizes them;
@@ -125,6 +147,7 @@ type shared struct {
 type Runner struct {
 	Budget Budget
 	s      *shared
+	view   *viewState // nil unless created by ProgressView
 }
 
 // NewRunner returns a Runner with the given budget (zero fields take the
@@ -158,7 +181,53 @@ func (r *Runner) WithBudget(b Budget) *Runner {
 	if b.Run == 0 {
 		b.Run = r.Budget.Run
 	}
-	return &Runner{Budget: b, s: r.s}
+	return &Runner{Budget: b, s: r.s, view: r.view}
+}
+
+// ProgressView returns a view of the Runner that reports per-view progress
+// to fn while sharing the receiver's cache, worker pool, and global progress
+// hooks. fn is called after each of the view's requests resolves, with the
+// number resolved and the number submitted by this view so far; requests
+// answered instantly from a completed cache entry do not fire it. Calls are
+// serialized; fn must be fast and must not call back into the Runner. The
+// view survives WithBudget, so one view can track a whole experiment.
+func (r *Runner) ProgressView(fn func(done, total int)) *Runner {
+	return &Runner{Budget: r.Budget, s: r.s, view: &viewState{hook: fn}}
+}
+
+// CacheStats reports the memoization counters accumulated across every view
+// of this Runner's shared cache.
+func (r *Runner) CacheStats() CacheStats {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return CacheStats{Executed: r.s.completed, Hits: r.s.hits, Coalesced: r.s.coalesced}
+}
+
+// viewSubmit records one not-instantly-resolvable request against the view,
+// at most once per RunCtx call.
+func (r *Runner) viewSubmit(counted *bool) {
+	if r.view == nil || *counted {
+		return
+	}
+	*counted = true
+	r.view.mu.Lock()
+	r.view.submitted++
+	r.view.mu.Unlock()
+}
+
+// viewDone marks one of the view's requests resolved and fires the hook.
+// The hook runs under the view lock so reported (done, total) pairs are
+// monotonic.
+func (r *Runner) viewDone(counted bool) {
+	if r.view == nil || !counted {
+		return
+	}
+	r.view.mu.Lock()
+	r.view.done++
+	if r.view.hook != nil {
+		r.view.hook(r.view.done, r.view.submitted)
+	}
+	r.view.mu.Unlock()
 }
 
 // SetProgress directs a one-line-per-completed-run log to w (nil disables).
@@ -220,20 +289,37 @@ func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
 // evicted so later calls retry it.
 func (r *Runner) RunCtx(ctx context.Context, w workloads.Workload, cfg ooo.Config) (*Result, error) {
 	key := r.key(w, cfg)
+	counted := false // view accounting: at most one submit per call
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		r.s.mu.Lock()
 		if e, ok := r.s.cache[key]; ok {
-			r.s.mu.Unlock()
+			// Distinguish a completed entry (an instant cache hit) from a
+			// flight we are about to join.
 			select {
 			case <-e.done:
 				if e.err == nil {
+					r.s.hits++
+					r.s.mu.Unlock()
 					return e.res, nil
 				}
 				// The owning flight was cancelled (and evicted); retry
 				// under our own context.
+				r.s.mu.Unlock()
+				continue
+			default:
+			}
+			r.s.coalesced++
+			r.s.mu.Unlock()
+			r.viewSubmit(&counted)
+			select {
+			case <-e.done:
+				if e.err == nil {
+					r.viewDone(counted)
+					return e.res, nil
+				}
 				continue
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -243,6 +329,7 @@ func (r *Runner) RunCtx(ctx context.Context, w workloads.Workload, cfg ooo.Confi
 		r.s.cache[key] = e
 		r.s.submitted++
 		r.s.mu.Unlock()
+		r.viewSubmit(&counted)
 
 		e.res, e.err = r.simulate(ctx, w, cfg)
 
@@ -264,6 +351,9 @@ func (r *Runner) RunCtx(ctx context.Context, w workloads.Workload, cfg ooo.Confi
 		close(e.done)
 		if hook != nil {
 			hook(done, total)
+		}
+		if e.err == nil {
+			r.viewDone(counted)
 		}
 		return e.res, e.err
 	}

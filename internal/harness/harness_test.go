@@ -131,6 +131,111 @@ func TestRunCtxCancellation(t *testing.T) {
 	}
 }
 
+// TestCancelledFlightEvictionWakesWaiter is the direct test of the
+// singleflight eviction path: a waiter coalesced onto another caller's
+// flight must, when that flight's owner is cancelled, observe the eviction,
+// retry as the new owner under its own live context, and succeed — and the
+// cancelled attempt must not be counted as executed.
+func TestCancelledFlightEvictionWakesWaiter(t *testing.T) {
+	r := NewParallelRunner(Budget{FastForward: 100, Run: 3_000_000}, 4)
+	w, _ := workloads.ByName("gzip")
+	cfg := ooo.Width4()
+
+	ownerCtx, cancelOwner := context.WithCancel(bg)
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := r.RunCtx(ownerCtx, w, cfg)
+		ownerErr <- err
+	}()
+
+	// Wait until the owner has installed its in-flight entry, then attach
+	// a waiter with a context that stays live.
+	key := r.key(w, cfg)
+	for {
+		r.s.mu.Lock()
+		_, inFlight := r.s.cache[key]
+		r.s.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterRes := make(chan *Result, 1)
+	waiterErr := make(chan error, 1)
+	go func() {
+		res, err := r.RunCtx(bg, w, cfg)
+		waiterRes <- res
+		waiterErr <- err
+	}()
+	// Give the waiter a moment to coalesce onto the flight, then kill the
+	// owner mid-run.
+	time.Sleep(10 * time.Millisecond)
+	cancelOwner()
+
+	if err := <-ownerErr; err != context.Canceled {
+		t.Fatalf("owner error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter failed after owner cancellation: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("waiter never woke after the owner's flight was evicted")
+	}
+	if res := <-waiterRes; res == nil || res.IPC <= 0 {
+		t.Fatalf("waiter result = %+v", res)
+	}
+	// Only the waiter's retry executed; the cancelled flight was evicted
+	// and must not be counted.
+	if got := r.RunsExecuted(); got != 1 {
+		t.Errorf("RunsExecuted = %d after cancel+retry, want 1", got)
+	}
+	// The cache now holds a completed entry: another request is a pure hit.
+	if _, err := r.RunCtx(bg, w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cs := r.CacheStats(); cs.Hits < 1 || cs.Executed != 1 {
+		t.Errorf("CacheStats = %+v, want >=1 hit and exactly 1 execution", cs)
+	}
+}
+
+// TestProgressView asserts per-view progress accounting: the view counts
+// its own resolved points, completed-entry cache hits fire nothing, and a
+// second view is independent.
+func TestProgressView(t *testing.T) {
+	r := NewRunner(tinyBudget)
+	w4, w8 := ooo.Width4(), ooo.Width8()
+	w, _ := workloads.ByName("gzip")
+
+	var mu sync.Mutex
+	var got [][2]int
+	v := r.ProgressView(func(done, total int) {
+		mu.Lock()
+		got = append(got, [2]int{done, total})
+		mu.Unlock()
+	})
+	v.Run(w, w4)
+	v.Run(w, w8)
+	v.Run(w, w4) // completed-entry hit: no event
+	if len(got) != 2 || got[0] != [2]int{1, 1} || got[1] != [2]int{2, 2} {
+		t.Errorf("view progress events = %v, want [[1 1] [2 2]]", got)
+	}
+	// The budget view must keep reporting to the same hook.
+	v.WithBudget(Budget{FastForward: 200, Run: 900}).Run(w, w4)
+	if len(got) != 3 || got[2] != [2]int{3, 3} {
+		t.Errorf("after budget view, events = %v", got)
+	}
+	// A fresh view starts from zero while sharing the cache (all hits: no
+	// events).
+	var other [][2]int
+	v2 := r.ProgressView(func(done, total int) { other = append(other, [2]int{done, total}) })
+	v2.Run(w, w4)
+	if len(other) != 0 {
+		t.Errorf("second view saw events for pure cache hits: %v", other)
+	}
+}
+
 // TestParallelMatchesSerial asserts the headline property: a figure
 // regenerated on a multi-worker pool is byte-identical to the single-worker
 // (serial order) run.

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"prisim/prisimclient"
+)
+
+// benchConfigResult is one saturation run in BENCH_service.json.
+type benchConfigResult struct {
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+	Jobs          int     `json:"jobs_completed"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+	P50Ms         float64 `json:"p50_latency_ms"`
+	P99Ms         float64 `json:"p99_latency_ms"`
+	Rejected429   int     `json:"rejected_429"`
+	Retries       int     `json:"submit_retries"`
+}
+
+type benchRecord struct {
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Submitters  int                 `json:"concurrent_submitters"`
+	JobShape    string              `json:"job_shape"`
+	Configs     []benchConfigResult `json:"configs"`
+	Demonstrate string              `json:"demonstrates"`
+}
+
+// TestRecordServiceBench saturates an in-process service with small unique
+// simulate jobs at queue depth 1x and 4x the worker count and writes
+// throughput plus latency quantiles to the path in PRISIM_SERVICE_BENCH.
+// The point is backpressure: overflow submissions get 429 and are retried
+// by the client, and throughput holds instead of collapsing. Skipped unless
+// the env var is set (CI and local runs record it explicitly).
+func TestRecordServiceBench(t *testing.T) {
+	out := os.Getenv("PRISIM_SERVICE_BENCH")
+	if out == "" {
+		t.Skip("set PRISIM_SERVICE_BENCH=<output path> to record BENCH_service.json")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	const jobs = 150
+	submitters := 4 * workers
+
+	rec := benchRecord{
+		GOMAXPROCS: workers,
+		Submitters: submitters,
+		JobShape:   "simulate, unique (bench, prs) points, ff=200 run=1000",
+		Demonstrate: "bounded queue sheds load with 429 + Retry-After at depth 1x; " +
+			"throughput and tail latency hold rather than collapse as depth grows to 4x",
+	}
+	for _, depth := range []int{workers, 4 * workers} {
+		rec.Configs = append(rec.Configs, saturate(t, workers, depth, jobs, submitters))
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("service bench written to %s", out)
+}
+
+// saturate pushes `jobs` unique simulate jobs through a fresh server with
+// `submitters` concurrent clients retrying on 429, and measures the run.
+func saturate(t *testing.T, workers, depth, jobs, submitters int) benchConfigResult {
+	t.Helper()
+	srv := New(Config{Workers: workers, QueueDepth: depth})
+	defer srv.Close()
+
+	benches := []string{"gzip", "gcc", "mcf", "crafty", "parser", "gap", "vortex", "bzip2", "twolf", "vpr", "eon", "perlbmk", "gzip"}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		retries   int
+	)
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := prisimclient.JobRequest{
+					Kind:        prisimclient.KindSimulate,
+					Benchmark:   benches[i%len(benches)],
+					PhysRegs:    33 + i%60, // unique points: no cache flattening
+					FastForward: 200, Run: 1000,
+				}
+				t0 := time.Now()
+				var j *job
+				for {
+					var err error
+					j, err = srv.Submit(req)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrQueueFull) {
+						mu.Lock()
+						rejected++
+						retries++
+						mu.Unlock()
+						time.Sleep(2 * time.Millisecond) // honour backpressure
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				<-j.doneCh
+				if st := j.stateNow(); st != prisimclient.StateDone {
+					t.Errorf("job %s ended %s", j.id, st)
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	ms := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return float64(latencies[int(q*float64(len(latencies)-1))]) / float64(time.Millisecond)
+	}
+	res := benchConfigResult{
+		QueueDepth:    depth,
+		Workers:       workers,
+		Jobs:          len(latencies),
+		WallSeconds:   wall.Seconds(),
+		JobsPerSecond: float64(len(latencies)) / wall.Seconds(),
+		P50Ms:         ms(0.5),
+		P99Ms:         ms(0.99),
+		Rejected429:   rejected,
+		Retries:       retries,
+	}
+	t.Logf("depth=%d: %s", depth, fmt.Sprintf("%.1f jobs/s, p50 %.1fms, p99 %.1fms, %d rejected",
+		res.JobsPerSecond, res.P50Ms, res.P99Ms, res.Rejected429))
+	return res
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"prisim"
+	"prisim/prisimclient"
+)
+
+// maxBodyBytes bounds a submit body; requests are tiny JSON documents.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /api/v1/jobs             submit (202, or 429 + Retry-After)
+//	GET    /api/v1/jobs             list jobs
+//	GET    /api/v1/jobs/{id}        job status
+//	GET    /api/v1/jobs/{id}/result finished job's result
+//	GET    /api/v1/jobs/{id}/events SSE progress stream
+//	DELETE /api/v1/jobs/{id}        cancel
+//	GET    /api/v1/benchmarks       workload names
+//	GET    /api/v1/experiments      experiment names
+//	GET    /api/v1/version          build version
+//	GET    /metrics                 Prometheus text format
+//	GET    /healthz, /readyz        liveness / readiness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		names := []string{}
+		for _, b := range prisim.Benchmarks() {
+			names = append(names, b.Name)
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+	mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, prisim.ExperimentNames())
+	})
+	mux.HandleFunc("GET /api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"version": prisim.Version})
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	return s.logMiddleware(mux)
+}
+
+// reqID numbers requests for log correlation.
+var reqID atomic.Uint64
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes so SSE works through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logMiddleware assigns a request ID and writes one structured line per
+// request.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqID.Add(1)
+		s.metrics.incHTTPRequest()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		w.Header().Set("X-Request-Id", "r"+itoa(id))
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.logf("req=r%d method=%s path=%s status=%d dur=%s", id, r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// itoa avoids pulling strconv into the hot logging path signature churn.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// writeJSON writes a JSON response with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req prisimclient.JobRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/api/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.view())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listJobs())
+}
+
+// pathJob resolves the {id} wildcard, writing 404 when unknown.
+func (s *Server) pathJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+id)
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.pathJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	v := j.view()
+	switch v.State {
+	case prisimclient.StateDone:
+		res, tables := j.payload()
+		writeJSON(w, http.StatusOK, prisimclient.JobResult{ID: j.id, Result: res, Tables: tables})
+	case prisimclient.StateFailed, prisimclient.StateCancelled:
+		writeError(w, http.StatusGone, "job "+string(v.State)+": "+v.Error)
+	default:
+		writeError(w, http.StatusConflict, "job is "+string(v.State)+"; result not ready")
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	j.requestCancel(time.Now())
+	// Wait briefly so the common case returns the terminal view; a job that
+	// takes longer to unwind still reports its current state.
+	select {
+	case <-j.doneCh:
+	case <-time.After(2 * time.Second):
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.queue)
+	capacity := cap(s.queue)
+	running := s.running
+	tracked := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	var sb strings.Builder
+	s.metrics.render(&sb, s.engine.CacheStats(), depth, capacity, running, tracked, draining)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(sb.String()))
+}

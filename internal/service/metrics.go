@@ -1,0 +1,145 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prisim"
+	"prisim/prisimclient"
+)
+
+// latencyWindow bounds the job-latency sample ring the quantiles are
+// computed over; old samples age out once the window wraps.
+const latencyWindow = 1024
+
+// metrics is the server's observability state. All methods are safe for
+// concurrent use; rendering takes one snapshot under the lock.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted    uint64
+	rejected     uint64 // 429: queue full
+	httpRequests uint64
+
+	terminal map[prisimclient.JobState]uint64 // done/failed/cancelled counts
+	panics   uint64
+
+	latencies []time.Duration // ring of recent terminal job latencies
+	latNext   int
+
+	simSeconds   float64 // wall-clock spent inside completed simulate jobs
+	simCommitted uint64  // instructions committed by completed simulate jobs
+}
+
+func newMetrics() *metrics {
+	return &metrics{terminal: make(map[prisimclient.JobState]uint64)}
+}
+
+func (m *metrics) incSubmitted()   { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) incRejected()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incHTTPRequest() { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
+func (m *metrics) incPanics()      { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+
+// observeTerminal records a job reaching a terminal state after latency
+// (measured from submit so queueing delay counts — that is what a client
+// experiences under backpressure).
+func (m *metrics) observeTerminal(state prisimclient.JobState, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.terminal[state]++
+	if len(m.latencies) < latencyWindow {
+		m.latencies = append(m.latencies, latency)
+	} else {
+		m.latencies[m.latNext] = latency
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+}
+
+// observeSimulate feeds the throughput gauge from one finished simulate job.
+func (m *metrics) observeSimulate(committed uint64, busy time.Duration) {
+	m.mu.Lock()
+	m.simCommitted += committed
+	m.simSeconds += busy.Seconds()
+	m.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the recorded latencies, in
+// seconds, using the nearest-rank method on a sorted copy.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// render writes the metrics page in Prometheus text exposition format.
+// queueDepth/queueCap/running/jobsTracked are sampled by the caller;
+// cache comes from the shared Engine.
+func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDepth, queueCap, running, jobsTracked int, draining bool) {
+	m.mu.Lock()
+	submitted, rejected, httpReqs, panics := m.submitted, m.rejected, m.httpRequests, m.panics
+	terminal := make(map[prisimclient.JobState]uint64, len(m.terminal))
+	for k, v := range m.terminal {
+		terminal[k] = v
+	}
+	lats := make([]float64, len(m.latencies))
+	for i, d := range m.latencies {
+		lats[i] = d.Seconds()
+	}
+	simCommitted, simSeconds := m.simCommitted, m.simSeconds
+	m.mu.Unlock()
+
+	sort.Float64s(lats)
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(sb, "# HELP prisimd_build_info Build metadata.\n# TYPE prisimd_build_info gauge\nprisimd_build_info{version=%q} 1\n", prisim.Version)
+	counter("prisimd_jobs_submitted_total", "Jobs accepted into the queue.", submitted)
+	counter("prisimd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", rejected)
+	sb.WriteString("# HELP prisimd_jobs_total Jobs that reached a terminal state, by state.\n# TYPE prisimd_jobs_total counter\n")
+	for _, st := range []prisimclient.JobState{prisimclient.StateDone, prisimclient.StateFailed, prisimclient.StateCancelled} {
+		fmt.Fprintf(sb, "prisimd_jobs_total{state=%q} %d\n", st, terminal[st])
+	}
+	counter("prisimd_worker_panics_total", "Worker panics recovered into job failures.", panics)
+	gauge("prisimd_queue_depth", "Jobs waiting in the queue.", queueDepth)
+	gauge("prisimd_queue_capacity", "Queue capacity.", queueCap)
+	gauge("prisimd_jobs_running", "Jobs currently executing.", running)
+	gauge("prisimd_jobs_tracked", "Jobs the server still remembers.", jobsTracked)
+	d := 0
+	if draining {
+		d = 1
+	}
+	gauge("prisimd_draining", "1 while the server is draining (readyz fails).", d)
+
+	counter("prisimd_cache_runs_executed_total", "Distinct simulations executed by the shared engine.", uint64(cache.Executed))
+	counter("prisimd_cache_hits_total", "Requests answered from the completed-run cache.", uint64(cache.Hits))
+	counter("prisimd_cache_coalesced_total", "Requests coalesced onto another caller's in-flight run.", uint64(cache.Coalesced))
+	ratio := 0.0
+	if tot := cache.Executed + cache.Hits + cache.Coalesced; tot > 0 {
+		ratio = float64(cache.Hits+cache.Coalesced) / float64(tot)
+	}
+	gaugeF("prisimd_cache_hit_ratio", "Fraction of simulation requests served without a fresh run.", ratio)
+
+	counter("prisimd_sim_committed_instructions_total", "Instructions committed by finished simulate jobs.", simCommitted)
+	ips := 0.0
+	if simSeconds > 0 {
+		ips = float64(simCommitted) / simSeconds
+	}
+	gaugeF("prisimd_sim_instr_per_second", "Committed instructions per wall-clock second across finished simulate jobs.", ips)
+
+	sb.WriteString("# HELP prisimd_job_latency_seconds Submit-to-terminal job latency quantiles over the recent window.\n# TYPE prisimd_job_latency_seconds gauge\n")
+	fmt.Fprintf(sb, "prisimd_job_latency_seconds{quantile=\"0.5\"} %g\n", quantile(lats, 0.5))
+	fmt.Fprintf(sb, "prisimd_job_latency_seconds{quantile=\"0.99\"} %g\n", quantile(lats, 0.99))
+	counter("prisimd_http_requests_total", "HTTP requests served.", httpReqs)
+}

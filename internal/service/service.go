@@ -1,0 +1,355 @@
+// Package service implements prisimd: simulation-as-a-service over the
+// public prisim Engine. One shared Engine backs every job, so identical
+// simulation points submitted by different clients coalesce in the
+// harness's singleflight cache; a bounded queue applies backpressure (429 +
+// Retry-After) instead of collapsing under load; a worker pool sized to
+// GOMAXPROCS executes jobs with per-job timeout, panic isolation, and
+// context-propagated cancellation; and every job streams progress over SSE.
+// The wire types live in prisim/prisimclient so external clients get a
+// fully public API.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"prisim"
+	"prisim/prisimclient"
+)
+
+// Submission errors surfaced by Submit (the HTTP layer maps them to 429
+// and 503).
+var (
+	ErrQueueFull = errors.New("job queue full")
+	ErrDraining  = errors.New("server is draining")
+)
+
+// Config sizes a Server. The zero value selects sane defaults.
+type Config struct {
+	// Workers bounds concurrent job execution; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting to run; <= 0 selects 4x Workers.
+	// Submissions beyond queued+running capacity get 429 + Retry-After.
+	QueueDepth int
+	// JobTimeout bounds one job's execution (0 = no limit).
+	JobTimeout time.Duration
+	// Budget is the default per-run measurement budget (zero fields keep
+	// the engine defaults); requests may override per job.
+	Budget struct{ FastForward, Run uint64 }
+	// Logger receives structured request/job logs; nil discards them.
+	Logger *log.Logger
+	// Engine overrides the server-built engine (tests); normally nil.
+	Engine *prisim.Engine
+}
+
+// Server owns the job queue, worker pool, job registry, and metrics. Create
+// one with New, expose Handler over HTTP, and stop it with Drain or Close.
+type Server struct {
+	cfg     Config
+	engine  *prisim.Engine
+	logger  *log.Logger
+	metrics *metrics
+
+	rootCtx  context.Context // parent of every job context
+	rootStop context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup // workers
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order for listing
+	nextID   uint64
+	nextReq  uint64
+	running  int
+	draining bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = prisim.NewEngine(
+			prisim.WithBudget(cfg.Budget.FastForward, cfg.Budget.Run),
+			prisim.WithParallelism(cfg.Workers),
+		)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		engine:   eng,
+		logger:   cfg.Logger,
+		metrics:  newMetrics(),
+		rootCtx:  ctx,
+		rootStop: stop,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the shared engine (tests compare service results against
+// direct calls on the very same cache).
+func (s *Server) Engine() *prisim.Engine { return s.engine }
+
+// logf writes one structured log line if a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// Submit validates req, registers a job, and enqueues it. It returns
+// ErrQueueFull when the queue is at capacity and ErrDraining after Drain or
+// Close began.
+func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// Validate names up front so a bad request fails at submit, not inside
+	// a worker.
+	if req.Kind == prisimclient.KindSimulate {
+		if _, err := prisim.MachineJSON(req.Options()); err != nil {
+			return nil, err
+		}
+		found := false
+		for _, b := range prisim.Benchmarks() {
+			if b.Name == req.Benchmark {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown benchmark %q", req.Benchmark)
+		}
+	} else {
+		found := false
+		for _, name := range prisim.ExperimentNames() {
+			if name == req.Experiment {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, req, s.rootCtx, time.Now())
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.metrics.incRejected()
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.metrics.incSubmitted()
+	s.logf("job=%s state=queued kind=%s bench=%q experiment=%q", id, req.Kind, req.Benchmark, req.Experiment)
+	return j, nil
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// listJobs snapshots every tracked job, oldest first.
+func (s *Server) listJobs() []prisimclient.Job {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]prisimclient.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// worker pulls jobs until the queue closes (Drain) or the root context dies
+// (Close).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation: a panicking simulation
+// fails the job, not the process.
+func (s *Server) runJob(j *job) {
+	if j.ctx.Err() != nil || !j.start(time.Now()) {
+		// Cancelled while queued (requestCancel already resolved it), or
+		// the server is shutting down hard.
+		j.finish(prisimclient.StateCancelled, "cancelled while queued", time.Now())
+		s.settle(j)
+		return
+	}
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		if p := recover(); p != nil {
+			s.metrics.incPanics()
+			s.logf("job=%s panic=%v\n%s", j.id, p, debug.Stack())
+			j.finish(prisimclient.StateFailed, fmt.Sprintf("internal error: panic: %v", p), time.Now())
+			s.settle(j)
+		}
+	}()
+
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	eng := s.engine.ProgressView(j.setProgress)
+
+	var err error
+	started := time.Now()
+	switch j.req.Kind {
+	case prisimclient.KindSimulate:
+		var res prisim.Result
+		res, err = eng.Simulate(ctx, j.req.Options())
+		if err == nil {
+			j.setResult(&res, nil)
+			s.metrics.observeSimulate(res.Committed, time.Since(started))
+		}
+	case prisimclient.KindExperiment:
+		var tables []prisim.Table
+		tables, err = eng.ExperimentTables(ctx, j.req.Experiment, j.req.Options())
+		if err == nil {
+			j.setResult(nil, tables)
+		}
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.req.Kind)
+	}
+
+	now := time.Now()
+	switch {
+	case err == nil:
+		j.finish(prisimclient.StateDone, "", now)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(prisimclient.StateFailed, fmt.Sprintf("job exceeded timeout %s", s.cfg.JobTimeout), now)
+	case errors.Is(err, context.Canceled):
+		reason := "cancelled"
+		if !j.cancelRequested() {
+			reason = "cancelled by server shutdown"
+		}
+		j.finish(prisimclient.StateCancelled, reason, now)
+	default:
+		j.finish(prisimclient.StateFailed, err.Error(), now)
+	}
+	s.settle(j)
+}
+
+// settle records terminal-state metrics and the job log line once.
+func (s *Server) settle(j *job) {
+	v := j.view()
+	if !v.State.Terminal() {
+		return
+	}
+	s.metrics.observeTerminal(v.State, v.Finished.Sub(v.Created))
+	s.logf("job=%s state=%s latency=%s error=%q", j.id, v.State, v.Finished.Sub(v.Created).Round(time.Millisecond), v.Error)
+}
+
+// Draining reports whether Drain/Close has begun (readyz turns 503).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginDrain idempotently stops intake and closes the queue so workers exit
+// once it empties.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the worker pool down: new submissions are refused,
+// queued and running jobs keep executing, and when ctx expires every
+// remaining job's context is cancelled (jobs observe it between instruction
+// chunks and resolve as cancelled). Drain returns once all workers exited;
+// the error reports whether the deadline forced cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll("cancelled by drain deadline")
+		<-done
+		return fmt.Errorf("drain deadline reached: in-flight jobs were cancelled: %w", ctx.Err())
+	}
+}
+
+// Close shuts down immediately: intake stops and every live job is
+// cancelled. It blocks until the workers exit.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.cancelAll("cancelled by server shutdown")
+	s.rootStop()
+	s.wg.Wait()
+}
+
+// cancelAll cancels every non-terminal job's context.
+func (s *Server) cancelAll(reason string) {
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		if !j.stateNow().Terminal() {
+			s.logf("job=%s %s", j.id, reason)
+			j.cancel()
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"prisim/prisimclient"
+)
+
+// heartbeatEvery keeps idle SSE connections alive through proxies.
+const heartbeatEvery = 15 * time.Second
+
+// handleEvents streams a job's lifecycle as Server-Sent Events: an initial
+// "state" snapshot, "progress" events as simulation points resolve, and a
+// final "state" event at the terminal state, after which the stream closes.
+// Dropped intermediate events are tolerated by design — the final state is
+// delivered via the job's done channel, never the subscriber buffer.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, first, unsub := j.subscribe()
+	defer unsub()
+
+	send := func(ev prisimclient.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !send(first) {
+		return
+	}
+	if first.Type == "state" && first.State.Terminal() {
+		return
+	}
+
+	hb := time.NewTicker(heartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+			if ev.Type == "state" && ev.State.Terminal() {
+				return
+			}
+		case <-j.doneCh:
+			// Drain anything buffered, then emit the authoritative final
+			// snapshot.
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Type == "state" && ev.State.Terminal() {
+						send(ev)
+						return
+					}
+					if !send(ev) {
+						return
+					}
+				default:
+					j.mu.Lock()
+					final := j.eventLocked("state")
+					j.mu.Unlock()
+					send(final)
+					return
+				}
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

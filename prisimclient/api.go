@@ -1,0 +1,151 @@
+// Package prisimclient is the Go client for prisimd, the simulation
+// service: the wire types of its HTTP/JSON API (shared with the server
+// implementation in internal/service) and a Client that submits jobs,
+// polls or streams their progress, and fetches results.
+package prisimclient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"prisim"
+)
+
+// Job kinds accepted by the service.
+const (
+	KindSimulate   = "simulate"   // one benchmark at one machine point
+	KindExperiment = "experiment" // one of the paper's tables/figures
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// The job lifecycle: Queued -> Running -> one of the terminal states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether a job in state s will never change state again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the body of POST /api/v1/jobs.
+type JobRequest struct {
+	Kind string `json:"kind"` // KindSimulate or KindExperiment
+
+	// Simulate parameters (Kind == KindSimulate).
+	Benchmark         string `json:"benchmark,omitempty"`
+	Width             int    `json:"width,omitempty"`
+	Policy            string `json:"policy,omitempty"`
+	PhysRegs          int    `json:"phys_regs,omitempty"`
+	RenameInline      bool   `json:"rename_inline,omitempty"`
+	DelayedAllocation bool   `json:"delayed_allocation,omitempty"`
+
+	// Experiment name (Kind == KindExperiment), e.g. "fig8".
+	Experiment string `json:"experiment,omitempty"`
+
+	// Per-run measurement budget; zero fields take the server defaults.
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	Run         uint64 `json:"run,omitempty"`
+}
+
+// Validate checks the request shape without consulting the engine (the
+// server additionally validates names against its benchmark/experiment
+// lists at submit time).
+func (r JobRequest) Validate() error {
+	switch r.Kind {
+	case KindSimulate:
+		if r.Benchmark == "" {
+			return errors.New("simulate job requires a benchmark")
+		}
+		if r.Experiment != "" {
+			return errors.New("simulate job must not set experiment")
+		}
+	case KindExperiment:
+		if r.Experiment == "" {
+			return errors.New("experiment job requires an experiment name")
+		}
+		if r.Benchmark != "" {
+			return errors.New("experiment job must not set benchmark")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want %q or %q)", r.Kind, KindSimulate, KindExperiment)
+	}
+	return nil
+}
+
+// Options converts the request's simulation parameters to engine options.
+func (r JobRequest) Options() prisim.Options {
+	return prisim.Options{
+		Benchmark:         r.Benchmark,
+		Width:             r.Width,
+		Policy:            prisim.Policy(r.Policy),
+		PhysRegs:          r.PhysRegs,
+		RenameInline:      r.RenameInline,
+		DelayedAllocation: r.DelayedAllocation,
+		FastForward:       r.FastForward,
+		Run:               r.Run,
+	}
+}
+
+// Progress is a job's run-completion counter: Done of Total simulation
+// points requested so far have resolved (Total grows as an experiment's
+// matrix is submitted).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Job is the service's view of one submitted job, returned by the submit,
+// status, list, and cancel endpoints.
+type Job struct {
+	ID       string     `json:"id"`
+	Request  JobRequest `json:"request"`
+	State    JobState   `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Progress Progress   `json:"progress"`
+
+	// Started and Finished are the zero time until the job reaches the
+	// corresponding state.
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// JobResult is the body of GET /api/v1/jobs/{id}/result: exactly one of
+// Result (simulate jobs) or Tables (experiment jobs) is set.
+type JobResult struct {
+	ID     string         `json:"id"`
+	Result *prisim.Result `json:"result,omitempty"`
+	Tables []prisim.Table `json:"tables,omitempty"`
+}
+
+// Text renders an experiment result as the aligned fixed-width tables the
+// priexp CLI prints (empty for simulate jobs).
+func (r JobResult) Text() string {
+	var out string
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// Event is one SSE message on GET /api/v1/jobs/{id}/events.
+type Event struct {
+	Type     string   `json:"type"` // "state" or "progress"
+	JobID    string   `json:"job_id"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,270 @@
+package prisimclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrQueueFull is returned (wrapped in *APIError) when the server's job
+// queue is at capacity; the server suggests a retry delay via Retry-After.
+var ErrQueueFull = errors.New("job queue full")
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration // from Retry-After on 429/503, else 0
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("prisimd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Is lets errors.Is(err, ErrQueueFull) match 429 responses.
+func (e *APIError) Is(target error) bool {
+	return target == ErrQueueFull && e.StatusCode == http.StatusTooManyRequests
+}
+
+// Client talks to one prisimd server. The zero value is not usable; create
+// one with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a Client for the server at baseURL (e.g.
+// "http://localhost:8064"). hc nil selects http.DefaultClient.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// do issues one request and decodes a JSON response into out (out nil
+// discards the body). Non-2xx responses decode into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var body apiError
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		apiErr.Message = body.Error
+	} else {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		var secs int
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit enqueues a job and returns its accepted view (state queued).
+// A full queue surfaces as an error matching errors.Is(err, ErrQueueFull)
+// whose *APIError carries the server's suggested RetryAfter.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches one job's current state.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists every job the server still remembers, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var js []Job
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &js); err != nil {
+		return nil, err
+	}
+	return js, nil
+}
+
+// Result fetches a finished job's result. It fails with an *APIError
+// (409) while the job is still queued or running.
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
+	var r JobResult
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// job's view. Cancelling a terminal job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Benchmarks lists the server's workload names.
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var names []string
+	err := c.do(ctx, http.MethodGet, "/api/v1/benchmarks", nil, &names)
+	return names, err
+}
+
+// Experiments lists the server's experiment names.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var names []string
+	err := c.do(ctx, http.MethodGet, "/api/v1/experiments", nil, &names)
+	return names, err
+}
+
+// Version reports the server's build version.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	var v struct {
+		Version string `json:"version"`
+	}
+	err := c.do(ctx, http.MethodGet, "/api/v1/version", nil, &v)
+	return v.Version, err
+}
+
+// Metrics fetches the raw Prometheus-format metrics page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Stream subscribes to a job's SSE event feed and calls fn for every event
+// until the job reaches a terminal state, ctx is cancelled, or the
+// connection drops. It returns the job's final event when the stream ended
+// because the job finished.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (*Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "" && len(data) > 0:
+			var ev Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return nil, fmt.Errorf("prisimd: bad event payload: %w", err)
+			}
+			data = data[:0]
+			if fn != nil {
+				fn(ev)
+			}
+			if ev.Type == "state" && ev.State.Terminal() {
+				return &ev, nil
+			}
+		default:
+			// comments (heartbeats) and event: lines need no handling;
+			// the payload type rides inside the JSON.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// view. It prefers the SSE stream and falls back to polling every pollEvery
+// (0 selects 200ms) if streaming is unavailable.
+func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration) (*Job, error) {
+	if _, err := c.Stream(ctx, id, nil); err == nil {
+		return c.Job(ctx, id)
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if pollEvery <= 0 {
+		pollEvery = 200 * time.Millisecond
+	}
+	t := time.NewTicker(pollEvery)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package prisim
+
+// Version identifies the build of the prisim module and its binaries
+// (prisim, priexp, prias, prisimd, prisimctl). Release builds override it
+// with:
+//
+//	go build -ldflags "-X prisim.Version=v0.4.0" ./cmd/...
+var Version = "v0.4.0-dev"
