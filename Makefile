@@ -1,0 +1,50 @@
+# prisim build/test/lint entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+# Pinned external linter versions (installed on demand in CI's lint job;
+# locally they are used only if already on PATH — the dev container has no
+# network, so `make lint` degrades gracefully to prilint + vet).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test race bench lint prilint staticcheck govulncheck
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m . ./internal/harness ./internal/ooo ./internal/service
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# lint runs the project's own analyzer suite (always available: it is part
+# of this module) plus vet, then the pinned external linters when present.
+lint: prilint
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs $(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI installs $(GOVULNCHECK_VERSION))"; \
+	fi
+
+prilint:
+	$(GO) run ./cmd/prilint ./...
+
+staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	staticcheck ./...
+
+govulncheck:
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	govulncheck ./...

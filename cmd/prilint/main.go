@@ -1,0 +1,87 @@
+// Command prilint runs the prisim analyzer suite over Go package patterns:
+//
+//	go run ./cmd/prilint ./...
+//
+// It loads and type-checks the matched packages, applies the five analyzers
+// (genguard, hotpathalloc, determinism, lockcheck, ctxcheck — see
+// internal/analysis and DESIGN.md §11), honors //lint:ignore suppressions,
+// and prints surviving findings as file:line:col: analyzer: message.
+//
+// Exit codes: 0 clean, 1 findings or load failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prisim"
+	"prisim/internal/analysis"
+	"prisim/internal/analysis/ctxcheck"
+	"prisim/internal/analysis/determinism"
+	"prisim/internal/analysis/genguard"
+	"prisim/internal/analysis/hotpathalloc"
+	"prisim/internal/analysis/load"
+	"prisim/internal/analysis/lockcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	ctxcheck.Analyzer,
+	determinism.Analyzer,
+	genguard.Analyzer,
+	hotpathalloc.Analyzer,
+	lockcheck.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("prilint", flag.ExitOnError) // bad flags exit 2
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: prilint [-version] packages...\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *showVersion {
+		fmt.Println("prilint", prisim.Version)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prilint:", err)
+		return 1
+	}
+	pkgs, err := load.Packages(dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prilint:", err)
+		return 1
+	}
+	units := make([]*analysis.Unit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = p.Unit
+	}
+	diags, err := analysis.Run(units, analyzers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prilint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,265 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, carrying exactly the surface prilint's
+// analyzers need: an Analyzer with a Run(*Pass) hook, a Pass holding one
+// type-checked package, and positional diagnostics. The build image bakes in
+// only the Go toolchain — no module proxy, no x/tools — so the framework is
+// written against the standard library alone (go/ast, go/types, go/importer).
+// The API deliberately mirrors the upstream names and shapes; if the x/tools
+// dependency ever becomes available, each analyzer ports to the real
+// multichecker by swapping this import.
+//
+// Conventions enforced across the tree (see DESIGN.md §11):
+//
+//   - //prisim:hotpath on a function: hotpathalloc forbids allocating
+//     constructs inside it.
+//   - //prisim:genlink on a struct field: genguard requires a dominating
+//     generation check before any dereference through it.
+//   - //prisim:genguard on a method: its truth implies the receiver's
+//     genlink fields are live (e.g. srcOperand.producerLive).
+//   - //prisim:deterministic in a package doc comment: determinism bans
+//     wall-clock, global rand, and map iteration in that package.
+//   - //prisim:locked <field> on a function (or a name ending in "Locked"):
+//     lockcheck assumes the caller holds the named mutex.
+//   - //lint:ignore <analyzers> <reason> on (or directly above) a line:
+//     suppresses those analyzers' diagnostics there, reason mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Name doubles as the suppression key in
+// //lint:ignore comments.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Unit is the slice of one loaded package an analysis pass runs over.
+// internal/analysis/load produces these for real packages; analysistest
+// builds them from testdata directories.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to every unit and returns the surviving
+// diagnostics sorted by position. Suppressed findings (//lint:ignore) are
+// dropped unless keepSuppressed is set (analysistest keeps them so fixtures
+// can assert on raw analyzer output).
+func Run(units []*Unit, analyzers []*Analyzer, keepSuppressed bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, u := range units {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+				diags:     &diags,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Pkg.Path(), err)
+			}
+		}
+		if !keepSuppressed {
+			diags = filterSuppressed(u, diags)
+		}
+		out = append(out, diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreKey locates one //lint:ignore comment: the named analyzer is
+// suppressed on the comment's own line (trailing form) and on the line
+// directly below it (comment-above form).
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func filterSuppressed(u *Unit, diags []Diagnostic) []Diagnostic {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, n := range names {
+					ignores[ignoreKey{pos.Filename, pos.Line, n}] = true
+					ignores[ignoreKey{pos.Filename, pos.Line + 1, n}] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// parseIgnore recognizes "//lint:ignore name1,name2 reason". A missing
+// reason invalidates the directive: unexplained suppressions don't count.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:ignore ")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // analyzer list + at least one word of reason
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// HasDirective reports whether the comment group contains the given
+// directive comment (e.g. "//prisim:hotpath"), alone or followed by
+// arguments.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	_, ok := DirectiveArgs(cg, directive)
+	return ok
+}
+
+// DirectiveArgs returns the arguments of a directive comment in cg, and
+// whether the directive is present at all ("//prisim:locked mu" yields
+// "mu", true).
+func DirectiveArgs(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, directive)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// IsPkgFunc reports whether the called function is the named package-level
+// function (e.g. pkgPath "time", name "Now"), resolved through the type
+// checker so local shadowing and import renaming can't fool it.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := PkgFuncOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// PkgFuncOf resolves a call to the package-level *types.Func it invokes, or
+// nil for builtins, method calls, and indirect calls.
+func PkgFuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// ExprString renders an expression as compact source text, used by the
+// analyzers to key guard/lock state by syntactic path (e.g. "s.producer",
+// "p.prReaders[cl][pr]"). It intentionally covers only the shapes that
+// appear in such paths; anything else renders as a unique placeholder so it
+// never aliases a real path.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.BinaryExpr:
+		return ExprString(e.X) + e.Op.String() + ExprString(e.Y)
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return ExprString(e.Fun) + "(" + strings.Join(args, ",") + ")"
+	default:
+		return fmt.Sprintf("<expr@%d>", e.Pos())
+	}
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs one analyzer over small fixture packages and
+// checks its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	x := time.Now() // want `time\.Now`
+//
+// Each diagnostic must match exactly one unconsumed want regexp on its
+// line, and every want must be consumed. Fixtures live in
+// testdata/src/<pkg>/*.go — the testdata directory is invisible to the go
+// tool, so deliberately-violating code never trips the real lint run.
+// Suppression comments are NOT honored here (analyzers are tested raw);
+// //lint:ignore handling has its own unit test in the analysis package.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prisim/internal/analysis"
+	"prisim/internal/analysis/load"
+)
+
+// Run applies a to each fixture package under testdata/src and reports any
+// mismatch between diagnostics and want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, filepath.Join(testdata, "src", pkg), a)
+	}
+}
+
+func runPkg(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	// Resolve fixture imports through the build cache; the test's working
+	// directory (the analyzer's package dir) anchors go list in the module.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imps []string
+	for p := range imports {
+		imps = append(imps, p)
+	}
+	imp, err := load.StdImporter(fset, cwd, imps)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, info, err := load.Check(fset, files[0].Name.Name, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a}, true)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		if !consume(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q",
+					a.Name, key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// quoted matches one Go string or backquote literal inside a want comment.
+var quoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses the "// want" comments of every fixture file. A want
+// applies to the source line the comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	wants := make(map[posKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func consume(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.used && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}

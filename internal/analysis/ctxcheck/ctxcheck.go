@@ -1,0 +1,43 @@
+// Package ctxcheck forbids minting root contexts in library code.
+//
+// context.Background() and context.TODO() inside a library package detach
+// the work they govern from every caller's cancellation and deadline: a
+// simulation kicked off under a request context would survive the request.
+// Library code must thread contexts from parameters; only package main may
+// create roots (and the rare library-owned lifecycle root must carry a
+// //lint:ignore ctxcheck justification).
+package ctxcheck
+
+import (
+	"go/ast"
+
+	"prisim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "forbid context.Background/TODO in library packages; contexts must flow from parameters",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // commands own their lifecycle roots
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Background", "TODO"} {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() in library code: accept a context parameter instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

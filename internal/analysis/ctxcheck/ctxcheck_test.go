@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"prisim/internal/analysis/analysistest"
+	"prisim/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "a", "b")
+}

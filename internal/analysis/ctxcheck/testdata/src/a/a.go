@@ -1,0 +1,29 @@
+// Package a is a ctxcheck fixture: a library package must not mint root
+// contexts.
+package a
+
+import "context"
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+func bad() {
+	_ = doWork(context.Background()) // want `context\.Background\(\) in library code`
+	_ = doWork(context.TODO())       // want `context\.TODO\(\) in library code`
+}
+
+func good(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = doWork(child)
+}
+
+// shadowed proves resolution goes through the type checker: this local
+// "context" is not the stdlib package.
+func shadowed() {
+	context := fake{}
+	_ = context.Background()
+}
+
+type fake struct{}
+
+func (fake) Background() int { return 0 }

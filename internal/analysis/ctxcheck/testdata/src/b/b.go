@@ -1,0 +1,11 @@
+// Command b is a ctxcheck fixture: package main owns its lifecycle roots,
+// so minting them is allowed.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx.Err()
+	_ = context.TODO()
+}

@@ -1,0 +1,92 @@
+// Package determinism protects the kernel's byte-identical guarantee.
+//
+// Packages that opt in with a //prisim:deterministic line in their package
+// doc comment (internal/ooo, internal/emu, internal/bpred, internal/memsys)
+// promise that simulation output is a pure function of program + config:
+// the golden-hash tests pin their tables bit-for-bit. Three constructs break
+// that silently, so they are banned here:
+//
+//   - wall-clock reads (time.Now, Since, and friends);
+//   - the global math/rand functions, whose shared source makes results
+//     depend on whatever else the process randomized (seeded *rand.Rand
+//     values created via rand.New remain fine);
+//   - ranging over a map, whose iteration order is randomized per run —
+//     anything it feeds into simulation state diverges between processes.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"prisim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global rand, and map iteration in //prisim:deterministic packages",
+	Run:  run,
+}
+
+// clockFuncs are the time functions that read the wall clock or schedule
+// against it. Pure constructors/constants (time.Duration arithmetic,
+// time.Unix on stored data) stay allowed.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand package-level functions that build a
+// caller-owned, seedable source rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !optedIn(pass.Files) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.PkgFuncOf(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if clockFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"time.%s in a deterministic kernel package: simulated time must come from the cycle counter", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"global rand.%s in a deterministic kernel package: use a seeded *rand.Rand owned by the caller", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration in a deterministic kernel package: order is randomized per run; iterate a sorted slice")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// optedIn reports whether any file's package doc carries the
+// //prisim:deterministic directive.
+func optedIn(files []*ast.File) bool {
+	for _, f := range files {
+		if analysis.HasDirective(f.Doc, "//prisim:deterministic") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+// Package a is a determinism fixture: it opts in, so wall-clock reads,
+// global rand, and map iteration are all flagged.
+//
+//prisim:deterministic
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	state   uint64
+	latency map[uint64]int
+	rng     *rand.Rand
+}
+
+func (s *sim) bad() {
+	_ = time.Now()                  // want `time\.Now in a deterministic kernel package`
+	_ = time.Since(time.Time{})     // want `time\.Since in a deterministic kernel package`
+	s.state += uint64(rand.Intn(8)) // want `global rand\.Intn in a deterministic kernel package`
+	for k := range s.latency {      // want `map iteration in a deterministic kernel package`
+		s.state += k
+	}
+}
+
+func (s *sim) good(keys []uint64) {
+	// A caller-owned seeded source is deterministic.
+	s.rng = rand.New(rand.NewSource(42))
+	s.state += uint64(s.rng.Intn(8))
+	// Duration arithmetic reads no clock.
+	_ = 5 * time.Millisecond
+	// Iterating a sorted slice of keys is the sanctioned pattern.
+	for _, k := range keys {
+		s.state += uint64(s.latency[k])
+	}
+}

@@ -1,0 +1,16 @@
+// Package b is a determinism fixture: it does NOT opt in, so nothing is
+// flagged even though it uses the clock, global rand, and map iteration.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func anything(m map[int]int) int {
+	total := int(time.Now().UnixNano()) + rand.Intn(8)
+	for k := range m {
+		total += k
+	}
+	return total
+}

@@ -1,0 +1,632 @@
+// Package genguard enforces the kernel's recycled-object protocol.
+//
+// PR 3 made dynInst objects pool-recycled: commit and squash return an
+// instruction to the free list and bump its generation counter, so any
+// reference that outlives it — a queued event's inst, a producer's waiter
+// entry, a ready-queue entry, a consumer's producer link — is detectably
+// stale rather than safely dead. Dereferencing such a link without first
+// comparing generations reads another instruction's state: the exact
+// stale-physical-register hazard the paper's inlining scheme exists to
+// avoid, reborn as a software bug that corrupts results silently.
+//
+// Struct fields that hold such links are annotated //prisim:genlink. Any
+// dereference through one (field read past the pointer, method call on it,
+// a read through a local alias of it) must be dominated by a generation
+// check on the same link:
+//
+//	if d.gen != ev.gen { continue }   // comparison guard
+//	if s.producerLive() { ... }       // a //prisim:genguard method
+//
+// Reading the link's own "gen" field is always allowed — it is the tag
+// check itself — as is passing the pointer along without dereferencing it
+// (responsibility transfers to the callee, whose own parameters are not
+// tracked). The analysis is a conservative single pass over each function:
+// guards established under a condition hold inside the guarded branch, and
+// after an if/case whose failing branch terminates (return/continue/break/
+// panic). It tracks simple aliases (d := ev.inst, s := &d.srcs[i]).
+package genguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prisim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "genguard",
+	Doc:  "require generation checks before dereferencing //prisim:genlink fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:   pass,
+		links:  make(map[types.Object]bool),
+		guards: make(map[types.Object]bool),
+	}
+	c.collect()
+	if len(c.links) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				e := newEnv()
+				c.walkStmts(fd.Body.List, e)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	links  map[types.Object]bool // fields annotated //prisim:genlink
+	guards map[types.Object]bool // methods annotated //prisim:genguard
+}
+
+// collect finds the annotated link fields and guard methods.
+func (c *checker) collect() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if !analysis.HasDirective(field.Doc, "//prisim:genlink") &&
+						!analysis.HasDirective(field.Comment, "//prisim:genlink") {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+							c.links[obj] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if analysis.HasDirective(n.Doc, "//prisim:genguard") {
+					if obj := c.pass.TypesInfo.Defs[n.Name]; obj != nil {
+						c.guards[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// env is the abstract state at one program point: which link paths have a
+// dominating generation check, and what link/base expression each local
+// alias stands for.
+type env struct {
+	guarded map[string]bool
+	alias   map[types.Object]string
+}
+
+func newEnv() *env {
+	return &env{guarded: make(map[string]bool), alias: make(map[types.Object]string)}
+}
+
+func (e *env) clone() *env {
+	n := newEnv()
+	for k, v := range e.guarded {
+		n.guarded[k] = v
+	}
+	for k, v := range e.alias {
+		n.alias[k] = v
+	}
+	return n
+}
+
+// intersect keeps only facts present in both branches.
+func (e *env) intersect(o *env) {
+	for k := range e.guarded {
+		if !o.guarded[k] {
+			delete(e.guarded, k)
+		}
+	}
+	for k, v := range e.alias {
+		if o.alias[k] != v {
+			delete(e.alias, k)
+		}
+	}
+}
+
+func (e *env) addGuards(paths []string) {
+	for _, p := range paths {
+		e.guarded[p] = true
+	}
+}
+
+// invalidate drops guard facts reachable through ident path p after p is
+// reassigned.
+func (e *env) invalidate(p string) {
+	for k := range e.guarded {
+		if k == p || strings.HasPrefix(k, p+".") || strings.HasPrefix(k, p+"[") {
+			delete(e.guarded, k)
+		}
+	}
+}
+
+// canonical renders expr as a path string with local aliases resolved, so
+// "d.squashed" and "ev.inst.squashed" key the same guard when d := ev.inst.
+func (c *checker) canonical(expr ast.Expr, e *env) string {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+			if a, ok := e.alias[obj]; ok {
+				return a
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return c.canonical(x.X, e) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return c.canonical(x.X, e) + "[" + analysis.ExprString(x.Index) + "]"
+	case *ast.ParenExpr:
+		return c.canonical(x.X, e)
+	case *ast.StarExpr:
+		return c.canonical(x.X, e)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return c.canonical(x.X, e)
+		}
+	}
+	return analysis.ExprString(expr)
+}
+
+// linkPath reports whether expr denotes a tracked recycled-object link and
+// returns its canonical path: a selection of a //prisim:genlink field, or a
+// local alias of one.
+func (c *checker) linkPath(expr ast.Expr, e *env) (string, bool) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[x]; ok && c.links[sel.Obj()] {
+			return c.canonical(x, e), true
+		}
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+			if a, ok := e.alias[obj]; ok && c.aliasIsLink(a) {
+				return a, true
+			}
+		}
+	case *ast.StarExpr:
+		return c.linkPath(x.X, e)
+	}
+	return "", false
+}
+
+// aliasIsLink reports whether an alias target path ends in a genlink field
+// selection (aliases of non-link bases, like s := &d.srcs[i], are tracked
+// for canonicalization but are not themselves links).
+func (c *checker) aliasIsLink(path string) bool {
+	i := strings.LastIndexByte(path, '.')
+	if i < 0 {
+		return false
+	}
+	name := path[i+1:]
+	for obj := range c.links {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmts walks a statement list, reporting unguarded dereferences and
+// returning whether the list always terminates the enclosing flow.
+func (c *checker) walkStmts(stmts []ast.Stmt, e *env) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, e *env) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, e)
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, e)
+		return isPanic(s.X)
+	case *ast.AssignStmt:
+		c.assign(s, e)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, e)
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							c.bind(name, vs.Values[i], e, true)
+						}
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, e)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, e)
+		c.checkExpr(s.Value, e)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, e)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		c.checkExpr(call, newEnv()) // runs later: no current guards apply
+	case *ast.IfStmt:
+		return c.ifStmt(s, e)
+	case *ast.SwitchStmt:
+		return c.switchStmt(s, e)
+	case *ast.TypeSwitchStmt:
+		c.walkStmt(s.Assign, e)
+		term := len(s.Body.List) > 0
+		var outs []*env
+		for _, cc := range s.Body.List {
+			ce := e.clone()
+			if !c.walkStmts(cc.(*ast.CaseClause).Body, ce) {
+				term = false
+				outs = append(outs, ce)
+			}
+		}
+		c.mergeOuts(e, outs, true)
+		return false && term
+	case *ast.SelectStmt:
+		allTerm := len(s.Body.List) > 0
+		var outs []*env
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			ce := e.clone()
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm, ce)
+			}
+			if !c.walkStmts(cc.Body, ce) {
+				allTerm = false
+				outs = append(outs, ce)
+			}
+		}
+		c.mergeOuts(e, outs, false)
+		// A select blocks until one clause runs (default counts as a
+		// clause), so it terminates when every clause does.
+		return allTerm
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, e)
+		}
+		be := e.clone()
+		c.walkStmts(s.Body.List, be)
+		if s.Post != nil {
+			c.walkStmt(s.Post, be)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, e)
+		be := e.clone()
+		if s.Key != nil {
+			if id, ok := s.Key.(*ast.Ident); ok {
+				c.rebind(id, be)
+			}
+		}
+		if s.Value != nil {
+			if id, ok := s.Value.(*ast.Ident); ok {
+				c.rebind(id, be)
+			}
+		}
+		c.walkStmts(s.Body.List, be)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, e)
+	}
+	return false
+}
+
+func (c *checker) ifStmt(s *ast.IfStmt, e *env) bool {
+	if s.Init != nil {
+		c.walkStmt(s.Init, e)
+	}
+	pos, neg := c.cond(s.Cond, e)
+	be := e.clone()
+	be.addGuards(pos)
+	bodyTerm := c.walkStmts(s.Body.List, be)
+
+	ee := e.clone()
+	ee.addGuards(neg)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = c.walkStmt(s.Else, ee)
+	}
+
+	switch {
+	case bodyTerm && elseTerm:
+		return true
+	case bodyTerm:
+		*e = *ee
+	case elseTerm:
+		*e = *be
+	default:
+		be.intersect(ee)
+		*e = *be
+	}
+	return false
+}
+
+// switchStmt handles condition switches (no tag): each case is an if/else
+// chain, so a later case sees the negations of every earlier one.
+func (c *checker) switchStmt(s *ast.SwitchStmt, e *env) bool {
+	if s.Init != nil {
+		c.walkStmt(s.Init, e)
+	}
+	if s.Tag != nil {
+		// Value switch: no guard semantics, just check everything.
+		c.checkExpr(s.Tag, e)
+		var outs []*env
+		hasDefault := false
+		allTerm := true
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			ce := e.clone()
+			for _, x := range cc.List {
+				c.checkExpr(x, ce)
+			}
+			if !c.walkStmts(cc.Body, ce) {
+				allTerm = false
+				outs = append(outs, ce)
+			}
+		}
+		c.mergeOuts(e, outs, !hasDefault)
+		return allTerm && hasDefault
+	}
+
+	accNeg := e.clone()
+	var outs []*env
+	hasDefault := false
+	allTerm := true
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CaseClause)
+		ce := accNeg.clone()
+		if cc.List == nil {
+			hasDefault = true
+		}
+		var pos []string
+		for _, x := range cc.List {
+			p, n := c.cond(x, ce)
+			if len(cc.List) == 1 {
+				pos = p
+			}
+			accNeg.addGuards(n)
+		}
+		ce.addGuards(pos)
+		if !c.walkStmts(cc.Body, ce) {
+			allTerm = false
+			outs = append(outs, ce)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, accNeg)
+		allTerm = false
+	}
+	c.mergeOuts(e, outs, false)
+	return allTerm
+}
+
+// mergeOuts intersects the fall-through branch states into e.
+func (c *checker) mergeOuts(e *env, outs []*env, includeEntry bool) {
+	if len(outs) == 0 {
+		return
+	}
+	m := outs[0]
+	for _, o := range outs[1:] {
+		m.intersect(o)
+	}
+	if includeEntry {
+		m.intersect(e)
+	}
+	*e = *m
+}
+
+// cond analyzes a boolean condition: it checks dereferences inside it
+// (under short-circuit semantics) and returns the guard paths established
+// when it evaluates true (pos) and false (neg).
+func (c *checker) cond(x ast.Expr, e *env) (pos, neg []string) {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return c.cond(x.X, e)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			p, n := c.cond(x.X, e)
+			return n, p
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			p1, _ := c.cond(x.X, e)
+			ye := e.clone()
+			ye.addGuards(p1)
+			p2, _ := c.cond(x.Y, ye)
+			return append(p1, p2...), nil
+		case token.LOR:
+			_, n1 := c.cond(x.X, e)
+			ye := e.clone()
+			ye.addGuards(n1)
+			_, n2 := c.cond(x.Y, ye)
+			return nil, append(n1, n2...)
+		case token.EQL, token.NEQ:
+			c.checkExpr(x.X, e)
+			c.checkExpr(x.Y, e)
+			var paths []string
+			for _, side := range [...]ast.Expr{x.X, x.Y} {
+				if sel, ok := ast.Unparen(side).(*ast.SelectorExpr); ok && sel.Sel.Name == "gen" {
+					if p, ok := c.linkPath(sel.X, e); ok {
+						paths = append(paths, p)
+					}
+				}
+			}
+			if x.Op == token.EQL {
+				return paths, nil
+			}
+			return nil, paths
+		}
+	case *ast.CallExpr:
+		if paths := c.guardCall(x, e); paths != nil {
+			return paths, nil
+		}
+	}
+	c.checkExpr(x, e)
+	return nil, nil
+}
+
+// guardCall recognizes calls to //prisim:genguard methods and returns the
+// link paths their truth validates: every genlink field of the receiver.
+func (c *checker) guardCall(call *ast.CallExpr, e *env) []string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !c.guards[fn] {
+		return nil
+	}
+	recv := c.canonical(sel.X, e)
+	t := c.pass.TypesInfo.TypeOf(sel.X)
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var paths []string
+	for i := 0; i < st.NumFields(); i++ {
+		if c.links[st.Field(i)] {
+			paths = append(paths, recv+"."+st.Field(i).Name())
+		}
+	}
+	return paths
+}
+
+// assign checks an assignment's expressions, updates aliases for pointer
+// copies of links and bases, and invalidates guards on overwritten paths.
+func (c *checker) assign(s *ast.AssignStmt, e *env) {
+	for _, r := range s.Rhs {
+		c.checkExpr(r, e)
+	}
+	for _, l := range s.Lhs {
+		// Writing through a link is a dereference too (ev.inst.done = true);
+		// writing the link field itself (x.producer = p) is not, and
+		// checkExpr naturally distinguishes them.
+		if _, isIdent := l.(*ast.Ident); !isIdent {
+			c.checkExpr(l, e)
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				c.bind(id, s.Rhs[i], e, s.Tok == token.DEFINE)
+			} else {
+				e.invalidate(c.canonical(l, e))
+			}
+		}
+	} else {
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				c.rebind(id, e)
+			}
+		}
+	}
+}
+
+// bind records what a variable now stands for: an alias if the RHS is a
+// link or an address-of path, untracked otherwise. Either way any guard
+// facts about the old binding die.
+func (c *checker) bind(id *ast.Ident, rhs ast.Expr, e *env, define bool) {
+	e.invalidate(id.Name)
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	delete(e.alias, obj)
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.SelectorExpr:
+		if _, isLink := c.linkPath(r, e); isLink {
+			e.alias[obj] = c.canonical(r, e)
+		}
+	case *ast.UnaryExpr:
+		if r.Op == token.AND {
+			e.alias[obj] = c.canonical(r.X, e)
+		}
+	}
+}
+
+// rebind invalidates a variable with an unknown new value.
+func (c *checker) rebind(id *ast.Ident, e *env) {
+	e.invalidate(id.Name)
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		delete(e.alias, obj)
+	} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		delete(e.alias, obj)
+	}
+}
+
+// checkExpr reports any dereference through an unguarded link inside expr.
+func (c *checker) checkExpr(x ast.Expr, e *env) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkStmts(n.Body.List, newEnv())
+			return false
+		case *ast.SelectorExpr:
+			base := ast.Unparen(n.X)
+			if path, ok := c.linkPath(base, e); ok {
+				if n.Sel.Name != "gen" && !e.guarded[path] {
+					c.pass.Reportf(n.Pos(),
+						"dereference of %s.%s through recycled link %s without a dominating generation check (compare .gen or use a //prisim:genguard method)",
+						path, n.Sel.Name, path)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPanic reports whether the expression statement is a call that cannot
+// return (panic or a *panic* helper).
+func isPanic(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "panic")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "panic")
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package genguard_test
+
+import (
+	"testing"
+
+	"prisim/internal/analysis/analysistest"
+	"prisim/internal/analysis/genguard"
+)
+
+func TestGenguard(t *testing.T) {
+	analysistest.Run(t, "testdata", genguard.Analyzer, "a")
+}

@@ -1,0 +1,113 @@
+// Package a is a genguard fixture mirroring the kernel's recycled-object
+// protocol: instructions live on a free list, generation-stamped links
+// (events, waiters, producer pointers) may outlive them, and dereferencing
+// a link without a generation check reads a recycled object's state.
+package a
+
+type inst struct {
+	seq  uint64
+	gen  uint32
+	done bool
+	val  uint64
+}
+
+func (d *inst) wake() {}
+
+// event mimics the pipeline event wheel's payload.
+type event struct {
+	gen uint32
+	seq uint64
+	//prisim:genlink
+	inst *inst
+}
+
+// operand mimics srcOperand's producer link.
+type operand struct {
+	//prisim:genlink
+	producer *inst
+	pgen     uint32
+	ready    bool
+}
+
+// producerLive is the guard-method form of the generation check.
+//
+//prisim:genguard
+func (o *operand) producerLive() bool {
+	return o.producer != nil && o.producer.gen == o.pgen
+}
+
+// process is the sanctioned pattern: compare generations, skip stale.
+func process(evs []event) {
+	for i := range evs {
+		ev := &evs[i]
+		d := ev.inst
+		if d.gen != ev.gen || d.done {
+			continue
+		}
+		d.val++
+		d.wake()
+	}
+}
+
+// stale reproduces the PR 3 bug shape: dereferencing an event's inst
+// without checking the generation reads whatever instruction now occupies
+// the recycled slot.
+func stale(ev event) uint64 {
+	ev.inst.done = true // want `dereference of ev\.inst\.done through recycled link ev\.inst`
+	return ev.inst.val  // want `dereference of ev\.inst\.val through recycled link ev\.inst`
+}
+
+// staleAlias: the alias is tracked, so hiding the link behind a local
+// variable does not evade the check.
+func staleAlias(ev event) uint64 {
+	d := ev.inst
+	return d.val // want `dereference of ev\.inst\.val through recycled link ev\.inst`
+}
+
+// guardMethod: a //prisim:genguard call dominates the dereference.
+func guardMethod(o *operand, now uint64) {
+	if o.producerLive() && !o.producer.done {
+		o.producer.val = now
+	}
+}
+
+// negGuard: the mismatch arm terminates, so the fall-through is guarded.
+func negGuard(ev event) {
+	if ev.inst.gen != ev.gen {
+		return
+	}
+	ev.inst.done = true
+}
+
+// orChain mirrors the scheduler's select loop: the first mismatch test
+// short-circuits the || chain, guarding the later operands and the body.
+func orChain(evs []event) {
+	for i := range evs {
+		ev := &evs[i]
+		d := ev.inst
+		if d.gen != ev.gen || d.done || d.val == 0 {
+			continue
+		}
+		d.wake()
+	}
+}
+
+// reassigned: writing a new value into the alias kills its guard.
+func reassigned(a, b event) {
+	d := a.inst
+	if d.gen != a.gen {
+		return
+	}
+	d.done = true
+	d = b.inst
+	d.done = true // want `dereference of b\.inst\.done through recycled link b\.inst`
+}
+
+// passing a link along without dereferencing transfers responsibility to
+// the callee and is always allowed; so is reading the gen tag itself.
+func handoff(ev event) uint32 {
+	sink(ev.inst)
+	return ev.inst.gen
+}
+
+func sink(d *inst) { _ = d }

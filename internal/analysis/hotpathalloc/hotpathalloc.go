@@ -1,0 +1,278 @@
+// Package hotpathalloc keeps annotated steady-state code allocation-free.
+//
+// The PR 3 kernel rewrite got the simulator to ~0.009 allocs/instr by
+// recycling every per-instruction object; one stray literal or boxing
+// conversion in the cycle loop silently erodes the 3.6–10× speedup. A
+// function marked //prisim:hotpath in its doc comment may not contain:
+//
+//   - map or slice composite literals, or &T{...} (heap escape);
+//   - make/new calls;
+//   - append to a slice that starts empty in this call (growing a fresh
+//     slice allocates every invocation; append into recycled backing
+//     arrays — x = append(x, ...) on a struct field or reslice — is the
+//     sanctioned pattern and is not flagged);
+//   - fmt.* / log.* calls;
+//   - closures (func literals capture and usually escape);
+//   - interface boxing of non-pointer values (any-typed arguments,
+//     interface conversions and assignments) — the container/heap mistake;
+//   - string<->[]byte conversions.
+//
+// The check is intraprocedural: annotate the callee too if it must stay
+// clean. Cold sub-paths inside a hot function (free-list refill, demand
+// paging) carry //lint:ignore hotpathalloc justifications. Arguments being
+// passed to panic (and *panic* helpers) are exempt — a panicking cycle loop
+// has no steady state to protect.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prisim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //prisim:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !analysis.HasDirective(fd.Doc, "//prisim:hotpath") {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.fresh = c.freshSlices(fd.Body)
+			c.walk(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	fresh map[types.Object]bool // locals that start as empty slices
+}
+
+// freshSlices collects local slice variables declared with no initial
+// backing array (`var x []T`). Appending to one inside a hot function grows
+// a new array on every call.
+func (c *checker) freshSlices(body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if t := c.pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					c.pass.Reportf(n.Pos(), "map literal allocates in a hot path")
+				case *types.Slice:
+					c.pass.Reportf(n.Pos(), "slice literal allocates in a hot path")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "&composite literal escapes to the heap in a hot path")
+				}
+			}
+		case *ast.FuncLit:
+			c.pass.Reportf(n.Pos(), "closure in a hot path: func literals capture and allocate")
+			return false // its body is not hot-path steady state
+		case *ast.CallExpr:
+			return c.call(n)
+		case *ast.AssignStmt:
+			c.assignBoxing(n)
+		}
+		return true
+	})
+}
+
+// call checks one call expression; the return value tells ast.Inspect
+// whether to descend into the arguments.
+func (c *checker) call(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in a hot path")
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in a hot path")
+			case "append":
+				c.appendCheck(call)
+			case "panic":
+				return false // a panicking hot path is already dead
+			}
+			return true
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type)
+		return true
+	}
+
+	// Ordinary and method calls.
+	if fn := analysis.PkgFuncOf(c.pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			c.pass.Reportf(call.Pos(), "%s.%s allocates (formatting) in a hot path", fn.Pkg().Name(), fn.Name())
+			return true
+		}
+		if strings.Contains(strings.ToLower(fn.Name()), "panic") {
+			return false // failure path, not steady state
+		}
+	}
+	if sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok {
+		c.argBoxing(call, sig)
+	}
+	return true
+}
+
+// appendCheck flags append whose base slice provably starts empty each
+// call — growth is then a guaranteed steady-state allocation.
+func (c *checker) appendCheck(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.fresh[obj] {
+		c.pass.Reportf(call.Pos(),
+			"append to %s, which starts empty in this call: every invocation allocates; reuse a recycled backing array", id.Name)
+	}
+}
+
+// conversion flags string<->[]byte copies and interface-boxing conversions.
+func (c *checker) conversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if (isString(tu) && isByteSlice(su)) || (isByteSlice(tu) && isString(su)) {
+		c.pass.Reportf(call.Pos(), "string/[]byte conversion copies in a hot path")
+		return
+	}
+	c.boxing(call.Pos(), target, src, "interface conversion")
+}
+
+// argBoxing flags concrete non-pointer values passed as interface-typed
+// (including variadic ...any) parameters: each one escapes to the heap.
+func (c *checker) argBoxing(call *ast.CallExpr, sig *types.Signature) {
+	if call.Ellipsis.IsValid() {
+		return // spreading an existing slice boxes nothing new
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.boxing(arg.Pos(), pt, c.pass.TypesInfo.TypeOf(arg), "argument")
+	}
+}
+
+// assignBoxing flags assignments that store a concrete non-pointer value
+// into an interface-typed location.
+func (c *checker) assignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		c.boxing(as.Rhs[i].Pos(), c.pass.TypesInfo.TypeOf(lhs),
+			c.pass.TypesInfo.TypeOf(as.Rhs[i]), "assignment")
+	}
+}
+
+// boxing reports a concrete value crossing into an interface type.
+// Pointer-shaped values (pointers, channels, maps, funcs) box without
+// allocating and constants box to static data, so only variable value
+// kinds are flagged.
+func (c *checker) boxing(pos token.Pos, target, src types.Type, what string) {
+	if target == nil || src == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	if types.IsInterface(src) {
+		return
+	}
+	switch su := src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	case *types.Basic:
+		if su.Info()&types.IsUntyped != 0 {
+			return // nil, or a constant materialized at compile time
+		}
+	}
+	c.pass.Reportf(pos, "%s boxes %s into an interface (allocates) in a hot path", what, src)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0 && b.Info()&types.IsUntyped == 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,190 @@
+// Package load turns Go package patterns into type-checked analysis units
+// without golang.org/x/tools/go/packages: it shells out to `go list` for
+// module-aware package metadata and export-data paths, parses the target
+// packages' sources, and type-checks them with the standard library's gc
+// importer reading dependency export data straight from the build cache.
+// This is the same pipeline go/packages uses, minus its driver protocol.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"prisim/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap builds importPath -> export-data file for the patterns'
+// transitive dependency closure. `go list -export` compiles anything stale,
+// so the map is complete whenever the tree builds.
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter resolves imports through build-cache export data. It
+// wraps the stdlib gc importer's lookup mode and short-circuits "unsafe",
+// which has no export file.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.Import(path)
+}
+
+// A Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Unit       *analysis.Unit
+}
+
+// Packages loads, parses, and type-checks every package matching patterns,
+// rooted at dir (test files are not included; prilint checks shipped code).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	targetArgs := append([]string{"list", "-e",
+		"-json=ImportPath,Dir,Name,GoFiles,Error"}, patterns...)
+	targets, err := goList(dir, targetArgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Unit:       &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info},
+		})
+	}
+	return out, nil
+}
+
+// Check type-checks one package's parsed files, populating the Info maps
+// the analyzers rely on. It is shared with analysistest's fixture loader.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// StdImporter returns an importer for an ad-hoc file set (analysistest
+// fixtures): it resolves the given import paths and their transitive
+// dependencies through build-cache export data. dir anchors the `go list`
+// invocation inside the module.
+func StdImporter(fset *token.FileSet, dir string, imports []string) (types.Importer, error) {
+	if len(imports) == 0 {
+		return newExportImporter(fset, nil), nil
+	}
+	exports, err := exportMap(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	return newExportImporter(fset, exports), nil
+}

@@ -2,6 +2,11 @@
 // Table 1: a combined predictor (4k-entry bimodal and 4k-entry gshare with a
 // 4k-entry selector), a 16-entry return address stack, and a 1k-entry 4-way
 // branch target buffer.
+//
+// Prediction state is deterministic: it is a pure function of the update
+// stream, with no wall-clock, global randomness, or map-order dependence.
+//
+//prisim:deterministic
 package bpred
 
 import "prisim/internal/isa"

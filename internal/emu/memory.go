@@ -7,6 +7,12 @@
 // architected state, and when the mispredicted branch resolves the machine
 // is rolled back to the branch boundary, exactly as a hardware checkpoint
 // recovery would.
+//
+// The package promises deterministic execution: architected state is a pure
+// function of the program, with no wall-clock, global randomness, or
+// map-order dependence.
+//
+//prisim:deterministic
 package emu
 
 import "encoding/binary"
@@ -42,6 +48,7 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+//prisim:hotpath
 func (m *Memory) lookup(pn uint64) *page {
 	e := &m.tlb[pn%tlbSize]
 	if e.pn == pn && e.p != nil {
@@ -54,10 +61,12 @@ func (m *Memory) lookup(pn uint64) *page {
 	return p
 }
 
+//prisim:hotpath
 func (m *Memory) ensure(pn uint64) *page {
 	if p := m.lookup(pn); p != nil {
 		return p
 	}
+	//lint:ignore hotpathalloc demand paging: each page allocates exactly once, then every access hits the TLB/map
 	p := new(page)
 	m.pages[pn] = p
 	e := &m.tlb[pn%tlbSize]
@@ -93,6 +102,8 @@ func (m *Memory) Write(addr uint64, buf []byte) {
 }
 
 // ReadU64 reads a 64-bit little-endian value.
+//
+//prisim:hotpath
 func (m *Memory) ReadU64(addr uint64) uint64 {
 	if addr&pageMask <= pageSize-8 {
 		if p := m.lookup(addr >> pageShift); p != nil {
@@ -106,6 +117,8 @@ func (m *Memory) ReadU64(addr uint64) uint64 {
 }
 
 // ReadU32 reads a 32-bit little-endian value.
+//
+//prisim:hotpath
 func (m *Memory) ReadU32(addr uint64) uint32 {
 	if addr&pageMask <= pageSize-4 {
 		if p := m.lookup(addr >> pageShift); p != nil {
@@ -119,6 +132,8 @@ func (m *Memory) ReadU32(addr uint64) uint32 {
 }
 
 // ReadU8 reads one byte.
+//
+//prisim:hotpath
 func (m *Memory) ReadU8(addr uint64) byte {
 	if p := m.lookup(addr >> pageShift); p != nil {
 		return p[addr&pageMask]
@@ -127,6 +142,8 @@ func (m *Memory) ReadU8(addr uint64) byte {
 }
 
 // WriteU64 writes a 64-bit little-endian value.
+//
+//prisim:hotpath
 func (m *Memory) WriteU64(addr uint64, v uint64) {
 	if addr&pageMask <= pageSize-8 {
 		binary.LittleEndian.PutUint64(m.ensure(addr >> pageShift)[addr&pageMask:], v)
@@ -138,6 +155,8 @@ func (m *Memory) WriteU64(addr uint64, v uint64) {
 }
 
 // WriteU32 writes a 32-bit little-endian value.
+//
+//prisim:hotpath
 func (m *Memory) WriteU32(addr uint64, v uint32) {
 	if addr&pageMask <= pageSize-4 {
 		binary.LittleEndian.PutUint32(m.ensure(addr >> pageShift)[addr&pageMask:], v)
@@ -149,6 +168,8 @@ func (m *Memory) WriteU32(addr uint64, v uint32) {
 }
 
 // WriteU8 writes one byte.
+//
+//prisim:hotpath
 func (m *Memory) WriteU8(addr uint64, v byte) {
 	m.ensure(addr >> pageShift)[addr&pageMask] = v
 }

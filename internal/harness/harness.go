@@ -111,13 +111,13 @@ type shared struct {
 	sem chan struct{} // bounded worker pool
 
 	mu         sync.Mutex
-	cache      map[runKey]*entry
-	progress   io.Writer
-	onProgress func(done, total int)
-	submitted  int
-	completed  int
-	hits       int // requests served by an already-completed cache entry
-	coalesced  int // requests that joined another caller's in-flight run
+	cache      map[runKey]*entry      // guarded by mu
+	progress   io.Writer              // guarded by mu
+	onProgress func(done, total int)  // guarded by mu
+	submitted  int                    // guarded by mu
+	completed  int                    // guarded by mu
+	hits       int                    // guarded by mu; requests served by an already-completed cache entry
+	coalesced  int                    // guarded by mu; requests that joined another caller's in-flight run
 }
 
 // CacheStats is a snapshot of the Runner's memoization counters, spanning
@@ -135,9 +135,9 @@ type CacheStats struct {
 // counted), submitted counts requests that found no completed entry.
 type viewState struct {
 	mu        sync.Mutex
-	hook      func(done, total int)
-	done      int
-	submitted int
+	hook      func(done, total int) // guarded by mu
+	done      int                   // guarded by mu
+	submitted int                   // guarded by mu
 }
 
 // Runner executes timing runs on a bounded worker pool and memoizes them;
@@ -273,6 +273,7 @@ func (r *Runner) key(w workloads.Workload, cfg ooo.Config) runKey {
 // Run simulates one benchmark on one machine configuration, memoized. It is
 // the context-free form of RunCtx and never fails.
 func (r *Runner) Run(w workloads.Workload, cfg ooo.Config) *Result {
+	//lint:ignore ctxcheck Run is the documented context-free convenience form; RunCtx is the context-threading API
 	res, err := r.RunCtx(context.Background(), w, cfg)
 	if err != nil {
 		// Unreachable: a background context cannot be cancelled, and RunCtx

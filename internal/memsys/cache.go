@@ -7,6 +7,12 @@
 // access walks the hierarchy, updates contents and LRU state, and returns
 // the total load-to-use latency. Values never live here — the functional
 // emulator owns them; this package only decides how long they take.
+//
+// Latencies are deterministic: contents and LRU state are a pure function
+// of the access stream, with no wall-clock, global randomness, or map-order
+// dependence.
+//
+//prisim:deterministic
 package memsys
 
 import "fmt"

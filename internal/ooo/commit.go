@@ -9,6 +9,8 @@ import "prisim/internal/isa"
 // already freed it). The committed dynInst is recycled: its ROB slot and
 // producer-table entry are cleared here, and any reference that survives in
 // a queued event or ready-queue entry is invalidated by the generation bump.
+//
+//prisim:hotpath
 func (p *Pipeline) commit() {
 	for n := 0; n < p.cfg.Width; n++ {
 		d := p.robPeek()
@@ -61,6 +63,8 @@ func (p *Pipeline) commit() {
 // see "value at rest" instead of a recycled instruction. The entry may
 // already name a newer producer if the register was freed early (PRI/ER)
 // and reallocated while d was still in flight.
+//
+//prisim:hotpath
 func (p *Pipeline) clearProducer(d *dynInst) {
 	if !d.hasDest || d.alloc.PR < 0 {
 		return
@@ -71,6 +75,7 @@ func (p *Pipeline) clearProducer(d *dynInst) {
 	}
 }
 
+//prisim:hotpath
 func (p *Pipeline) lsqPopHead(d *dynInst) {
 	if p.lsqHead >= len(p.lsq) || p.lsq[p.lsqHead] != d {
 		panicf("ooo: LSQ head mismatch for %v", d)

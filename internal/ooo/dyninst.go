@@ -13,7 +13,8 @@ func panicf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
 
 // srcOperand is one renamed source operand as held in the payload RAM.
 type srcOperand struct {
-	op       core.Operand
+	op core.Operand
+	//prisim:genlink
 	producer *dynInst // in-flight producer, nil when the value is at rest
 	pgen     uint32   // producer's generation when the link was made
 	ready    bool     // wakeup received (possibly speculative)
@@ -24,16 +25,22 @@ type srcOperand struct {
 // the producing instruction. A generation mismatch means the producer left
 // the pipeline and was recycled — which, since readers are always younger
 // than their producer, can only mean it committed and the value is at rest.
+//
+//prisim:genguard
 func (s *srcOperand) producerLive() bool {
 	return s.producer != nil && s.producer.gen == s.pgen
 }
 
 // waiter links a scheduler entry to the producer it waits on. srcIdx is the
 // operand index, or -1 for a load waiting on an older store. gen detects
-// waiters that were squashed and recycled before the producer fired.
+// waiters that were squashed and recycled before the producer fired; seq is
+// the waiting instruction's sequence number frozen at registration, so wake
+// events can be ordered without dereferencing a possibly-recycled inst.
 type waiter struct {
+	//prisim:genlink
 	inst   *dynInst
 	gen    uint32
+	seq    uint64
 	srcIdx int
 }
 
@@ -105,6 +112,8 @@ func (d *dynInst) addWaiter(w waiter) { d.waiters = append(d.waiters, w) }
 // newInst takes an instruction from the free list (or allocates one on a
 // cold start). All fields are zero except gen and the retained waiters
 // capacity.
+//
+//prisim:hotpath
 func (p *Pipeline) newInst() *dynInst {
 	if n := len(p.freeInsts); n > 0 {
 		d := p.freeInsts[n-1]
@@ -112,6 +121,7 @@ func (p *Pipeline) newInst() *dynInst {
 		p.freeInsts = p.freeInsts[:n-1]
 		return d
 	}
+	//lint:ignore hotpathalloc cold start only: the pool reaches steady state after ROB-size allocations and this branch never runs again
 	return new(dynInst)
 }
 
@@ -120,6 +130,8 @@ func (p *Pipeline) newInst() *dynInst {
 // structural slot (ROB, LSQ, fetch ring, producer table); references in
 // queued events, waiter lists, and the ready queue may remain — the
 // generation bump renders them inert.
+//
+//prisim:hotpath
 func (p *Pipeline) recycle(d *dynInst) {
 	g := d.gen + 1
 	w := d.waiters[:0]

@@ -1,3 +1,11 @@
+// Package ooo is the cycle-level out-of-order pipeline model: fetch, rename,
+// speculative scheduling, replay, and the commit-time PRI machinery, driven
+// by an allocation-free event wheel over pool-recycled dynInst objects.
+//
+// The package promises deterministic simulation — output is a pure function
+// of program and configuration, pinned bit-for-bit by the golden-hash tests.
+//
+//prisim:deterministic
 package ooo
 
 import (
@@ -78,7 +86,8 @@ type event struct {
 	srcIdx int
 	gen    uint32
 	seq    uint64
-	inst   *dynInst
+	//prisim:genlink
+	inst *dynInst
 }
 
 // New builds a pipeline for prog under cfg. The program is loaded but not
@@ -183,6 +192,7 @@ func (p *Pipeline) Run(maxCommit uint64) uint64 {
 	return p.stats.Committed - start
 }
 
+//prisim:hotpath
 func (p *Pipeline) robPeek() *dynInst {
 	if p.robLen == 0 {
 		return nil
@@ -194,6 +204,8 @@ func (p *Pipeline) robPeek() *dynInst {
 // same-cycle structural effects flow like hardware: results produced this
 // cycle wake consumers selectable this cycle, but newly renamed instructions
 // wait for the next select.
+//
+//prisim:hotpath
 func (p *Pipeline) cycle() {
 	p.now++
 	p.processEvents()
@@ -212,6 +224,8 @@ func (p *Pipeline) cycle() {
 // predicted-taken control transfer, stalling on instruction cache misses.
 // The fetch buffer is a fixed ring sized to the front-end capacity, so
 // advancing it never copies and its slots are recycled in place.
+//
+//prisim:hotpath
 func (p *Pipeline) fetch() {
 	if p.now < p.fetchStallUntil || p.m.Halted() {
 		return
@@ -265,6 +279,7 @@ func (p *Pipeline) fetch() {
 	}
 }
 
+//prisim:hotpath
 func (p *Pipeline) fetchPeek() *dynInst {
 	if p.fetchCount == 0 {
 		return nil
@@ -272,6 +287,7 @@ func (p *Pipeline) fetchPeek() *dynInst {
 	return p.fetchBuf[p.fetchHead]
 }
 
+//prisim:hotpath
 func (p *Pipeline) fetchPop() {
 	p.fetchBuf[p.fetchHead] = nil
 	p.fetchHead = (p.fetchHead + 1) % len(p.fetchBuf)
@@ -281,6 +297,8 @@ func (p *Pipeline) fetchPop() {
 // rename models the Rename stage: in-order resource allocation (ROB, LSQ,
 // scheduler entry, physical register), source lookup through the map table,
 // and checkpointing at every mispredictable control instruction.
+//
+//prisim:hotpath
 func (p *Pipeline) rename() {
 	for n := 0; n < p.cfg.Width; n++ {
 		d := p.fetchPeek()
@@ -327,7 +345,7 @@ func (p *Pipeline) rename() {
 				if producer != nil {
 					d.srcs[i].pgen = producer.gen
 				}
-				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{inst: d, gen: d.gen, srcIdx: i})
+				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
 				p.linkOperand(d, i, producer)
 			case core.OperandInline:
 				p.stats.SrcInlineReads++
@@ -402,6 +420,7 @@ func (p *Pipeline) growPR(cl, pr int) {
 	}
 }
 
+//prisim:hotpath
 func (p *Pipeline) robPush(d *dynInst) {
 	idx := (p.robHead + p.robLen) % p.cfg.ROBSize
 	p.rob[idx] = d
@@ -411,6 +430,8 @@ func (p *Pipeline) robPush(d *dynInst) {
 func (p *Pipeline) lsqLen() int { return len(p.lsq) - p.lsqHead }
 
 // releaseSrc returns one source operand's reader reference exactly once.
+//
+//prisim:hotpath
 func (p *Pipeline) releaseSrc(d *dynInst, i int, read bool) {
 	s := &d.srcs[i]
 	if s.released {
@@ -425,6 +446,7 @@ func (p *Pipeline) releaseSrc(d *dynInst, i int, read bool) {
 	p.ren.ReleaseRead(s.op, p.now, read)
 }
 
+//prisim:hotpath
 func (p *Pipeline) removeReader(cl int, pr core.PhysReg, d *dynInst, i int) {
 	rs := p.prReaders[cl][pr]
 	for j, w := range rs {
@@ -448,6 +470,14 @@ func (p *Pipeline) idealFixup(fp bool, pr core.PhysReg, value uint64) {
 	readers := p.prReaders[cl][pr]
 	for len(readers) > 0 {
 		w := readers[len(readers)-1]
+		if w.inst.gen != w.gen {
+			// Defensive: a recycled reader removes itself at release or
+			// squash, so a stale entry should not exist — but dropping it is
+			// strictly safer than rewriting a reborn instruction's operand.
+			p.prReaders[cl][pr] = readers[:len(readers)-1]
+			readers = p.prReaders[cl][pr]
+			continue
+		}
 		s := &w.inst.srcs[w.srcIdx]
 		op := s.op
 		s.op = core.Operand{Kind: core.OperandInline, Value: value, Arch: op.Arch}

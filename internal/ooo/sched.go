@@ -11,7 +11,8 @@ import (
 type readyEnt struct {
 	seq uint64
 	gen uint32
-	d   *dynInst
+	//prisim:genlink
+	d *dynInst
 }
 
 // readyQueue orders selectable instructions oldest first. It is a plain
@@ -19,8 +20,10 @@ type readyEnt struct {
 // steady state (container/heap's any-typed Push boxed every element).
 type readyQueue []readyEnt
 
+//prisim:hotpath
 func (q *readyQueue) push(d *dynInst) { q.pushEnt(readyEnt{seq: d.seq, gen: d.gen, d: d}) }
 
+//prisim:hotpath
 func (q *readyQueue) pushEnt(e readyEnt) {
 	h := append(*q, e)
 	for i := len(h) - 1; i > 0; {
@@ -34,6 +37,7 @@ func (q *readyQueue) pushEnt(e readyEnt) {
 	*q = h
 }
 
+//prisim:hotpath
 func (q *readyQueue) pop() readyEnt {
 	h := *q
 	top := h[0]
@@ -67,6 +71,8 @@ func (q *readyQueue) pop() readyEnt {
 // A scheduler entry is freed at select; an instruction that replays
 // re-enters its entry (re-entry is never blocked, mirroring designs that
 // reserve issued entries until latency confirmation).
+//
+//prisim:hotpath
 func (p *Pipeline) schedule() {
 	issued := 0
 	stash := p.schedStash[:0]
@@ -165,11 +171,13 @@ func (p *Pipeline) linkOperand(d *dynInst, i int, producer *dynInst) {
 			p.post(wakeAt, evWake, d, i)
 		}
 	default:
-		producer.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: i})
+		producer.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
 	}
 }
 
 // post schedules an event targeting a live instruction.
+//
+//prisim:hotpath
 func (p *Pipeline) post(cycle uint64, kind eventKind, d *dynInst, srcIdx int) {
 	if cycle <= p.now {
 		cycle = p.now + 1
@@ -178,14 +186,18 @@ func (p *Pipeline) post(cycle uint64, kind eventKind, d *dynInst, srcIdx int) {
 }
 
 // postWaiter schedules a wakeup for a registered waiter, carrying the
-// generation frozen at registration so a recycled waiter is skipped.
+// generation and sequence number frozen at registration so a recycled
+// waiter is skipped without ever being dereferenced.
+//
+//prisim:hotpath
 func (p *Pipeline) postWaiter(cycle uint64, w waiter) {
 	if cycle <= p.now {
 		cycle = p.now + 1
 	}
-	p.wheel.add(p.now, cycle, event{kind: evWake, srcIdx: w.srcIdx, gen: w.gen, seq: w.inst.seq, inst: w.inst})
+	p.wheel.add(p.now, cycle, event{kind: evWake, srcIdx: w.srcIdx, gen: w.gen, seq: w.seq, inst: w.inst})
 }
 
+//prisim:hotpath
 func (p *Pipeline) processEvents() {
 	evs := p.wheel.due(p.now)
 	if len(evs) == 0 {
@@ -215,6 +227,7 @@ func (p *Pipeline) processEvents() {
 	p.wheel.reset(p.now)
 }
 
+//prisim:hotpath
 func (p *Pipeline) wake(d *dynInst, i int) {
 	s := &d.srcs[i]
 	if s.ready {
@@ -233,6 +246,7 @@ func (p *Pipeline) wakeMem(d *dynInst) {
 	p.operandBecameReady(d)
 }
 
+//prisim:hotpath
 func (p *Pipeline) operandBecameReady(d *dynInst) {
 	d.notReady--
 	if d.notReady < 0 {
@@ -246,6 +260,8 @@ func (p *Pipeline) operandBecameReady(d *dynInst) {
 // execStart is the execute check at the end of the Disp/RF stages: with
 // speculative scheduling, operands that were woken speculatively may not
 // actually be there (a producing load missed). Such instructions replay.
+//
+//prisim:hotpath
 func (p *Pipeline) execStart(d *dynInst) {
 	if !d.issued || d.executed {
 		return
@@ -270,7 +286,7 @@ func (p *Pipeline) execStart(d *dynInst) {
 	if d.inst.Op.IsLoad() {
 		if blocker := p.loadBlocker(d); blocker != nil {
 			d.memWait = true
-			blocker.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: -1})
+			blocker.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: -1})
 			p.stats.LoadConflictReplays++
 			p.replay(d)
 			return
@@ -303,6 +319,8 @@ func (p *Pipeline) execStart(d *dynInst) {
 
 // relinkForReplay re-arms operand i's wakeup for the producer's actual
 // completion.
+//
+//prisim:hotpath
 func (p *Pipeline) relinkForReplay(d *dynInst, i int) {
 	s := &d.srcs[i]
 	producer := s.producer
@@ -313,7 +331,7 @@ func (p *Pipeline) relinkForReplay(d *dynInst, i int) {
 		p.post(producer.readyCycle, evWake, d, i)
 	default:
 		// The producer itself replayed; wait for its next issue.
-		producer.addWaiter(waiter{inst: d, gen: d.gen, srcIdx: i})
+		producer.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
 	}
 }
 
@@ -397,6 +415,8 @@ func (p *Pipeline) actualLatency(d *dynInst) int {
 }
 
 // complete marks the result available and resolves control instructions.
+//
+//prisim:hotpath
 func (p *Pipeline) complete(d *dynInst) {
 	d.completed = true
 	d.completeCycle = p.now
@@ -418,6 +438,8 @@ func (p *Pipeline) complete(d *dynInst) {
 // actually bound, so it stalls while every physical register holds a live
 // value — except for the ROB head, which owns the reserved register that
 // guarantees forward progress.
+//
+//prisim:hotpath
 func (p *Pipeline) retire(d *dynInst) {
 	if p.cfg.DelayedAllocation && d.hasDest && d.alloc.PR >= 0 && p.robPeek() != d {
 		// PRI composition: the significance and WAW checks run in the same

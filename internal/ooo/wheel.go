@@ -41,6 +41,8 @@ func (w *eventWheel) init() {
 }
 
 // add schedules ev for cycle (cycle > now required).
+//
+//prisim:hotpath
 func (w *eventWheel) add(now, cycle uint64, ev event) {
 	if cycle-now < wheelSize {
 		idx := cycle & wheelMask
@@ -53,6 +55,8 @@ func (w *eventWheel) add(now, cycle uint64, ev event) {
 // due returns the events scheduled for cycle now, sorted oldest instruction
 // first, migrating any overflow entries that have come due. The returned
 // slice is valid until the next call to reset.
+//
+//prisim:hotpath
 func (w *eventWheel) due(now uint64) []event {
 	idx := now & wheelMask
 	evs := w.buckets[idx]
@@ -84,6 +88,8 @@ func (w *eventWheel) due(now uint64) []event {
 
 // reset recycles cycle now's bucket after processing, keeping its backing
 // array for the wheel's next lap.
+//
+//prisim:hotpath
 func (w *eventWheel) reset(now uint64) {
 	idx := now & wheelMask
 	w.buckets[idx] = w.buckets[idx][:0]

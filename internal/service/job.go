@@ -19,17 +19,17 @@ type job struct {
 	cancel context.CancelFunc // DELETE and drain-deadline both land here
 
 	mu        sync.Mutex
-	state     prisimclient.JobState
-	errMsg    string
-	done, tot int // progress: resolved / requested simulation points
-	created   time.Time
-	started   time.Time
-	finished  time.Time
-	result    *prisim.Result // simulate jobs
-	tables    []prisim.Table // experiment jobs
-	subs      map[chan prisimclient.Event]struct{}
+	state     prisimclient.JobState // guarded by mu
+	errMsg    string                // guarded by mu
+	done, tot int                   // guarded by mu; progress: resolved / requested simulation points
+	created   time.Time             // guarded by mu
+	started   time.Time             // guarded by mu
+	finished  time.Time             // guarded by mu
+	result    *prisim.Result        // guarded by mu; simulate jobs
+	tables    []prisim.Table        // guarded by mu; experiment jobs
+	subs      map[chan prisimclient.Event]struct{} // guarded by mu
 	doneCh    chan struct{} // closed when the job reaches a terminal state
-	cancelAsk bool          // DELETE arrived (distinguishes cancel from timeout)
+	cancelAsk bool          // guarded by mu; DELETE arrived (distinguishes cancel from timeout)
 }
 
 func newJob(id string, req prisimclient.JobRequest, parent context.Context, now time.Time) *job {

@@ -20,18 +20,18 @@ const latencyWindow = 1024
 type metrics struct {
 	mu sync.Mutex
 
-	submitted    uint64
-	rejected     uint64 // 429: queue full
-	httpRequests uint64
+	submitted    uint64 // guarded by mu
+	rejected     uint64 // guarded by mu; 429: queue full
+	httpRequests uint64 // guarded by mu
 
-	terminal map[prisimclient.JobState]uint64 // done/failed/cancelled counts
-	panics   uint64
+	terminal map[prisimclient.JobState]uint64 // guarded by mu; done/failed/cancelled counts
+	panics   uint64                           // guarded by mu
 
-	latencies []time.Duration // ring of recent terminal job latencies
-	latNext   int
+	latencies []time.Duration // guarded by mu; ring of recent terminal job latencies
+	latNext   int             // guarded by mu
 
-	simSeconds   float64 // wall-clock spent inside completed simulate jobs
-	simCommitted uint64  // instructions committed by completed simulate jobs
+	simSeconds   float64 // guarded by mu; wall-clock spent inside completed simulate jobs
+	simCommitted uint64  // guarded by mu; instructions committed by completed simulate jobs
 }
 
 func newMetrics() *metrics {

@@ -63,12 +63,12 @@ type Server struct {
 	wg    sync.WaitGroup // workers
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // insertion order for listing
-	nextID   uint64
-	nextReq  uint64
-	running  int
-	draining bool
+	jobs     map[string]*job // guarded by mu
+	order    []string        // guarded by mu; insertion order for listing
+	nextID   uint64          // guarded by mu
+	nextReq  uint64          // guarded by mu
+	running  int             // guarded by mu
+	draining bool            // guarded by mu
 }
 
 // New builds a Server and starts its worker pool.
@@ -86,6 +86,7 @@ func New(cfg Config) *Server {
 			prisim.WithParallelism(cfg.Workers),
 		)
 	}
+	//lint:ignore ctxcheck the server owns this lifecycle root: every job context derives from it and Close/Drain cancel it
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,

@@ -167,6 +167,7 @@ var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine() })
 // Engine.Simulate for context cancellation, parallelism control, and
 // progress reporting.
 func Simulate(o Options) (Result, error) {
+	//lint:ignore ctxcheck deprecated v1 compatibility shim: its documented contract is exactly "background context"
 	return defaultEngine().Simulate(context.Background(), o)
 }
 
@@ -178,5 +179,6 @@ func Simulate(o Options) (Result, error) {
 // Engine.Experiment, which add cancellation and run the experiment's whole
 // simulation matrix on a worker pool.
 func Experiment(name string, budget Options) (string, error) {
+	//lint:ignore ctxcheck deprecated v1 compatibility shim: its documented contract is exactly "background context"
 	return defaultEngine().Experiment(context.Background(), name, budget)
 }
