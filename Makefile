@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench lint prilint staticcheck govulncheck
+.PHONY: build test race bench benchgate lint prilint staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# benchgate is the kernel throughput regression gate: the steady-state
+# kernel benchmark must sustain at least 80% of the floor recorded in
+# BENCH_kernel.json (best of 3 runs, so shared-machine jitter doesn't flake).
+benchgate:
+	$(GO) test ./internal/ooo -run '^$$' -bench BenchmarkKernelSteadyState \
+		-benchtime 2s -count 3 | $(GO) run ./cmd/benchgate -frac 0.8
 
 # lint runs the project's own analyzer suite (always available: it is part
 # of this module) plus vet, then the pinned external linters when present.

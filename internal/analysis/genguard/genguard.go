@@ -475,9 +475,22 @@ func (c *checker) cond(x ast.Expr, e *env) (pos, neg []string) {
 			c.checkExpr(x.Y, e)
 			var paths []string
 			for _, side := range [...]ast.Expr{x.X, x.Y} {
-				if sel, ok := ast.Unparen(side).(*ast.SelectorExpr); ok && sel.Sel.Name == "gen" {
-					if p, ok := c.linkPath(sel.X, e); ok {
-						paths = append(paths, p)
+				switch s := ast.Unparen(side).(type) {
+				case *ast.SelectorExpr:
+					// Pointer-link form: d.gen == ev.gen.
+					if s.Sel.Name == "gen" {
+						if p, ok := c.linkPath(s.X, e); ok {
+							paths = append(paths, p)
+						}
+					}
+				case *ast.IndexExpr:
+					// Slot-link form: slab.gen[s] == e.gen. Comparing the
+					// generation array entry at the linked slot guards the
+					// slot for every other slab array.
+					if isGenArray(s.X) {
+						if p, ok := c.linkPath(s.Index, e); ok {
+							paths = append(paths, p)
+						}
 					}
 				}
 			}
@@ -496,7 +509,10 @@ func (c *checker) cond(x ast.Expr, e *env) (pos, neg []string) {
 }
 
 // guardCall recognizes calls to //prisim:genguard methods and returns the
-// link paths their truth validates: every genlink field of the receiver.
+// link paths their truth validates: every genlink field of the receiver,
+// every argument that is itself a link, and every genlink field of struct
+// (or pointer-to-struct) arguments — so p.producerLive(so) guards both the
+// receiver's links and so's producer slot.
 func (c *checker) guardCall(call *ast.CallExpr, e *env) []string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -506,8 +522,24 @@ func (c *checker) guardCall(call *ast.CallExpr, e *env) []string {
 	if !ok || !c.guards[fn] {
 		return nil
 	}
-	recv := c.canonical(sel.X, e)
-	t := c.pass.TypesInfo.TypeOf(sel.X)
+	var paths []string
+	paths = append(paths, c.linkFieldPaths(c.canonical(sel.X, e), c.pass.TypesInfo.TypeOf(sel.X))...)
+	for _, arg := range call.Args {
+		if p, ok := c.linkPath(arg, e); ok {
+			paths = append(paths, p)
+			continue
+		}
+		paths = append(paths, c.linkFieldPaths(c.canonical(arg, e), c.pass.TypesInfo.TypeOf(arg))...)
+	}
+	return paths
+}
+
+// linkFieldPaths returns base-prefixed paths for every genlink field of t
+// (pointers deref'd), or nil if t is not a struct or has none.
+func (c *checker) linkFieldPaths(base string, t types.Type) []string {
+	if t == nil {
+		return nil
+	}
 	for {
 		if p, ok := t.Underlying().(*types.Pointer); ok {
 			t = p.Elem()
@@ -522,7 +554,7 @@ func (c *checker) guardCall(call *ast.CallExpr, e *env) []string {
 	var paths []string
 	for i := 0; i < st.NumFields(); i++ {
 		if c.links[st.Field(i)] {
-			paths = append(paths, recv+"."+st.Field(i).Name())
+			paths = append(paths, base+"."+st.Field(i).Name())
 		}
 	}
 	return paths
@@ -610,9 +642,33 @@ func (c *checker) checkExpr(x ast.Expr, e *env) {
 						path, n.Sel.Name, path)
 				}
 			}
+		case *ast.IndexExpr:
+			// Slot-link form: indexing any slab array by a linked slot is a
+			// dereference of recycled state, except the gen array itself —
+			// that read is the tag check.
+			if path, ok := c.linkPath(n.Index, e); ok {
+				if !isGenArray(n.X) && !e.guarded[path] {
+					c.pass.Reportf(n.Pos(),
+						"slab access %s indexed by recycled slot link %s without a dominating generation check (compare the gen array or use a //prisim:genguard method)",
+						analysis.ExprString(n), path)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// isGenArray reports whether expr denotes a generation-tag array (a field or
+// variable named gen): indexing it by a slot link is the tag check itself,
+// and comparing the element against a frozen generation guards the slot.
+func isGenArray(expr ast.Expr) bool {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "gen"
+	case *ast.Ident:
+		return x.Name == "gen"
+	}
+	return false
 }
 
 // isPanic reports whether the expression statement is a call that cannot

@@ -111,3 +111,98 @@ func handoff(ev event) uint32 {
 }
 
 func sink(d *inst) { _ = d }
+
+// ---- struct-of-arrays slot form ----
+//
+// The slab keeps hot instruction state in parallel arrays indexed by pool
+// slot; links are (slot, gen) pairs and the generation lives in the slab's
+// gen array. Indexing any slab array by a linked slot is a dereference;
+// indexing the gen array is the tag check.
+
+type slab struct {
+	gen   []uint32
+	flags []uint32
+	val   []uint64
+}
+
+type pipe struct {
+	slab slab
+}
+
+// wakeEvent mirrors the event wheel payload in slot form.
+type wakeEvent struct {
+	gen uint32
+	//prisim:genlink
+	slot int32
+}
+
+// slotOperand mirrors srcOperand: the producer link is a slot index.
+type slotOperand struct {
+	//prisim:genlink
+	producer int32
+	pgen     uint32
+}
+
+// slotLive is the guard-method form for slot links: the guarded link is an
+// argument rather than a receiver field.
+//
+//prisim:genguard
+func (p *pipe) slotLive(o *slotOperand) bool {
+	return o.producer >= 0 && p.slab.gen[o.producer] == o.pgen
+}
+
+// slabGuarded is the sanctioned pattern: compare the slab's gen entry at
+// the linked slot against the frozen tag, skip stale, then touch the other
+// arrays freely.
+func (p *pipe) slabGuarded(evs []wakeEvent) {
+	for i := range evs {
+		ev := &evs[i]
+		s := ev.slot
+		if p.slab.gen[s] != ev.gen || p.slab.flags[s] != 0 {
+			continue
+		}
+		p.slab.val[s]++
+	}
+}
+
+// slabStale is the slot-reuse regression: the slot may have been recycled
+// (generation bumped, slot handed to a younger instruction) since the event
+// was posted, so indexing the slab without the gen compare reads whichever
+// instruction now owns the slot.
+func (p *pipe) slabStale(ev wakeEvent) uint64 {
+	p.slab.flags[ev.slot] = 1 // want `slab access p\.slab\.flags\[ev\.slot\] indexed by recycled slot link ev\.slot`
+	return p.slab.val[ev.slot] // want `slab access p\.slab\.val\[ev\.slot\] indexed by recycled slot link ev\.slot`
+}
+
+// slabStaleAlias: copying the slot into a local does not evade the check.
+func (p *pipe) slabStaleAlias(ev wakeEvent) uint64 {
+	s := ev.slot
+	return p.slab.val[s] // want `slab access p\.slab\.val\[s\] indexed by recycled slot link ev\.slot`
+}
+
+// slabNegGuard: the mismatch arm terminates, guarding the fall-through.
+func (p *pipe) slabNegGuard(ev wakeEvent) {
+	if p.slab.gen[ev.slot] != ev.gen {
+		return
+	}
+	p.slab.val[ev.slot] = 1
+}
+
+// slotGuardMethod: a //prisim:genguard call guards the genlink fields of
+// its arguments, not just its receiver.
+func (p *pipe) slotGuardMethod(o *slotOperand) {
+	if p.slotLive(o) {
+		p.slab.val[o.producer]++
+	}
+}
+
+// slotGuardMethodStale: without the guard call the argument's slot link is
+// still a recycled reference.
+func (p *pipe) slotGuardMethodStale(o *slotOperand) {
+	p.slab.val[o.producer]++ // want `slab access p\.slab\.val\[o\.producer\] indexed by recycled slot link o\.producer`
+}
+
+// slabTagOnly: reading or comparing the gen array alone is always allowed.
+func (p *pipe) slabTagOnly(ev wakeEvent) uint32 {
+	return p.slab.gen[ev.slot]
+}

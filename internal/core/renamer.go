@@ -437,6 +437,20 @@ func (r *Renamer) dropRefs(ck *Checkpoint, now uint64) {
 	}
 }
 
+// PrewarmCheckpoints grows the checkpoint pool to hold at least n released
+// checkpoints with their shadow-map arrays already sized, so the first n
+// in-flight branches allocate nothing. Callers size n to the maximum number
+// of simultaneously live checkpoints (one per in-flight control
+// instruction, bounded by the reorder window).
+func (r *Renamer) PrewarmCheckpoints(n int) {
+	for len(r.ckptPool) < n {
+		r.ckptPool = append(r.ckptPool, &Checkpoint{
+			intMap: make([]MapEntry, len(r.intRF.mapTab)),
+			fpMap:  make([]MapEntry, len(r.fpRF.mapTab)),
+		})
+	}
+}
+
 // ResolveCheckpoint releases a checkpoint whose control instruction resolved
 // as correctly predicted.
 func (r *Renamer) ResolveCheckpoint(ck *Checkpoint, now uint64) {

@@ -9,11 +9,25 @@ import (
 // Step executes one instruction and returns what happened. Executing while
 // halted returns the last state unchanged (Halted set).
 func (m *Machine) Step() StepInfo {
+	var info StepInfo
+	m.StepInto(&info)
+	return info
+}
+
+// StepInto executes one instruction, writing what happened into *info (the
+// timing model passes the dynamic instruction's own slot, avoiding a
+// round-trip copy of the report on every fetch). The static instruction is
+// taken from the decoded-uop cache, not re-decoded.
+//
+//prisim:hotpath
+func (m *Machine) StepInto(info *StepInfo) {
 	if m.halted {
-		return StepInfo{Seq: m.seq, PC: m.PC, NextPC: m.PC, Halted: true}
+		*info = StepInfo{Seq: m.seq, PC: m.PC, NextPC: m.PC, Halted: true}
+		return
 	}
 	pc := m.PC
-	in := isa.Decode(m.Mem.ReadU32(pc))
+	u := m.UopAt(pc)
+	in := u.Inst
 	if m.recording {
 		m.frames = append(m.frames, frame{
 			pc:        pc,
@@ -23,14 +37,16 @@ func (m *Machine) Step() StepInfo {
 		})
 	}
 	m.seq++
-	info := StepInfo{Seq: m.seq, PC: pc, Inst: in}
+	*info = StepInfo{Seq: m.seq, PC: pc, Inst: in, Uop: u}
 	next := pc + 4
 
 	ra, rb := m.regs[in.Ra], m.regs[in.Rb]
+	//lint:ignore hotpathalloc non-escaping closure: captured only within this frame, so it never reaches the heap
 	setInt := func(v uint64) {
 		m.writeReg(in.Rd, v)
 		info.HasResult, info.Result = in.Rd != isa.RZero, v
 	}
+	//lint:ignore hotpathalloc non-escaping closure: captured only within this frame, so it never reaches the heap
 	setFP := func(v float64) {
 		bits := math.Float64bits(v)
 		m.writeReg(in.Rd, bits)
@@ -224,7 +240,6 @@ func (m *Machine) Step() StepInfo {
 
 	m.PC = next
 	info.NextPC = next
-	return info
 }
 
 func b2u(b bool) uint64 {

@@ -15,6 +15,12 @@ type StepInfo struct {
 	NextPC uint64
 	Inst   isa.Inst
 
+	// Uop points at the decoded-uop cache entry for the executed static
+	// instruction (or the machine's scratch slot for a PC outside the text
+	// segment, valid only until the next such step). Consumers that keep it
+	// must copy the Uop, not the pointer. Nil on a halted no-op step.
+	Uop *isa.Uop
+
 	Taken bool // branches and jumps: control transferred
 
 	IsMem   bool
@@ -64,6 +70,18 @@ type Machine struct {
 	seq    uint64 // number of instructions executed so far
 	output []byte
 
+	// Decoded-uop cache: each static instruction in the text segment is
+	// decoded exactly once, on first fetch, into an immutable isa.Uop shared
+	// by every later dynamic fetch (the program is read-only text, so the
+	// cache is never invalidated). PCs outside the text segment — wrong-path
+	// fetch running into data — decode into the scratch slot each time.
+	codeBase   uint64
+	uops       []isa.Uop
+	uopReady   []bool
+	uopScratch isa.Uop
+	decodes    uint64 // cached decode fills (test instrumentation)
+	cacheOff   bool   // test hook: force the uncached decode path
+
 	// Rollback support. Recording is enabled by StartRecording; frames[i]
 	// describes instruction seq = frameBase+i+1.
 	recording bool
@@ -89,8 +107,41 @@ func New(prog *asm.Program) *Machine {
 	}
 	m.PC = prog.Entry
 	m.regs[isa.RSP] = asm.DefaultStackTop
+	m.codeBase = prog.CodeBase
+	m.uops = make([]isa.Uop, len(prog.Code))
+	m.uopReady = make([]bool, len(prog.Code))
 	return m
 }
+
+// UopAt returns the decoded uop for the instruction at pc, filling the cache
+// on first touch. The pointer stays valid for the machine's lifetime when pc
+// is in the text segment; for out-of-segment PCs it names the per-machine
+// scratch slot, overwritten by the next such call.
+//
+//prisim:hotpath
+func (m *Machine) UopAt(pc uint64) *isa.Uop {
+	if idx := (pc - m.codeBase) >> 2; idx < uint64(len(m.uops)) && pc&3 == 0 && !m.cacheOff {
+		u := &m.uops[idx]
+		if !m.uopReady[idx] {
+			*u = isa.DecodeUop(m.Mem.ReadU32(pc))
+			m.uopReady[idx] = true
+			m.decodes++
+		}
+		return u
+	}
+	m.uopScratch = isa.DecodeUop(m.Mem.ReadU32(pc))
+	return &m.uopScratch
+}
+
+// StaticDecodes returns how many distinct static instructions have been
+// decoded into the uop cache — with the cache active this is bounded by the
+// program's text size no matter how many dynamic instructions execute.
+func (m *Machine) StaticDecodes() uint64 { return m.decodes }
+
+// SetUopCache enables or disables the decoded-uop cache (enabled by default;
+// the A/B switch exists for determinism tests, which demand byte-identical
+// simulation either way).
+func (m *Machine) SetUopCache(enabled bool) { m.cacheOff = !enabled }
 
 // SetPC redirects execution. The timing model uses it to steer fetch down a
 // predicted (possibly wrong) path and to re-point at the correct target
@@ -236,10 +287,14 @@ func (m *Machine) writeMem(addr uint64, size uint8, v uint64) {
 	}
 }
 
-// PeekInst decodes the instruction at the current PC without executing it.
+// PeekInst returns the decoded instruction at the current PC without
+// executing it, through the uop cache.
 func (m *Machine) PeekInst() isa.Inst {
-	return isa.Decode(m.Mem.ReadU32(m.PC))
+	return m.UopAt(m.PC).Inst
 }
+
+// PeekUop returns the decoded uop at the current PC without executing it.
+func (m *Machine) PeekUop() *isa.Uop { return m.UopAt(m.PC) }
 
 // Run executes until HALT or until limit instructions have run (0 = no
 // limit). It returns the number of instructions executed.

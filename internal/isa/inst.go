@@ -135,18 +135,22 @@ func (in Inst) Encode() (uint32, error) {
 	return w, nil
 }
 
-// decodeKey maps (primary<<6 | funct-if-primary-0-or-1) to Op.
-var decodeKey = func() map[uint32]Op {
-	m := make(map[uint32]Op, NumOps)
+// decodeTable maps (primary<<6 | funct-if-primary-0-or-1) to Op. A flat
+// dense array: the key space is 12 bits, so one indexed load replaces the
+// map probe (and its hash) the decoder used to pay on every fetch.
+// Unpopulated entries hold OpInvalid, which is exactly the desired decode
+// for unrecognized encodings.
+var decodeTable = func() [1 << 12]Op {
+	var t [1 << 12]Op
 	for op := Op(1); op < numOps; op++ {
 		info := opTable[op]
 		key := info.primary << 6
 		if info.primary <= 1 {
 			key |= info.funct
 		}
-		m[key] = op
+		t[key] = op
 	}
-	return m
+	return t
 }()
 
 // Decode unpacks a 32-bit instruction word. Unrecognized encodings decode to
@@ -158,8 +162,8 @@ func Decode(w uint32) Inst {
 	if primary <= 1 {
 		key |= w & 63
 	}
-	op, ok := decodeKey[key]
-	if !ok {
+	op := decodeTable[key]
+	if op == OpInvalid {
 		return Inst{Op: OpInvalid}
 	}
 	in := Inst{Op: op}

@@ -1,0 +1,91 @@
+package isa
+
+// UopFlag is one precomputed instruction property. The timing pipeline tests
+// these bits off a single load instead of re-deriving each property from the
+// opcode table on every dynamic instance of the instruction.
+type UopFlag uint16
+
+// Uop flags.
+const (
+	UopLoad UopFlag = 1 << iota
+	UopStore
+	UopMem     // load or store
+	UopBranch  // conditional branch
+	UopJump    // unconditional control transfer
+	UopControl // branch or jump
+	UopIndirect
+	UopUnpipelined
+	UopHasDest // writes an architected register other than the zero register
+	UopTakesCkpt
+	UopImmLoad // materializes a constant from no register inputs
+	UopHalt
+)
+
+// Uop is one decoded static instruction plus everything the scheduler needs
+// to know about it: functional-unit class, nominal latency, the precomputed
+// source-register list, and the destination. A Uop is immutable once built —
+// the decoded-uop cache decodes each static instruction exactly once and
+// every dynamic fetch shares the result.
+type Uop struct {
+	Inst  Inst
+	Class FUClass
+	Lat   uint8 // nominal scheduling latency (loads add cache time)
+	NSrc  uint8
+	Flags UopFlag
+	Srcs  [3]Reg // architected sources, zero register omitted
+	Dest  Reg    // valid only when UopHasDest is set
+}
+
+// MakeUop derives the scheduling metadata for a decoded instruction.
+func MakeUop(in Inst) Uop {
+	op := in.Op
+	u := Uop{
+		Inst:  in,
+		Class: op.Class(),
+		Lat:   uint8(op.Latency()),
+	}
+	var srcs [3]Reg
+	for _, a := range in.Sources(srcs[:0]) {
+		u.Srcs[u.NSrc] = a
+		u.NSrc++
+	}
+	if d, ok := in.Dest(); ok {
+		u.Dest = d
+		u.Flags |= UopHasDest
+	}
+	if op.IsLoad() {
+		u.Flags |= UopLoad | UopMem
+	}
+	if op.IsStore() {
+		u.Flags |= UopStore | UopMem
+	}
+	if op.IsBranch() {
+		u.Flags |= UopBranch | UopControl | UopTakesCkpt
+	}
+	if op.IsJump() {
+		u.Flags |= UopJump | UopControl
+	}
+	if op.IsIndirect() {
+		u.Flags |= UopIndirect | UopTakesCkpt
+	}
+	if op.Unpipelined() {
+		u.Flags |= UopUnpipelined
+	}
+	if op == OpHALT {
+		u.Flags |= UopHalt
+	}
+	// Rename-time inlining candidates: a load-immediate whose value comes
+	// from no register inputs (addi/ori rd, zero, imm and lui).
+	switch op {
+	case OpADDI, OpORI:
+		if in.Ra == RZero {
+			u.Flags |= UopImmLoad
+		}
+	case OpLUI:
+		u.Flags |= UopImmLoad
+	}
+	return u
+}
+
+// DecodeUop decodes a 32-bit instruction word straight to a Uop.
+func DecodeUop(w uint32) Uop { return MakeUop(Decode(w)) }

@@ -1,0 +1,91 @@
+package isa
+
+import "testing"
+
+// TestUopMetadataMatchesOpTable checks, for a representative encoding of
+// every operation, that the precomputed Uop fields agree with the opcode
+// predicates and the per-instruction Dest/Sources derivation they replace.
+func TestUopMetadataMatchesOpTable(t *testing.T) {
+	for _, op := range AllOps() {
+		in := sampleInst(op)
+		u := MakeUop(in)
+		if u.Inst != in {
+			t.Errorf("%s: uop holds %v, want %v", op, u.Inst, in)
+		}
+		if u.Class != op.Class() || int(u.Lat) != op.Latency() {
+			t.Errorf("%s: class/lat = %v/%d, want %v/%d", op, u.Class, u.Lat, op.Class(), op.Latency())
+		}
+		checks := []struct {
+			name string
+			flag UopFlag
+			want bool
+		}{
+			{"load", UopLoad, op.IsLoad()},
+			{"store", UopStore, op.IsStore()},
+			{"mem", UopMem, op.IsMem()},
+			{"branch", UopBranch, op.IsBranch()},
+			{"jump", UopJump, op.IsJump()},
+			{"control", UopControl, op.IsControl()},
+			{"indirect", UopIndirect, op.IsIndirect()},
+			{"unpipelined", UopUnpipelined, op.Unpipelined()},
+			{"ckpt", UopTakesCkpt, op.IsBranch() || op.IsIndirect()},
+			{"halt", UopHalt, op == OpHALT},
+		}
+		for _, c := range checks {
+			if got := u.Flags&c.flag != 0; got != c.want {
+				t.Errorf("%s: flag %s = %v, want %v", op, c.name, got, c.want)
+			}
+		}
+		var srcs [3]Reg
+		want := in.Sources(srcs[:0])
+		if int(u.NSrc) != len(want) {
+			t.Errorf("%s: nsrc = %d, want %d", op, u.NSrc, len(want))
+		} else {
+			for i, a := range want {
+				if u.Srcs[i] != a {
+					t.Errorf("%s: src %d = %s, want %s", op, i, u.Srcs[i], a)
+				}
+			}
+		}
+		d, hasDest := in.Dest()
+		if got := u.Flags&UopHasDest != 0; got != hasDest {
+			t.Errorf("%s: hasDest = %v, want %v", op, got, hasDest)
+		} else if hasDest && u.Dest != d {
+			t.Errorf("%s: dest = %s, want %s", op, u.Dest, d)
+		}
+	}
+}
+
+// TestUopImmLoad pins the rename-time inlining candidates: constant
+// materializations from no register inputs and nothing else.
+func TestUopImmLoad(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Op: OpADDI, Rd: IntReg(3), Ra: RZero, Imm: 5}, true},
+		{Inst{Op: OpORI, Rd: IntReg(3), Ra: RZero, Imm: 5}, true},
+		{Inst{Op: OpLUI, Rd: IntReg(3), Imm: 5}, true},
+		{Inst{Op: OpADDI, Rd: IntReg(3), Ra: IntReg(1), Imm: 5}, false},
+		{Inst{Op: OpADD, Rd: IntReg(3), Ra: IntReg(1), Rb: IntReg(2)}, false},
+	}
+	for _, c := range cases {
+		if got := MakeUop(c.in).Flags&UopImmLoad != 0; got != c.want {
+			t.Errorf("%v: immLoad = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDecodeUopMatchesDecode checks the one-shot decode path against the
+// two-step Decode+MakeUop composition over the whole primary/funct space.
+func TestDecodeUopMatchesDecode(t *testing.T) {
+	for _, op := range AllOps() {
+		w, err := sampleInst(op).Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if got, want := DecodeUop(w), MakeUop(Decode(w)); got != want {
+			t.Errorf("%s: DecodeUop = %+v, want %+v", op, got, want)
+		}
+	}
+}

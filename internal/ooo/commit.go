@@ -6,28 +6,30 @@ import "prisim/internal/isa"
 // commits once it has been written back (retired); committing the next
 // writer of an architected register frees the previous physical register
 // under the conventional rule (a duplicate-tolerant no-op when PRI or ER
-// already freed it). The committed dynInst is recycled: its ROB slot and
+// already freed it). The committed slot is recycled: its ROB entry and
 // producer-table entry are cleared here, and any reference that survives in
 // a queued event or ready-queue entry is invalidated by the generation bump.
 //
 //prisim:hotpath
 func (p *Pipeline) commit() {
 	for n := 0; n < p.cfg.Width; n++ {
-		d := p.robPeek()
-		if d == nil || !d.retired {
+		s := p.robPeek()
+		if s == noSlot || p.slab.flags[s]&fRetired == 0 {
 			return
 		}
-		if d.squashed {
-			panicf("ooo: squashed %v at ROB head", d)
+		if p.slab.flags[s]&fSquashed != 0 {
+			panicf("ooo: squashed %s at ROB head", p.instString(s))
 		}
-		if d.inst.Op.IsStore() {
+		d := &p.slab.data[s]
+		uf := d.uop.Flags
+		if uf&isa.UopStore != 0 {
 			// The store leaves the LSQ and performs its cache write.
 			p.mem.Data(d.info.MemAddr, true)
 		}
-		if d.inst.Op.IsMem() {
-			p.lsqPopHead(d)
+		if uf&isa.UopMem != 0 {
+			p.lsqPopHead(s)
 		}
-		if d.hasDest {
+		if p.slab.flags[s]&fHasDest != 0 {
 			p.ren.CommitRelease(d.alloc.Old, p.now)
 		}
 		if d.ckpt != nil {
@@ -36,21 +38,22 @@ func (p *Pipeline) commit() {
 			p.ren.ResolveCheckpoint(d.ckpt, p.now)
 			d.ckpt = nil
 		}
-		if d.isCtrl {
+		if p.slab.flags[s]&fIsCtrl != 0 {
 			// Train the predictor with architectural outcomes only.
-			actualTarget := d.info.NextPC
-			p.bp.Update(d.pc, d.inst, d.pred, d.info.Taken, actualTarget)
+			p.bp.Update(d.pc, d.uop.Inst, d.pred, d.info.Taken, d.info.NextPC)
 		}
-		p.view.emit(p, d, p.now)
-		p.rob[p.robHead] = nil
+		if p.view != nil {
+			p.view.emit(p, s, p.now)
+		}
+		p.rob[p.robHead] = noSlot
 		p.robHead = (p.robHead + 1) % p.cfg.ROBSize
 		p.robLen--
 		p.stats.Committed++
 		p.lastCommitCycle = p.now
-		p.m.ReleaseUpTo(d.seq)
-		halt := d.inst.Op == isa.OpHALT
-		p.clearProducer(d)
-		p.recycle(d)
+		p.m.ReleaseUpTo(p.slab.seq[s])
+		halt := uf&isa.UopHalt != 0
+		p.clearProducer(s)
+		p.recycle(s)
 		if halt {
 			p.done = true
 			p.view.flush()
@@ -59,28 +62,29 @@ func (p *Pipeline) commit() {
 	}
 }
 
-// clearProducer removes d from the per-PR producer table so later renames
-// see "value at rest" instead of a recycled instruction. The entry may
+// clearProducer removes slot s from the per-PR producer table so later
+// renames see "value at rest" instead of a recycled slot. The entry may
 // already name a newer producer if the register was freed early (PRI/ER)
-// and reallocated while d was still in flight.
+// and reallocated while s was still in flight.
 //
 //prisim:hotpath
-func (p *Pipeline) clearProducer(d *dynInst) {
-	if !d.hasDest || d.alloc.PR < 0 {
+func (p *Pipeline) clearProducer(s int32) {
+	d := &p.slab.data[s]
+	if p.slab.flags[s]&fHasDest == 0 || d.alloc.PR < 0 {
 		return
 	}
 	cl := classOf(d.alloc.Arch)
-	if int(d.alloc.PR) < len(p.prProducer[cl]) && p.prProducer[cl][d.alloc.PR] == d {
-		p.prProducer[cl][d.alloc.PR] = nil
+	if int(d.alloc.PR) < len(p.prProducer[cl]) && p.prProducer[cl][d.alloc.PR] == s {
+		p.prProducer[cl][d.alloc.PR] = noSlot
 	}
 }
 
 //prisim:hotpath
-func (p *Pipeline) lsqPopHead(d *dynInst) {
-	if p.lsqHead >= len(p.lsq) || p.lsq[p.lsqHead] != d {
-		panicf("ooo: LSQ head mismatch for %v", d)
+func (p *Pipeline) lsqPopHead(s int32) {
+	if p.lsqHead >= len(p.lsq) || p.lsq[p.lsqHead] != s {
+		panicf("ooo: LSQ head mismatch for %s", p.instString(s))
 	}
-	p.lsq[p.lsqHead] = nil
+	p.lsq[p.lsqHead] = noSlot
 	p.lsqHead++
 	if p.lsqHead > 64 && p.lsqHead*2 > len(p.lsq) {
 		p.lsq = append(p.lsq[:0], p.lsq[p.lsqHead:]...)
@@ -93,65 +97,69 @@ func (p *Pipeline) lsqPopHead(d *dynInst) {
 // checkpoint, rewind the branch predictor's speculative state, roll the
 // functional machine back to the instruction boundary, and redirect fetch
 // to the architecturally correct target.
-func (p *Pipeline) recover(d *dynInst) {
+func (p *Pipeline) recover(s int32) {
+	d := &p.slab.data[s]
+	seq := p.slab.seq[s]
+
 	// Restore the map first: it discards the younger checkpoints, so the
 	// per-instruction SquashUndo frees below never collide with live
 	// checkpoint references.
 	if d.ckpt == nil {
-		panicf("ooo: mispredicted %v has no checkpoint", d)
+		panicf("ooo: mispredicted %s has no checkpoint", p.instString(s))
 	}
 	p.ren.RestoreCheckpoint(d.ckpt, p.now)
 	d.ckpt = nil
 
-	// Squash younger instructions from the ROB tail back to d. Recycling is
+	// Squash younger instructions from the ROB tail back to s. Recycling is
 	// deferred until the LSQ below has been trimmed: the trim reads the
 	// squashed flag, which recycling resets.
 	scratch := p.squashScratch[:0]
 	for p.robLen > 0 {
 		idx := (p.robHead + p.robLen - 1) % p.cfg.ROBSize
 		y := p.rob[idx]
-		if y.seq <= d.seq {
+		if p.slab.seq[y] <= seq {
 			break
 		}
 		p.squash(y)
-		p.rob[idx] = nil
+		p.rob[idx] = noSlot
 		p.robLen--
 		scratch = append(scratch, y)
 	}
-	// Squash the front-end ring entirely (all younger than d). Fetched-but-
+	// Squash the front-end ring entirely (all younger than s). Fetched-but-
 	// unrenamed instructions hold no structural references, so they recycle
 	// immediately.
 	for i := 0; i < p.fetchCount; i++ {
 		idx := (p.fetchHead + i) % len(p.fetchBuf)
 		f := p.fetchBuf[idx]
-		if f.seq <= d.seq {
-			panicf("ooo: fetch buffer holds %v older than recovery point %v", f, d)
+		if p.slab.seq[f] <= seq {
+			panicf("ooo: fetch buffer holds %s older than recovery point %s",
+				p.instString(f), p.instString(s))
 		}
-		f.squashed = true
+		p.slab.flags[f] |= fSquashed
 		p.stats.Squashed++
 		p.recycle(f)
-		p.fetchBuf[idx] = nil
+		p.fetchBuf[idx] = noSlot
 	}
 	p.fetchHead, p.fetchCount = 0, 0
 
 	// Trim squashed LSQ tail entries (squash() marked them).
-	for len(p.lsq) > p.lsqHead && p.lsq[len(p.lsq)-1].squashed {
-		p.lsq[len(p.lsq)-1] = nil
+	for len(p.lsq) > p.lsqHead && p.slab.flags[p.lsq[len(p.lsq)-1]]&fSquashed != 0 {
+		p.lsq[len(p.lsq)-1] = noSlot
 		p.lsq = p.lsq[:len(p.lsq)-1]
 	}
 
-	// Every structure has dropped its pointers; recycle the squashed set.
+	// Every structure has dropped its slots; recycle the squashed set.
 	// Events, waiter entries, and ready-queue entries that still name these
-	// instructions are neutralized by the generation bump.
+	// slots are neutralized by the generation bump.
 	for i, y := range scratch {
 		p.recycle(y)
-		scratch[i] = nil
+		scratch[i] = noSlot
 	}
 	p.squashScratch = scratch[:0]
 
 	// Front-end state: predictor history/RAS, functional machine, fetch PC.
-	p.bp.Recover(d.pc, d.inst, d.pred, d.info.Taken)
-	p.m.Rollback(d.seq)
+	p.bp.Recover(d.pc, d.uop.Inst, d.pred, d.info.Taken)
+	p.m.Rollback(seq)
 	p.m.SetPC(d.info.NextPC)
 	// Redirect: the corrected fetch begins after the refill bubble.
 	p.fetchStallUntil = p.now + 2
@@ -159,30 +167,34 @@ func (p *Pipeline) recover(d *dynInst) {
 
 // squash removes one in-flight instruction from every structure: reader
 // references are returned, the destination register is undone, and the
-// instruction is flagged so queued events ignore it. The caller recycles it
-// once no pipeline structure points at it.
-func (p *Pipeline) squash(y *dynInst) {
-	y.squashed = true
+// slot is flagged so queued events ignore it. The caller recycles it once
+// no pipeline structure points at it.
+func (p *Pipeline) squash(y int32) {
+	p.slab.flags[y] |= fSquashed
 	p.stats.Squashed++
-	p.view.emit(p, y, 0) // zero retire = squashed, in pipeview convention
-	for i := 0; i < y.nsrc; i++ {
+	if p.view != nil {
+		p.view.emit(p, y, 0) // zero retire = squashed, in pipeview convention
+	}
+	d := &p.slab.data[y]
+	for i := 0; i < int(d.uop.NSrc); i++ {
 		p.releaseSrc(y, i, false)
 	}
-	if y.hasDest {
-		p.ren.SquashUndo(y.alloc, p.now)
-		if y.alloc.PR >= 0 {
-			cl := classOf(y.alloc.Arch)
-			if p.prProducer[cl][y.alloc.PR] == y {
-				p.prProducer[cl][y.alloc.PR] = nil
+	if p.slab.flags[y]&fHasDest != 0 {
+		p.ren.SquashUndo(d.alloc, p.now)
+		if d.alloc.PR >= 0 {
+			cl := classOf(d.alloc.Arch)
+			if p.prProducer[cl][d.alloc.PR] == y {
+				p.prProducer[cl][d.alloc.PR] = noSlot
 			}
 		}
 	}
 	// Checkpoints of squashed branches were discarded wholesale by
 	// RestoreCheckpoint; just drop the reference.
-	y.ckpt = nil
-	if y.inSched && !y.issued {
+	d.ckpt = nil
+	f := p.slab.flags[y]
+	if f&fInSched != 0 && f&fIssued == 0 {
 		p.schedCount--
 	}
-	y.inSched = false
-	y.waiters = y.waiters[:0]
+	p.slab.flags[y] &^= fInSched
+	d.waiters = d.waiters[:0]
 }

@@ -11,130 +11,180 @@ import (
 
 func panicf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
 
+// noSlot is the nil value of a slab slot index: no instruction.
+const noSlot int32 = -1
+
 // srcOperand is one renamed source operand as held in the payload RAM.
 type srcOperand struct {
 	op core.Operand
 	//prisim:genlink
-	producer *dynInst // in-flight producer, nil when the value is at rest
-	pgen     uint32   // producer's generation when the link was made
-	ready    bool     // wakeup received (possibly speculative)
-	released bool     // reader reference returned to the renamer
+	producer int32  // slab slot of the in-flight producer, noSlot when the value is at rest
+	pgen     uint32 // producer's generation when the link was made
+	ready    bool   // wakeup received (possibly speculative)
+	released bool   // reader reference returned to the renamer
 }
 
 // producerLive reports whether the operand's producer link still points at
 // the producing instruction. A generation mismatch means the producer left
-// the pipeline and was recycled — which, since readers are always younger
-// than their producer, can only mean it committed and the value is at rest.
+// the pipeline and its slot was recycled — which, since readers are always
+// younger than their producer, can only mean it committed and the value is
+// at rest.
 //
 //prisim:genguard
-func (s *srcOperand) producerLive() bool {
-	return s.producer != nil && s.producer.gen == s.pgen
+func (p *Pipeline) producerLive(s *srcOperand) bool {
+	return s.producer != noSlot && p.slab.gen[s.producer] == s.pgen
 }
 
 // waiter links a scheduler entry to the producer it waits on. srcIdx is the
 // operand index, or -1 for a load waiting on an older store. gen detects
 // waiters that were squashed and recycled before the producer fired; seq is
 // the waiting instruction's sequence number frozen at registration, so wake
-// events can be ordered without dereferencing a possibly-recycled inst.
+// events can be ordered without touching a possibly-recycled slot.
 type waiter struct {
 	//prisim:genlink
-	inst   *dynInst
+	inst   int32
 	gen    uint32
+	srcIdx int32
 	seq    uint64
-	srcIdx int
 }
 
-// dynInst is one in-flight dynamic instruction. Instances are owned by the
-// Pipeline's free list: commit and squash recycle them, bumping gen so that
-// any reference that outlives the instruction (a queued event, a producer's
-// waiter entry, a ready-queue entry, a consumer's producer link) is
-// detectably stale — the software twin of the paper's stale-physical-register
-// hazard.
-type dynInst struct {
-	seq  uint64 // emulator sequence number (1-based)
-	gen  uint32 // recycling generation; bumped when returned to the free list
+// instFlag packs every per-instruction status boolean into one word, so the
+// event loop's liveness and stage checks are single loads from the hot slab
+// instead of scattered struct bytes.
+type instFlag uint32
+
+const (
+	fIsCtrl instFlag = 1 << iota
+	fMispredict
+	fResolved
+	fHasDest
+	fInROB
+	fInLSQ
+	fInSched
+	fIssued
+	fExecuted  // passed the execute check; completion scheduled
+	fCompleted // result available (end of Exe)
+	fRetired   // written back (PRI ran)
+	fSquashed
+	fMemWait // counted one notReady unit for a store conflict
+)
+
+// instData is the cold per-instruction state: everything a dynamic
+// instruction carries that the per-cycle event loop does not touch on its
+// liveness checks. It lives in one array-of-structs slab parallel to the hot
+// arrays, indexed by the same slot.
+type instData struct {
 	pc   uint64
-	inst isa.Inst
+	uop  isa.Uop      // decoded static instruction + scheduling metadata (by value; cache pointers are not retained)
 	info emu.StepInfo // functional outcome
 
 	// Control flow.
-	isCtrl     bool
-	pred       bpred.Prediction
-	predNPC    uint64
-	mispredict bool
-	ckpt       *core.Checkpoint
-	resolved   bool
+	pred    bpred.Prediction
+	predNPC uint64
+	ckpt    *core.Checkpoint
 
 	// Rename.
-	srcs    [3]srcOperand
-	nsrc    int
-	hasDest bool
-	alloc   core.Allocation
+	srcs  [3]srcOperand
+	alloc core.Allocation
 
-	// Scheduler state.
-	inROB     bool
-	inSched   bool
-	issued    bool
-	executed  bool // passed the execute check; completion scheduled
-	completed bool // result available (end of Exe)
-	retired   bool // written back (PRI ran)
-	squashed  bool
-	replays   int
-	notReady  int // operands (and memory orderings) still awaited
-	waiters   []waiter
-
-	// Memory.
-	inLSQ   bool
-	memWait bool // counted one notReady unit for a store conflict
+	waiters []waiter
 
 	// Timing.
-	fetchCycle    uint64
-	renameCycle   uint64
-	execStart     uint64
-	readyCycle    uint64 // cycle the result is bypass-available
-	completeCycle uint64
+	fetchCycle  uint64
+	renameCycle uint64
+	execStart   uint64
 }
 
-func (d *dynInst) String() string {
-	return fmt.Sprintf("#%d @%#x %s", d.seq, d.pc, d.inst)
+// instSlab is the struct-of-arrays home of all in-flight instruction state.
+// The hot fields — generation, sequence, status flags, outstanding-operand
+// count, and the two result timestamps — live in parallel arrays indexed by
+// pool slot, so the event loop's stale-check (gen compare) and wake path read
+// small contiguous words instead of pulling whole 300-byte structs through
+// the cache. Slots are owned by the free list: commit and squash recycle
+// them, bumping gen so that any reference that outlives the instruction (a
+// queued event, a producer's waiter entry, a ready-queue entry, a consumer's
+// producer link) is detectably stale — the software twin of the paper's
+// stale-physical-register hazard.
+type instSlab struct {
+	gen           []uint32
+	seq           []uint64 // emulator sequence number (1-based)
+	flags         []instFlag
+	notReady      []int32 // operands (and memory orderings) still awaited
+	readyCycle    []uint64
+	completeCycle []uint64
+	data          []instData
+	free          []int32
 }
 
-// resultAvailableBy reports whether the instruction's result can feed a
-// consumer that begins executing at cycle t.
-func (d *dynInst) resultAvailableBy(t uint64) bool {
-	return d.completed || (d.executed && d.readyCycle <= t)
+// grow adds one slot to every parallel array.
+func (sl *instSlab) grow() int32 {
+	s := int32(len(sl.gen))
+	sl.gen = append(sl.gen, 0)
+	sl.seq = append(sl.seq, 0)
+	sl.flags = append(sl.flags, 0)
+	sl.notReady = append(sl.notReady, 0)
+	sl.readyCycle = append(sl.readyCycle, 0)
+	sl.completeCycle = append(sl.completeCycle, 0)
+	sl.data = append(sl.data, instData{})
+	return s
 }
 
-// addWaiter registers a scheduler-resident consumer to be woken by this
-// instruction.
-func (d *dynInst) addWaiter(w waiter) { d.waiters = append(d.waiters, w) }
-
-// newInst takes an instruction from the free list (or allocates one on a
-// cold start). All fields are zero except gen and the retained waiters
-// capacity.
-//
-//prisim:hotpath
-func (p *Pipeline) newInst() *dynInst {
-	if n := len(p.freeInsts); n > 0 {
-		d := p.freeInsts[n-1]
-		p.freeInsts[n-1] = nil
-		p.freeInsts = p.freeInsts[:n-1]
-		return d
+// instString renders a slot for diagnostics (panics, the watchdog).
+func (p *Pipeline) instString(s int32) string {
+	if s == noSlot {
+		return "<none>"
 	}
-	//lint:ignore hotpathalloc cold start only: the pool reaches steady state after ROB-size allocations and this branch never runs again
-	return new(dynInst)
+	d := &p.slab.data[s]
+	return fmt.Sprintf("#%d @%#x %s", p.slab.seq[s], d.pc, d.uop.Inst)
 }
 
-// recycle returns an instruction that has left the pipeline (committed or
-// squashed) to the free list. The caller must have removed it from every
-// structural slot (ROB, LSQ, fetch ring, producer table); references in
-// queued events, waiter lists, and the ready queue may remain — the
-// generation bump renders them inert.
+// resultAvailableBy reports whether slot s's result can feed a consumer that
+// begins executing at cycle t.
 //
 //prisim:hotpath
-func (p *Pipeline) recycle(d *dynInst) {
-	g := d.gen + 1
+func (p *Pipeline) resultAvailableBy(s int32, t uint64) bool {
+	f := p.slab.flags[s]
+	return f&fCompleted != 0 || (f&fExecuted != 0 && p.slab.readyCycle[s] <= t)
+}
+
+// addWaiter registers a scheduler-resident consumer to be woken by slot s.
+func (p *Pipeline) addWaiter(s int32, w waiter) {
+	d := &p.slab.data[s]
+	d.waiters = append(d.waiters, w)
+}
+
+// newInst takes a slot from the free list (or grows the slab on a cold
+// start). Hot-array fields are zero except gen; cold data is zero except the
+// retained waiters capacity.
+//
+//prisim:hotpath
+func (p *Pipeline) newInst() int32 {
+	if n := len(p.slab.free); n > 0 {
+		s := p.slab.free[n-1]
+		p.slab.free = p.slab.free[:n-1]
+		return s
+	}
+	//lint:ignore hotpathalloc cold start only: the slab reaches steady state after ROB-size growths and this branch never runs again
+	return p.slab.grow()
+}
+
+// recycle returns a slot that has left the pipeline (committed or squashed)
+// to the free list. The caller must have removed it from every structural
+// slot (ROB, LSQ, fetch ring, producer table); references in queued events,
+// waiter lists, and the ready queue may remain — the generation bump renders
+// them inert.
+//
+//prisim:hotpath
+func (p *Pipeline) recycle(s int32) {
+	sl := &p.slab
+	sl.gen[s]++
+	sl.seq[s] = 0
+	sl.flags[s] = 0
+	sl.notReady[s] = 0
+	sl.readyCycle[s] = 0
+	sl.completeCycle[s] = 0
+	d := &sl.data[s]
 	w := d.waiters[:0]
-	*d = dynInst{gen: g, waiters: w}
-	p.freeInsts = append(p.freeInsts, d)
+	*d = instData{waiters: w}
+	sl.free = append(sl.free, s)
 }

@@ -1,6 +1,6 @@
 // Package ooo is the cycle-level out-of-order pipeline model: fetch, rename,
 // speculative scheduling, replay, and the commit-time PRI machinery, driven
-// by an allocation-free event wheel over pool-recycled dynInst objects.
+// by an allocation-free event wheel over slot-recycled instruction slabs.
 //
 // The package promises deterministic simulation — output is a pure function
 // of program and configuration, pinned bit-for-bit by the golden-hash tests.
@@ -31,17 +31,20 @@ type Pipeline struct {
 	now  uint64
 	done bool
 
-	// Reorder buffer: ring of in-flight instructions in program order.
-	rob     []*dynInst
+	// All in-flight instruction state, indexed by slot.
+	slab instSlab
+
+	// Reorder buffer: ring of in-flight slots in program order.
+	rob     []int32
 	robHead int
 	robLen  int
 
 	// Load/store queue (in-flight memory ops, program order).
-	lsq     []*dynInst
+	lsq     []int32
 	lsqHead int
 
-	// Front end: ring of fetched instructions waiting for rename.
-	fetchBuf        []*dynInst
+	// Front end: ring of fetched slots waiting for rename.
+	fetchBuf        []int32
 	fetchHead       int
 	fetchCount      int
 	fetchStallUntil uint64
@@ -49,19 +52,19 @@ type Pipeline struct {
 	// Scheduler.
 	schedCount int
 	readyQ     readyQueue
-	schedStash []readyEnt // not-yet-selectable entries, reused every cycle
+	schedStash []readyEnt                 // not-yet-selectable entries, reused every cycle
 	fu         [isa.NumFUClasses][]uint64 // busy-until per unit
 
 	wheel eventWheel
 
-	// dynInst recycling: instructions return here at commit or squash and
-	// are reused by fetch, so the steady-state loop allocates nothing.
-	freeInsts     []*dynInst
-	squashScratch []*dynInst
+	squashScratch []int32
 
 	// Per-physical-register pipeline bookkeeping (index 0 = int, 1 = fp).
-	prProducer [2][]*dynInst
-	prReaders  [2][][]waiter
+	// prReaders is maintained only under the IdealFixup policy — its one
+	// consumer — so the common configurations skip the bookkeeping entirely.
+	prProducer   [2][]int32
+	prReaders    [2][][]waiter
+	trackReaders bool
 
 	lastCommitCycle uint64
 	renameCursor    uint64 // seq of the youngest renamed instruction
@@ -78,16 +81,17 @@ const (
 	evWake
 )
 
-// event is one pending pipeline action. gen and seq are frozen at post time:
-// gen invalidates the event if inst is recycled first, and seq preserves the
-// deterministic oldest-first processing order regardless of recycling.
+// event is one pending pipeline action, packed to 24 bytes so a wheel bucket
+// stays dense. gen and seq are frozen at post time: gen invalidates the
+// event if the slot is recycled first, and seq preserves the deterministic
+// oldest-first processing order regardless of recycling.
 type event struct {
-	kind   eventKind
-	srcIdx int
-	gen    uint32
-	seq    uint64
+	seq uint64
 	//prisim:genlink
-	inst *dynInst
+	inst   int32
+	gen    uint32
+	kind   eventKind
+	srcIdx int8
 }
 
 // New builds a pipeline for prog under cfg. The program is loaded but not
@@ -100,21 +104,55 @@ func New(cfg Config, prog *asm.Program) *Pipeline {
 		ren:      core.NewRenamer(cfg.Rename),
 		bp:       bpred.New(cfg.Bpred),
 		mem:      memsys.New(cfg.Mem),
-		rob:      make([]*dynInst, cfg.ROBSize),
-		fetchBuf: make([]*dynInst, (cfg.FrontDepth+2)*cfg.Width),
+		rob:      newSlotRing(cfg.ROBSize),
+		fetchBuf: newSlotRing((cfg.FrontDepth + 2) * cfg.Width),
 	}
 	p.wheel.init()
 	for cl := range p.fu {
 		p.fu[cl] = make([]uint64, cfg.FUCount[cl])
 	}
-	p.prProducer[0] = make([]*dynInst, cfg.Rename.IntPRs)
-	p.prProducer[1] = make([]*dynInst, cfg.Rename.FPPRs)
-	p.prReaders[0] = make([][]waiter, cfg.Rename.IntPRs)
-	p.prReaders[1] = make([][]waiter, cfg.Rename.FPPRs)
+	p.prProducer[0] = newSlotRing(cfg.Rename.IntPRs)
+	p.prProducer[1] = newSlotRing(cfg.Rename.FPPRs)
 	if cfg.Rename.Policy.IdealFixup {
+		p.trackReaders = true
+		p.prReaders[0] = make([][]waiter, cfg.Rename.IntPRs)
+		p.prReaders[1] = make([][]waiter, cfg.Rename.FPPRs)
 		p.ren.OnFixup = p.idealFixup
 	}
+	p.prewarm()
 	return p
+}
+
+// newSlotRing returns a slot array of length n with every entry empty.
+func newSlotRing(n int) []int32 {
+	r := make([]int32, n)
+	for i := range r {
+		r[i] = noSlot
+	}
+	return r
+}
+
+// prewarm sizes the slab and free list to the pipeline's in-flight capacity
+// bound (ROB plus the fetch ring: rename admits nothing beyond ROBSize, and
+// fetch admits nothing beyond the ring) in one allocation per array, and
+// pre-sizes the rename machinery's checkpoint pool to a steady-state branch
+// population, so simulation — including the first squash storms — measures
+// the kernel, not pool growth.
+func (p *Pipeline) prewarm() {
+	n := p.cfg.ROBSize + len(p.fetchBuf)
+	sl := &p.slab
+	sl.gen = make([]uint32, n)
+	sl.seq = make([]uint64, n)
+	sl.flags = make([]instFlag, n)
+	sl.notReady = make([]int32, n)
+	sl.readyCycle = make([]uint64, n)
+	sl.completeCycle = make([]uint64, n)
+	sl.data = make([]instData, n)
+	sl.free = make([]int32, 0, n)
+	for s := int32(n) - 1; s >= 0; s-- {
+		sl.free = append(sl.free, s)
+	}
+	p.ren.PrewarmCheckpoints(32)
 }
 
 // Machine exposes the functional emulator (for output and test inspection).
@@ -143,26 +181,26 @@ func (p *Pipeline) FastForward(n uint64) uint64 {
 	var done uint64
 	for done < n && !p.m.Halted() {
 		pc := p.m.PC
-		in := p.m.PeekInst()
+		u := *p.m.PeekUop()
 		var pred bpred.Prediction
-		if in.Op.IsControl() {
-			pred = p.bp.Predict(pc, in)
+		if u.Flags&isa.UopControl != 0 {
+			pred = p.bp.Predict(pc, u.Inst)
 		}
 		info := p.m.Step()
 		done++
 		p.mem.InstFetch(pc)
 		if info.IsMem {
-			p.mem.Data(info.MemAddr, in.Op.IsStore())
+			p.mem.Data(info.MemAddr, u.Flags&isa.UopStore != 0)
 		}
-		if in.Op.IsControl() {
+		if u.Flags&isa.UopControl != 0 {
 			predNPC := pc + 4
 			if pred.Taken {
 				predNPC = pred.Target
 			}
 			if predNPC != info.NextPC {
-				p.bp.Recover(pc, in, pred, info.Taken)
+				p.bp.Recover(pc, u.Inst, pred, info.Taken)
 			}
-			p.bp.Update(pc, in, pred, info.Taken, info.NextPC)
+			p.bp.Update(pc, u.Inst, pred, info.Taken, info.NextPC)
 		}
 	}
 	return done
@@ -182,8 +220,8 @@ func (p *Pipeline) Run(maxCommit uint64) uint64 {
 	for !p.done && p.stats.Committed-start < maxCommit {
 		p.cycle()
 		if p.now-p.lastCommitCycle > p.cfg.WatchdogCycles {
-			panic(fmt.Sprintf("ooo: no commit for %d cycles at cycle %d (head %v)",
-				p.cfg.WatchdogCycles, p.now, p.robPeek()))
+			panic(fmt.Sprintf("ooo: no commit for %d cycles at cycle %d (head %s)",
+				p.cfg.WatchdogCycles, p.now, p.instString(p.robPeek())))
 		}
 	}
 	if p.done {
@@ -193,9 +231,9 @@ func (p *Pipeline) Run(maxCommit uint64) uint64 {
 }
 
 //prisim:hotpath
-func (p *Pipeline) robPeek() *dynInst {
+func (p *Pipeline) robPeek() int32 {
 	if p.robLen == 0 {
-		return nil
+		return noSlot
 	}
 	return p.rob[p.robHead]
 }
@@ -245,51 +283,58 @@ func (p *Pipeline) fetch() {
 			break
 		}
 		pc := p.m.PC
-		info := p.m.Step()
-		d := p.newInst()
-		d.seq = info.Seq
+		s := p.newInst()
+		d := &p.slab.data[s]
+		// Step writes the report straight into the slot's cold slab entry;
+		// the uop is copied by value because the cache's scratch entry (a
+		// wrong-path PC outside the text segment) does not outlive the step.
+		p.m.StepInto(&d.info)
+		d.uop = *d.info.Uop
+		d.info.Uop = nil
+		u := &d.uop
+		p.slab.seq[s] = d.info.Seq
 		d.pc = pc
-		d.inst = info.Inst
-		d.info = info
 		d.fetchCycle = p.now
 		p.stats.Fetched++
-		if d.inst.Op.IsControl() {
-			d.isCtrl = true
-			d.pred = p.bp.Predict(pc, d.inst)
+		taken := false
+		if u.Flags&isa.UopControl != 0 {
+			p.slab.flags[s] |= fIsCtrl
+			d.pred = p.bp.Predict(pc, u.Inst)
 			d.predNPC = pc + 4
 			if d.pred.Taken {
 				d.predNPC = d.pred.Target
 			}
-			d.mispredict = d.predNPC != info.NextPC
-			if d.mispredict {
+			if d.predNPC != d.info.NextPC {
+				p.slab.flags[s] |= fMispredict
 				// The machine follows its prediction; the emulator's
 				// undo log lets us run the wrong path for real and roll
 				// back at resolution.
 				p.m.SetPC(d.predNPC)
 			}
+			taken = d.predNPC != pc+4
 		}
-		p.fetchBuf[(p.fetchHead+p.fetchCount)%len(p.fetchBuf)] = d
+		p.fetchBuf[(p.fetchHead+p.fetchCount)%len(p.fetchBuf)] = s
 		p.fetchCount++
-		if d.isCtrl && d.predNPC != pc+4 {
+		if taken {
 			break // fetch stops at the first taken branch in a cycle
 		}
-		if d.inst.Op == isa.OpHALT {
+		if u.Flags&isa.UopHalt != 0 {
 			break
 		}
 	}
 }
 
 //prisim:hotpath
-func (p *Pipeline) fetchPeek() *dynInst {
+func (p *Pipeline) fetchPeek() int32 {
 	if p.fetchCount == 0 {
-		return nil
+		return noSlot
 	}
 	return p.fetchBuf[p.fetchHead]
 }
 
 //prisim:hotpath
 func (p *Pipeline) fetchPop() {
-	p.fetchBuf[p.fetchHead] = nil
+	p.fetchBuf[p.fetchHead] = noSlot
 	p.fetchHead = (p.fetchHead + 1) % len(p.fetchBuf)
 	p.fetchCount--
 }
@@ -301,25 +346,31 @@ func (p *Pipeline) fetchPop() {
 //prisim:hotpath
 func (p *Pipeline) rename() {
 	for n := 0; n < p.cfg.Width; n++ {
-		d := p.fetchPeek()
-		if d == nil || d.fetchCycle+uint64(p.cfg.FrontDepth) > p.now {
+		s := p.fetchPeek()
+		if s == noSlot {
+			return
+		}
+		d := &p.slab.data[s]
+		if d.fetchCycle+uint64(p.cfg.FrontDepth) > p.now {
 			return
 		}
 		if p.robLen >= p.cfg.ROBSize || p.schedCount >= p.cfg.SchedSize {
 			p.stats.RenameStallWindow++
 			return
 		}
-		if d.inst.Op.IsMem() && p.lsqLen() >= p.cfg.LSQSize {
+		u := &d.uop
+		if u.Flags&isa.UopMem != 0 && p.lsqLen() >= p.cfg.LSQSize {
 			p.stats.RenameStallWindow++
 			return
 		}
-		dest, hasDest := d.inst.Dest()
+		hasDest := u.Flags&isa.UopHasDest != 0
+		dest := u.Dest
 
 		// Rename-time inlining extension: a load-immediate whose value
 		// fits the narrow budget never allocates a register.
 		inlineNow := false
 		var inlineVal uint64
-		if p.cfg.InlineAtRename && p.cfg.Rename.Policy.PRI && hasDest && d.isImmediateLoad() {
+		if p.cfg.InlineAtRename && p.cfg.Rename.Policy.PRI && hasDest && u.Flags&isa.UopImmLoad != 0 {
 			if p.ren.Narrow(dest, d.info.Result) {
 				inlineNow, inlineVal = true, d.info.Result
 			}
@@ -330,23 +381,24 @@ func (p *Pipeline) rename() {
 		}
 
 		// Sources.
-		var srcRegs [3]isa.Reg
-		regs := d.inst.Sources(srcRegs[:0])
-		d.nsrc = len(regs)
-		for i, a := range regs {
+		for i := 0; i < int(u.NSrc); i++ {
+			a := u.Srcs[i]
 			op := p.ren.LookupSrc(a)
-			d.srcs[i].op = op
+			d.srcs[i] = srcOperand{op: op, producer: noSlot}
 			switch op.Kind {
 			case core.OperandPR:
 				p.stats.SrcPRReads++
 				cl := classOf(a)
 				producer := p.prProducer[cl][op.PR]
 				d.srcs[i].producer = producer
-				if producer != nil {
-					d.srcs[i].pgen = producer.gen
+				if producer != noSlot {
+					d.srcs[i].pgen = p.slab.gen[producer]
 				}
-				p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR], waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
-				p.linkOperand(d, i, producer)
+				if p.trackReaders {
+					p.prReaders[cl][op.PR] = append(p.prReaders[cl][op.PR],
+						waiter{inst: s, gen: p.slab.gen[s], seq: p.slab.seq[s], srcIdx: int32(i)})
+				}
+				p.linkOperand(s, i, producer)
 			case core.OperandInline:
 				p.stats.SrcInlineReads++
 				d.srcs[i].ready = true
@@ -357,7 +409,7 @@ func (p *Pipeline) rename() {
 
 		// Destination.
 		if hasDest {
-			d.hasDest = true
+			p.slab.flags[s] |= fHasDest
 			if inlineNow {
 				d.alloc = p.ren.InlineDest(dest, inlineVal, p.now)
 				p.stats.RenameInlines++
@@ -369,39 +421,27 @@ func (p *Pipeline) rename() {
 				d.alloc = alloc
 				cl := classOf(dest)
 				p.growPR(cl, int(alloc.PR))
-				p.prProducer[cl][alloc.PR] = d
+				p.prProducer[cl][alloc.PR] = s
 			}
 		}
 
 		// Checkpoint after the instruction's own rename so recovery
 		// preserves its destination mapping.
-		if d.inst.Op.IsBranch() || d.inst.Op.IsIndirect() {
+		if u.Flags&isa.UopTakesCkpt != 0 {
 			d.ckpt = p.ren.TakeCheckpoint()
 		}
 
 		d.renameCycle = p.now
-		p.renameCursor = d.seq
-		d.inROB = true
-		p.robPush(d)
-		if d.inst.Op.IsMem() {
-			d.inLSQ = true
-			p.lsq = append(p.lsq, d)
+		p.renameCursor = p.slab.seq[s]
+		p.slab.flags[s] |= fInROB
+		p.robPush(s)
+		if u.Flags&isa.UopMem != 0 {
+			p.slab.flags[s] |= fInLSQ
+			p.lsq = append(p.lsq, s)
 		}
-		p.schedInsert(d)
+		p.schedInsert(s)
 		p.fetchPop()
 	}
-}
-
-// isImmediateLoad reports whether the instruction materializes a constant
-// from no register inputs (addi/ori rd, zero, imm and lui).
-func (d *dynInst) isImmediateLoad() bool {
-	switch d.inst.Op {
-	case isa.OpADDI, isa.OpORI:
-		return d.inst.Ra == isa.RZero
-	case isa.OpLUI:
-		return true
-	}
-	return false
 }
 
 func classOf(a isa.Reg) int {
@@ -415,15 +455,17 @@ func classOf(a isa.Reg) int {
 // register file.
 func (p *Pipeline) growPR(cl, pr int) {
 	for pr >= len(p.prProducer[cl]) {
-		p.prProducer[cl] = append(p.prProducer[cl], nil)
-		p.prReaders[cl] = append(p.prReaders[cl], nil)
+		p.prProducer[cl] = append(p.prProducer[cl], noSlot)
+		if p.trackReaders {
+			p.prReaders[cl] = append(p.prReaders[cl], nil)
+		}
 	}
 }
 
 //prisim:hotpath
-func (p *Pipeline) robPush(d *dynInst) {
+func (p *Pipeline) robPush(s int32) {
 	idx := (p.robHead + p.robLen) % p.cfg.ROBSize
-	p.rob[idx] = d
+	p.rob[idx] = s
 	p.robLen++
 }
 
@@ -432,25 +474,26 @@ func (p *Pipeline) lsqLen() int { return len(p.lsq) - p.lsqHead }
 // releaseSrc returns one source operand's reader reference exactly once.
 //
 //prisim:hotpath
-func (p *Pipeline) releaseSrc(d *dynInst, i int, read bool) {
-	s := &d.srcs[i]
-	if s.released {
+func (p *Pipeline) releaseSrc(s int32, i int, read bool) {
+	so := &p.slab.data[s].srcs[i]
+	if so.released {
 		return
 	}
-	s.released = true
-	if s.op.Kind != core.OperandPR {
+	so.released = true
+	if so.op.Kind != core.OperandPR {
 		return
 	}
-	cl := classOf(s.op.Arch)
-	p.removeReader(cl, s.op.PR, d, i)
-	p.ren.ReleaseRead(s.op, p.now, read)
+	if p.trackReaders {
+		p.removeReader(classOf(so.op.Arch), so.op.PR, s, i)
+	}
+	p.ren.ReleaseRead(so.op, p.now, read)
 }
 
 //prisim:hotpath
-func (p *Pipeline) removeReader(cl int, pr core.PhysReg, d *dynInst, i int) {
+func (p *Pipeline) removeReader(cl int, pr core.PhysReg, s int32, i int) {
 	rs := p.prReaders[cl][pr]
 	for j, w := range rs {
-		if w.inst == d && w.srcIdx == i {
+		if w.inst == s && w.srcIdx == int32(i) {
 			rs[j] = rs[len(rs)-1]
 			p.prReaders[cl][pr] = rs[:len(rs)-1]
 			return
@@ -470,7 +513,7 @@ func (p *Pipeline) idealFixup(fp bool, pr core.PhysReg, value uint64) {
 	readers := p.prReaders[cl][pr]
 	for len(readers) > 0 {
 		w := readers[len(readers)-1]
-		if w.inst.gen != w.gen {
+		if p.slab.gen[w.inst] != w.gen {
 			// Defensive: a recycled reader removes itself at release or
 			// squash, so a stale entry should not exist — but dropping it is
 			// strictly safer than rewriting a reborn instruction's operand.
@@ -478,16 +521,16 @@ func (p *Pipeline) idealFixup(fp bool, pr core.PhysReg, value uint64) {
 			readers = p.prReaders[cl][pr]
 			continue
 		}
-		s := &w.inst.srcs[w.srcIdx]
-		op := s.op
-		s.op = core.Operand{Kind: core.OperandInline, Value: value, Arch: op.Arch}
-		s.producer = nil
-		if !s.ready {
-			s.ready = true
+		so := &p.slab.data[w.inst].srcs[w.srcIdx]
+		op := so.op
+		so.op = core.Operand{Kind: core.OperandInline, Value: value, Arch: op.Arch}
+		so.producer = noSlot
+		if !so.ready {
+			so.ready = true
 			p.operandBecameReady(w.inst)
 		}
-		s.released = true
-		p.removeReader(cl, pr, w.inst, w.srcIdx)
+		so.released = true
+		p.removeReader(cl, pr, w.inst, int(w.srcIdx))
 		p.ren.ReleaseRead(op, p.now, false)
 		readers = p.prReaders[cl][pr]
 		p.stats.IdealFixups++

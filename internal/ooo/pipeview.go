@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"prisim/internal/isa"
 )
 
 // PipeView streams per-instruction stage timestamps in the O3PipeView text
@@ -13,7 +15,8 @@ import (
 //
 // Enable it with Pipeline.SetPipeView before Run. One record is emitted per
 // instruction at commit (or at squash, with a zero retire timestamp, the
-// format's squashed-instruction convention).
+// format's squashed-instruction convention). Emission sites test p.view for
+// nil themselves so the disabled case costs nothing on the commit path.
 type pipeView struct {
 	w *bufio.Writer
 }
@@ -25,24 +28,22 @@ func (p *Pipeline) SetPipeView(w io.Writer) {
 	p.view = &pipeView{w: bufio.NewWriter(w)}
 }
 
-func (v *pipeView) emit(p *Pipeline, d *dynInst, retire uint64) {
-	if v == nil {
-		return
-	}
+func (v *pipeView) emit(p *Pipeline, s int32, retire uint64) {
+	d := &p.slab.data[s]
 	// Stage timestamps reconstructed from the instruction's journey.
 	fetch := d.fetchCycle
 	decode := fetch + 1
 	rename := d.renameCycle
 	dispatch := rename + 1
 	issue := d.execStart // end of the Disp/Disp/RF/RF traversal
-	complete := d.completeCycle
+	complete := p.slab.completeCycle[s]
 	if issue == 0 {
 		issue = dispatch
 	}
 	if complete == 0 {
 		complete = issue
 	}
-	fmt.Fprintf(v.w, "O3PipeView:fetch:%d:0x%08x:0:%d:%s\n", fetch, d.pc, d.seq, d.inst)
+	fmt.Fprintf(v.w, "O3PipeView:fetch:%d:0x%08x:0:%d:%s\n", fetch, d.pc, p.slab.seq[s], d.uop.Inst)
 	fmt.Fprintf(v.w, "O3PipeView:decode:%d\n", decode)
 	fmt.Fprintf(v.w, "O3PipeView:rename:%d\n", rename)
 	fmt.Fprintf(v.w, "O3PipeView:dispatch:%d\n", dispatch)
@@ -50,9 +51,9 @@ func (v *pipeView) emit(p *Pipeline, d *dynInst, retire uint64) {
 	fmt.Fprintf(v.w, "O3PipeView:complete:%d\n", complete)
 	kind := "system"
 	switch {
-	case d.inst.Op.IsLoad():
+	case d.uop.Flags&isa.UopLoad != 0:
 		kind = "load"
-	case d.inst.Op.IsStore():
+	case d.uop.Flags&isa.UopStore != 0:
 		kind = "store"
 	}
 	fmt.Fprintf(v.w, "O3PipeView:retire:%d:%s:0\n", retire, kind)

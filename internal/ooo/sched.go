@@ -3,25 +3,23 @@ package ooo
 import (
 	"prisim/internal/core"
 	"prisim/internal/emu"
+	"prisim/internal/isa"
 )
 
 // readyEnt is one selectable instruction in the ready queue. seq and gen are
-// frozen at push: seq keeps the heap order stable even if the instruction is
+// frozen at push: seq keeps the heap order stable even if the slot is
 // recycled while queued, and gen lets select discard such stale entries.
 type readyEnt struct {
 	seq uint64
-	gen uint32
 	//prisim:genlink
-	d *dynInst
+	slot int32
+	gen  uint32
 }
 
 // readyQueue orders selectable instructions oldest first. It is a plain
 // binary min-heap over readyEnt — no interface boxing, no allocation in
 // steady state (container/heap's any-typed Push boxed every element).
 type readyQueue []readyEnt
-
-//prisim:hotpath
-func (q *readyQueue) push(d *dynInst) { q.pushEnt(readyEnt{seq: d.seq, gen: d.gen, d: d}) }
 
 //prisim:hotpath
 func (q *readyQueue) pushEnt(e readyEnt) {
@@ -63,6 +61,13 @@ func (q *readyQueue) pop() readyEnt {
 	return top
 }
 
+// pushReady queues slot s for selection with its current seq and gen frozen.
+//
+//prisim:hotpath
+func (p *Pipeline) pushReady(s int32) {
+	p.readyQ.pushEnt(readyEnt{seq: p.slab.seq[s], gen: p.slab.gen[s], slot: s})
+}
+
 // schedule is the Sched stage: select up to Width ready instructions,
 // oldest first, subject to functional unit availability. Scheduling is
 // speculative: dependents are woken assuming nominal latencies and repaired
@@ -78,17 +83,22 @@ func (p *Pipeline) schedule() {
 	stash := p.schedStash[:0]
 	for issued < p.cfg.Width && len(p.readyQ) > 0 {
 		e := p.readyQ.pop()
-		d := e.d
-		if d.gen != e.gen || d.squashed || d.issued || !d.inSched {
+		s := e.slot
+		if p.slab.gen[s] != e.gen {
+			continue // slot recycled since push; entry is stale
+		}
+		f := p.slab.flags[s]
+		if f&(fSquashed|fIssued) != 0 || f&fInSched == 0 {
 			continue
 		}
+		d := &p.slab.data[s]
 		// Queue stage: an instruction renamed at cycle t is selectable at
 		// t+2 (Rename | Queue | Sched).
 		if d.renameCycle+2 > p.now {
 			stash = append(stash, e)
 			continue
 		}
-		cl := d.inst.Op.Class()
+		cl := d.uop.Class
 		unit := -1
 		for u, busyUntil := range p.fu[cl] {
 			if busyUntil <= p.now {
@@ -100,21 +110,20 @@ func (p *Pipeline) schedule() {
 			stash = append(stash, e)
 			continue
 		}
-		if d.inst.Op.Unpipelined() {
-			p.fu[cl][unit] = p.now + uint64(p.specLatency(d))
+		lat := uint64(p.specLatency(&d.uop))
+		if d.uop.Flags&isa.UopUnpipelined != 0 {
+			p.fu[cl][unit] = p.now + lat
 		} else {
 			p.fu[cl][unit] = p.now + 1
 		}
-		d.issued = true
+		p.slab.flags[s] |= fIssued
 		p.schedCount--
 		issued++
 		d.execStart = p.now + uint64(p.cfg.SchedToExec)
-		p.post(d.execStart, evExecStart, d, 0)
-		// Speculative wakeup at select + nominal latency.
-		wakeAt := p.now + uint64(p.specLatency(d))
-		for _, w := range d.waiters {
-			p.postWaiter(wakeAt, w)
-		}
+		p.post(d.execStart, evExecStart, s, 0)
+		// Speculative wakeup at select + nominal latency, batched into the
+		// target bucket in one append.
+		p.postWaiters(p.now+lat, d.waiters)
 		d.waiters = d.waiters[:0]
 	}
 	for _, e := range stash {
@@ -126,63 +135,72 @@ func (p *Pipeline) schedule() {
 	p.schedStash = stash[:0]
 }
 
-// specLatency is the scheduler's assumed latency: the opcode latency, plus
-// the first-level hit time for loads.
-func (p *Pipeline) specLatency(d *dynInst) int {
-	lat := d.inst.Op.Latency()
-	if d.inst.Op.IsLoad() {
+// specLatency is the scheduler's assumed latency: the uop's nominal latency,
+// plus the first-level hit time for loads.
+//
+//prisim:hotpath
+func (p *Pipeline) specLatency(u *isa.Uop) int {
+	lat := int(u.Lat)
+	if u.Flags&isa.UopLoad != 0 {
 		lat += p.mem.DL1Latency()
 	}
 	return lat
 }
 
-func (p *Pipeline) schedInsert(d *dynInst) {
-	d.inSched = true
-	d.issued = false
+func (p *Pipeline) schedInsert(s int32) {
+	p.slab.flags[s] |= fInSched
+	p.slab.flags[s] &^= fIssued
 	p.schedCount++
-	d.notReady = 0
-	for i := 0; i < d.nsrc; i++ {
+	d := &p.slab.data[s]
+	nr := int32(0)
+	for i := 0; i < int(d.uop.NSrc); i++ {
 		if !d.srcs[i].ready {
-			d.notReady++
+			nr++
 		}
 	}
-	if d.notReady == 0 {
-		p.readyQ.push(d)
+	p.slab.notReady[s] = nr
+	if nr == 0 {
+		p.pushReady(s)
 	}
 }
 
 // linkOperand decides how a renamed PR operand learns of its readiness.
-func (p *Pipeline) linkOperand(d *dynInst, i int, producer *dynInst) {
-	s := &d.srcs[i]
+func (p *Pipeline) linkOperand(s int32, i int, producer int32) {
+	so := &p.slab.data[s].srcs[i]
+	pf := instFlag(0)
+	if producer != noSlot {
+		pf = p.slab.flags[producer]
+	}
 	switch {
-	case producer == nil || producer.completed:
-		s.ready = true
-	case producer.executed:
-		if producer.readyCycle <= p.now {
-			s.ready = true
+	case producer == noSlot || pf&fCompleted != 0:
+		so.ready = true
+	case pf&fExecuted != 0:
+		if p.slab.readyCycle[producer] <= p.now {
+			so.ready = true
 		} else {
-			p.post(producer.readyCycle, evWake, d, i)
+			p.post(p.slab.readyCycle[producer], evWake, s, i)
 		}
-	case producer.issued:
-		wakeAt := producer.execStart - uint64(p.cfg.SchedToExec) + uint64(p.specLatency(producer))
+	case pf&fIssued != 0:
+		pd := &p.slab.data[producer]
+		wakeAt := pd.execStart - uint64(p.cfg.SchedToExec) + uint64(p.specLatency(&pd.uop))
 		if wakeAt <= p.now {
-			s.ready = true
+			so.ready = true
 		} else {
-			p.post(wakeAt, evWake, d, i)
+			p.post(wakeAt, evWake, s, i)
 		}
 	default:
-		producer.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
+		p.addWaiter(producer, waiter{inst: s, gen: p.slab.gen[s], seq: p.slab.seq[s], srcIdx: int32(i)})
 	}
 }
 
-// post schedules an event targeting a live instruction.
+// post schedules an event targeting a live slot.
 //
 //prisim:hotpath
-func (p *Pipeline) post(cycle uint64, kind eventKind, d *dynInst, srcIdx int) {
+func (p *Pipeline) post(cycle uint64, kind eventKind, s int32, srcIdx int) {
 	if cycle <= p.now {
 		cycle = p.now + 1
 	}
-	p.wheel.add(p.now, cycle, event{kind: kind, srcIdx: srcIdx, gen: d.gen, seq: d.seq, inst: d})
+	p.wheel.add(p.now, cycle, event{kind: kind, srcIdx: int8(srcIdx), gen: p.slab.gen[s], seq: p.slab.seq[s], inst: s})
 }
 
 // postWaiter schedules a wakeup for a registered waiter, carrying the
@@ -194,7 +212,22 @@ func (p *Pipeline) postWaiter(cycle uint64, w waiter) {
 	if cycle <= p.now {
 		cycle = p.now + 1
 	}
-	p.wheel.add(p.now, cycle, event{kind: evWake, srcIdx: w.srcIdx, gen: w.gen, seq: w.seq, inst: w.inst})
+	p.wheel.add(p.now, cycle, event{kind: evWake, srcIdx: int8(w.srcIdx), gen: w.gen, seq: w.seq, inst: w.inst})
+}
+
+// postWaiters schedules wakeups for a producer's whole waiter list at one
+// cycle, batching the bucket append instead of re-resolving the wheel slot
+// per waiter.
+//
+//prisim:hotpath
+func (p *Pipeline) postWaiters(cycle uint64, ws []waiter) {
+	if len(ws) == 0 {
+		return
+	}
+	if cycle <= p.now {
+		cycle = p.now + 1
+	}
+	p.wheel.addWakeBatch(p.now, cycle, ws)
 }
 
 //prisim:hotpath
@@ -205,55 +238,56 @@ func (p *Pipeline) processEvents() {
 	}
 	for i := range evs {
 		ev := &evs[i]
-		d := ev.inst
-		if d.gen != ev.gen || d.squashed {
+		s := ev.inst
+		if p.slab.gen[s] != ev.gen || p.slab.flags[s]&fSquashed != 0 {
 			continue
 		}
 		switch ev.kind {
 		case evWake:
 			if ev.srcIdx < 0 {
-				p.wakeMem(d)
+				p.wakeMem(s)
 			} else {
-				p.wake(d, ev.srcIdx)
+				p.wake(s, int(ev.srcIdx))
 			}
 		case evExecStart:
-			p.execStart(d)
+			p.execStart(s)
 		case evComplete:
-			p.complete(d)
+			p.complete(s)
 		case evRetire:
-			p.retire(d)
+			p.retire(s)
 		}
 	}
 	p.wheel.reset(p.now)
 }
 
 //prisim:hotpath
-func (p *Pipeline) wake(d *dynInst, i int) {
-	s := &d.srcs[i]
-	if s.ready {
+func (p *Pipeline) wake(s int32, i int) {
+	so := &p.slab.data[s].srcs[i]
+	if so.ready {
 		return
 	}
-	s.ready = true
-	p.operandBecameReady(d)
+	so.ready = true
+	p.operandBecameReady(s)
 }
 
 // wakeMem clears a load's memory-ordering wait.
-func (p *Pipeline) wakeMem(d *dynInst) {
-	if !d.memWait {
+func (p *Pipeline) wakeMem(s int32) {
+	if p.slab.flags[s]&fMemWait == 0 {
 		return
 	}
-	d.memWait = false
-	p.operandBecameReady(d)
+	p.slab.flags[s] &^= fMemWait
+	p.operandBecameReady(s)
 }
 
 //prisim:hotpath
-func (p *Pipeline) operandBecameReady(d *dynInst) {
-	d.notReady--
-	if d.notReady < 0 {
-		panicf("ooo: %v notReady underflow", d)
+func (p *Pipeline) operandBecameReady(s int32) {
+	p.slab.notReady[s]--
+	if p.slab.notReady[s] < 0 {
+		panicf("ooo: %s notReady underflow", p.instString(s))
 	}
-	if d.notReady == 0 && d.inSched && !d.issued && !d.squashed {
-		p.readyQ.push(d)
+	f := p.slab.flags[s]
+	if p.slab.notReady[s] == 0 && f&fInSched != 0 && f&(fIssued|fSquashed) == 0 {
+		p.pushReady(s)
 	}
 }
 
@@ -262,56 +296,67 @@ func (p *Pipeline) operandBecameReady(d *dynInst) {
 // actually be there (a producing load missed). Such instructions replay.
 //
 //prisim:hotpath
-func (p *Pipeline) execStart(d *dynInst) {
-	if !d.issued || d.executed {
+func (p *Pipeline) execStart(s int32) {
+	f := p.slab.flags[s]
+	if f&fIssued == 0 || f&fExecuted != 0 {
 		return
 	}
+	d := &p.slab.data[s]
 	replayNeeded := false
-	for i := 0; i < d.nsrc; i++ {
-		s := &d.srcs[i]
-		if s.op.Kind != core.OperandPR || s.released {
+	for i := 0; i < int(d.uop.NSrc); i++ {
+		so := &d.srcs[i]
+		if so.op.Kind != core.OperandPR || so.released {
 			continue
 		}
-		if s.producerLive() && !s.producer.resultAvailableBy(p.now) {
+		if p.producerLive(so) && !p.resultAvailableBy(so.producer, p.now) {
 			replayNeeded = true
-			s.ready = false
-			p.relinkForReplay(d, i)
+			so.ready = false
+			p.relinkForReplay(s, i)
 		}
 	}
 	if replayNeeded {
-		p.replay(d)
+		p.replay(s)
 		return
 	}
 	// Loads: memory ordering against older stores in the LSQ.
-	if d.inst.Op.IsLoad() {
-		if blocker := p.loadBlocker(d); blocker != nil {
-			d.memWait = true
-			blocker.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: -1})
+	if d.uop.Flags&isa.UopLoad != 0 {
+		if blocker := p.loadBlocker(s); blocker != noSlot {
+			p.slab.flags[s] |= fMemWait
+			p.addWaiter(blocker, waiter{inst: s, gen: p.slab.gen[s], seq: p.slab.seq[s], srcIdx: -1})
 			p.stats.LoadConflictReplays++
-			p.replay(d)
+			p.replay(s)
 			return
 		}
 	}
 
 	// Operands are read here (register read / bypass): release reader
 	// references so PRI's reference-counted frees can drain.
-	for i := 0; i < d.nsrc; i++ {
-		p.releaseSrc(d, i, true)
+	for i := 0; i < int(d.uop.NSrc); i++ {
+		p.releaseSrc(s, i, true)
 	}
-	d.executed = true
-	d.inSched = false
+	p.slab.flags[s] |= fExecuted
+	p.slab.flags[s] &^= fInSched
 
-	lat := p.actualLatency(d)
-	d.readyCycle = p.now + uint64(lat)
-	p.post(d.readyCycle, evComplete, d, 0)
+	rc := p.now + uint64(p.actualLatency(s))
+	p.slab.readyCycle[s] = rc
+	p.post(rc, evComplete, s, 0)
 	// Anyone who registered while this instruction was in flight (replay
 	// paths, blocked loads) is woken at true readiness. Memory waiters on
 	// a store can go as soon as the address is generated (next cycle).
+	memWaiters := 0
 	for _, w := range d.waiters {
 		if w.srcIdx < 0 {
 			p.postWaiter(p.now+1, w)
-		} else {
-			p.postWaiter(d.readyCycle, w)
+			memWaiters++
+		}
+	}
+	if memWaiters == 0 {
+		p.postWaiters(rc, d.waiters)
+	} else {
+		for _, w := range d.waiters {
+			if w.srcIdx >= 0 {
+				p.postWaiter(rc, w)
+			}
 		}
 	}
 	d.waiters = d.waiters[:0]
@@ -321,71 +366,79 @@ func (p *Pipeline) execStart(d *dynInst) {
 // completion.
 //
 //prisim:hotpath
-func (p *Pipeline) relinkForReplay(d *dynInst, i int) {
-	s := &d.srcs[i]
-	producer := s.producer
+func (p *Pipeline) relinkForReplay(s int32, i int) {
+	so := &p.slab.data[s].srcs[i]
+	producer := so.producer
 	switch {
-	case !s.producerLive() || producer.completed:
-		s.ready = true
-	case producer.executed:
-		p.post(producer.readyCycle, evWake, d, i)
+	case !p.producerLive(so) || p.slab.flags[producer]&fCompleted != 0:
+		so.ready = true
+	case p.slab.flags[producer]&fExecuted != 0:
+		p.post(p.slab.readyCycle[producer], evWake, s, i)
 	default:
 		// The producer itself replayed; wait for its next issue.
-		producer.addWaiter(waiter{inst: d, gen: d.gen, seq: d.seq, srcIdx: i})
+		p.addWaiter(producer, waiter{inst: s, gen: p.slab.gen[s], seq: p.slab.seq[s], srcIdx: int32(i)})
 	}
 }
 
-func (p *Pipeline) replay(d *dynInst) {
-	d.issued = false
-	d.replays++
+func (p *Pipeline) replay(s int32) {
+	p.slab.flags[s] &^= fIssued
 	p.stats.Replays++
 	p.schedCount++
-	d.notReady = 0
-	for i := 0; i < d.nsrc; i++ {
+	d := &p.slab.data[s]
+	nr := int32(0)
+	for i := 0; i < int(d.uop.NSrc); i++ {
 		if !d.srcs[i].ready {
-			d.notReady++
+			nr++
 		}
 	}
-	if d.memWait {
-		d.notReady++
+	if p.slab.flags[s]&fMemWait != 0 {
+		nr++
 	}
-	if d.notReady == 0 {
-		p.readyQ.push(d)
+	p.slab.notReady[s] = nr
+	if nr == 0 {
+		p.pushReady(s)
 	}
 }
 
-// loadBlocker returns an older store the load must wait for, or nil if the
-// load may proceed. With oracle disambiguation (the default) a load waits
-// only for the youngest overlapping store that has not yet executed; the
-// conservative mode waits for any older store with an unresolved address.
-func (p *Pipeline) loadBlocker(d *dynInst) *dynInst {
+// loadBlocker returns an older store the load must wait for, or noSlot if
+// the load may proceed. With oracle disambiguation (the default) a load
+// waits only for the youngest overlapping store that has not yet executed;
+// the conservative mode waits for any older store with an unresolved
+// address.
+func (p *Pipeline) loadBlocker(s int32) int32 {
+	seq := p.slab.seq[s]
+	d := &p.slab.data[s]
 	for idx := len(p.lsq) - 1; idx >= p.lsqHead; idx-- {
-		s := p.lsq[idx]
-		if s.seq >= d.seq || !s.inst.Op.IsStore() {
+		o := p.lsq[idx]
+		od := &p.slab.data[o]
+		if p.slab.seq[o] >= seq || od.uop.Flags&isa.UopStore == 0 {
 			continue
 		}
-		if p.cfg.ConservativeDisambiguation && !s.executed {
-			return s
+		if p.cfg.ConservativeDisambiguation && p.slab.flags[o]&fExecuted == 0 {
+			return o
 		}
-		if overlaps(&s.info, &d.info) {
-			if !s.executed {
-				return s
+		if overlaps(&od.info, &d.info) {
+			if p.slab.flags[o]&fExecuted == 0 {
+				return o
 			}
-			return nil // forwarded from the closest matching store
+			return noSlot // forwarded from the closest matching store
 		}
 	}
-	return nil
+	return noSlot
 }
 
 // forwardedFrom reports whether an executed older store overlaps the load
 // (store-to-load forwarding: the access never goes to the cache).
-func (p *Pipeline) forwardedFrom(d *dynInst) bool {
+func (p *Pipeline) forwardedFrom(s int32) bool {
+	seq := p.slab.seq[s]
+	d := &p.slab.data[s]
 	for idx := len(p.lsq) - 1; idx >= p.lsqHead; idx-- {
-		s := p.lsq[idx]
-		if s.seq >= d.seq || !s.inst.Op.IsStore() {
+		o := p.lsq[idx]
+		od := &p.slab.data[o]
+		if p.slab.seq[o] >= seq || od.uop.Flags&isa.UopStore == 0 {
 			continue
 		}
-		if overlaps(&s.info, &d.info) {
+		if overlaps(&od.info, &d.info) {
 			return true
 		}
 	}
@@ -398,37 +451,38 @@ func overlaps(a, b *emu.StepInfo) bool {
 
 // actualLatency resolves the instruction's true execution latency, probing
 // the data cache for loads.
-func (p *Pipeline) actualLatency(d *dynInst) int {
-	op := d.inst.Op
+func (p *Pipeline) actualLatency(s int32) int {
+	d := &p.slab.data[s]
 	switch {
-	case op.IsLoad():
-		if p.forwardedFrom(d) {
+	case d.uop.Flags&isa.UopLoad != 0:
+		if p.forwardedFrom(s) {
 			p.stats.LoadForwards++
 			return 1 + p.mem.DL1Latency()
 		}
 		return 1 + p.mem.DataAt(d.info.MemAddr, false, p.now)
-	case op.IsStore():
+	case d.uop.Flags&isa.UopStore != 0:
 		return 1 // address generation; the write happens at commit
 	default:
-		return op.Latency()
+		return int(d.uop.Lat)
 	}
 }
 
 // complete marks the result available and resolves control instructions.
 //
 //prisim:hotpath
-func (p *Pipeline) complete(d *dynInst) {
-	d.completed = true
-	d.completeCycle = p.now
-	if d.isCtrl && !d.resolved {
-		d.resolved = true
+func (p *Pipeline) complete(s int32) {
+	p.slab.flags[s] |= fCompleted
+	p.slab.completeCycle[s] = p.now
+	f := p.slab.flags[s]
+	if f&fIsCtrl != 0 && f&fResolved == 0 {
+		p.slab.flags[s] |= fResolved
 		p.stats.BranchResolved++
-		if d.mispredict {
+		if f&fMispredict != 0 {
 			p.stats.BranchMispredicted++
-			p.recover(d)
+			p.recover(s)
 		}
 	}
-	p.post(p.now+1, evRetire, d, 0)
+	p.post(p.now+1, evRetire, s, 0)
 }
 
 // retire is the writeback stage: the result reaches the register file and
@@ -440,8 +494,10 @@ func (p *Pipeline) complete(d *dynInst) {
 // guarantees forward progress.
 //
 //prisim:hotpath
-func (p *Pipeline) retire(d *dynInst) {
-	if p.cfg.DelayedAllocation && d.hasDest && d.alloc.PR >= 0 && p.robPeek() != d {
+func (p *Pipeline) retire(s int32) {
+	d := &p.slab.data[s]
+	hasDest := p.slab.flags[s]&fHasDest != 0
+	if p.cfg.DelayedAllocation && hasDest && d.alloc.PR >= 0 && p.robPeek() != s {
 		// PRI composition: the significance and WAW checks run in the same
 		// writeback stage as binding, so a result that will inline into
 		// the map (and therefore never occupy a register) skips the gate.
@@ -453,17 +509,15 @@ func (p *Pipeline) retire(d *dynInst) {
 			}
 			if p.ren.WrittenLive(fp) >= cap {
 				p.stats.WritebackStalls++
-				p.post(p.now+1, evRetire, d, 0)
+				p.post(p.now+1, evRetire, s, 0)
 				return
 			}
 		}
 	}
-	d.retired = true
-	if d.hasDest {
-		p.stats.RetireLagSum += p.renameCursor - d.seq
+	p.slab.flags[s] |= fRetired
+	if hasDest {
+		p.stats.RetireLagSum += p.renameCursor - p.slab.seq[s]
 		p.stats.RetireLagCount++
-	}
-	if d.hasDest {
 		out := p.ren.WriteResult(d.alloc, d.info.Result, p.now)
 		if out.Inlined {
 			p.stats.RetireInlines++

@@ -1,0 +1,77 @@
+package ooo
+
+import (
+	"fmt"
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/fuzzprog"
+	"prisim/internal/isa"
+)
+
+// TestUopCacheSharedWithTimingModel checks that the pipeline rides the
+// emulator's decoded-uop cache: across a whole timing run — wrong-path
+// fetch, replay, squash and all — each static instruction is decoded at
+// most once, even though it executes many times dynamically.
+func TestUopCacheSharedWithTimingModel(t *testing.T) {
+	prog := fuzzprog.Generate(fuzzprog.Config{Seed: 3, OuterTrips: 8, BodyLen: 40})
+	p := runToHalt(t, Width4(), prog)
+
+	static := uint64(len(prog.Code))
+	decodes := p.Machine().StaticDecodes()
+	if decodes > static {
+		t.Errorf("timing run decoded %d static instructions, program has only %d: cache not shared",
+			decodes, static)
+	}
+	if committed := p.Stats().Committed; committed <= static {
+		t.Fatalf("fuzz program committed %d <= %d static instructions; pick a longer program",
+			committed, static)
+	}
+}
+
+// TestUopCacheOffMatchesOn runs the full timing model with the decoded-uop
+// cache disabled and demands results identical to the cached run: same
+// fingerprint (every statistic), same architected registers. The cache is
+// a pure memoization — any observable difference means decode has side
+// effects or the cached uop diverged from a fresh decode.
+func TestUopCacheOffMatchesOn(t *testing.T) {
+	for _, seed := range []int64{5, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			prog := fuzzprog.Generate(fuzzprog.Config{Seed: seed, OuterTrips: 8, BodyLen: 40})
+			for _, pol := range []core.Policy{core.PolicyBase, core.PolicyPRIRcCkpt} {
+				cfg := Width4().WithPolicy(pol)
+				cached := runToHalt(t, cfg, prog)
+
+				uncached := New(cfg, prog)
+				uncached.Machine().SetUopCache(false)
+				uncached.Run(1_000_000)
+				if !uncached.done {
+					t.Fatalf("%s: uncached run did not complete", pol.Name())
+				}
+
+				if a, b := fingerprint(cached), fingerprint(uncached); a != b {
+					t.Errorf("%s: cache changes observable behavior:\ncached:   %s\nuncached: %s",
+						pol.Name(), a, b)
+				}
+				cm, um := cached.Machine(), uncached.Machine()
+				for r := 0; r < isa.NumArchRegs; r++ {
+					if cm.Reg(isa.Reg(r)) != um.Reg(isa.Reg(r)) {
+						t.Errorf("%s: %s = %#x cached, %#x uncached",
+							pol.Name(), isa.Reg(r), cm.Reg(isa.Reg(r)), um.Reg(isa.Reg(r)))
+					}
+				}
+				// StaticDecodes counts cache fills: the disabled side must
+				// never fill, the enabled side must actually be exercised.
+				if cm.StaticDecodes() == 0 {
+					t.Errorf("%s: cached run filled no uop-cache entries; cache apparently inactive", pol.Name())
+				}
+				if um.StaticDecodes() != 0 {
+					t.Errorf("%s: uncached run filled %d uop-cache entries; SetUopCache(false) ignored",
+						pol.Name(), um.StaticDecodes())
+				}
+			}
+		})
+	}
+}

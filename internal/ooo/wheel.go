@@ -33,7 +33,7 @@ type eventWheel struct {
 // allocates only when a single cycle exceeds bucketSeedCap events (the
 // grown bucket then keeps its larger array for subsequent laps).
 func (w *eventWheel) init() {
-	const bucketSeedCap = 8
+	const bucketSeedCap = 16
 	backing := make([]event, wheelSize*bucketSeedCap)
 	for i := range w.buckets {
 		w.buckets[i] = backing[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
@@ -50,6 +50,28 @@ func (w *eventWheel) add(now, cycle uint64, ev event) {
 		return
 	}
 	w.overflow = append(w.overflow, farEvent{cycle: cycle, ev: ev})
+}
+
+// addWakeBatch schedules one wake event per waiter, all for the same cycle,
+// resolving the target bucket once and appending the whole batch (the
+// scheduler's speculative wakeup posts every waiter of a producer at the
+// same future cycle, so per-event bucket resolution is pure overhead).
+//
+//prisim:hotpath
+func (w *eventWheel) addWakeBatch(now, cycle uint64, ws []waiter) {
+	if cycle-now < wheelSize {
+		idx := cycle & wheelMask
+		b := w.buckets[idx]
+		for i := range ws {
+			b = append(b, event{kind: evWake, srcIdx: int8(ws[i].srcIdx), gen: ws[i].gen, seq: ws[i].seq, inst: ws[i].inst})
+		}
+		w.buckets[idx] = b
+		return
+	}
+	for i := range ws {
+		w.overflow = append(w.overflow, farEvent{cycle: cycle,
+			ev: event{kind: evWake, srcIdx: int8(ws[i].srcIdx), gen: ws[i].gen, seq: ws[i].seq, inst: ws[i].inst}})
+	}
 }
 
 // due returns the events scheduled for cycle now, sorted oldest instruction
