@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 20m . ./internal/harness ./internal/ooo ./internal/service
+	$(GO) test -race -timeout 20m . ./internal/harness ./internal/ooo ./internal/service ./internal/fabric
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...

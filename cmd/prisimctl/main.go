@@ -18,6 +18,16 @@
 //	experiments           list experiment names
 //	metrics               dump the /metrics page
 //	version               client and server versions
+//
+// Fabric commands (against a coordinator daemon):
+//
+//	submit-matrix -benchmarks a,b -policies p,q [-widths 4,8] [-prs N,M] [-ff N] [-run N] [-wait]
+//	matrix-status <matrix-id>
+//	matrix-result <matrix-id>
+//	matrices              list matrices
+//	workers               list registered workers
+//	register-worker <url>
+//	deregister-worker <worker-id>
 package main
 
 import (
@@ -41,7 +51,12 @@ commands:
   simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
   experiment <name> [-ff N] [-run N] [-wait]
   status|result|wait|watch|cancel <job-id>
-  jobs | benchmarks | experiments | metrics | version`)
+  jobs | benchmarks | experiments | metrics | version
+fabric commands (against a coordinator):
+  submit-matrix -benchmarks a,b -policies p,q [-widths 4,8] [-prs N,M] [-ff N] [-run N] [-wait]
+  matrix-status|matrix-result <matrix-id>
+  matrices | workers
+  register-worker <url> | deregister-worker <worker-id>`)
 }
 
 func main() {
@@ -63,7 +78,7 @@ func main() {
 	if !strings.Contains(*addr, "://") {
 		*addr = "http://" + *addr // tolerate a bare host:port
 	}
-	c := prisimclient.New(*addr, nil)
+	c := prisimclient.NewClient(*addr)
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
 	var err error
@@ -114,6 +129,44 @@ func main() {
 		err = printList(c.Benchmarks(ctx))
 	case "experiments":
 		err = printList(c.Experiments(ctx))
+	case "submit-matrix":
+		err = submitMatrix(ctx, c, args)
+	case "matrix-status":
+		err = withJobID(args, func(id string) error {
+			st, serr := c.MatrixStatus(ctx, id)
+			return printJSON(st, serr)
+		})
+	case "matrix-result":
+		err = withJobID(args, func(id string) error { return printMatrixResult(ctx, c, id) })
+	case "matrices":
+		ms, merr := c.Matrices(ctx)
+		if merr == nil {
+			for _, m := range ms {
+				fmt.Printf("%-20s %-9s points=%d done=%d hits=%d executed=%d coalesced=%d %s\n",
+					m.ID, m.State, m.Points, m.Done, m.StoreHits, m.Executed, m.Coalesced, m.Error)
+			}
+		}
+		err = merr
+	case "workers":
+		ws, werr := c.Workers(ctx)
+		if werr == nil {
+			for _, w := range ws {
+				health := "healthy"
+				if !w.Healthy {
+					health = "unhealthy"
+				}
+				fmt.Printf("%-6s %-28s %-9s inflight=%d completed=%d failures=%d %s\n",
+					w.ID, w.URL, health, w.InFlight, w.Completed, w.Failures, w.LastError)
+			}
+		}
+		err = werr
+	case "register-worker":
+		err = withJobID(args, func(url string) error {
+			info, rerr := c.RegisterWorker(ctx, url)
+			return printJSON(info, rerr)
+		})
+	case "deregister-worker":
+		err = withJobID(args, func(id string) error { return c.DeregisterWorker(ctx, id) })
 	case "metrics":
 		var page string
 		if page, err = c.Metrics(ctx); err == nil {
@@ -149,7 +202,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-var errUsage = errors.New("missing job id")
+var errUsage = errors.New("expected exactly one argument")
 
 func withJobID(args []string, fn func(id string) error) error {
 	if len(args) != 1 {
@@ -192,6 +245,92 @@ func printResult(ctx context.Context, c *prisimclient.Client, id string) error {
 		return nil
 	}
 	return printJSON(res.Result, nil)
+}
+
+// printMatrixResult renders a finished matrix's tables as text.
+func printMatrixResult(ctx context.Context, c *prisimclient.Client, id string) error {
+	res, err := c.MatrixResult(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Text())
+	return nil
+}
+
+// splitInts parses a comma-separated integer list flag.
+func splitInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitNames parses a comma-separated name list flag.
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// submitMatrix parses the submit-matrix flags, submits the matrix to the
+// coordinator, and either prints the accepted status or (with -wait)
+// blocks for the assembled tables.
+func submitMatrix(ctx context.Context, c *prisimclient.Client, args []string) error {
+	fs := flag.NewFlagSet("submit-matrix", flag.ExitOnError)
+	benches := fs.String("benchmarks", "", "comma-separated workload names (required)")
+	policies := fs.String("policies", "", "comma-separated release policies (required)")
+	widths := fs.String("widths", "", "comma-separated machine widths (default 4)")
+	prs := fs.String("prs", "", "comma-separated physical-register counts (default machine default)")
+	ff := fs.Uint64("ff", 0, "fast-forward instructions per point")
+	run := fs.Uint64("run", 0, "measured instructions per point")
+	wait := fs.Bool("wait", false, "wait for the matrix and print its tables")
+	fs.Parse(args)
+	ws, err := splitInts(*widths)
+	if err != nil {
+		return err
+	}
+	ps, err := splitInts(*prs)
+	if err != nil {
+		return err
+	}
+	m := prisimclient.Matrix{
+		Benchmarks:  splitNames(*benches),
+		Policies:    splitNames(*policies),
+		Widths:      ws,
+		PhysRegs:    ps,
+		FastForward: *ff,
+		Run:         *run,
+	}
+	st, err := c.SubmitMatrix(ctx, m)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(st, nil)
+	}
+	final, err := c.WaitMatrix(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	if final.State != prisimclient.StateDone {
+		return fmt.Errorf("matrix %s %s: %s", final.ID, final.State, final.Error)
+	}
+	return printMatrixResult(ctx, c, final.ID)
 }
 
 // submit parses a simulate/experiment subcommand, submits it, and either

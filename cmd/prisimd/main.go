@@ -4,9 +4,19 @@
 // cancellation and timeout, SSE progress streaming, Prometheus-format
 // metrics, and graceful drain on SIGTERM/SIGINT.
 //
+// With -store the daemon keeps a durable content-addressed result store:
+// jobs whose point is already recorded resolve from disk without an engine
+// run, and the store survives restarts. With -coordinator it additionally
+// runs the experiment fabric control plane (/api/v1/fabric/...): matrix
+// submissions expand into content-hashed points, warm points serve from the
+// store, and cold points shard across registered worker daemons. A worker
+// joins a coordinator with -join.
+//
 // Usage:
 //
 //	prisimd -addr :8064 -queue 32 -workers 0 -job-timeout 10m
+//	prisimd -addr :8070 -coordinator -store /var/lib/prisim/results.log
+//	prisimd -addr :8071 -join http://coordinator:8070
 //	curl -s localhost:8064/api/v1/jobs -d '{"kind":"simulate","benchmark":"mcf"}'
 package main
 
@@ -21,11 +31,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"prisim"
+	"prisim/internal/fabric"
 	"prisim/internal/service"
+	"prisim/prisimclient"
 )
 
 func main() {
@@ -36,6 +49,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM before in-flight jobs are cancelled")
 	ff := flag.Uint64("ff", 0, "default fast-forward instructions per run (0 = engine default 20k)")
 	run := flag.Uint64("run", 0, "default measured instructions per run (0 = engine default 80k)")
+	storePath := flag.String("store", "", "durable content-addressed result store (append-only log file; empty = none)")
+	coordinator := flag.Bool("coordinator", false, "run the experiment fabric control plane (/api/v1/fabric/...)")
+	localSlots := flag.Int("local-slots", 0, "matrix points the coordinator executes on its own engine when no worker is free (0 = workers only)")
+	join := flag.String("join", "", "coordinator URL to register this daemon with as a worker")
+	advertise := flag.String("advertise", "", "URL the coordinator should reach this daemon at (default http://127.0.0.1:PORT)")
+	nodeID := flag.String("node-id", "", "node name stamped on computed results (default host-pid)")
 	quiet := flag.Bool("quiet", false, "suppress request/job logging")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -49,10 +68,46 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "prisimd: ", log.LstdFlags|log.Lmsgprefix)
+	if *nodeID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "prisimd"
+		}
+		*nodeID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	if *coordinator && *storePath == "" {
+		logger.Printf("warning: -coordinator without -store: results and matrix state will not survive a restart")
+	}
+	var store *fabric.Store
+	if *storePath != "" || *coordinator {
+		var err error
+		if store, err = fabric.OpenStore(*storePath); err != nil {
+			logger.Printf("%v", err)
+			os.Exit(1)
+		}
+	}
+
+	var coord *fabric.Coordinator
+	if *coordinator {
+		fcfg := fabric.Config{Store: store, NodeID: *nodeID, LocalSlots: *localSlots}
+		if !*quiet {
+			fcfg.Logger = logger
+		}
+		var err error
+		if coord, err = fabric.New(fcfg); err != nil {
+			logger.Printf("coordinator: %v", err)
+			os.Exit(1)
+		}
+	}
+
 	cfg := service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		NodeID:      *nodeID,
+		Store:       store,
+		Coordinator: coord,
 	}
 	cfg.Budget.FastForward = *ff
 	cfg.Budget.Run = *run
@@ -75,11 +130,17 @@ func main() {
 	if effQueue <= 0 {
 		effQueue = 4 * effWorkers
 	}
-	logger.Printf("version=%s addr=%s workers=%d queue=%d job-timeout=%s drain-timeout=%s",
-		prisim.Version, ln.Addr(), effWorkers, effQueue, *jobTimeout, *drainTimeout)
+	logger.Printf("version=%s node=%s addr=%s workers=%d queue=%d job-timeout=%s drain-timeout=%s coordinator=%t store=%q",
+		prisim.Version, *nodeID, ln.Addr(), effWorkers, effQueue, *jobTimeout, *drainTimeout, *coordinator, *storePath)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	joinCtx, joinStop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer joinStop()
+	if *join != "" {
+		go registerWithCoordinator(joinCtx, logger, *join, advertiseURL(*advertise, ln.Addr()))
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
@@ -93,7 +154,9 @@ func main() {
 	}
 
 	// Stop intake first (readyz flips to 503 and new submits get 503),
-	// then drain jobs, then close the HTTP listener.
+	// then drain jobs, then close the HTTP listener, then release the
+	// fabric state: coordinator before store, because the coordinator
+	// appends to the store until it stops.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
@@ -106,5 +169,59 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("http shutdown: %v", err)
 	}
+	if coord != nil {
+		coord.Close()
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			logger.Printf("store close: %v", err)
+		}
+	}
 	logger.Printf("exit")
+}
+
+// advertiseURL resolves the URL a coordinator should reach this daemon at:
+// the -advertise flag verbatim, else http://127.0.0.1:PORT from the bound
+// listener (an unspecified listen host is not routable from elsewhere, so
+// loopback is the only safe default).
+func advertiseURL(flagVal string, bound net.Addr) string {
+	if flagVal != "" {
+		if !strings.Contains(flagVal, "://") {
+			return "http://" + flagVal
+		}
+		return flagVal
+	}
+	host, port := "127.0.0.1", ""
+	if tcp, ok := bound.(*net.TCPAddr); ok {
+		port = fmt.Sprintf("%d", tcp.Port)
+		if tcp.IP != nil && !tcp.IP.IsUnspecified() && !tcp.IP.IsLoopback() {
+			host = tcp.IP.String()
+		}
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
+}
+
+// registerWithCoordinator announces this daemon as a fabric worker,
+// retrying while the coordinator comes up. Registration is idempotent on
+// the coordinator side, so retrying after a transient failure is safe.
+func registerWithCoordinator(ctx context.Context, logger *log.Logger, coordURL, selfURL string) {
+	if !strings.Contains(coordURL, "://") {
+		coordURL = "http://" + coordURL
+	}
+	c := prisimclient.NewClient(coordURL)
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		info, err := c.RegisterWorker(ctx, selfURL)
+		if err == nil {
+			logger.Printf("joined coordinator=%s as worker=%s advertise=%s", coordURL, info.ID, selfURL)
+			return
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	logger.Printf("join %s failed: %v", coordURL, lastErr)
 }

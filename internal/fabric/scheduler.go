@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"prisim"
+	"prisim/prisimclient"
+)
+
+// schedule is the dispatch loop: it sleeps on the condition variable until
+// a cold point is queued AND capacity exists somewhere (a healthy worker
+// with a free slot, or a free local slot), then fans the point out. Workers
+// are preferred over local slots — the coordinator's cycles belong to the
+// control plane — and a retried point prefers a different worker than the
+// one that just failed it.
+func (c *Coordinator) schedule() {
+	defer c.wg.Done()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for !c.closed && !c.dispatchableLocked() {
+			c.cond.Wait()
+		}
+		if c.closed {
+			return
+		}
+		// Walk the queue once; anything undispatchable right now stays put.
+		var rest []*flight
+		for i := 0; i < len(c.pending); i++ {
+			f := c.pending[i]
+			if w := c.pickWorkerLocked(f); w != nil {
+				f.queued = false
+				w.inflight++
+				c.dispatched++
+				c.wg.Add(1)
+				go c.execOnWorker(w, f)
+				continue
+			}
+			if c.engine != nil && c.localInflight < c.cfg.LocalSlots {
+				f.queued = false
+				c.localInflight++
+				c.wg.Add(1)
+				go c.execLocal(f)
+				continue
+			}
+			rest = append(rest, f)
+		}
+		c.pending = rest
+		if len(c.pending) > 0 {
+			// Out of capacity — wait for an exec to finish or a tick.
+			c.cond.Wait()
+		}
+	}
+}
+
+// tick periodically wakes the scheduler so quarantined workers get retried
+// once their cooldown lapses even when no other event fires.
+func (c *Coordinator) tick() {
+	defer c.wg.Done()
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.rootCtx.Done():
+			return
+		case <-t.C:
+			c.cond.Broadcast()
+		}
+	}
+}
+
+// dispatchableLocked reports whether any queued point could dispatch now.
+func (c *Coordinator) dispatchableLocked() bool {
+	if len(c.pending) == 0 {
+		return false
+	}
+	if c.engine != nil && c.localInflight < c.cfg.LocalSlots {
+		return true
+	}
+	for _, f := range c.pending {
+		if c.pickableWorkerLocked(f) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) pickableWorkerLocked(f *flight) bool {
+	return c.pickWorkerAtLocked(f, false) != nil
+}
+
+// pickWorkerLocked selects a worker for f, preferring (a) healthy workers
+// with free slots and (b) a node other than the one that just failed the
+// point — the idle-node fan-out rule. Quarantined workers become eligible
+// again after workerCooldown. Round-robin over registration order spreads
+// load evenly.
+func (c *Coordinator) pickWorkerLocked(f *flight) *worker {
+	return c.pickWorkerAtLocked(f, true)
+}
+
+func (c *Coordinator) pickWorkerAtLocked(f *flight, advance bool) *worker {
+	n := len(c.workerOrder)
+	if n == 0 {
+		return nil
+	}
+	now := time.Now()
+	var fallback *worker // eligible but same node as the last failure
+	for i := 0; i < n; i++ {
+		w := c.workers[c.workerOrder[(c.rr+i)%n]]
+		if w.inflight >= c.cfg.WorkerSlots {
+			continue
+		}
+		if !w.unhealthyAt.IsZero() && now.Sub(w.unhealthyAt) < workerCooldown {
+			continue
+		}
+		if w.id == f.lastWorker {
+			if fallback == nil {
+				fallback = w
+			}
+			continue
+		}
+		if advance {
+			c.rr = (c.rr + i + 1) % n
+		}
+		return w
+	}
+	return fallback
+}
+
+// execOnWorker runs one point on a worker daemon: submit (with 429/503
+// retry honoring the server's Retry-After), wait for the terminal state,
+// fetch the result. Success lands in the store and resolves every waiting
+// matrix; failure re-queues the point with exponential backoff or fails
+// its matrices after MaxAttempts.
+func (c *Coordinator) execOnWorker(w *worker, f *flight) {
+	defer c.wg.Done()
+	ctx, cancel := context.WithTimeout(c.rootCtx, c.cfg.PointTimeout)
+	defer cancel()
+	res, by, err := runPoint(ctx, w.client, f.req)
+
+	c.mu.Lock()
+	w.inflight--
+	if err != nil {
+		w.failures++
+		w.consecFails++
+		w.lastErr = err.Error()
+		if w.consecFails >= 3 && w.unhealthyAt.IsZero() {
+			w.unhealthyAt = time.Now()
+			c.logf("worker=%s quarantined after %d consecutive failures: %v", w.id, w.consecFails, err)
+		}
+		c.pointFailedLocked(f, w.id, err)
+		c.mu.Unlock()
+		return
+	}
+	w.completed++
+	w.consecFails = 0
+	w.lastErr = ""
+	if by == "" {
+		by = w.id
+	}
+	c.mu.Unlock()
+
+	c.pointDone(f, res, by)
+}
+
+// execLocal runs one point on the coordinator's own engine.
+func (c *Coordinator) execLocal(f *flight) {
+	defer c.wg.Done()
+	ctx, cancel := context.WithTimeout(c.rootCtx, c.cfg.PointTimeout)
+	defer cancel()
+	res, err := c.engine.Simulate(ctx, optionsForPoint(f.req))
+
+	c.mu.Lock()
+	c.localInflight--
+	if err != nil {
+		c.pointFailedLocked(f, c.nodeID, err)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	c.pointDone(f, res, c.nodeID)
+}
+
+// pointDone persists a computed result and resolves its flight. The store
+// append happens outside c.mu (lock order: c.mu is never held across
+// store.mu acquisition from exec goroutines).
+func (c *Coordinator) pointDone(f *flight, res prisim.Result, by string) {
+	if err := c.store.Put(Entry{
+		Key:        f.key,
+		Kernel:     c.kernel,
+		ComputedBy: by,
+		Created:    time.Now(),
+		Request:    f.req,
+		Result:     res,
+	}); err != nil {
+		c.logf("point=%.12s store append failed: %v", f.key, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.flights, f.key)
+	for i, mr := range f.waiters {
+		src := srcJoin
+		if i == 0 && mr == f.owner {
+			src = srcExec
+		}
+		c.recordPointLocked(mr, f.key, res, by, src)
+	}
+	c.cond.Broadcast()
+}
+
+// pointFailedLocked re-queues a failed point with exponential backoff, or —
+// once attempts are exhausted — fails every matrix waiting on it. Callers
+// hold c.mu.
+func (c *Coordinator) pointFailedLocked(f *flight, nodeID string, err error) {
+	f.attempts++
+	f.lastWorker = nodeID
+	f.lastErr = err.Error()
+	if c.closed {
+		return
+	}
+	if f.attempts >= c.cfg.MaxAttempts {
+		delete(c.flights, f.key)
+		c.logf("point=%.12s failed after %d attempts: %v", f.key, f.attempts, err)
+		for _, mr := range f.waiters {
+			c.failRunLocked(mr, fmt.Sprintf("point %s/%s (key %.12s...) failed after %d attempts: %v",
+				f.req.Benchmark, f.req.Policy, f.key, f.attempts, err))
+		}
+		return
+	}
+	backoff := c.cfg.RetryBackoff << (f.attempts - 1)
+	if max := 5 * time.Second; backoff > max {
+		backoff = max
+	}
+	c.logf("point=%.12s attempt=%d node=%s error=%v; retrying in %s", f.key, f.attempts, nodeID, err, backoff)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-c.rootCtx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		c.mu.Lock()
+		if !c.closed && !f.queued {
+			f.queued = true
+			c.pending = append(c.pending, f)
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}()
+}
+
+// runPoint drives one point through a worker's job API: submit, wait,
+// fetch. Queue-full backpressure retries with the server's suggested
+// delay until the point context expires.
+func runPoint(ctx context.Context, client *prisimclient.Client, req prisimclient.JobRequest) (prisim.Result, string, error) {
+	var job *prisimclient.Job
+	for {
+		var err error
+		job, err = client.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		var apiErr *prisimclient.APIError
+		retryable := errors.Is(err, prisimclient.ErrQueueFull) ||
+			(errors.As(err, &apiErr) && apiErr.StatusCode == 503)
+		if !retryable {
+			return prisim.Result{}, "", fmt.Errorf("submit: %w", err)
+		}
+		delay := 100 * time.Millisecond
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+			delay = apiErr.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return prisim.Result{}, "", fmt.Errorf("submit: %w", ctx.Err())
+		case <-time.After(delay):
+		}
+	}
+	done, err := client.Wait(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		return prisim.Result{}, "", fmt.Errorf("wait %s: %w", job.ID, err)
+	}
+	if done.State != prisimclient.StateDone {
+		return prisim.Result{}, "", fmt.Errorf("job %s finished %s: %s", job.ID, done.State, done.Error)
+	}
+	jr, err := client.Result(ctx, job.ID)
+	if err != nil {
+		return prisim.Result{}, "", fmt.Errorf("result %s: %w", job.ID, err)
+	}
+	if jr.Result == nil {
+		return prisim.Result{}, "", fmt.Errorf("job %s: done without a simulate result", job.ID)
+	}
+	return *jr.Result, jr.ComputedBy, nil
+}
+
+// optionsForPoint maps a fully explicit point request onto engine options.
+func optionsForPoint(req prisimclient.JobRequest) prisim.Options {
+	return prisim.Options{
+		Benchmark:         req.Benchmark,
+		Width:             req.Width,
+		Policy:            prisim.Policy(req.Policy),
+		PhysRegs:          req.PhysRegs,
+		RenameInline:      req.RenameInline,
+		DelayedAllocation: req.DelayedAllocation,
+		FastForward:       req.FastForward,
+		Run:               req.Run,
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"prisim/internal/fabric"
+	"prisim/prisimclient"
+)
+
+// The fabric control plane: thin HTTP bindings over the Coordinator,
+// mounted by Handler when Config.Coordinator is set. Error mapping follows
+// the job API's conventions — 404 unknown, 409 not-ready, uniform JSON
+// error bodies.
+
+func (s *Server) handleMatrixSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec prisimclient.Matrix
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	st, created, err := s.coord.SubmitMatrix(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusOK // duplicate submission coalesced onto the existing matrix
+	if created {
+		code = http.StatusAccepted
+	}
+	w.Header().Set("Location", "/api/v1/fabric/matrices/"+st.ID)
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleMatrixList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Matrices())
+}
+
+func (s *Server) handleMatrixStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.coord.MatrixStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMatrixResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.coord.MatrixResult(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, fabric.ErrNoSuchMatrix):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, fabric.ErrMatrixNotDone):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		// The matrix failed; its result is gone for good.
+		writeError(w, http.StatusGone, err.Error())
+	}
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req prisimclient.RegisterWorkerRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.URL == "" {
+		writeError(w, http.StatusBadRequest, "worker registration requires a url")
+		return
+	}
+	info, err := s.coord.RegisterWorker(r.Context(), req.URL)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, info)
+	case errors.Is(err, fabric.ErrVersionSkew):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Workers())
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.coord.DeregisterWorker(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

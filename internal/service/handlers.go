@@ -28,27 +28,62 @@ const maxBodyBytes = 1 << 20
 //	GET    /api/v1/version          build version
 //	GET    /metrics                 Prometheus text format
 //	GET    /healthz, /readyz        liveness / readiness
+//
+// Every /api/v1 route is also served at its legacy unversioned path
+// (e.g. POST /jobs) for one release; legacy responses carry a
+// "Deprecation: true" header so callers can find themselves before the
+// aliases disappear. When a fabric Coordinator is configured, the control
+// plane mounts under /api/v1/fabric:
+//
+//	POST   /api/v1/fabric/matrices             submit a matrix (202/200)
+//	GET    /api/v1/fabric/matrices             list matrices
+//	GET    /api/v1/fabric/matrices/{id}        matrix status
+//	GET    /api/v1/fabric/matrices/{id}/result finished matrix's tables+points
+//	POST   /api/v1/fabric/workers              register a worker daemon
+//	GET    /api/v1/fabric/workers              list workers
+//	DELETE /api/v1/fabric/workers/{id}         deregister
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /api/v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route under /api/v1 and, for the legacy-alias
+	// release window, under its old unversioned path with a Deprecation
+	// header.
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /api/v1"+path, h)
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</api/v1`+path+`>; rel="successor-version"`)
+			h(w, r)
+		})
+	}
+	handle("POST", "/jobs", s.handleSubmit)
+	handle("GET", "/jobs", s.handleList)
+	handle("GET", "/jobs/{id}", s.handleStatus)
+	handle("GET", "/jobs/{id}/result", s.handleResult)
+	handle("GET", "/jobs/{id}/events", s.handleEvents)
+	handle("DELETE", "/jobs/{id}", s.handleCancel)
+	handle("GET", "/benchmarks", func(w http.ResponseWriter, r *http.Request) {
 		names := []string{}
 		for _, b := range prisim.Benchmarks() {
 			names = append(names, b.Name)
 		}
 		writeJSON(w, http.StatusOK, names)
 	})
-	mux.HandleFunc("GET /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, prisim.ExperimentNames())
 	})
-	mux.HandleFunc("GET /api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"version": prisim.Version})
 	})
+	if s.coord != nil {
+		// The fabric control plane is v1-native: no legacy aliases.
+		mux.HandleFunc("POST /api/v1/fabric/matrices", s.handleMatrixSubmit)
+		mux.HandleFunc("GET /api/v1/fabric/matrices", s.handleMatrixList)
+		mux.HandleFunc("GET /api/v1/fabric/matrices/{id}", s.handleMatrixStatus)
+		mux.HandleFunc("GET /api/v1/fabric/matrices/{id}/result", s.handleMatrixResult)
+		mux.HandleFunc("POST /api/v1/fabric/workers", s.handleWorkerRegister)
+		mux.HandleFunc("GET /api/v1/fabric/workers", s.handleWorkerList)
+		mux.HandleFunc("DELETE /api/v1/fabric/workers/{id}", s.handleWorkerDeregister)
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -147,6 +182,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrCacheKeyMismatch):
+		writeError(w, http.StatusConflict, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -180,8 +217,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	v := j.view()
 	switch v.State {
 	case prisimclient.StateDone:
-		res, tables := j.payload()
-		writeJSON(w, http.StatusOK, prisimclient.JobResult{ID: j.id, Result: res, Tables: tables})
+		res, tables, by := j.payload()
+		writeJSON(w, http.StatusOK, prisimclient.JobResult{
+			ID: j.id, Result: res, Tables: tables,
+			KernelVersion: prisim.Version, CacheKey: j.cacheKey, ComputedBy: by,
+		})
 	case prisimclient.StateFailed, prisimclient.StateCancelled:
 		writeError(w, http.StatusGone, "job "+string(v.State)+": "+v.Error)
 	default:
@@ -213,8 +253,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tracked := len(s.jobs)
 	draining := s.draining
 	s.mu.Unlock()
+	var store storeSample
+	if s.store != nil {
+		store.present = true
+		store.entries, store.hits, store.misses = s.store.Stats()
+	}
 	var sb strings.Builder
-	s.metrics.render(&sb, s.engine.CacheStats(), depth, capacity, running, tracked, draining)
+	s.metrics.render(&sb, s.engine.CacheStats(), depth, capacity, running, tracked, draining, store)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(sb.String()))
 }

@@ -12,8 +12,9 @@ import (
 // job is the server-side state of one submitted request. The exported view
 // (prisimclient.Job) is produced under the job's lock by view().
 type job struct {
-	id  string
-	req prisimclient.JobRequest
+	id       string
+	req      prisimclient.JobRequest
+	cacheKey string // content hash of a simulate point; "" for experiments; set before enqueue, immutable after
 
 	ctx    context.Context    // derived from the server's root context
 	cancel context.CancelFunc // DELETE and drain-deadline both land here
@@ -25,8 +26,9 @@ type job struct {
 	created   time.Time             // guarded by mu
 	started   time.Time             // guarded by mu
 	finished  time.Time             // guarded by mu
-	result    *prisim.Result        // guarded by mu; simulate jobs
-	tables    []prisim.Table        // guarded by mu; experiment jobs
+	result     *prisim.Result // guarded by mu; simulate jobs
+	tables     []prisim.Table // guarded by mu; experiment jobs
+	computedBy string         // guarded by mu; node that produced the result
 	subs      map[chan prisimclient.Event]struct{} // guarded by mu
 	doneCh    chan struct{} // closed when the job reaches a terminal state
 	cancelAsk bool          // guarded by mu; DELETE arrived (distinguishes cancel from timeout)
@@ -55,14 +57,17 @@ func (j *job) view() prisimclient.Job {
 
 func (j *job) viewLocked() prisimclient.Job {
 	return prisimclient.Job{
-		ID:       j.id,
-		Request:  j.req,
-		State:    j.state,
-		Error:    j.errMsg,
-		Progress: prisimclient.Progress{Done: j.done, Total: j.tot},
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
+		ID:            j.id,
+		Request:       j.req,
+		State:         j.state,
+		Error:         j.errMsg,
+		Progress:      prisimclient.Progress{Done: j.done, Total: j.tot},
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
+		KernelVersion: prisim.Version,
+		CacheKey:      j.cacheKey,
+		ComputedBy:    j.computedBy,
 	}
 }
 
@@ -163,6 +168,13 @@ func (j *job) cancelRequested() bool {
 	return j.cancelAsk
 }
 
+// setComputedBy records which node's engine produced the job's result.
+func (j *job) setComputedBy(node string) {
+	j.mu.Lock()
+	j.computedBy = node
+	j.mu.Unlock()
+}
+
 // setResult stores a finished job's payload (before finish flips the state).
 func (j *job) setResult(res *prisim.Result, tables []prisim.Table) {
 	j.mu.Lock()
@@ -171,11 +183,12 @@ func (j *job) setResult(res *prisim.Result, tables []prisim.Table) {
 	j.mu.Unlock()
 }
 
-// payload returns the stored result (valid once state == done).
-func (j *job) payload() (*prisim.Result, []prisim.Table) {
+// payload returns the stored result and its provenance (valid once state ==
+// done).
+func (j *job) payload() (*prisim.Result, []prisim.Table, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.result, j.tables
+	return j.result, j.tables, j.computedBy
 }
 
 // stateNow returns the current state.

@@ -26,6 +26,7 @@ type metrics struct {
 
 	terminal map[prisimclient.JobState]uint64 // guarded by mu; done/failed/cancelled counts
 	panics   uint64                           // guarded by mu
+	storeHit uint64                           // guarded by mu; simulate jobs served from the durable store
 
 	latencies []time.Duration // guarded by mu; ring of recent terminal job latencies
 	latNext   int             // guarded by mu
@@ -42,6 +43,7 @@ func (m *metrics) incSubmitted()   { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
 func (m *metrics) incRejected()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) incHTTPRequest() { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
 func (m *metrics) incPanics()      { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+func (m *metrics) incStoreHit()    { m.mu.Lock(); m.storeHit++; m.mu.Unlock() }
 
 // observeTerminal records a job reaching a terminal state after latency
 // (measured from submit so queueing delay counts — that is what a client
@@ -76,12 +78,21 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
+// storeSample is a point-in-time snapshot of the durable result store for
+// the metrics page; present is false on servers running without one.
+type storeSample struct {
+	present      bool
+	entries      int
+	hits, misses uint64
+}
+
 // render writes the metrics page in Prometheus text exposition format.
-// queueDepth/queueCap/running/jobsTracked are sampled by the caller;
+// queueDepth/queueCap/running/jobsTracked/store are sampled by the caller;
 // cache comes from the shared Engine.
-func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDepth, queueCap, running, jobsTracked int, draining bool) {
+func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDepth, queueCap, running, jobsTracked int, draining bool, store storeSample) {
 	m.mu.Lock()
 	submitted, rejected, httpReqs, panics := m.submitted, m.rejected, m.httpRequests, m.panics
+	storeHit := m.storeHit
 	terminal := make(map[prisimclient.JobState]uint64, len(m.terminal))
 	for k, v := range m.terminal {
 		terminal[k] = v
@@ -121,6 +132,13 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 		d = 1
 	}
 	gauge("prisimd_draining", "1 while the server is draining (readyz fails).", d)
+
+	if store.present {
+		gauge("prisimd_store_entries", "Results in the durable content-addressed store.", store.entries)
+		counter("prisimd_store_hits_total", "Store lookups that found an entry.", store.hits)
+		counter("prisimd_store_misses_total", "Store lookups that found nothing.", store.misses)
+		counter("prisimd_jobs_store_served_total", "Simulate jobs resolved from the durable store without an engine run.", storeHit)
+	}
 
 	counter("prisimd_cache_runs_executed_total", "Distinct simulations executed by the shared engine.", uint64(cache.Executed))
 	counter("prisimd_cache_hits_total", "Requests answered from the completed-run cache.", uint64(cache.Hits))

@@ -20,14 +20,19 @@ import (
 	"time"
 
 	"prisim"
+	"prisim/internal/fabric"
 	"prisim/prisimclient"
 )
 
-// Submission errors surfaced by Submit (the HTTP layer maps them to 429
-// and 503).
+// Submission errors surfaced by Submit (the HTTP layer maps them to 429,
+// 503, and 409).
 var (
 	ErrQueueFull = errors.New("job queue full")
 	ErrDraining  = errors.New("server is draining")
+	// ErrCacheKeyMismatch rejects a simulate request whose client-computed
+	// cache key disagrees with the server's — almost always kernel-version
+	// skew between the submitting node and this one.
+	ErrCacheKeyMismatch = errors.New("cache key mismatch")
 )
 
 // Config sizes a Server. The zero value selects sane defaults.
@@ -46,6 +51,17 @@ type Config struct {
 	Logger *log.Logger
 	// Engine overrides the server-built engine (tests); normally nil.
 	Engine *prisim.Engine
+
+	// NodeID stamps ComputedBy on results this node executes; "" selects
+	// "local".
+	NodeID string
+	// Store, when non-nil, is the durable content-addressed result store:
+	// simulate jobs whose point is already recorded resolve from it without
+	// touching the engine, and fresh results are appended to it.
+	Store *fabric.Store
+	// Coordinator, when non-nil, mounts the fabric control plane
+	// (/api/v1/fabric/...) on this server's handler.
+	Coordinator *fabric.Coordinator
 }
 
 // Server owns the job queue, worker pool, job registry, and metrics. Create
@@ -55,6 +71,9 @@ type Server struct {
 	engine  *prisim.Engine
 	logger  *log.Logger
 	metrics *metrics
+	nodeID  string
+	store   *fabric.Store // nil when the server runs without durability
+	coord   *fabric.Coordinator
 
 	rootCtx  context.Context // parent of every job context
 	rootStop context.CancelFunc
@@ -88,11 +107,18 @@ func New(cfg Config) *Server {
 	}
 	//lint:ignore ctxcheck the server owns this lifecycle root: every job context derives from it and Close/Drain cancel it
 	ctx, stop := context.WithCancel(context.Background())
+	nodeID := cfg.NodeID
+	if nodeID == "" {
+		nodeID = "local"
+	}
 	s := &Server{
 		cfg:      cfg,
 		engine:   eng,
 		logger:   cfg.Logger,
 		metrics:  newMetrics(),
+		nodeID:   nodeID,
+		store:    cfg.Store,
+		coord:    cfg.Coordinator,
 		rootCtx:  ctx,
 		rootStop: stop,
 		queue:    make(chan *job, cfg.QueueDepth),
@@ -152,6 +178,28 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 		}
 	}
 
+	// Content-address the point: resolve the effective budget (request, then
+	// server config, then the universal defaults inside CacheKeyFor) and hash
+	// it. A client-supplied key must agree — a mismatch means the client
+	// hashed different inputs than this node will simulate, almost always
+	// kernel-version skew, and trusting it would poison every store keyed on
+	// the hash.
+	var cacheKey string
+	if req.Kind == prisimclient.KindSimulate {
+		eff := req
+		if eff.FastForward == 0 {
+			eff.FastForward = s.cfg.Budget.FastForward
+		}
+		if eff.Run == 0 {
+			eff.Run = s.cfg.Budget.Run
+		}
+		cacheKey = prisimclient.CacheKeyFor(prisim.Version, eff)
+		if req.CacheKey != "" && req.CacheKey != cacheKey {
+			return nil, fmt.Errorf("%w: client sent %.12s..., server (kernel %s) computes %.12s...",
+				ErrCacheKeyMismatch, req.CacheKey, prisim.Version, cacheKey)
+		}
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -160,6 +208,7 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, req, s.rootCtx, time.Now())
+	j.cacheKey = cacheKey
 	select {
 	case s.queue <- j:
 	default:
@@ -246,11 +295,32 @@ func (s *Server) runJob(j *job) {
 	started := time.Now()
 	switch j.req.Kind {
 	case prisimclient.KindSimulate:
+		if s.store != nil {
+			if e, ok := s.store.Get(j.cacheKey); ok {
+				// Warm in the durable store: the result is a pure function of
+				// the hashed inputs, so serve it without touching the engine.
+				res := e.Result
+				j.setComputedBy(e.ComputedBy)
+				j.setProgress(1, 1)
+				j.setResult(&res, nil)
+				s.metrics.incStoreHit()
+				break
+			}
+		}
 		var res prisim.Result
 		res, err = eng.Simulate(ctx, j.req.Options())
 		if err == nil {
+			j.setComputedBy(s.nodeID)
 			j.setResult(&res, nil)
 			s.metrics.observeSimulate(res.Committed, time.Since(started))
+			if s.store != nil {
+				if perr := s.store.Put(fabric.Entry{
+					Key: j.cacheKey, Kernel: prisim.Version, ComputedBy: s.nodeID,
+					Created: time.Now(), Request: j.req, Result: res,
+				}); perr != nil {
+					s.logf("job=%s store append failed: %v", j.id, perr)
+				}
+			}
 		}
 	case prisimclient.KindExperiment:
 		var tables []prisim.Table

@@ -34,7 +34,7 @@ func boot(t *testing.T, cfg Config) (*Server, *prisimclient.Client) {
 		srv.Close()
 		ts.Close()
 	})
-	return srv, prisimclient.New(ts.URL, nil)
+	return srv, prisimclient.NewClient(ts.URL)
 }
 
 // waitState polls until the job reaches want (or any terminal state) and
@@ -312,7 +312,7 @@ func TestDrainGraceful(t *testing.T) {
 
 	srv := New(Config{Workers: 2})
 	ts := httptest.NewServer(srv.Handler())
-	c := prisimclient.New(ts.URL, nil)
+	c := prisimclient.NewClient(ts.URL)
 
 	j, err := c.Submit(bg, prisimclient.JobRequest{
 		Kind: prisimclient.KindSimulate, Benchmark: "mcf",

@@ -73,6 +73,16 @@ func (p Policy) IsPRI() bool {
 	return ok && cp.PRI
 }
 
+// The paper-methodology per-run measurement budget defaults: every zero
+// FastForward/Run field — in Options, in service requests, and in fabric
+// matrices — resolves to these values. They are part of the content-hash
+// schema (prisimclient.CacheKeyFor), so they are exported constants rather
+// than tunables.
+const (
+	DefaultFastForward = 20_000
+	DefaultRun         = 80_000
+)
+
 // Options selects a simulation point.
 type Options struct {
 	Benchmark string // a workload name (see Benchmarks)

@@ -2,9 +2,18 @@
 // service: the wire types of its HTTP/JSON API (shared with the server
 // implementation in internal/service) and a Client that submits jobs,
 // polls or streams their progress, and fetches results.
+//
+// The wire surface is versioned: every endpoint lives under /api/v1 (the
+// client's default base path). The unversioned paths prisimd also serves
+// are deprecated aliases kept for one release; select them with
+// WithBasePath(""). Wire type v1 additions over the original v0 shapes are
+// strictly additive — CacheKey on requests, KernelVersion / CacheKey /
+// ComputedBy on responses — so recorded v0 payloads keep decoding.
 package prisimclient
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"time"
@@ -53,6 +62,13 @@ type JobRequest struct {
 	// Per-run measurement budget; zero fields take the server defaults.
 	FastForward uint64 `json:"fast_forward,omitempty"`
 	Run         uint64 `json:"run,omitempty"`
+
+	// CacheKey is the optional client-computed content hash of the point
+	// (CacheKeyFor). When set on a simulate request, the server verifies it
+	// against its own hash and rejects a mismatch with 409 — which is how
+	// the fabric coordinator detects kernel-version skew on a worker before
+	// trusting its results. Experiment requests must leave it empty.
+	CacheKey string `json:"cache_key,omitempty"`
 }
 
 // Validate checks the request shape without consulting the engine (the
@@ -77,7 +93,52 @@ func (r JobRequest) Validate() error {
 	default:
 		return fmt.Errorf("unknown job kind %q (want %q or %q)", r.Kind, KindSimulate, KindExperiment)
 	}
+	if r.Kind == KindExperiment && r.CacheKey != "" {
+		return errors.New("experiment job must not set cache_key (experiments are not single content-addressed points)")
+	}
 	return nil
+}
+
+// CacheKeySchema names the content-hash schema CacheKeyFor implements; it
+// is folded into the hash so a future schema change can never collide with
+// v1 keys.
+const CacheKeySchema = "prisim-point-v1"
+
+// CacheKeyFor returns the SHA-256 content hash (hex) that addresses one
+// simulate point: a deterministic digest of (kernel version, workload,
+// policy, machine parameters, measurement budget). Because prilint's
+// determinism analyzer guarantees a simulation is a pure function of
+// exactly those inputs, the key is valid forever — it is how the fabric's
+// durable store and cross-node coalescing identify results.
+//
+// Defaulted fields are normalized before hashing (width 0 -> 4, empty
+// policy -> "base", zero budget -> prisim.DefaultFastForward/DefaultRun;
+// PhysRegs 0 means "machine default" and hashes as 0), so a request and
+// its explicit-default spelling share a key. Servers normalize a zero
+// budget to their own configured default before hashing, which is why the
+// fabric always dispatches points with an explicit budget.
+func CacheKeyFor(kernelVersion string, r JobRequest) string {
+	width := r.Width
+	if width == 0 {
+		width = 4
+	}
+	policy := r.Policy
+	if policy == "" {
+		policy = string(prisim.PolicyBase)
+	}
+	ff := r.FastForward
+	if ff == 0 {
+		ff = prisim.DefaultFastForward
+	}
+	run := r.Run
+	if run == 0 {
+		run = prisim.DefaultRun
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nkernel=%s\nbench=%s\nwidth=%d\npolicy=%s\nphys_regs=%d\nrename_inline=%t\ndelayed_alloc=%t\nfast_forward=%d\nrun=%d\n",
+		CacheKeySchema, kernelVersion, r.Benchmark, width, policy, r.PhysRegs,
+		r.RenameInline, r.DelayedAllocation, ff, run)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Options converts the request's simulation parameters to engine options.
@@ -116,6 +177,15 @@ type Job struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
+
+	// Content-addressing metadata (v1 additions). KernelVersion is the
+	// server's build; CacheKey is the server-computed content hash of a
+	// simulate point (empty for experiments); ComputedBy identifies the
+	// node whose engine produced — or, for a durable-store hit, originally
+	// produced — the result.
+	KernelVersion string `json:"kernel_version,omitempty"`
+	CacheKey      string `json:"cache_key,omitempty"`
+	ComputedBy    string `json:"computed_by,omitempty"`
 }
 
 // JobResult is the body of GET /api/v1/jobs/{id}/result: exactly one of
@@ -124,6 +194,11 @@ type JobResult struct {
 	ID     string         `json:"id"`
 	Result *prisim.Result `json:"result,omitempty"`
 	Tables []prisim.Table `json:"tables,omitempty"`
+
+	// Content-addressing metadata (v1 additions); see Job.
+	KernelVersion string `json:"kernel_version,omitempty"`
+	CacheKey      string `json:"cache_key,omitempty"`
+	ComputedBy    string `json:"computed_by,omitempty"`
 }
 
 // Text renders an experiment result as the aligned fixed-width tables the
@@ -143,6 +218,122 @@ type Event struct {
 	State    JobState `json:"state"`
 	Error    string   `json:"error,omitempty"`
 	Progress Progress `json:"progress"`
+}
+
+// Matrix is an experiment matrix for the fabric coordinator (the body of
+// POST /api/v1/fabric/matrices): the cross product of Benchmarks x Policies
+// x Widths x PhysRegs at one measurement budget. The coordinator expands it
+// into content-addressed simulate points, serves warm points from its
+// durable store, and shards cold points across registered workers.
+type Matrix struct {
+	Benchmarks []string `json:"benchmarks"`
+	Policies   []string `json:"policies"`
+	Widths     []int    `json:"widths,omitempty"`    // empty = [4]
+	PhysRegs   []int    `json:"phys_regs,omitempty"` // empty = [0] (machine default)
+
+	// Per-run measurement budget; zero fields take the universal defaults
+	// (prisim.DefaultFastForward / prisim.DefaultRun), never a node-local
+	// override, so a matrix names the same points on every coordinator.
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	Run         uint64 `json:"run,omitempty"`
+}
+
+// Validate checks the matrix's shape without consulting the engine (the
+// coordinator additionally validates benchmark and policy names at submit).
+func (m Matrix) Validate() error {
+	if len(m.Benchmarks) == 0 {
+		return errors.New("matrix requires at least one benchmark")
+	}
+	if len(m.Policies) == 0 {
+		return errors.New("matrix requires at least one policy")
+	}
+	for _, w := range m.Widths {
+		if w != 4 && w != 8 {
+			return fmt.Errorf("matrix width must be 4 or 8, got %d", w)
+		}
+	}
+	for _, n := range m.PhysRegs {
+		if n != 0 && n < 32 {
+			return fmt.Errorf("matrix phys_regs must be 0 (machine default) or at least 32, got %d", n)
+		}
+	}
+	for name, vals := range map[string][]string{"benchmarks": m.Benchmarks, "policies": m.Policies} {
+		seen := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			if seen[v] {
+				return fmt.Errorf("duplicate %s entry %q", name, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// MatrixStatus is a matrix's lifecycle view, returned by the fabric submit,
+// status, and list endpoints. Points = StoreHits + Executed + Coalesced
+// once the matrix is done: every point was served from the durable store,
+// computed for this matrix, or joined another matrix's in-flight point.
+type MatrixStatus struct {
+	ID            string   `json:"id"` // content-derived: identical specs share an ID
+	Spec          Matrix   `json:"spec"`
+	State         JobState `json:"state"`
+	Error         string   `json:"error,omitempty"`
+	Points        int      `json:"points"`
+	Done          int      `json:"done"`
+	StoreHits     int      `json:"store_hits"`
+	Executed      int      `json:"executed"`
+	Coalesced     int      `json:"coalesced"`
+	KernelVersion string   `json:"kernel_version"`
+
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished"`
+}
+
+// PointResult is one resolved point of a finished matrix.
+type PointResult struct {
+	CacheKey   string        `json:"cache_key"`
+	Request    JobRequest    `json:"request"`
+	Result     prisim.Result `json:"result"`
+	ComputedBy string        `json:"computed_by,omitempty"`
+}
+
+// MatrixResult is the body of GET /api/v1/fabric/matrices/{id}/result:
+// the assembled experiment tables plus every point's result and provenance,
+// so clients can re-derive the content addressing end to end.
+type MatrixResult struct {
+	ID            string         `json:"id"`
+	KernelVersion string         `json:"kernel_version"`
+	Tables        []prisim.Table `json:"tables"`
+	Points        []PointResult  `json:"points,omitempty"`
+}
+
+// Text renders the matrix result as aligned fixed-width tables.
+func (r MatrixResult) Text() string {
+	var out string
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// WorkerInfo is the coordinator's view of one registered worker daemon.
+type WorkerInfo struct {
+	ID         string    `json:"id"`
+	URL        string    `json:"url"`
+	Version    string    `json:"version"`
+	Healthy    bool      `json:"healthy"`
+	InFlight   int       `json:"in_flight"`
+	Completed  uint64    `json:"completed"`
+	Failures   uint64    `json:"failures"`
+	Registered time.Time `json:"registered"`
+	LastError  string    `json:"last_error,omitempty"`
+}
+
+// RegisterWorkerRequest is the body of POST /api/v1/fabric/workers. URL is
+// the worker daemon's externally reachable base URL; the coordinator probes
+// it and refuses registration on kernel-version skew.
+type RegisterWorkerRequest struct {
+	URL string `json:"url"`
 }
 
 // apiError is the JSON error body every non-2xx response carries.

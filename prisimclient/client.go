@@ -11,11 +11,24 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"prisim"
 )
 
-// ErrQueueFull is returned (wrapped in *APIError) when the server's job
-// queue is at capacity; the server suggests a retry delay via Retry-After.
-var ErrQueueFull = errors.New("job queue full")
+// Sentinel errors matched (via errors.Is) by the *APIError values Client
+// methods return for the corresponding HTTP statuses.
+var (
+	// ErrQueueFull matches 429 responses: the server's job queue is at
+	// capacity and suggests a retry delay via Retry-After.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrJobNotFound matches 404 responses: the server does not remember
+	// the requested job (or matrix/worker) ID.
+	ErrJobNotFound = errors.New("no such job")
+	// ErrCacheKeyMismatch matches 409 responses to submits that carried a
+	// client-computed CacheKey the server disagrees with — almost always
+	// kernel-version skew between client and server builds.
+	ErrCacheKeyMismatch = errors.New("cache key mismatch")
+)
 
 // APIError is a non-2xx response from the service.
 type APIError struct {
@@ -28,29 +41,112 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("prisimd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
-// Is lets errors.Is(err, ErrQueueFull) match 429 responses.
+// Is maps HTTP statuses onto the package sentinels: errors.Is(err,
+// ErrQueueFull) matches 429s, ErrJobNotFound matches 404s, and
+// ErrCacheKeyMismatch matches 409s whose message names a cache key.
 func (e *APIError) Is(target error) bool {
-	return target == ErrQueueFull && e.StatusCode == http.StatusTooManyRequests
+	switch target {
+	case ErrQueueFull:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrJobNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrCacheKeyMismatch:
+		return e.StatusCode == http.StatusConflict && strings.Contains(e.Message, "cache key")
+	}
+	return false
 }
+
+// DefaultBasePath is where the versioned v1 API lives on a prisimd server.
+const DefaultBasePath = "/api/v1"
 
 // Client talks to one prisimd server. The zero value is not usable; create
-// one with New. A Client is safe for concurrent use.
+// one with NewClient. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	basePath  string
+	hc        *http.Client
+	auth      string // Authorization header value, "" = none
+	userAgent string
 }
 
-// New returns a Client for the server at baseURL (e.g.
-// "http://localhost:8064"). hc nil selects http.DefaultClient.
-func New(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
+// Option configures a Client built by NewClient.
+type Option func(*Client)
+
+// WithHTTPClient selects the *http.Client used for every request (nil
+// keeps http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
-// do issues one request and decodes a JSON response into out (out nil
-// discards the body). Non-2xx responses decode into *APIError.
+// WithBasePath overrides the API base path mounted under the server URL.
+// The default is DefaultBasePath ("/api/v1"); the empty string selects the
+// deprecated unversioned alias paths kept for one release.
+func WithBasePath(p string) Option {
+	return func(c *Client) { c.basePath = strings.TrimRight(p, "/") }
+}
+
+// WithAuthHeader sets the Authorization header sent with every request,
+// e.g. WithAuthHeader("Bearer " + token). Empty disables it.
+func WithAuthHeader(value string) Option {
+	return func(c *Client) { c.auth = value }
+}
+
+// WithUserAgent overrides the User-Agent header (default
+// "prisimclient/<version>").
+func WithUserAgent(ua string) Option {
+	return func(c *Client) { c.userAgent = ua }
+}
+
+// NewClient returns a Client for the server at baseURL (e.g.
+// "http://localhost:8064") with the options applied.
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		basePath:  DefaultBasePath,
+		hc:        http.DefaultClient,
+		userAgent: "prisimclient/" + prisim.Version,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// New returns a Client for the server at baseURL. hc nil selects
+// http.DefaultClient.
+//
+// Deprecated: New is the v0 constructor. Use NewClient, which takes
+// functional options (WithHTTPClient, WithBasePath, WithAuthHeader,
+// WithUserAgent).
+func New(baseURL string, hc *http.Client) *Client {
+	return NewClient(baseURL, WithHTTPClient(hc))
+}
+
+// url joins the server URL, the API base path, and an endpoint path.
+func (c *Client) url(path string) string { return c.base + c.basePath + path }
+
+// newRequest builds a request with the client's standing headers applied.
+func (c *Client) newRequest(ctx context.Context, method, url string, rd io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if c.userAgent != "" {
+		req.Header.Set("User-Agent", c.userAgent)
+	}
+	if c.auth != "" {
+		req.Header.Set("Authorization", c.auth)
+	}
+	return req, nil
+}
+
+// do issues one request against the API base path and decodes a JSON
+// response into out (out nil discards the body). Non-2xx responses decode
+// into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -60,7 +156,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := c.newRequest(ctx, method, c.url(path), rd)
 	if err != nil {
 		return err
 	}
@@ -105,7 +201,7 @@ func decodeError(resp *http.Response) error {
 // whose *APIError carries the server's suggested RetryAfter.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 	var j Job
-	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &j); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/jobs", req, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
@@ -114,7 +210,7 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 // Job fetches one job's current state.
 func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	var j Job
-	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &j); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
@@ -123,7 +219,7 @@ func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 // Jobs lists every job the server still remembers, oldest first.
 func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 	var js []Job
-	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &js); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &js); err != nil {
 		return nil, err
 	}
 	return js, nil
@@ -133,7 +229,7 @@ func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 // (409) while the job is still queued or running.
 func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
 	var r JobResult
-	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, &r); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &r); err != nil {
 		return nil, err
 	}
 	return &r, nil
@@ -143,7 +239,7 @@ func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
 // job's view. Cancelling a terminal job is a no-op.
 func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	var j Job
-	if err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, &j); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
@@ -152,14 +248,14 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 // Benchmarks lists the server's workload names.
 func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 	var names []string
-	err := c.do(ctx, http.MethodGet, "/api/v1/benchmarks", nil, &names)
+	err := c.do(ctx, http.MethodGet, "/benchmarks", nil, &names)
 	return names, err
 }
 
 // Experiments lists the server's experiment names.
 func (c *Client) Experiments(ctx context.Context) ([]string, error) {
 	var names []string
-	err := c.do(ctx, http.MethodGet, "/api/v1/experiments", nil, &names)
+	err := c.do(ctx, http.MethodGet, "/experiments", nil, &names)
 	return names, err
 }
 
@@ -168,13 +264,13 @@ func (c *Client) Version(ctx context.Context) (string, error) {
 	var v struct {
 		Version string `json:"version"`
 	}
-	err := c.do(ctx, http.MethodGet, "/api/v1/version", nil, &v)
+	err := c.do(ctx, http.MethodGet, "/version", nil, &v)
 	return v.Version, err
 }
 
 // Metrics fetches the raw Prometheus-format metrics page.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -195,7 +291,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // connection drops. It returns the job's final event when the stream ended
 // because the job finished.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (*Event, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/jobs/"+id+"/events", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.url("/jobs/"+id+"/events"), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -240,13 +336,19 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (*Event,
 }
 
 // Wait blocks until the job reaches a terminal state and returns its final
-// view. It prefers the SSE stream and falls back to polling every pollEvery
-// (0 selects 200ms) if streaming is unavailable.
+// view. It prefers the SSE stream — one long-lived connection instead of a
+// poll loop — and falls back to polling every pollEvery (0 selects 200ms)
+// only when streaming is unavailable (proxy stripped the stream, server
+// without SSE). A job the server does not remember fails fast with an error
+// matching errors.Is(err, ErrJobNotFound) instead of entering the poll
+// loop.
 func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration) (*Job, error) {
 	if _, err := c.Stream(ctx, id, nil); err == nil {
 		return c.Job(ctx, id)
 	} else if ctx.Err() != nil {
 		return nil, ctx.Err()
+	} else if errors.Is(err, ErrJobNotFound) {
+		return nil, err
 	}
 	if pollEvery <= 0 {
 		pollEvery = 200 * time.Millisecond
@@ -267,4 +369,98 @@ func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration) (
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// --- Fabric endpoints (coordinator mode) ---
+
+// SubmitMatrix submits an experiment matrix to a fabric coordinator and
+// returns its status view. Matrix identity is content-derived: submitting
+// an identical spec — from this or any other client — returns the same
+// matrix ID and never recomputes a point that is warm in the coordinator's
+// durable store or already in flight.
+func (c *Client) SubmitMatrix(ctx context.Context, m Matrix) (*MatrixStatus, error) {
+	var st MatrixStatus
+	if err := c.do(ctx, http.MethodPost, "/fabric/matrices", m, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// MatrixStatus fetches one matrix's current status.
+func (c *Client) MatrixStatus(ctx context.Context, id string) (*MatrixStatus, error) {
+	var st MatrixStatus
+	if err := c.do(ctx, http.MethodGet, "/fabric/matrices/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Matrices lists every matrix the coordinator tracks, oldest first.
+func (c *Client) Matrices(ctx context.Context) ([]MatrixStatus, error) {
+	var sts []MatrixStatus
+	if err := c.do(ctx, http.MethodGet, "/fabric/matrices", nil, &sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// MatrixResult fetches a finished matrix's assembled tables and per-point
+// results. It fails with an *APIError (409) while the matrix is still
+// running.
+func (c *Client) MatrixResult(ctx context.Context, id string) (*MatrixResult, error) {
+	var r MatrixResult
+	if err := c.do(ctx, http.MethodGet, "/fabric/matrices/"+id+"/result", nil, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WaitMatrix polls until the matrix reaches a terminal state and returns
+// its final status. pollEvery 0 selects 200ms.
+func (c *Client) WaitMatrix(ctx context.Context, id string, pollEvery time.Duration) (*MatrixStatus, error) {
+	if pollEvery <= 0 {
+		pollEvery = 200 * time.Millisecond
+	}
+	t := time.NewTicker(pollEvery)
+	defer t.Stop()
+	for {
+		st, err := c.MatrixStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// RegisterWorker registers a worker daemon (by its externally reachable
+// base URL) with a fabric coordinator. Registration probes the worker and
+// fails on kernel-version skew; re-registering a known URL refreshes it and
+// clears its unhealthy state.
+func (c *Client) RegisterWorker(ctx context.Context, url string) (*WorkerInfo, error) {
+	var w WorkerInfo
+	if err := c.do(ctx, http.MethodPost, "/fabric/workers", RegisterWorkerRequest{URL: url}, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Workers lists the coordinator's registered workers.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var ws []WorkerInfo
+	if err := c.do(ctx, http.MethodGet, "/fabric/workers", nil, &ws); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// DeregisterWorker removes a worker from the coordinator's pool by ID.
+func (c *Client) DeregisterWorker(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/fabric/workers/"+id, nil, nil)
 }

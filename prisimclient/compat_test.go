@@ -1,0 +1,119 @@
+package prisimclient
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The v1 wire redesign is additive: every v0 field name must keep decoding
+// and re-encoding unchanged, so a v0 client and a v1 server (or the
+// reverse) interoperate during the alias window. The payloads below are
+// verbatim recordings of v0 traffic.
+
+const v0JobRequest = `{
+  "kind": "simulate",
+  "benchmark": "gzip",
+  "width": 8,
+  "policy": "pri-rc-ckpt",
+  "phys_regs": 48,
+  "rename_inline": true,
+  "fast_forward": 300,
+  "run": 1500
+}`
+
+const v0Job = `{
+  "id": "job-7",
+  "request": {"kind": "experiment", "experiment": "fig8"},
+  "state": "running",
+  "progress": {"done": 3, "total": 40},
+  "created": "2026-08-01T12:00:00Z",
+  "started": "2026-08-01T12:00:01Z",
+  "finished": "0001-01-01T00:00:00Z"
+}`
+
+const v0JobResult = `{
+  "id": "job-3",
+  "result": {"Benchmark": "gzip", "IPC": 1.234, "Committed": 1500}
+}`
+
+func TestV0JobRequestRoundTrip(t *testing.T) {
+	var req JobRequest
+	if err := json.Unmarshal([]byte(v0JobRequest), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindSimulate || req.Benchmark != "gzip" || req.Width != 8 ||
+		req.Policy != "pri-rc-ckpt" || req.PhysRegs != 48 || !req.RenameInline ||
+		req.FastForward != 300 || req.Run != 1500 {
+		t.Fatalf("v0 request decoded wrong: %+v", req)
+	}
+	out, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every v0 field name survives re-encoding, and the new optional field
+	// stays absent when unset (a v0 server never sees it).
+	for _, name := range []string{`"kind"`, `"benchmark"`, `"width"`, `"policy"`, `"phys_regs"`, `"rename_inline"`, `"fast_forward"`, `"run"`} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("re-encoded request lost v0 field %s: %s", name, out)
+		}
+	}
+	if strings.Contains(string(out), "cache_key") {
+		t.Errorf("unset cache_key must not appear on the wire: %s", out)
+	}
+}
+
+func TestV0JobDecodes(t *testing.T) {
+	var j Job
+	if err := json.Unmarshal([]byte(v0Job), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-7" || j.State != StateRunning || j.Progress.Done != 3 || j.Progress.Total != 40 {
+		t.Fatalf("v0 job decoded wrong: %+v", j)
+	}
+	if j.Request.Kind != KindExperiment || j.Request.Experiment != "fig8" {
+		t.Fatalf("v0 nested request decoded wrong: %+v", j.Request)
+	}
+	// v1 additions default to empty on v0 payloads.
+	if j.KernelVersion != "" || j.CacheKey != "" || j.ComputedBy != "" {
+		t.Errorf("v1 fields must be zero on a v0 payload: %+v", j)
+	}
+}
+
+func TestV0JobResultDecodes(t *testing.T) {
+	var r JobResult
+	if err := json.Unmarshal([]byte(v0JobResult), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "job-3" || r.Result == nil || r.Result.IPC != 1.234 || r.Result.Committed != 1500 {
+		t.Fatalf("v0 result decoded wrong: %+v", r)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"id"`, `"result"`} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("re-encoded result lost v0 field %s: %s", name, out)
+		}
+	}
+}
+
+func TestCacheKeyForNormalizesDefaults(t *testing.T) {
+	// A defaulted request and its explicit-default spelling are the same
+	// point, so they must hash identically; the key must be sensitive to
+	// the kernel version and to every hashed dimension.
+	a := JobRequest{Kind: KindSimulate, Benchmark: "gzip"}
+	b := JobRequest{Kind: KindSimulate, Benchmark: "gzip", Width: 4, Policy: "base", FastForward: 20_000, Run: 80_000}
+	if CacheKeyFor("v1", a) != CacheKeyFor("v1", b) {
+		t.Error("defaulted and explicit-default requests must share a cache key")
+	}
+	if CacheKeyFor("v1", a) == CacheKeyFor("v2", a) {
+		t.Error("kernel version must change the cache key")
+	}
+	c := a
+	c.PhysRegs = 48
+	if CacheKeyFor("v1", a) == CacheKeyFor("v1", c) {
+		t.Error("phys_regs must change the cache key")
+	}
+}
