@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench benchgate lint prilint staticcheck govulncheck
+.PHONY: build test race bench benchgate sweepgate lint prilint staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ bench:
 benchgate:
 	$(GO) test ./internal/ooo -run '^$$' -bench BenchmarkKernelSteadyState \
 		-benchtime 2s -count 3 | $(GO) run ./cmd/benchgate -frac 0.8
+
+# sweepgate is the cross-run sweep throughput gate: a cold fig8-mix sweep
+# (every integer workload × 8 policy points, default fast-forward, snapshot
+# layer on) must sustain at least 70% of the points/s floor recorded in
+# BENCH_harness.json (best of 3 sweeps). It catches the snapshot cache
+# silently degrading to per-point fast-forward replay.
+sweepgate:
+	$(GO) test ./internal/harness -run '^$$' -bench BenchmarkSweepFig8Mix \
+		-benchtime 1x -count 3 | $(GO) run ./cmd/benchgate \
+		-baseline BENCH_harness.json -bench BenchmarkSweepFig8Mix \
+		-metric points/s -floorkey sweep_points_per_sec_floor -frac 0.7
 
 # lint runs the project's own analyzer suite (always available: it is part
 # of this module) plus vet, then the pinned external linters when present.

@@ -1,18 +1,26 @@
-// Command benchgate is the CI benchmark-regression gate for the simulation
-// kernel. It reads `go test -bench` output (stdin or -in), extracts the
-// instr/s metric of BenchmarkKernelSteadyState, and fails if the best
-// observed rate falls below -frac of the floor recorded in BENCH_kernel.json
-// (acceptance.steady_state_instr_per_sec_floor):
+// Command benchgate is the CI benchmark-regression gate. It reads `go test
+// -bench` output (stdin or -in), extracts a named per-op metric of one
+// benchmark, and fails if the best observed value falls below -frac of the
+// floor recorded under a baseline JSON's acceptance object. The defaults
+// gate the kernel's steady-state throughput:
 //
 //	go test ./internal/ooo -run '^$' -bench BenchmarkKernelSteadyState \
 //	    -benchtime 2s -count 3 | go run ./cmd/benchgate -frac 0.8
 //
+// and the sweep-throughput gate reuses the same binary against the harness
+// record:
+//
+//	go test ./internal/harness -run '^$' -bench BenchmarkSweepFig8Mix \
+//	    -benchtime 1x -count 3 | go run ./cmd/benchgate \
+//	    -baseline BENCH_harness.json -bench BenchmarkSweepFig8Mix \
+//	    -metric points/s -floorkey sweep_points_per_sec_floor -frac 0.7
+//
 // Taking the best of -count runs and gating at a fraction of the recorded
 // floor keeps the gate meaningful on noisy shared CI machines: it catches
 // order-of-magnitude regressions (an allocation sneaking back into the hot
-// loop, the uop cache silently disabled) without flaking on scheduler
-// jitter. The floor is updated only by regenerating BENCH_kernel.json from
-// a measured run.
+// loop, the uop cache silently disabled, the snapshot cache no longer
+// sharing fast-forwards) without flaking on scheduler jitter. Floors are
+// updated only by regenerating the baseline record from a measured run.
 //
 // Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
 package main
@@ -36,9 +44,11 @@ func run() int {
 	baseline := flag.String("baseline", "BENCH_kernel.json", "benchmark record holding the floor")
 	in := flag.String("in", "-", "benchmark output to parse (- for stdin)")
 	bench := flag.String("bench", "BenchmarkKernelSteadyState", "benchmark name to gate on")
+	metric := flag.String("metric", "instr/s", "per-op metric unit to extract from benchmark lines")
+	floorKey := flag.String("floorkey", "steady_state_instr_per_sec_floor", "acceptance field holding the floor in the baseline record")
 	frac := flag.Float64("frac", 0.8, "minimum fraction of the recorded floor that must be sustained")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchgate [-baseline file] [-in file] [-bench name] [-frac f] < bench-output\n")
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-baseline file] [-in file] [-bench name] [-metric unit] [-floorkey key] [-frac f] < bench-output\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +57,7 @@ func run() int {
 		return 2
 	}
 
-	floor, err := loadFloor(*baseline)
+	floor, err := loadFloor(*baseline, *floorKey)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		return 1
@@ -63,51 +73,54 @@ func run() int {
 		defer f.Close()
 		r = f
 	}
-	best, runs, err := bestRate(r, *bench)
+	best, runs, err := bestRate(r, *bench, *metric)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		return 1
 	}
 
 	need := *frac * floor
-	fmt.Printf("benchgate: %s best %.0f instr/s over %d run(s); floor %.0f, gate %.0f (%.0f%%)\n",
-		*bench, best, runs, floor, need, 100**frac)
+	fmt.Printf("benchgate: %s best %.0f %s over %d run(s); floor %.0f, gate %.0f (%.0f%%)\n",
+		*bench, best, *metric, runs, floor, need, 100**frac)
 	if best < need {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.0f instr/s < %.0f (%.0f%% of recorded floor %.0f)\n",
-			best, need, 100**frac, floor)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %.0f %s < %.0f (%.0f%% of recorded floor %.0f)\n",
+			best, *metric, need, 100**frac, floor)
 		return 1
 	}
 	fmt.Println("benchgate: PASS")
 	return 0
 }
 
-// loadFloor pulls acceptance.steady_state_instr_per_sec_floor out of the
-// benchmark record.
-func loadFloor(path string) (float64, error) {
+// loadFloor pulls the named acceptance field out of the benchmark record.
+func loadFloor(path, key string) (float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
 	var doc struct {
-		Acceptance struct {
-			Floor float64 `json:"steady_state_instr_per_sec_floor"`
-		} `json:"acceptance"`
+		Acceptance map[string]json.RawMessage `json:"acceptance"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return 0, fmt.Errorf("%s: %v", path, err)
 	}
-	if doc.Acceptance.Floor <= 0 {
-		return 0, fmt.Errorf("%s: acceptance.steady_state_instr_per_sec_floor missing or non-positive", path)
+	var floor float64
+	if raw, ok := doc.Acceptance[key]; ok {
+		if err := json.Unmarshal(raw, &floor); err != nil {
+			return 0, fmt.Errorf("%s: acceptance.%s: %v", path, key, err)
+		}
 	}
-	return doc.Acceptance.Floor, nil
+	if floor <= 0 {
+		return 0, fmt.Errorf("%s: acceptance.%s missing or non-positive", path, key)
+	}
+	return floor, nil
 }
 
 // bestRate scans `go test -bench` output for lines of the named benchmark
-// and returns the highest instr/s value seen and how many runs matched.
-// Benchmark lines look like:
+// and returns the highest value of the named metric seen and how many runs
+// matched. Benchmark lines look like:
 //
 //	BenchmarkKernelSteadyState  	1527	1998848 ns/op	4990 instr/op	2496608 instr/s	...
-func bestRate(r io.Reader, bench string) (best float64, runs int, err error) {
+func bestRate(r io.Reader, bench, metric string) (best float64, runs int, err error) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -120,12 +133,12 @@ func bestRate(r io.Reader, bench string) (best float64, runs int, err error) {
 			continue
 		}
 		for i := 1; i < len(fields); i++ {
-			if fields[i] != "instr/s" {
+			if fields[i] != metric {
 				continue
 			}
 			v, perr := strconv.ParseFloat(fields[i-1], 64)
 			if perr != nil {
-				return 0, 0, fmt.Errorf("bad instr/s value %q: %v", fields[i-1], perr)
+				return 0, 0, fmt.Errorf("bad %s value %q: %v", metric, fields[i-1], perr)
 			}
 			runs++
 			if v > best {
@@ -138,7 +151,7 @@ func bestRate(r io.Reader, bench string) (best float64, runs int, err error) {
 		return 0, 0, err
 	}
 	if runs == 0 {
-		return 0, 0, fmt.Errorf("no %s lines with an instr/s metric found in input", bench)
+		return 0, 0, fmt.Errorf("no %s lines with a %s metric found in input", bench, metric)
 	}
 	return best, runs, nil
 }

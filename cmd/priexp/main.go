@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -25,14 +26,15 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"prisim"
 )
 
 func main() {
-	ff := flag.Uint64("ff", 0, "fast-forward instructions per run (0 = default 20k)")
-	run := flag.Uint64("run", 0, "measured instructions per run (0 = default 80k)")
+	ff := flag.Uint64("ff", 0, fmt.Sprintf("fast-forward instructions per run (0 = default %d)", prisim.DefaultFastForward))
+	run := flag.Uint64("run", 0, fmt.Sprintf("measured instructions per run (0 = default %d)", prisim.DefaultRun))
 	workers := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	svgDir := flag.String("svg", "", "also render each figure as SVG into this directory")
@@ -124,8 +126,10 @@ func fatal(err error) {
 
 // timingRecord is the -timing output: one serial and one parallel fig8
 // regeneration from cold caches, whether their tables matched byte for
-// byte, and the raw kernel throughput of a single simulation (committed
-// instructions per wall-clock second, the number BENCH_kernel.json tracks).
+// byte, the raw kernel throughput of a single simulation (committed
+// instructions per wall-clock second, the number BENCH_kernel.json tracks),
+// and the snapshot-layer sweep comparison (the numbers BENCH_harness.json
+// tracks and `make sweepgate` gates on).
 type timingRecord struct {
 	Experiment        string  `json:"experiment"`
 	NumCPU            int     `json:"num_cpu"`
@@ -138,6 +142,36 @@ type timingRecord struct {
 	KernelInstrPerSec float64 `json:"kernel_instr_per_sec"`
 	FastForward       uint64  `json:"fast_forward_per_run"`
 	Run               uint64  `json:"run_per_run"`
+
+	Sweep      sweepRecord      `json:"sweep"`
+	Acceptance acceptanceRecord `json:"acceptance"`
+}
+
+// sweepRecord compares one cold fig8-mix sweep — every integer workload at
+// 8 policy points, default fast-forward — with the snapshot layer off
+// (every point replays its workload's fast-forward) and on (one functional
+// fast-forward per workload, every sibling point clones the warm state).
+type sweepRecord struct {
+	Workloads         int     `json:"workloads"`
+	Points            int     `json:"points"`
+	PointsPerWorkload int     `json:"points_per_workload"`
+	FastForward       uint64  `json:"fast_forward_per_point"`
+	Run               uint64  `json:"run_per_point"`
+	ReplaySeconds     float64 `json:"replay_seconds"`
+	SnapshotSeconds   float64 `json:"snapshot_seconds"`
+	Speedup           float64 `json:"speedup"`
+	SnapshotBuilds    int     `json:"snapshot_builds"`
+	SnapshotHits      int     `json:"snapshot_hits"`
+	SnapshotBytes     uint64  `json:"snapshot_resident_bytes"`
+	ByteIdentical     bool    `json:"byte_identical"`
+}
+
+// acceptanceRecord holds the CI floors derived from this record (see
+// cmd/benchgate -floorkey).
+type acceptanceRecord struct {
+	// SweepPointsPerSecFloor is the snapshot-enabled sweep's measured
+	// throughput; BenchmarkSweepFig8Mix must sustain a fraction of it.
+	SweepPointsPerSecFloor float64 `json:"sweep_points_per_sec_floor"`
 }
 
 // writeTiming regenerates fig8 on a fresh single-worker Engine and a fresh
@@ -168,6 +202,19 @@ func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 	if err != nil {
 		return err
 	}
+	sweep, err := sweepComparison(ctx)
+	if err != nil {
+		return err
+	}
+	// Record the budgets the runs actually used: flag value 0 means the
+	// engine defaults, not a zero-instruction fast-forward.
+	recFF, recRun := ff, run
+	if recFF == 0 {
+		recFF = prisim.DefaultFastForward
+	}
+	if recRun == 0 {
+		recRun = prisim.DefaultRun
+	}
 	rec := timingRecord{
 		Experiment:        "fig8",
 		NumCPU:            runtime.NumCPU(),
@@ -178,8 +225,12 @@ func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 		Speedup:           serialSec / parSec,
 		ByteIdentical:     serialOut == parOut,
 		KernelInstrPerSec: kernelIPS,
-		FastForward:       ff,
-		Run:               run,
+		FastForward:       recFF,
+		Run:               recRun,
+		Sweep:             sweep,
+		Acceptance: acceptanceRecord{
+			SweepPointsPerSecFloor: float64(sweep.Points) / sweep.SnapshotSeconds,
+		},
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -191,7 +242,97 @@ func writeTiming(ctx context.Context, path string, ff, run uint64) error {
 	}
 	fmt.Fprintf(os.Stderr, "timing written to %s (serial %.2fs, parallel %.2fs on %d workers, identical=%v, kernel %.0f instr/s)\n",
 		path, serialSec, parSec, workers, rec.ByteIdentical, kernelIPS)
+	fmt.Fprintf(os.Stderr, "sweep: %d points / %d workloads, replay %.2fs vs snapshot %.2fs (%.2fx), %d builds + %d hits, identical=%v\n",
+		sweep.Points, sweep.Workloads, sweep.ReplaySeconds, sweep.SnapshotSeconds,
+		sweep.Speedup, sweep.SnapshotBuilds, sweep.SnapshotHits, sweep.ByteIdentical)
 	return nil
+}
+
+// sweepRunPerPoint is the measured budget per sweep-comparison point. Keep
+// in sync with internal/harness's BenchmarkSweepFig8Mix, which is gated
+// against the floor this run records.
+const sweepRunPerPoint = 8000
+
+// sweepOptions is the fig8-shaped comparison matrix: every integer
+// workload at 8 policy points (4 rename policies × both widths), run at
+// the real default fast-forward so the record measures exactly the work
+// the snapshot layer removes.
+func sweepOptions() []prisim.Options {
+	pols := []prisim.Policy{prisim.PolicyBase, prisim.PolicyER, prisim.PolicyPRI, prisim.PolicyPRIPlusER}
+	var opts []prisim.Options
+	for _, b := range prisim.Benchmarks() {
+		if b.FP {
+			continue
+		}
+		for _, width := range []int{4, 8} {
+			for _, pol := range pols {
+				opts = append(opts, prisim.Options{Benchmark: b.Name, Width: width, Policy: pol})
+			}
+		}
+	}
+	return opts
+}
+
+// sweepOnce runs the comparison matrix on a fresh Engine and returns the
+// wall-clock, the engine's cache counters, and a fingerprint of every
+// result in matrix order (so on/off runs can be compared byte for byte).
+func sweepOnce(ctx context.Context, snapshots bool) (float64, prisim.CacheStats, string, error) {
+	eng := prisim.NewEngine(
+		prisim.WithBudget(prisim.DefaultFastForward, sweepRunPerPoint),
+		prisim.WithSnapshots(snapshots))
+	opts := sweepOptions()
+	results := make([]prisim.Result, len(opts))
+	errs := make([]error, len(opts))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range opts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Simulate(ctx, opts[i])
+		}(i)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, prisim.CacheStats{}, "", err
+		}
+	}
+	h := sha256.New()
+	for i := range results {
+		fmt.Fprintf(h, "%+v\n", results[i])
+	}
+	return sec, eng.CacheStats(), fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// sweepComparison measures the fig8-mix sweep cold with the snapshot layer
+// off, then cold again with it on, and checks the results matched exactly.
+func sweepComparison(ctx context.Context) (sweepRecord, error) {
+	replaySec, _, replayFP, err := sweepOnce(ctx, false)
+	if err != nil {
+		return sweepRecord{}, err
+	}
+	snapSec, cs, snapFP, err := sweepOnce(ctx, true)
+	if err != nil {
+		return sweepRecord{}, err
+	}
+	points := len(sweepOptions())
+	workloads := cs.SnapshotBuilds // one snapshot build per workload
+	return sweepRecord{
+		Workloads:         workloads,
+		Points:            points,
+		PointsPerWorkload: points / workloads,
+		FastForward:       prisim.DefaultFastForward,
+		Run:               sweepRunPerPoint,
+		ReplaySeconds:     replaySec,
+		SnapshotSeconds:   snapSec,
+		Speedup:           replaySec / snapSec,
+		SnapshotBuilds:    cs.SnapshotBuilds,
+		SnapshotHits:      cs.SnapshotHits,
+		SnapshotBytes:     cs.SnapshotBytes,
+		ByteIdentical:     replayFP == snapFP,
+	}, nil
 }
 
 // kernelThroughput times one mcf simulation (the fig8 matrix's dominant

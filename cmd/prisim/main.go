@@ -27,8 +27,8 @@ func main() {
 	width := flag.Int("width", 4, "machine width (4 or 8)")
 	policy := flag.String("policy", "base", "release policy: "+strings.Join(policyNames(), " "))
 	prs := flag.Int("prs", 0, "physical registers per class (0 = Table 1 default)")
-	ff := flag.Uint64("ff", 20_000, "fast-forward instructions")
-	run := flag.Uint64("run", 80_000, "measured instructions")
+	ff := flag.Uint64("ff", prisim.DefaultFastForward, "fast-forward instructions")
+	run := flag.Uint64("run", prisim.DefaultRun, "measured instructions")
 	inline := flag.Bool("rename-inline", false, "enable rename-time inlining extension")
 	delayed := flag.Bool("delayed-alloc", false, "enable virtual-physical delayed register allocation")
 	pipeview := flag.String("pipeview", "", "write an O3PipeView trace (gem5 pipeline-viewer format) to this file")

@@ -47,8 +47,8 @@ func main() {
 	queue := flag.Int("queue", 0, "queue depth before 429 (0 = 4x workers)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution limit (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM before in-flight jobs are cancelled")
-	ff := flag.Uint64("ff", 0, "default fast-forward instructions per run (0 = engine default 20k)")
-	run := flag.Uint64("run", 0, "default measured instructions per run (0 = engine default 80k)")
+	ff := flag.Uint64("ff", 0, fmt.Sprintf("default fast-forward instructions per run (0 = engine default %d)", prisim.DefaultFastForward))
+	run := flag.Uint64("run", 0, fmt.Sprintf("default measured instructions per run (0 = engine default %d)", prisim.DefaultRun))
 	storePath := flag.String("store", "", "durable content-addressed result store (append-only log file; empty = none)")
 	coordinator := flag.Bool("coordinator", false, "run the experiment fabric control plane (/api/v1/fabric/...)")
 	localSlots := flag.Int("local-slots", 0, "matrix points the coordinator executes on its own engine when no worker is free (0 = workers only)")

@@ -38,10 +38,11 @@ type Engine struct {
 }
 
 type engineSettings struct {
-	budget     harness.Budget
-	workers    int
-	onProgress func(done, total int)
-	log        io.Writer
+	budget       harness.Budget
+	workers      int
+	onProgress   func(done, total int)
+	log          io.Writer
+	snapshotsOff bool
 }
 
 // EngineOption configures NewEngine.
@@ -76,6 +77,15 @@ func WithRunLog(w io.Writer) EngineOption {
 	return func(s *engineSettings) { s.log = w }
 }
 
+// WithSnapshots enables or disables the fast-forward snapshot cache
+// (enabled by default): each workload's functional fast-forward executes
+// once and every later run for that workload starts from a copy-on-write
+// clone of the warm state. Results are byte-identical either way; disable
+// it only to measure the replay cost it removes.
+func WithSnapshots(enabled bool) EngineOption {
+	return func(s *engineSettings) { s.snapshotsOff = !enabled }
+}
+
 // NewEngine returns an Engine with the given options applied.
 func NewEngine(opts ...EngineOption) *Engine {
 	var s engineSettings
@@ -88,6 +98,9 @@ func NewEngine(opts ...EngineOption) *Engine {
 	}
 	if s.log != nil {
 		r.SetProgress(s.log)
+	}
+	if s.snapshotsOff {
+		r.SetSnapshots(false)
 	}
 	return &Engine{budget: r.Budget, runner: r}
 }
@@ -420,6 +433,11 @@ type CacheStats struct {
 	Executed  int // simulations actually performed
 	Hits      int // requests answered instantly from a completed cache entry
 	Coalesced int // requests that waited on another caller's in-flight run
+
+	// Fast-forward snapshot cache counters (see WithSnapshots).
+	SnapshotBuilds int    // functional fast-forwards executed to fill the snapshot cache
+	SnapshotHits   int    // runs constructed from a cached warm state instead of replaying
+	SnapshotBytes  uint64 // resident bytes of cached warm states
 }
 
 // CacheStats reports how the Engine's singleflight run cache has been used
@@ -427,7 +445,14 @@ type CacheStats struct {
 // shared Engine export these counters to show request coalescing.
 func (e *Engine) CacheStats() CacheStats {
 	cs := e.runner.CacheStats()
-	return CacheStats{Executed: cs.Executed, Hits: cs.Hits, Coalesced: cs.Coalesced}
+	return CacheStats{
+		Executed:       cs.Executed,
+		Hits:           cs.Hits,
+		Coalesced:      cs.Coalesced,
+		SnapshotBuilds: cs.SnapshotBuilds,
+		SnapshotHits:   cs.SnapshotHits,
+		SnapshotBytes:  cs.SnapshotBytes,
+	}
 }
 
 // ProgressView returns a view of the Engine that reports per-view progress

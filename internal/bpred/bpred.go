@@ -105,6 +105,30 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Clone returns an independent deep copy of the predictor: warm tables,
+// history, RAS, BTB, and statistics. The clone and the receiver train
+// separately from the copy point on. Clone never mutates the receiver, so
+// concurrent clones of one warm predictor are safe provided nothing is
+// predicting on it.
+//
+// Every Predictor field must be handled here; TestPredictorCloneCompleteness
+// fails when the struct gains a field Clone does not copy.
+func (p *Predictor) Clone() *Predictor {
+	c := *p
+	c.bimodal = append([]uint8(nil), p.bimodal...)
+	c.gshare = append([]uint8(nil), p.gshare...)
+	c.selector = append([]uint8(nil), p.selector...)
+	c.ras = append([]uint64(nil), p.ras...)
+	c.btb = append([]btbEntry(nil), p.btb...)
+	return &c
+}
+
+// FootprintBytes approximates the resident bytes of the predictor's tables.
+func (p *Predictor) FootprintBytes() uint64 {
+	return uint64(len(p.bimodal)) + uint64(len(p.gshare)) + uint64(len(p.selector)) +
+		uint64(len(p.ras))*8 + uint64(len(p.btb))*32
+}
+
 func (p *Predictor) bimodalIdx(pc uint64) int {
 	return int((pc >> 2) & uint64(p.cfg.BimodalEntries-1))
 }

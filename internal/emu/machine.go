@@ -2,6 +2,7 @@ package emu
 
 import (
 	"fmt"
+	"unsafe"
 
 	"prisim/internal/asm"
 	"prisim/internal/isa"
@@ -111,6 +112,48 @@ func New(prog *asm.Program) *Machine {
 	m.uops = make([]isa.Uop, len(prog.Code))
 	m.uopReady = make([]bool, len(prog.Code))
 	return m
+}
+
+// Clone returns an independent deep copy of the machine sharing memory
+// pages copy-on-write with the receiver (see Memory.Clone). The clone
+// executes, records, and rolls back on its own; nothing it does is visible
+// to the receiver or to sibling clones. Cloning an already-cloned (frozen)
+// machine does not mutate the receiver, so concurrent Clone calls on a
+// snapshot produced by Clone are safe.
+//
+// Every Machine field must be handled here; TestMachineCloneCompleteness
+// fails when the struct gains a field Clone does not copy.
+func (m *Machine) Clone() *Machine {
+	return &Machine{
+		Mem:        m.Mem.Clone(),
+		PC:         m.PC,
+		regs:       m.regs,
+		halted:     m.halted,
+		seq:        m.seq,
+		output:     append([]byte(nil), m.output...),
+		codeBase:   m.codeBase,
+		uops:       append([]isa.Uop(nil), m.uops...),
+		uopReady:   append([]bool(nil), m.uopReady...),
+		uopScratch: m.uopScratch,
+		decodes:    m.decodes,
+		cacheOff:   m.cacheOff,
+		recording:  m.recording,
+		frameBase:  m.frameBase,
+		frames:     append([]frame(nil), m.frames...),
+		undos:      append([]undoEntry(nil), m.undos...),
+	}
+}
+
+// FootprintBytes approximates the resident bytes reachable from this
+// machine: memory pages (shared pages counted at full size), the decoded-uop
+// cache, and the rollback log.
+func (m *Machine) FootprintBytes() uint64 {
+	return m.Mem.FootprintBytes() +
+		uint64(len(m.uops))*uint64(unsafe.Sizeof(isa.Uop{})) +
+		uint64(len(m.uopReady)) +
+		uint64(len(m.output)) +
+		uint64(len(m.frames))*uint64(unsafe.Sizeof(frame{})) +
+		uint64(len(m.undos))*uint64(unsafe.Sizeof(undoEntry{}))
 }
 
 // UopAt returns the decoded uop for the instruction at pc, filling the cache

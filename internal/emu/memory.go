@@ -34,13 +34,26 @@ const tlbSize = 64
 type tlbEntry struct {
 	pn uint64
 	p  *page // nil = invalid slot
+	ro bool  // page is snapshot-shared: reads may use p, writes must COW via ensureSlow
 }
 
 // Memory is a sparse, paged, little-endian 64-bit address space. Unmapped
 // locations read as zero; writes allocate pages on demand.
+//
+// Clone produces copy-on-write snapshots: the clone and the receiver share
+// every resident page, and the first write either side makes to a shared
+// page copies it first. Cloning therefore costs O(resident pages) map work,
+// and a clone's memory cost is O(pages it actually touches), not O(its
+// footprint) — the property the experiment harness relies on to stamp out
+// one warm fast-forward image across a whole sweep.
 type Memory struct {
 	pages map[uint64]*page
-	tlb   [tlbSize]tlbEntry // direct-mapped translation cache
+	// shared marks pages co-owned with a snapshot or clone. A shared page is
+	// never written in place by anyone — writers copy it into a private page
+	// and drop the mark — so concurrent clones may read shared pages freely.
+	shared    map[uint64]struct{}
+	tlb       [tlbSize]tlbEntry // direct-mapped translation cache
+	cowCopies uint64            // shared pages privatized by a write
 }
 
 // NewMemory returns an empty address space.
@@ -56,23 +69,87 @@ func (m *Memory) lookup(pn uint64) *page {
 	}
 	p := m.pages[pn]
 	if p != nil {
-		e.pn, e.p = pn, p
+		_, ro := m.shared[pn]
+		e.pn, e.p, e.ro = pn, p, ro
 	}
 	return p
 }
 
+// ensure returns a writable page, allocating or copy-on-write-privatizing it
+// as needed. The TLB fast path only serves entries already known writable.
+//
 //prisim:hotpath
 func (m *Memory) ensure(pn uint64) *page {
-	if p := m.lookup(pn); p != nil {
-		return p
-	}
-	//lint:ignore hotpathalloc demand paging: each page allocates exactly once, then every access hits the TLB/map
-	p := new(page)
-	m.pages[pn] = p
 	e := &m.tlb[pn%tlbSize]
-	e.pn, e.p = pn, p
+	if e.pn == pn && e.p != nil && !e.ro {
+		return e.p
+	}
+	return m.ensureSlow(pn)
+}
+
+// ensureSlow is the TLB-miss half of ensure: demand-allocate an absent page,
+// or privatize a snapshot-shared one before its first write.
+func (m *Memory) ensureSlow(pn uint64) *page {
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	} else if _, ro := m.shared[pn]; ro {
+		cp := new(page)
+		*cp = *p
+		m.pages[pn] = cp
+		delete(m.shared, pn)
+		m.cowCopies++
+		p = cp
+	}
+	m.tlb[pn%tlbSize] = tlbEntry{pn: pn, p: p}
 	return p
 }
+
+// Clone returns a copy-on-write snapshot of the address space: both sides
+// keep reading the shared pages, and whichever side writes a shared page
+// first copies it privately. Cloning a Memory whose pages are all already
+// shared (one produced by Clone, or one that has been cloned before) does
+// not mutate the receiver, so concurrent Clone calls on a frozen snapshot
+// are safe; first-time clones mutate the receiver's bookkeeping and must be
+// serialized by the caller.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		pages:  make(map[uint64]*page, len(m.pages)),
+		shared: make(map[uint64]struct{}, len(m.pages)),
+	}
+	// shared only ever holds resident pages, so equal sizes mean every page
+	// is already shared and the receiver needs no bookkeeping writes.
+	frozen := len(m.shared) == len(m.pages)
+	if !frozen && m.shared == nil {
+		m.shared = make(map[uint64]struct{}, len(m.pages))
+	}
+	//lint:ignore determinism the range only copies page pointers into fresh maps; the result is independent of iteration order
+	for pn, p := range m.pages {
+		c.pages[pn] = p
+		c.shared[pn] = struct{}{}
+		if !frozen {
+			m.shared[pn] = struct{}{}
+		}
+	}
+	if !frozen {
+		// Cached-writable TLB entries would bypass the new COW barrier.
+		m.tlb = [tlbSize]tlbEntry{}
+	}
+	return c
+}
+
+// CowCopies returns how many shared pages this Memory has privatized —
+// the clone's real memory cost, in pages, beyond the shared image.
+func (m *Memory) CowCopies() uint64 { return m.cowCopies }
+
+// SharedPages returns the number of resident pages still co-owned with a
+// snapshot or clone.
+func (m *Memory) SharedPages() int { return len(m.shared) }
+
+// FootprintBytes returns the resident page bytes reachable from this
+// Memory, counting shared pages at full size.
+func (m *Memory) FootprintBytes() uint64 { return uint64(len(m.pages)) * pageSize }
 
 // Read fills buf from memory at addr.
 func (m *Memory) Read(addr uint64, buf []byte) {

@@ -1,0 +1,203 @@
+package emu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// fieldNames enumerates a struct's fields by name so the completeness tests
+// below fail loudly when state grows without Clone learning about it.
+func fieldNames(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	typ := reflect.TypeOf(v)
+	out := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		out[typ.Field(i).Name] = true
+	}
+	return out
+}
+
+func wantFields(t *testing.T, what string, got map[string]bool, want []string) {
+	t.Helper()
+	for _, f := range want {
+		if !got[f] {
+			t.Errorf("%s: field %q listed as clone-handled no longer exists; update the list AND the Clone method", what, f)
+		}
+		delete(got, f)
+	}
+	for f := range got {
+		t.Errorf("%s: new field %q is not handled by Clone — teach Clone (and the snapshot layer) about it, then add it here", what, f)
+	}
+}
+
+// TestMemoryCloneCompleteness pins the exact field set Memory.Clone handles.
+func TestMemoryCloneCompleteness(t *testing.T) {
+	wantFields(t, "emu.Memory", fieldNames(t, Memory{}), []string{
+		"pages",     // shared page-pointer map, copied per clone
+		"shared",    // COW bookkeeping, rebuilt per clone
+		"tlb",       // translation cache: clone starts cold (perf-only state)
+		"cowCopies", // counter: clone starts at zero by design
+	})
+}
+
+// TestMachineCloneCompleteness pins the exact field set Machine.Clone handles.
+func TestMachineCloneCompleteness(t *testing.T) {
+	wantFields(t, "emu.Machine", fieldNames(t, Machine{}), []string{
+		"Mem", "PC", "regs", "halted", "seq", "output",
+		"codeBase", "uops", "uopReady", "uopScratch", "decodes", "cacheOff",
+		"recording", "frameBase", "frames", "undos",
+	})
+}
+
+// TestMemoryCOW checks the copy-on-write protocol directly: clones share
+// pages until first write, a write privatizes exactly the touched page, and
+// neither side sees the other's writes.
+func TestMemoryCOW(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x1000, 111)
+	m.WriteU64(0x2000, 222)
+	if m.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", m.Pages())
+	}
+
+	c := m.Clone()
+	if c.SharedPages() != 2 || m.SharedPages() != 2 {
+		t.Fatalf("shared pages after clone: clone=%d parent=%d, want 2/2", c.SharedPages(), m.SharedPages())
+	}
+
+	// Reads on both sides see the snapshot and copy nothing.
+	if got := c.ReadU64(0x1000); got != 111 {
+		t.Fatalf("clone read = %d, want 111", got)
+	}
+	if c.CowCopies() != 0 {
+		t.Fatalf("reads privatized %d pages, want 0", c.CowCopies())
+	}
+
+	// A clone write privatizes only the touched page and stays invisible to
+	// the parent.
+	c.WriteU64(0x1008, 333)
+	if c.CowCopies() != 1 || c.SharedPages() != 1 {
+		t.Fatalf("after clone write: cowCopies=%d shared=%d, want 1/1", c.CowCopies(), c.SharedPages())
+	}
+	if got := m.ReadU64(0x1008); got != 0 {
+		t.Fatalf("parent sees clone's write: %d", got)
+	}
+	if got := c.ReadU64(0x1000); got != 111 {
+		t.Fatalf("privatized page lost old data: %d", got)
+	}
+
+	// A parent write likewise copies rather than mutating the shared page.
+	m.WriteU64(0x2008, 444)
+	if got := c.ReadU64(0x2008); got != 0 {
+		t.Fatalf("clone sees parent's post-clone write: %d", got)
+	}
+
+	// Writing a page that is no longer shared copies nothing further.
+	c.WriteU64(0x1010, 555)
+	if c.CowCopies() != 1 {
+		t.Fatalf("write to private page copied again: cowCopies=%d", c.CowCopies())
+	}
+}
+
+// TestMemoryCloneOfCloneIsFrozen checks that cloning an already-cloned
+// Memory leaves the receiver untouched (the property that makes concurrent
+// clone-from-snapshot race-free) and still isolates every side.
+func TestMemoryCloneOfCloneIsFrozen(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x1000, 1)
+	snap := m.Clone()
+	if snap.SharedPages() != snap.Pages() {
+		t.Fatalf("fresh clone not fully shared: %d/%d", snap.SharedPages(), snap.Pages())
+	}
+	a, b := snap.Clone(), snap.Clone()
+	a.WriteU64(0x1000, 10)
+	b.WriteU64(0x1000, 20)
+	if snap.ReadU64(0x1000) != 1 || a.ReadU64(0x1000) != 10 || b.ReadU64(0x1000) != 20 {
+		t.Fatalf("clone isolation broken: snap=%d a=%d b=%d",
+			snap.ReadU64(0x1000), a.ReadU64(0x1000), b.ReadU64(0x1000))
+	}
+}
+
+// TestMemoryCOWTLBBarrier regression-tests the subtle case: a page cached
+// writable in the TLB before Clone must not remain writable after it.
+func TestMemoryCOWTLBBarrier(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x3000, 7) // page now cached writable in the TLB
+	c := m.Clone()
+	m.WriteU64(0x3000, 8) // must COW, not write the shared page in place
+	if got := c.ReadU64(0x3000); got != 7 {
+		t.Fatalf("clone saw parent's in-place write through a stale TLB entry: %d", got)
+	}
+}
+
+// machineState fingerprints everything architecturally visible.
+func machineState(m *Machine) (regs [isa.NumArchRegs]uint64, pc, seq uint64, halted bool, out []byte) {
+	for r := 0; r < isa.NumArchRegs; r++ {
+		regs[r] = m.Reg(isa.Reg(r))
+	}
+	return regs, m.PC, m.Seq(), m.Halted(), m.Output()
+}
+
+// TestMachineCloneRunsIndependently runs a program to a midpoint, clones,
+// and checks both sides finish identically and independently — including
+// undo-log rollback on the clone, which writes memory through the COW
+// barrier.
+func TestMachineCloneRunsIndependently(t *testing.T) {
+	prog := countdownProg(t)
+	ref := New(prog)
+	ref.Run(0) // to halt
+
+	m := New(prog)
+	m.Run(20)
+	c := m.Clone()
+
+	// The clone continues under a recording window with a rollback, the way
+	// the timing model uses it on the wrong path.
+	c.StartRecording()
+	at := c.Seq()
+	c.Run(10)
+	c.Rollback(at)
+	c.StopRecording()
+	c.Run(0)
+
+	cr, cpc, cseq, chalt, cout := machineState(c)
+	rr, rpc, rseq, rhalt, rout := machineState(ref)
+	if cr != rr || cpc != rpc || cseq != rseq || chalt != rhalt || !bytes.Equal(cout, rout) {
+		t.Fatalf("clone finished differently from a straight run:\nclone pc=%#x seq=%d halted=%v out=%q\nref   pc=%#x seq=%d halted=%v out=%q",
+			cpc, cseq, chalt, cout, rpc, rseq, rhalt, rout)
+	}
+
+	// The original is unaffected by the clone's run and still finishes right.
+	m.Run(0)
+	mr, mpc, mseq, mhalt, mout := machineState(m)
+	if mr != rr || mpc != rpc || mseq != rseq || mhalt != rhalt || !bytes.Equal(mout, rout) {
+		t.Fatalf("original diverged after its clone ran:\norig pc=%#x seq=%d out=%q\nref  pc=%#x seq=%d out=%q",
+			mpc, mseq, mout, rpc, rseq, rout)
+	}
+}
+
+// countdownProg builds a small loop that writes memory and prints, so clones
+// exercise registers, memory, and output.
+func countdownProg(t *testing.T) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(`
+		ADDI r1, r0, 10
+		ADDI r2, r0, 0x100
+	loop:
+		STQ  r1, 0(r2)
+		LDQ  r3, 0(r2)
+		ADDI r4, r3, 48
+		PUTC r4
+		ADDI r1, r1, -1
+		BNE  r1, r0, loop
+		HALT
+	`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}

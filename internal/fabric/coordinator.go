@@ -147,7 +147,8 @@ type Coordinator struct {
 	workers       map[string]*worker
 	workerOrder   []string
 	nextWorkerID  uint64
-	rr            int // round-robin start for worker picking
+	rr            int               // round-robin start for worker picking
+	affinity      map[string]string // guarded by mu; workload affinity: snapshot key -> last worker id
 	flights       map[string]*flight
 	pending       []*flight
 	matrices      map[string]*matrixRun
@@ -199,6 +200,7 @@ func New(cfg Config) (*Coordinator, error) {
 		rootCtx:  ctx,
 		rootStop: stop,
 		workers:  make(map[string]*worker),
+		affinity: make(map[string]string),
 		flights:  make(map[string]*flight),
 		matrices: make(map[string]*matrixRun),
 	}

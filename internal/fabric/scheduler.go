@@ -92,13 +92,26 @@ func (c *Coordinator) pickableWorkerLocked(f *flight) bool {
 	return c.pickWorkerAtLocked(f, false) != nil
 }
 
-// pickWorkerLocked selects a worker for f, preferring (a) healthy workers
-// with free slots and (b) a node other than the one that just failed the
-// point — the idle-node fan-out rule. Quarantined workers become eligible
-// again after workerCooldown. Round-robin over registration order spreads
-// load evenly.
+// affinityKey identifies the fast-forward snapshot a point's run clones on
+// a worker: benchmark plus fast-forward budget (the axes a worker engine
+// keys its warm-state cache by that matrices commonly vary).
+func affinityKey(req prisimclient.JobRequest) string {
+	return fmt.Sprintf("%s|ff=%d", req.Benchmark, req.FastForward)
+}
+
+// pickWorkerLocked selects a worker for f, preferring (a) the worker that
+// last ran this point's workload — its engine already holds the warm
+// fast-forward snapshot, so the run clones instead of replaying — then
+// (b) healthy workers with free slots on a round-robin, avoiding (c) the
+// node that just failed the point (the idle-node fan-out rule).
+// Quarantined workers become eligible again after workerCooldown. The
+// chosen worker is recorded as the workload's new affinity.
 func (c *Coordinator) pickWorkerLocked(f *flight) *worker {
-	return c.pickWorkerAtLocked(f, true)
+	w := c.pickWorkerAtLocked(f, true)
+	if w != nil {
+		c.affinity[affinityKey(f.req)] = w.id
+	}
+	return w
 }
 
 func (c *Coordinator) pickWorkerAtLocked(f *flight, advance bool) *worker {
@@ -107,13 +120,21 @@ func (c *Coordinator) pickWorkerAtLocked(f *flight, advance bool) *worker {
 		return nil
 	}
 	now := time.Now()
+	eligible := func(w *worker) bool {
+		return w.inflight < c.cfg.WorkerSlots &&
+			(w.unhealthyAt.IsZero() || now.Sub(w.unhealthyAt) >= workerCooldown)
+	}
+	// Workload affinity first: reusing the node that already fast-forwarded
+	// this workload turns the run's warm-up into a snapshot clone.
+	if id, ok := c.affinity[affinityKey(f.req)]; ok {
+		if w := c.workers[id]; w != nil && eligible(w) && w.id != f.lastWorker {
+			return w
+		}
+	}
 	var fallback *worker // eligible but same node as the last failure
 	for i := 0; i < n; i++ {
 		w := c.workers[c.workerOrder[(c.rr+i)%n]]
-		if w.inflight >= c.cfg.WorkerSlots {
-			continue
-		}
-		if !w.unhealthyAt.IsZero() && now.Sub(w.unhealthyAt) < workerCooldown {
+		if !eligible(w) {
 			continue
 		}
 		if w.id == f.lastWorker {

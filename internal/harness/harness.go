@@ -118,6 +118,14 @@ type shared struct {
 	completed  int                    // guarded by mu
 	hits       int                    // guarded by mu; requests served by an already-completed cache entry
 	coalesced  int                    // guarded by mu; requests that joined another caller's in-flight run
+
+	// Fast-forward snapshot cache (see snapshot.go).
+	snaps      map[snapKey]*snapEntry // guarded by mu
+	snapsOff   bool                   // guarded by mu
+	snapClock  uint64                 // guarded by mu; LRU clock
+	snapBuilds int                    // guarded by mu; fast-forwards executed to fill the cache
+	snapHits   int                    // guarded by mu; runs constructed from a cached snapshot
+	snapBytes  uint64                 // guarded by mu; resident bytes of cached warm states
 }
 
 // CacheStats is a snapshot of the Runner's memoization counters, spanning
@@ -126,6 +134,11 @@ type CacheStats struct {
 	Executed  int // simulations actually performed
 	Hits      int // requests answered from a completed cache entry
 	Coalesced int // requests that waited on another caller's in-flight run
+
+	// Fast-forward snapshot cache counters (see snapshot.go).
+	SnapshotBuilds int    // fast-forwards executed to fill the snapshot cache
+	SnapshotHits   int    // runs constructed from a cached warm state instead of replaying
+	SnapshotBytes  uint64 // resident bytes of cached warm states
 }
 
 // viewState is the per-view progress accounting behind ProgressView: done
@@ -166,6 +179,7 @@ func NewParallelRunner(b Budget, workers int) *Runner {
 		s: &shared{
 			sem:   make(chan struct{}, workers),
 			cache: make(map[runKey]*entry),
+			snaps: make(map[snapKey]*snapEntry),
 		},
 	}
 }
@@ -200,7 +214,14 @@ func (r *Runner) ProgressView(fn func(done, total int)) *Runner {
 func (r *Runner) CacheStats() CacheStats {
 	r.s.mu.Lock()
 	defer r.s.mu.Unlock()
-	return CacheStats{Executed: r.s.completed, Hits: r.s.hits, Coalesced: r.s.coalesced}
+	return CacheStats{
+		Executed:       r.s.completed,
+		Hits:           r.s.hits,
+		Coalesced:      r.s.coalesced,
+		SnapshotBuilds: r.s.snapBuilds,
+		SnapshotHits:   r.s.snapHits,
+		SnapshotBytes:  r.s.snapBytes,
+	}
 }
 
 // viewSubmit records one not-instantly-resolvable request against the view,
@@ -363,8 +384,18 @@ func (r *Runner) RunCtx(ctx context.Context, w workloads.Workload, cfg ooo.Confi
 // ctxChunk is how many instructions execute between context checks.
 const ctxChunk = 16 * 1024
 
-// simulate performs one timing run inside a worker-pool slot.
+// simulate performs one timing run inside a worker-pool slot. The workload's
+// fast-forward state comes from the snapshot cache when available — one
+// functional fast-forward per workload serves the whole sweep — and is
+// replayed inline otherwise; results are byte-identical either way.
+// warmFor runs before the slot is acquired: a caller waiting on another
+// flight's snapshot build must not occupy a worker.
 func (r *Runner) simulate(ctx context.Context, w workloads.Workload, cfg ooo.Config) (*Result, error) {
+	warm, err := r.warmFor(ctx, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+
 	select {
 	case r.s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -372,9 +403,14 @@ func (r *Runner) simulate(ctx context.Context, w workloads.Workload, cfg ooo.Con
 	}
 	defer func() { <-r.s.sem }()
 
-	p := ooo.New(cfg, w.Build(0))
-	if err := runChunked(ctx, p.FastForward, r.Budget.FastForward); err != nil {
-		return nil, err
+	var p *ooo.Pipeline
+	if warm != nil {
+		p = ooo.NewFromWarm(cfg, warm)
+	} else {
+		p = ooo.New(cfg, w.Build(0))
+		if err := runChunked(ctx, p.FastForward, r.Budget.FastForward); err != nil {
+			return nil, err
+		}
 	}
 	if err := runChunked(ctx, p.Run, r.Budget.Run); err != nil {
 		return nil, err
@@ -478,22 +514,42 @@ type point struct {
 // point has simulated (duplicates collapse via the singleflight cache).
 // Afterwards, RunCtx for any submitted point returns instantly, so drivers
 // can assemble rows serially and deterministically.
+//
+// Submission is grouped by workload: every point of one workload shares a
+// fast-forward snapshot, so clustering them lets the first point's build
+// serve all its siblings the moment it completes. The snapshot singleflight
+// guarantees each workload fast-forwards exactly once per sweep regardless
+// of scheduling; the grouping just keeps same-snapshot points adjacent.
 func (r *Runner) warm(ctx context.Context, pts []point) error {
+	order := make(map[string]int, len(pts))
+	groups := make([][]point, 0, len(pts))
+	for _, pt := range pts {
+		i, ok := order[pt.w.Name]
+		if !ok {
+			i = len(groups)
+			order[pt.w.Name] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], pt)
+	}
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for _, pt := range pts {
-		wg.Add(1)
-		go func(pt point) {
-			defer wg.Done()
-			if _, err := r.RunCtx(ctx, pt.w, pt.cfg); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+	for _, group := range groups {
+		for _, pt := range group {
+			wg.Add(1)
+			go func(pt point) {
+				defer wg.Done()
+				if _, err := r.RunCtx(ctx, pt.w, pt.cfg); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
-			}
-		}(pt)
+			}(pt)
+		}
 	}
 	wg.Wait()
 	return firstErr

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"prisim/internal/core"
+	"prisim/internal/workloads"
+)
+
+// sweepRunPerPoint is the measured budget per sweep point in
+// BenchmarkSweepFig8Mix. Keep in sync with cmd/priexp's -timing sweep,
+// which records the points/s floor this benchmark is gated against.
+const sweepRunPerPoint = 8000
+
+// sweepFig8MixPoints is the gate's fig8-shaped matrix: every integer
+// workload at 8 policy points (4 rename policies × both widths), so one
+// fast-forward snapshot per workload serves its 7 sibling points.
+func sweepFig8MixPoints() []point {
+	pols := []core.Policy{core.PolicyBase, core.PolicyER, core.PolicyPRIRcCkpt, core.PolicyPRIPlusER}
+	var pts []point
+	for _, w := range suite(workloads.Int) {
+		for _, width := range []int{4, 8} {
+			for _, pol := range pols {
+				pts = append(pts, point{w, machine(width).WithPolicy(pol)})
+			}
+		}
+	}
+	return pts
+}
+
+// BenchmarkSweepFig8Mix measures end-to-end sweep throughput — points per
+// wall-clock second — of a cold fig8-mix sweep with the snapshot layer
+// enabled. Each iteration builds a fresh Runner so every point's pipeline
+// construction, snapshot build or clone, and measured run all land inside
+// the timed region; nothing is served from a previous iteration's caches.
+// CI gates the best of three iterations at a fraction of
+// BENCH_harness.json's acceptance.sweep_points_per_sec_floor (make
+// sweepgate, via cmd/benchgate).
+func BenchmarkSweepFig8Mix(b *testing.B) {
+	ctx := context.Background()
+	pts := sweepFig8MixPoints()
+	workloadCount := len(suite(workloads.Int))
+	for i := 0; i < b.N; i++ {
+		r := NewParallelRunner(Budget{FastForward: DefaultBudget.FastForward, Run: sweepRunPerPoint}, 0)
+		if err := r.warm(ctx, pts); err != nil {
+			b.Fatal(err)
+		}
+		if cs := r.CacheStats(); cs.SnapshotHits != len(pts)-workloadCount {
+			b.Fatalf("snapshot hits = %d, want points-workloads = %d",
+				cs.SnapshotHits, len(pts)-workloadCount)
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}

@@ -130,6 +130,20 @@ func (c *Cache) probe(addr uint64, write bool) (hit, writeback bool) {
 	return false, writeback
 }
 
+// Clone returns an independent deep copy of the cache: geometry, contents,
+// LRU state, and statistics. Clone never mutates the receiver.
+//
+// Every Cache field must be handled here; TestCacheCloneCompleteness fails
+// when the struct gains a field Clone does not copy.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.lines = append([]line(nil), c.lines...)
+	return &cp
+}
+
+// FootprintBytes approximates the resident bytes of the cache's tag array.
+func (c *Cache) FootprintBytes() uint64 { return uint64(len(c.lines)) * 32 }
+
 // Contains reports whether addr currently hits without touching LRU or
 // statistics (for tests).
 func (c *Cache) Contains(addr uint64) bool {
@@ -183,6 +197,32 @@ func New(cfg Config) *Hierarchy {
 		cfg:   cfg,
 		mshrs: newMSHRFile(cfg.MSHRs),
 	}
+}
+
+// Clone returns an independent deep copy of the hierarchy: every level's
+// contents and LRU state, MSHR occupancy, and statistics. Clone never
+// mutates the receiver, so concurrent clones of one warm hierarchy are safe
+// provided nothing is accessing it.
+//
+// Every Hierarchy field must be handled here; TestHierarchyCloneCompleteness
+// fails when the struct gains a field Clone does not copy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := *h
+	c.IL1 = h.IL1.Clone()
+	c.DL1 = h.DL1.Clone()
+	c.L2 = h.L2.Clone()
+	c.mshrs = h.mshrs.clone()
+	return &c
+}
+
+// FootprintBytes approximates the resident bytes of the hierarchy's tag and
+// MSHR arrays.
+func (h *Hierarchy) FootprintBytes() uint64 {
+	b := h.IL1.FootprintBytes() + h.DL1.FootprintBytes() + h.L2.FootprintBytes()
+	if h.mshrs != nil {
+		b += uint64(len(h.mshrs.busyUntil)) * 8
+	}
+	return b
 }
 
 // InstFetch probes the instruction side for addr and returns the fetch

@@ -23,6 +23,14 @@ func newMSHRFile(n int) *mshrFile {
 	return &mshrFile{busyUntil: make([]uint64, n)}
 }
 
+// clone deep-copies the MSHR occupancy (nil stays nil: unlimited MLP).
+func (m *mshrFile) clone() *mshrFile {
+	if m == nil {
+		return nil
+	}
+	return &mshrFile{busyUntil: append([]uint64(nil), m.busyUntil...)}
+}
+
 // admit finds the earliest cycle at or after now when a new miss can begin,
 // books the entry through start+latency, and returns the start cycle.
 func (m *mshrFile) admit(now uint64, latency int) uint64 {

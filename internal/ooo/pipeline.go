@@ -98,12 +98,19 @@ type event struct {
 // started; call FastForward and/or Run.
 func New(cfg Config, prog *asm.Program) *Pipeline {
 	cfg.validate()
+	return build(cfg, emu.New(prog), bpred.New(cfg.Bpred), memsys.New(cfg.Mem))
+}
+
+// build assembles a pipeline around pre-existing machine/predictor/hierarchy
+// state — freshly constructed by New, or cloned from a WarmState by
+// NewFromWarm. cfg must already be validated.
+func build(cfg Config, m *emu.Machine, bp *bpred.Predictor, mem *memsys.Hierarchy) *Pipeline {
 	p := &Pipeline{
 		cfg:      cfg,
-		m:        emu.New(prog),
+		m:        m,
 		ren:      core.NewRenamer(cfg.Rename),
-		bp:       bpred.New(cfg.Bpred),
-		mem:      memsys.New(cfg.Mem),
+		bp:       bp,
+		mem:      mem,
 		rob:      newSlotRing(cfg.ROBSize),
 		fetchBuf: newSlotRing((cfg.FrontDepth + 2) * cfg.Width),
 	}

@@ -1,0 +1,85 @@
+package ooo
+
+import (
+	"fmt"
+
+	"prisim/internal/bpred"
+	"prisim/internal/emu"
+	"prisim/internal/memsys"
+)
+
+// WarmState is the complete machine state produced by one functional
+// fast-forward of a workload, captured so that every later pipeline for the
+// same workload can be constructed from a copy-on-write clone instead of
+// replaying the fast-forward.
+//
+// The state is policy-independent by construction: Pipeline.FastForward
+// touches only the functional machine, the branch predictor, and the cache
+// hierarchy — never the renamer, scheduler, or any width/physical-register
+// structure — so one WarmState serves every (policy, width, phys-regs)
+// point that shares the same memory and predictor configuration.
+//
+// A WarmState is immutable after capture and safe for concurrent
+// NewFromWarm calls: the machine snapshot inside it is frozen (every memory
+// page marked shared), so cloning it never mutates the snapshot.
+type WarmState struct {
+	m      *emu.Machine
+	bp     *bpred.Predictor
+	mem    *memsys.Hierarchy
+	bpCfg  bpred.Config
+	memCfg memsys.Config
+	instrs uint64
+}
+
+// CaptureWarm snapshots the pipeline's functional machine, branch predictor,
+// and cache hierarchy after a fast-forward. It must be called before any
+// timing simulation: capturing a pipeline that has run cycles would bake
+// policy-dependent history into supposedly policy-independent state, so that
+// is a programming error and panics.
+func (p *Pipeline) CaptureWarm() *WarmState {
+	if p.now != 0 || p.stats.Cycles != 0 {
+		panic(fmt.Sprintf("ooo: CaptureWarm after timing simulation (cycle %d): warm state would no longer be policy-independent", p.now))
+	}
+	if p.m.Recording() {
+		panic("ooo: CaptureWarm with the undo log active")
+	}
+	return &WarmState{
+		// Machine.Clone yields a fully-shared (frozen) memory image, so the
+		// snapshot held here is never mutated by later clones of it.
+		m:      p.m.Clone(),
+		bp:     p.bp.Clone(),
+		mem:    p.mem.Clone(),
+		bpCfg:  p.cfg.Bpred,
+		memCfg: p.cfg.Mem,
+		instrs: p.m.Seq(),
+	}
+}
+
+// NewFromWarm builds a pipeline equivalent to New(cfg, prog) followed by the
+// fast-forward that produced w, without re-executing it. The memory and
+// predictor configurations must match the ones the warm state was captured
+// under — warmed tables are meaningless under different geometry — and a
+// mismatch panics: callers key their snapshot caches by these configs, so a
+// mismatch is a caching bug, not an input error.
+//
+// Safe to call concurrently on one WarmState.
+func NewFromWarm(cfg Config, w *WarmState) *Pipeline {
+	cfg.validate()
+	if cfg.Bpred != w.bpCfg {
+		panic("ooo: NewFromWarm with a different bpred config than the warm state was captured under")
+	}
+	if cfg.Mem != w.memCfg {
+		panic("ooo: NewFromWarm with a different memsys config than the warm state was captured under")
+	}
+	return build(cfg, w.m.Clone(), w.bp.Clone(), w.mem.Clone())
+}
+
+// Instructions returns how many instructions the captured fast-forward
+// executed (less than the requested budget if the program halted early).
+func (w *WarmState) Instructions() uint64 { return w.instrs }
+
+// Bytes approximates the resident footprint of the captured state: memory
+// pages (shared pages at full size), predictor tables, and cache tag arrays.
+func (w *WarmState) Bytes() uint64 {
+	return w.m.FootprintBytes() + w.bp.FootprintBytes() + w.mem.FootprintBytes()
+}

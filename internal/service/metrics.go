@@ -149,6 +149,10 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 	}
 	gaugeF("prisimd_cache_hit_ratio", "Fraction of simulation requests served without a fresh run.", ratio)
 
+	counter("prisimd_snapshot_builds_total", "Fast-forwards executed to fill the warm-state snapshot cache.", uint64(cache.SnapshotBuilds))
+	counter("prisimd_snapshot_hits_total", "Simulations constructed from a cached warm state instead of replaying the fast-forward.", uint64(cache.SnapshotHits))
+	gaugeF("prisimd_snapshot_resident_bytes", "Resident bytes of cached warm fast-forward states.", float64(cache.SnapshotBytes))
+
 	counter("prisimd_sim_committed_instructions_total", "Instructions committed by finished simulate jobs.", simCommitted)
 	ips := 0.0
 	if simSeconds > 0 {

@@ -485,6 +485,9 @@ func TestMetricsPage(t *testing.T) {
 		`prisimd_jobs_total{state="done"} 1`,
 		"prisimd_queue_capacity 4",
 		"prisimd_cache_runs_executed_total 1",
+		"prisimd_snapshot_builds_total 1",
+		"prisimd_snapshot_hits_total 0",
+		"prisimd_snapshot_resident_bytes",
 		"prisimd_sim_committed_instructions_total",
 		`prisimd_job_latency_seconds{quantile="0.5"}`,
 		`prisimd_job_latency_seconds{quantile="0.99"}`,
