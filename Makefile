@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench benchgate sweepgate lint prilint staticcheck govulncheck
+.PHONY: build test race bench benchgate sweepgate fuzz lint prilint staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# fuzz is the assembler-frontend fuzz smoke CI runs on every push: the
+# lexer/parser must never panic and every failure must carry positioned
+# diagnostics. FUZZTIME=5m for a longer local soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
 
 # benchgate is the kernel throughput regression gate: the steady-state
 # kernel benchmark must sustain at least 80% of the floor recorded in

@@ -7,11 +7,16 @@
 //	prias -d prog.s          # assemble and disassemble
 //	prias -run prog.s        # assemble and execute functionally
 //	prias -time prog.s       # assemble and run on the 4-wide timing model
+//	prias -o img.json prog.s # assemble and write the image as JSON
+//
+// Assembly failures print every diagnostic, one per line, as
+// file:line:col: message, and exit 2.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,12 +50,50 @@ func usageFatal(err error) {
 	os.Exit(2)
 }
 
+// assemblyFatal prints every positioned diagnostic, one per line, then
+// exits 2. The frontend collects multiple errors per pass, so the user
+// fixes them in one edit instead of replaying the assembler error by error.
+func assemblyFatal(err error) {
+	diags := asm.Diagnostics(err)
+	if len(diags) == 0 {
+		usageFatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	os.Exit(2)
+}
+
+// image is the -o serialization: the assembled program plus enough identity
+// metadata (assembler version, content hash) to audit what produced it.
+type image struct {
+	Format  string `json:"format"`
+	Version string `json:"version"`
+	SHA256  string `json:"sha256"`
+	*asm.Program
+}
+
+// writeImage writes the assembled image to path as indented JSON.
+func writeImage(path string, prog *asm.Program) error {
+	data, err := json.MarshalIndent(image{
+		Format:  "prisim-image-v1",
+		Version: prisim.Version,
+		SHA256:  prog.SHA256(),
+		Program: prog,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	dis := flag.Bool("d", false, "disassemble")
 	run := flag.Bool("run", false, "execute functionally and print output")
 	timeIt := flag.Bool("time", false, "run on the 4-wide timing model")
 	traceOut := flag.String("trace", "", "capture a binary instruction trace to this file")
 	mix := flag.Bool("mix", false, "print the instruction mix after a functional run")
+	out := flag.String("o", "", "write the assembled image to this file as JSON")
 	limit := flag.Uint64("limit", 100_000_000, "instruction limit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -59,16 +102,25 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prias [-d|-run|-time|-mix|-trace out] prog.s")
+		fmt.Fprintln(os.Stderr, "usage: prias [-d|-run|-time|-mix|-trace out|-o img.json] prog.s")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.Assemble(string(src))
+	prog, err := asm.AssembleFile(flag.Arg(0), string(src))
 	if err != nil {
-		usageFatal(err)
+		assemblyFatal(err)
+	}
+	if *out != "" {
+		if err := writeImage(*out, prog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d instructions, sha256 %.12s...)\n", *out, len(prog.Code), prog.SHA256())
+		if !*dis && !*run && !*timeIt && !*mix && *traceOut == "" {
+			return
+		}
 	}
 	switch {
 	case *traceOut != "":

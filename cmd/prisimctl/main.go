@@ -8,6 +8,8 @@
 //
 //	simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
 //	experiment <name> [-ff N] [-run N] [-wait]
+//	run-program <file.s> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
+//	check-program <file.s>
 //	status <job-id>
 //	result <job-id>
 //	wait <job-id>
@@ -50,6 +52,8 @@ func usage() {
 commands:
   simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
   experiment <name> [-ff N] [-run N] [-wait]
+  run-program <file.s> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
+  check-program <file.s>
   status|result|wait|watch|cancel <job-id>
   jobs | benchmarks | experiments | metrics | version
 fabric commands (against a coordinator):
@@ -87,6 +91,17 @@ func main() {
 		err = submit(ctx, c, prisimclient.KindSimulate, args)
 	case "experiment":
 		err = submit(ctx, c, prisimclient.KindExperiment, args)
+	case "run-program":
+		err = runProgram(ctx, c, args)
+	case "check-program":
+		err = withJobID(args, func(path string) error {
+			src, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			info, cerr := c.CheckProgram(ctx, src)
+			return printJSON(info, cerr)
+		})
 	case "status":
 		err = withJobID(args, func(id string) error {
 			j, err := c.Job(ctx, id)
@@ -189,12 +204,19 @@ func main() {
 }
 
 // fatal prints the error and exits: 2 for usage-class errors (bad request,
-// unknown name — HTTP 4xx other than 409/410/429), 1 otherwise.
+// unknown name, a program that does not assemble — HTTP 4xx other than
+// 409/410/429), 1 otherwise. Assembly rejections (422) print every
+// positioned diagnostic the server returned, one per line.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "prisimctl: %s\n", err)
 	var apiErr *prisimclient.APIError
-	if errors.As(err, &apiErr) && (apiErr.StatusCode == 400 || apiErr.StatusCode == 404) {
-		os.Exit(2)
+	if errors.As(err, &apiErr) {
+		for _, d := range apiErr.Diagnostics {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		if apiErr.StatusCode == 400 || apiErr.StatusCode == 404 || apiErr.StatusCode == 422 {
+			os.Exit(2)
+		}
 	}
 	if errors.Is(err, errUsage) {
 		os.Exit(2)
@@ -331,6 +353,65 @@ func submitMatrix(ctx context.Context, c *prisimclient.Client, args []string) er
 		return fmt.Errorf("matrix %s %s: %s", final.ID, final.State, final.Error)
 	}
 	return printMatrixResult(ctx, c, final.ID)
+}
+
+// runProgram assembles nothing locally: it reads the source file, submits
+// it as a program job, and either prints the accepted job or (with -wait)
+// blocks for the result, writing the program's console output to stdout
+// before the timing statistics.
+func runProgram(ctx context.Context, c *prisimclient.Client, args []string) error {
+	fs := flag.NewFlagSet("run-program", flag.ExitOnError)
+	width := fs.Int("width", 0, "machine width (4 or 8)")
+	policy := fs.String("policy", "", "release policy")
+	prs := fs.Int("prs", 0, "physical registers per class")
+	ff := fs.Uint64("ff", 0, "fast-forward instructions")
+	run := fs.Uint64("run", 0, "measured instructions (0 = server cap, halt stops early)")
+	inline := fs.Bool("rename-inline", false, "rename-time inlining extension")
+	delayed := fs.Bool("delayed-alloc", false, "delayed register allocation")
+	wait := fs.Bool("wait", false, "wait for the job and print output + result")
+	if len(args) < 1 || args[0] == "" || args[0][0] == '-' {
+		fmt.Fprintln(os.Stderr, "usage: prisimctl run-program <file.s> [flags]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fs.Parse(args[1:])
+
+	j, err := c.SubmitProgram(ctx, src, prisimclient.JobRequest{
+		Width:             *width,
+		Policy:            *policy,
+		PhysRegs:          *prs,
+		FastForward:       *ff,
+		Run:               *run,
+		RenameInline:      *inline,
+		DelayedAllocation: *delayed,
+	})
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(j, nil)
+	}
+	final, err := c.Wait(ctx, j.ID, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if final.State != prisimclient.StateDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	res, err := c.Result(ctx, j.ID)
+	if err != nil {
+		return err
+	}
+	if len(res.Output) > 0 {
+		os.Stdout.Write(res.Output)
+		if res.Output[len(res.Output)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	return printJSON(res.Result, nil)
 }
 
 // submit parses a simulate/experiment subcommand, submits it, and either

@@ -50,6 +50,9 @@ func main() {
 	ff := flag.Uint64("ff", 0, fmt.Sprintf("default fast-forward instructions per run (0 = engine default %d)", prisim.DefaultFastForward))
 	run := flag.Uint64("run", 0, fmt.Sprintf("default measured instructions per run (0 = engine default %d)", prisim.DefaultRun))
 	storePath := flag.String("store", "", "durable content-addressed result store (append-only log file; empty = none)")
+	progSource := flag.Int("program-max-source", 0, fmt.Sprintf("max program source bytes per submission (0 = %d)", service.DefaultMaxProgramSource))
+	progRun := flag.Uint64("program-max-run", 0, fmt.Sprintf("max committed instructions per program job; larger requests are rejected (0 = %d)", service.DefaultMaxProgramRun))
+	progMem := flag.Uint64("program-max-memory", 0, fmt.Sprintf("max simulated memory footprint bytes per program job (0 = %d)", service.DefaultMaxProgramMemory))
 	coordinator := flag.Bool("coordinator", false, "run the experiment fabric control plane (/api/v1/fabric/...)")
 	localSlots := flag.Int("local-slots", 0, "matrix points the coordinator executes on its own engine when no worker is free (0 = workers only)")
 	join := flag.String("join", "", "coordinator URL to register this daemon with as a worker")
@@ -108,6 +111,11 @@ func main() {
 		NodeID:      *nodeID,
 		Store:       store,
 		Coordinator: coord,
+		Programs: service.ProgramLimits{
+			MaxSourceBytes: *progSource,
+			MaxRun:         *progRun,
+			MaxMemoryBytes: *progMem,
+		},
 	}
 	cfg.Budget.FastForward = *ff
 	cfg.Budget.Run = *run

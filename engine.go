@@ -209,7 +209,7 @@ func (e *Engine) Simulate(ctx context.Context, o Options) (Result, error) {
 	rr := e.runnerFor(o)
 	var hr *harness.Result
 	if o.PipeView != nil || len(o.MachineJSON) > 0 {
-		hr, _, err = harness.RunProgram(ctx, cfg, w.Build(0), w.Class == workloads.FP, rr.Budget, o.PipeView)
+		hr, _, err = harness.RunProgram(ctx, cfg, w.Build(0), w.Class == workloads.FP, rr.Budget, 0, o.PipeView)
 		if hr != nil {
 			hr.Bench = w.Name
 		}
@@ -222,19 +222,44 @@ func (e *Engine) Simulate(ctx context.Context, o Options) (Result, error) {
 	return toResult(hr, cfg), nil
 }
 
+// ErrMemLimit matches (via errors.Is) the failure of a SimulateProgram run
+// whose simulated machine footprint exceeded Options.MemLimit.
+var ErrMemLimit = harness.ErrMemLimit
+
 // Program is an assembled PRISC-64 program runnable by SimulateProgram.
 type Program struct {
 	prog *asm.Program
 }
 
-// Assemble assembles PRISC-64 assembly text into a Program.
+// Assemble assembles PRISC-64 assembly text into a Program. On failure the
+// error carries every diagnostic the frontend collected; extract them with
+// AssembleDiagnostics.
 func Assemble(src string) (*Program, error) {
-	p, err := asm.Assemble(src)
+	return AssembleFile("<input>", src)
+}
+
+// AssembleFile is Assemble with a file name for diagnostics.
+func AssembleFile(name, src string) (*Program, error) {
+	p, err := asm.AssembleFile(name, src)
 	if err != nil {
 		return nil, fmt.Errorf("prisim: %w", err)
 	}
 	return &Program{prog: p}, nil
 }
+
+// Diagnostic is one positioned assembly error: file, 1-based rune-accurate
+// line/column, message, and the offending source line.
+type Diagnostic = asm.Diagnostic
+
+// AssembleDiagnostics extracts the collected diagnostics from an error
+// returned by Assemble/AssembleFile, or nil if err did not come from the
+// assembler frontend. The frontend collects every error it finds (capped),
+// not just the first.
+func AssembleDiagnostics(err error) []Diagnostic { return asm.Diagnostics(err) }
+
+// SHA256 returns the hex content hash of the assembled image (symbols
+// excluded): the identity program-job cache keys are derived from.
+func (p *Program) SHA256() string { return p.prog.SHA256() }
 
 // NewProgram wraps an already-assembled image (built with the in-module
 // internal/asm builder API) for SimulateProgram. External users assemble
@@ -268,7 +293,7 @@ func (e *Engine) SimulateProgram(ctx context.Context, p *Program, o Options) (Pr
 		run = math.MaxUint64 / 2 // run to halt
 	}
 	b := harness.Budget{FastForward: o.FastForward, Run: run}
-	hr, out, err := harness.RunProgram(ctx, cfg, p.prog, false, b, o.PipeView)
+	hr, out, err := harness.RunProgram(ctx, cfg, p.prog, false, b, o.MemLimit, o.PipeView)
 	if err != nil {
 		return ProgramResult{}, err
 	}

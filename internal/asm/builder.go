@@ -3,6 +3,7 @@ package asm
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"prisim/internal/isa"
 )
@@ -199,7 +200,7 @@ func (b *Builder) Words(name string, words []uint64) uint64 {
 func (b *Builder) Floats(name string, vals []float64) uint64 {
 	words := make([]uint64, len(vals))
 	for i, v := range vals {
-		words[i] = floatBits(v)
+		words[i] = math.Float64bits(v)
 	}
 	return b.Words(name, words)
 }

@@ -1,0 +1,111 @@
+package asm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prisim/internal/asm"
+)
+
+// fuzzSeeds exercises every frontend feature plus the malformed shapes that
+// have bitten line-oriented assemblers: unterminated strings, operators at
+// EOF, macro recursion, label/comment interactions.
+var fuzzSeeds = []string{
+	"",
+	"\n\n\n",
+	"; just a comment\n# and another",
+	".text\nmain: halt\n",
+	".data\nv: .word 1, 2, 3\n.text\nla r1, v\nldq r2, 0(r1)\nhalt\n",
+	".equ N, 8\n.data\nbuf: .space N*8\n.text\nli r1, N*2+1\nhalt\n",
+	".data\nmsg: .asciz \"hi;#()\\n\"\n.text\nhalt\n",
+	".macro inc r\naddi \\r, \\r, 1\n.endm\n.text\ninc r4\nhalt\n",
+	".macro sp2\nloop\\@: addi r1, r1, -1\nbnez r1, loop\\@\n.endm\n.text\nsp2\nsp2\nhalt\n",
+	".align 64\n.data\nx: .float 1.5, -2e3\n.text\nhalt\n",
+	".text\nldq r2, (8+4)(r1)\nhalt\n",
+	// malformed
+	".data\ns: .ascii \"unterminated",
+	".text\naddi r1, r2,",
+	".text\nbogus r1, r2\n",
+	".text\nli r1, 1 << \n",
+	".macro a\na\n.endm\n.text\na\n",
+	".macro b x\n.endm\n.text\nb\n",
+	".word 5\n",
+	".data\nlonely:\n.text\nhalt\n",
+	".text\nmain:\nmain: halt\n",
+	".text\nbeq r1, r2, nowhere\n",
+	".text\nli r1, 0xzz\n",
+	".text\nj main\n",
+	"\\@\n",
+	".equ X, X\n",
+	".text\nldq r1, )(\n",
+	".endm\n",
+	"label with spaces: halt\n",
+	".text\naddi r1, r2, 9999999999999999999999\n",
+	".data\nv: .byte 1,\n",
+	".text\nhalt ; comment\nx: # label then comment\nhalt\n",
+}
+
+// FuzzAssemble asserts the frontend never panics and that every failure
+// carries at least one positioned diagnostic (line and column > 0). Run
+// longer with: go test ./internal/asm -fuzz FuzzAssemble -fuzztime 30s
+func FuzzAssemble(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	if files, _ := filepath.Glob(filepath.Join("testdata", "*.s")); files != nil {
+		for _, file := range files {
+			if src, err := os.ReadFile(file); err == nil {
+				f.Add(string(src))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src)
+		if err == nil {
+			if p == nil {
+				t.Fatal("nil program without error")
+			}
+			return
+		}
+		if p != nil {
+			t.Fatal("program returned alongside error")
+		}
+		diags := asm.Diagnostics(err)
+		if len(diags) == 0 {
+			t.Fatalf("error %v carries no diagnostics", err)
+		}
+		for _, d := range diags {
+			if d.Line <= 0 || d.Col <= 0 {
+				t.Fatalf("diagnostic not positioned: %+v", d)
+			}
+			if d.Msg == "" {
+				t.Fatalf("diagnostic without message: %+v", d)
+			}
+		}
+	})
+}
+
+// TestAsciiCommentChars pins the fix for ';' and '#' inside string
+// literals: the old line-splitting frontend truncated the line at the
+// first comment character even mid-string.
+func TestAsciiCommentChars(t *testing.T) {
+	p, err := asm.Assemble(".data\nmsg: .asciz \"a;b#c\"\n.text\nmain: halt\n")
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(p.Data) != 1 {
+		t.Fatalf("want 1 data segment, got %d", len(p.Data))
+	}
+	if got := string(p.Data[0].Bytes); got != "a;b#c\x00" {
+		t.Fatalf("string bytes %q, want %q", got, "a;b#c\x00")
+	}
+	// A real comment after the closing quote is still stripped.
+	p2, err := asm.Assemble(".data\nmsg: .ascii \"x\" ; trailing comment\n.text\nmain: halt\n")
+	if err != nil {
+		t.Fatalf("assemble with trailing comment: %v", err)
+	}
+	if got := string(p2.Data[0].Bytes); got != "x" {
+		t.Fatalf("string bytes %q, want %q", got, "x")
+	}
+}

@@ -1,0 +1,684 @@
+package asm_test
+
+// This file pins old-vs-new assembler equivalence. oldAssemble is a
+// faithful port of the pre-lexer/parser line-splitting frontend (the
+// ~457-line text.go deleted when internal/asm/lexer and internal/asm/parser
+// replaced it), rebuilt on the Builder's exported API so it can live in an
+// external test package. Every workload kernel is textified into assembly
+// the old syntax accepts and both frontends must produce byte-identical
+// images — and match the original Builder output. The example programs in
+// testdata/ are real old-syntax sources and get the same treatment.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+	"prisim/internal/workloads"
+)
+
+type oldAsm struct {
+	b       *asm.Builder
+	labels  map[string]bool
+	symbols map[string]uint64
+}
+
+// oldAssemble is the old frontend: first sweep handles sections, labels,
+// and data; the second assembles queued code lines.
+func oldAssemble(src string) (p *asm.Program, err error) {
+	defer func() {
+		// The Builder panics on misuse the old Assemble pre-checked; any
+		// escape becomes an error so the equivalence harness sees parity.
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("asm: %v", r)
+		}
+	}()
+	a := &oldAsm{b: asm.NewBuilder(), labels: make(map[string]bool), symbols: make(map[string]uint64)}
+	type codeLine struct {
+		no   int
+		text string
+	}
+	var code []codeLine
+	inData := false
+
+	lines := strings.Split(src, "\n")
+	var dataLabels []string
+	for no, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ".data":
+			inData = true
+			continue
+		case line == ".text":
+			inData = false
+			continue
+		}
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
+				break
+			}
+			label := line[:i]
+			line = strings.TrimSpace(line[i+1:])
+			if inData {
+				dataLabels = append(dataLabels, label)
+			} else {
+				code = append(code, codeLine{no + 1, label + ":"})
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if inData {
+			if err := a.assembleData(line, dataLabels, no+1); err != nil {
+				return nil, err
+			}
+			dataLabels = nil
+		} else {
+			code = append(code, codeLine{no + 1, line})
+		}
+	}
+	if len(dataLabels) > 0 {
+		return nil, fmt.Errorf("asm: data label %q has no directive", dataLabels[0])
+	}
+
+	for _, cl := range code {
+		if strings.HasSuffix(cl.text, ":") {
+			label := strings.TrimSuffix(cl.text, ":")
+			if a.labels[label] {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", cl.no, label)
+			}
+			a.labels[label] = true
+			a.b.Label(label)
+			continue
+		}
+		if err := a.assembleInst(cl.text); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", cl.no, err)
+		}
+	}
+	return a.b.Finish()
+}
+
+func (a *oldAsm) define(name string, addr uint64) {
+	if name != "" {
+		a.symbols[name] = addr
+	}
+}
+
+func (a *oldAsm) assembleData(line string, labels []string, no int) error {
+	fields := strings.SplitN(line, " ", 2)
+	directive := fields[0]
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	name := ""
+	if len(labels) > 0 {
+		name = labels[0]
+	}
+	defineAll := func(addr uint64) {
+		for _, l := range labels {
+			a.define(l, addr)
+		}
+	}
+	switch directive {
+	case ".word":
+		vals, err := parseInts(rest)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: %w", no, err)
+		}
+		words := make([]uint64, len(vals))
+		for i, v := range vals {
+			words[i] = uint64(v)
+		}
+		defineAll(a.b.Words(name, words))
+	case ".byte":
+		vals, err := parseInts(rest)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: %w", no, err)
+		}
+		bytes := make([]byte, len(vals))
+		for i, v := range vals {
+			bytes[i] = byte(v)
+		}
+		defineAll(a.b.Bytes(name, bytes))
+	case ".float":
+		var vals []float64
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("asm: line %d: bad float %q", no, f)
+			}
+			vals = append(vals, v)
+		}
+		defineAll(a.b.Floats(name, vals))
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 64)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: bad .space size %q", no, rest)
+		}
+		defineAll(a.b.Space(name, n))
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return fmt.Errorf("asm: line %d: bad .ascii string", no)
+		}
+		defineAll(a.b.Bytes(name, []byte(s)))
+	default:
+		return fmt.Errorf("asm: line %d: unknown directive %q", no, directive)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range splitOperands(s) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(f, 0, 64)
+			if uerr != nil {
+				return nil, fmt.Errorf("bad integer %q", f)
+			}
+			v = int64(u)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (a *oldAsm) assembleInst(line string) error {
+	b := a.b
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		return isa.ParseReg(ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		v, err := strconv.ParseInt(ops[i], 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad immediate %q", mnemonic, ops[i])
+		}
+		return v, nil
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mnemonic {
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.Li(rd, v)
+		return nil
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		addr, ok := a.symbols[ops[1]]
+		if !ok {
+			return fmt.Errorf("la: undefined data symbol %q", ops[1])
+		}
+		b.Li(rd, int64(addr))
+		return nil
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if rd.IsFP() || ra.IsFP() {
+			b.R1(isa.OpFMOV, rd, ra)
+		} else {
+			b.Mov(rd, ra)
+		}
+		return nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBEQ
+		if mnemonic == "bnez" {
+			op = isa.OpBNE
+		}
+		b.Br(op, ra, isa.RZero, ops[1])
+		return nil
+	case "ret":
+		b.Ret()
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch op.Format() {
+	case isa.FmtR:
+		switch op {
+		case isa.OpNOP, isa.OpHALT:
+			b.Emit(isa.Inst{Op: op})
+		case isa.OpPUTC, isa.OpJR:
+			ra, err := reg(0)
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Inst{Op: op, Ra: ra})
+		case isa.OpJALR:
+			switch len(ops) {
+			case 1:
+				ra, err := reg(0)
+				if err != nil {
+					return err
+				}
+				b.Emit(isa.Inst{Op: op, Rd: isa.RLR, Ra: ra})
+			case 2:
+				rd, err := reg(0)
+				if err != nil {
+					return err
+				}
+				ra, err := reg(1)
+				if err != nil {
+					return err
+				}
+				b.Emit(isa.Inst{Op: op, Rd: rd, Ra: ra})
+			default:
+				return fmt.Errorf("jalr: want 1 or 2 operands")
+			}
+		case isa.OpFSQRT, isa.OpFMOV, isa.OpFNEG, isa.OpFABS, isa.OpCVTIF, isa.OpCVTFI:
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			ra, err := reg(1)
+			if err != nil {
+				return err
+			}
+			b.R1(op, rd, ra)
+		default:
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			ra, err := reg(1)
+			if err != nil {
+				return err
+			}
+			rb, err := reg(2)
+			if err != nil {
+				return err
+			}
+			b.RR(op, rd, ra, rb)
+		}
+	case isa.FmtI:
+		if op == isa.OpLUI {
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			v, err := imm(1)
+			if err != nil {
+				return err
+			}
+			b.RI(op, rd, isa.RZero, v)
+			return nil
+		}
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		b.RI(op, rd, ra, v)
+	case isa.FmtLS:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMemOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: off})
+	case isa.FmtB:
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Br(op, ra, rb, ops[2])
+	case isa.FmtJ:
+		if err := need(1); err != nil {
+			return err
+		}
+		if op == isa.OpJ {
+			b.Jmp(ops[0])
+		} else {
+			b.Call(ops[0])
+		}
+	}
+	return nil
+}
+
+func parseMemOperand(s string) (int64, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := strconv.ParseInt(s[:open], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = v
+	}
+	base, err := isa.ParseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// --- textifier: Program -> old-syntax source ---
+
+// textify renders a Builder-produced program as assembly text both
+// frontends accept: concrete instructions (li/la already expanded), data as
+// .byte runs with .space padding between segments, and synthesized labels
+// at every branch/jump target.
+func textify(t *testing.T, p *asm.Program) string {
+	t.Helper()
+	var sb strings.Builder
+
+	if len(p.Data) > 0 {
+		sb.WriteString(".data\n")
+		cur := uint64(asm.DefaultDataBase)
+		for _, seg := range p.Data {
+			aligned := (cur + 7) &^ 7
+			if seg.Base < aligned {
+				t.Fatalf("data segment at %#x overlaps cursor %#x", seg.Base, aligned)
+			}
+			if pad := seg.Base - aligned; pad > 0 {
+				fmt.Fprintf(&sb, ".space %d\n", pad)
+			}
+			// Bulk as .word (8 LE bytes per operand), tail as .byte. Every
+			// line consumes a multiple of 8 bytes, so the align-8 both
+			// frontends apply before each directive never shifts layout.
+			body := seg.Bytes
+			off := 0
+			for ; off+64 <= len(body); off += 64 {
+				parts := make([]string, 8)
+				for i := range parts {
+					parts[i] = strconv.FormatUint(binary.LittleEndian.Uint64(body[off+8*i:]), 10)
+				}
+				fmt.Fprintf(&sb, ".word %s\n", strings.Join(parts, ", "))
+			}
+			for ; off+8 <= len(body); off += 8 {
+				fmt.Fprintf(&sb, ".word %d\n", binary.LittleEndian.Uint64(body[off:]))
+			}
+			if off < len(body) {
+				parts := make([]string, 0, 8)
+				for _, bv := range body[off:] {
+					parts = append(parts, strconv.Itoa(int(bv)))
+				}
+				fmt.Fprintf(&sb, ".byte %s\n", strings.Join(parts, ", "))
+			}
+			cur = seg.Base + uint64(len(seg.Bytes))
+		}
+	}
+
+	sb.WriteString(".text\n")
+	labeled := make([]bool, len(p.Code)+1)
+	insts := make([]isa.Inst, len(p.Code))
+	targetIdx := func(i int, in isa.Inst) int {
+		pc := p.CodeBase + 4*uint64(i)
+		target := in.BranchTarget(pc)
+		if target < p.CodeBase || target > p.CodeEnd() || target%4 != 0 {
+			t.Fatalf("inst %d (%s): target %#x outside code", i, in, target)
+		}
+		return int((target - p.CodeBase) / 4)
+	}
+	for i, w := range p.Code {
+		in := isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			t.Fatalf("inst %d does not decode", i)
+		}
+		insts[i] = in
+		if f := in.Op.Format(); f == isa.FmtB || f == isa.FmtJ {
+			labeled[targetIdx(i, in)] = true
+		}
+	}
+	entryIdx := int((p.Entry - p.CodeBase) / 4)
+	for i, in := range insts {
+		if i == entryIdx {
+			sb.WriteString("main:\n")
+		}
+		if labeled[i] {
+			fmt.Fprintf(&sb, "L%d:\n", i)
+		}
+		switch in.Op.Format() {
+		case isa.FmtB:
+			fmt.Fprintf(&sb, "  %s %s, %s, L%d\n", in.Op, in.Ra, in.Rb, targetIdx(i, in))
+		case isa.FmtJ:
+			fmt.Fprintf(&sb, "  %s L%d\n", in.Op, targetIdx(i, in))
+		default:
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	if labeled[len(insts)] {
+		fmt.Fprintf(&sb, "L%d:\n", len(insts))
+	}
+	return sb.String()
+}
+
+// mergedSegments normalizes a data image into maximal contiguous runs so
+// programs that chunk the same bytes differently still compare equal.
+func mergedSegments(p *asm.Program) []asm.Segment {
+	var out []asm.Segment
+	for _, seg := range p.Data {
+		if len(seg.Bytes) == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Base+uint64(len(out[n-1].Bytes)) == seg.Base {
+			out[n-1].Bytes = append(out[n-1].Bytes, seg.Bytes...)
+			continue
+		}
+		// Copy so amortized append growth never aliases the input image.
+		out = append(out, asm.Segment{Base: seg.Base, Bytes: append([]byte(nil), seg.Bytes...)})
+	}
+	return out
+}
+
+func sameProgram(t *testing.T, what string, a, b *asm.Program) {
+	t.Helper()
+	if a.Entry != b.Entry {
+		t.Errorf("%s: entry %#x != %#x", what, a.Entry, b.Entry)
+	}
+	if a.CodeBase != b.CodeBase {
+		t.Errorf("%s: code base %#x != %#x", what, a.CodeBase, b.CodeBase)
+	}
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("%s: code length %d != %d", what, len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("%s: code[%d] %08x (%s) != %08x (%s)",
+				what, i, a.Code[i], isa.Decode(a.Code[i]), b.Code[i], isa.Decode(b.Code[i]))
+		}
+	}
+	sa, sb := mergedSegments(a), mergedSegments(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: %d data runs != %d", what, len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Base != sb[i].Base || string(sa[i].Bytes) != string(sb[i].Bytes) {
+			t.Fatalf("%s: data run %d differs (%#x+%d vs %#x+%d)",
+				what, i, sa[i].Base, len(sa[i].Bytes), sb[i].Base, len(sb[i].Bytes))
+		}
+	}
+}
+
+// TestOldNewEquivalenceWorkloads textifies all 27 workload kernels and
+// checks old frontend, new frontend, and the original Builder image agree
+// bit for bit.
+func TestOldNewEquivalenceWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			orig := w.Build(0)
+			src := textify(t, orig)
+			oldP, err := oldAssemble(src)
+			if err != nil {
+				t.Fatalf("old frontend: %v", err)
+			}
+			newP, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("new frontend: %v", err)
+			}
+			sameProgram(t, "old vs new", oldP, newP)
+			sameProgram(t, "new vs builder", newP, orig)
+		})
+	}
+}
+
+// TestOldNewEquivalenceExamples runs both frontends over the real example
+// sources (old syntax: la/li, interleaved labels, comments).
+func TestOldNewEquivalenceExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata sources (err=%v)", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldP, err := oldAssemble(string(src))
+			if err != nil {
+				t.Fatalf("old frontend: %v", err)
+			}
+			newP, err := asm.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("new frontend: %v", err)
+			}
+			sameProgram(t, "old vs new", oldP, newP)
+			if len(newP.Code) == 0 {
+				t.Fatal("no code")
+			}
+		})
+	}
+}
+
+// TestImageSHA256 pins the properties the program cache key relies on:
+// stable across assemblies, insensitive to symbol names, sensitive to any
+// code or data change.
+func TestImageSHA256(t *testing.T) {
+	src := ".data\nv: .word 7\n.text\nmain: la r1, v\nldq r2, 0(r1)\nhalt\n"
+	p1, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := asm.Assemble(strings.ReplaceAll(src, "v", "renamed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SHA256() != p2.SHA256() {
+		t.Error("hash depends on symbol names")
+	}
+	p3, err := asm.Assemble(strings.ReplaceAll(src, ".word 7", ".word 8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SHA256() == p3.SHA256() {
+		t.Error("hash insensitive to data change")
+	}
+	if len(p1.SHA256()) != 64 {
+		t.Errorf("hash %q is not hex sha256", p1.SHA256())
+	}
+}

@@ -1,0 +1,421 @@
+package parser
+
+import (
+	"strings"
+
+	"prisim/internal/asm/lexer"
+	"prisim/internal/isa"
+)
+
+// unit is one code statement after sizing: its pc, how many words it
+// emits, and — for li/la — the fully lowered expansion (their value must
+// be known at sizing time, so lowering happens there too).
+type unit struct {
+	s    stmt
+	mnem string
+	pc   uint64
+	n    int
+	li   []isa.Inst // non-nil for li/la
+	bad  bool       // sizing already reported a diagnostic; emit nops
+}
+
+// sizeCode walks the text-section statements in order, defining code
+// labels at their final addresses and fixing every instruction's size.
+// Only li/la are variable-length; their operand expressions are evaluated
+// here, which is why they may reference any data symbol or constant but
+// only code labels defined earlier in the file.
+func (p *parser) sizeCode() []unit {
+	units := make([]unit, 0, len(p.code))
+	pc := p.cfg.CodeBase
+	for _, s := range p.code {
+		for _, l := range s.labels {
+			p.defineSymbol(l, pc)
+		}
+		if !s.hasHead() {
+			continue
+		}
+		u := unit{s: s, mnem: strings.ToLower(s.head.Text), pc: pc, n: 1}
+		switch u.mnem {
+		case "li", "la":
+			u.li, u.bad = p.lowerLi(s, u.mnem)
+			if !u.bad {
+				u.n = len(u.li)
+			}
+		default:
+			if _, ok := isa.OpByName(u.mnem); !ok && !isPseudo(u.mnem) {
+				p.errorf(s.head, "unknown mnemonic %q", s.head.Text)
+				u.bad = true
+			}
+		}
+		pc += 4 * uint64(u.n)
+		units = append(units, u)
+	}
+	return units
+}
+
+// lowerLi lowers "li rd, expr" (and la, its alias for address-valued
+// expressions) into the shortest standard expansion: 1 instruction for a
+// 16-bit signed value, lui+ori for 32-bit, ori/slli 16-bit chunks in
+// general.
+func (p *parser) lowerLi(s stmt, mnem string) ([]isa.Inst, bool) {
+	if !p.requireOps(s, 2) {
+		return nil, true
+	}
+	rd, ok := p.regOperand(s.ops[0])
+	if !ok {
+		return nil, true
+	}
+	uv, ok := p.evalToks(s.ops[1])
+	if !ok {
+		return nil, true
+	}
+	v := int64(uv)
+	var insts []isa.Inst
+	ri := func(op isa.Op, rd, ra isa.Reg, imm int64) {
+		insts = append(insts, isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+	}
+	switch {
+	case v >= -(1<<15) && v < 1<<15:
+		ri(isa.OpADDI, rd, isa.RZero, v)
+	case v >= -(1<<31) && v < 1<<31:
+		ri(isa.OpLUI, rd, isa.RZero, int64(int16(v>>16)))
+		if lo := v & 0xFFFF; lo != 0 {
+			ri(isa.OpORI, rd, rd, lo)
+		}
+	default:
+		// 16-bit chunks, most significant first, skipping leading zeros.
+		started := false
+		for shift := 48; shift >= 0; shift -= 16 {
+			chunk := int64((uv >> uint(shift)) & 0xFFFF)
+			if !started {
+				if chunk == 0 {
+					continue
+				}
+				ri(isa.OpORI, rd, isa.RZero, chunk)
+				started = true
+				continue
+			}
+			ri(isa.OpSLLI, rd, rd, 16)
+			if chunk != 0 {
+				ri(isa.OpORI, rd, rd, chunk)
+			}
+		}
+		if !started {
+			ri(isa.OpADDI, rd, isa.RZero, 0)
+		}
+	}
+	return insts, false
+}
+
+// encodeCode is pass two over the code: every operand expression is
+// evaluated (all symbols are defined now, so forward branch targets and
+// references into later .data blocks resolve), targets are range-checked,
+// and the instructions are encoded. Statements that already failed emit
+// nops to keep subsequent addresses aligned with the sizing pass; once any
+// diagnostic exists no image is produced, so the filler is never observed.
+func (p *parser) encodeCode(units []unit) []uint32 {
+	var code []uint32
+	nop := isa.Inst{Op: isa.OpNOP}
+	for _, u := range units {
+		insts := u.li
+		if insts == nil && !u.bad {
+			in, ok := p.encodeInst(u)
+			if !ok {
+				u.bad = true
+			} else {
+				insts = []isa.Inst{in}
+			}
+		}
+		if u.bad {
+			for i := 0; i < u.n; i++ {
+				w, _ := nop.Encode()
+				code = append(code, w)
+			}
+			continue
+		}
+		for _, in := range insts {
+			w, err := in.Encode()
+			if err != nil {
+				p.errorf(u.s.head, "cannot encode %s: %v", in, err)
+				w, _ = nop.Encode()
+			}
+			code = append(code, w)
+		}
+	}
+	return code
+}
+
+// regOperand requires op to be a single register token.
+func (p *parser) regOperand(op []lexer.Token) (isa.Reg, bool) {
+	if len(op) != 1 || op[0].Kind != lexer.Ident {
+		p.errorf(op[0], "expected register, found %s", op[0])
+		return 0, false
+	}
+	r, err := isa.ParseReg(op[0].Text)
+	if err != nil {
+		p.errorf(op[0], "expected register, found %q", op[0].Text)
+		return 0, false
+	}
+	return r, true
+}
+
+// memOperand parses "expr(reg)" or "(reg)". The base register is found by
+// matching the trailing parenthesis pair, so a parenthesized offset
+// expression like "(OFF+8)(r1)" parses cleanly.
+func (p *parser) memOperand(op []lexer.Token) (int64, isa.Reg, bool) {
+	if len(op) < 3 || op[len(op)-1].Kind != lexer.RParen {
+		p.errorf(op[0], `expected memory operand "off(base)"`)
+		return 0, 0, false
+	}
+	open := -1
+	depth := 0
+	for i := len(op) - 1; i >= 0; i-- {
+		switch op[i].Kind {
+		case lexer.RParen:
+			depth++
+		case lexer.LParen:
+			depth--
+			if depth == 0 {
+				open = i
+			}
+		}
+		if open >= 0 {
+			break
+		}
+	}
+	if open < 0 {
+		p.errorf(op[len(op)-1], "unbalanced parentheses in memory operand")
+		return 0, 0, false
+	}
+	inner := op[open+1 : len(op)-1]
+	if len(inner) != 1 || inner[0].Kind != lexer.Ident {
+		p.errorf(op[open], "expected base register inside parentheses")
+		return 0, 0, false
+	}
+	base, err := isa.ParseReg(inner[0].Text)
+	if err != nil {
+		p.errorf(inner[0], "expected base register, found %q", inner[0].Text)
+		return 0, 0, false
+	}
+	off := int64(0)
+	if open > 0 {
+		v, ok := p.evalToks(op[:open])
+		if !ok {
+			return 0, 0, false
+		}
+		off = int64(v)
+	}
+	return off, base, true
+}
+
+// target evaluates a branch/jump target operand to an absolute address.
+func (p *parser) target(op []lexer.Token) (uint64, bool) {
+	return p.evalToks(op)
+}
+
+// encodeInst lowers one sized statement (everything except li/la) to a
+// single instruction.
+func (p *parser) encodeInst(u unit) (isa.Inst, bool) {
+	s := u.s
+	ops := s.ops
+	bad := isa.Inst{}
+
+	reg := func(i int) (isa.Reg, bool) {
+		if i >= len(ops) {
+			p.errorf(s.head, "%s: missing operand %d", u.mnem, i+1)
+			return 0, false
+		}
+		return p.regOperand(ops[i])
+	}
+	imm := func(i int) (int64, bool) {
+		if i >= len(ops) {
+			p.errorf(s.head, "%s: missing operand %d", u.mnem, i+1)
+			return 0, false
+		}
+		v, ok := p.evalToks(ops[i])
+		return int64(v), ok
+	}
+	need := func(n int) bool { return p.requireOps(s, n) }
+
+	// Pseudo-instructions first (li/la were lowered during sizing).
+	switch u.mnem {
+	case "mov":
+		if !need(2) {
+			return bad, false
+		}
+		rd, ok1 := reg(0)
+		ra, ok2 := reg(1)
+		if !ok1 || !ok2 {
+			return bad, false
+		}
+		if rd.IsFP() || ra.IsFP() {
+			return isa.Inst{Op: isa.OpFMOV, Rd: rd, Ra: ra}, true
+		}
+		return isa.Inst{Op: isa.OpADD, Rd: rd, Ra: ra, Rb: isa.RZero}, true
+	case "beqz", "bnez":
+		if !need(2) {
+			return bad, false
+		}
+		ra, ok := reg(0)
+		if !ok {
+			return bad, false
+		}
+		op := isa.OpBEQ
+		if u.mnem == "bnez" {
+			op = isa.OpBNE
+		}
+		return p.branch(u, op, ra, isa.RZero, ops[1])
+	case "ret":
+		if !need(0) {
+			return bad, false
+		}
+		return isa.Inst{Op: isa.OpJR, Ra: isa.RLR}, true
+	}
+
+	op, _ := isa.OpByName(u.mnem) // known: sizing rejected unknown mnemonics
+	switch op.Format() {
+	case isa.FmtR:
+		switch op {
+		case isa.OpNOP, isa.OpHALT:
+			if !need(0) {
+				return bad, false
+			}
+			return isa.Inst{Op: op}, true
+		case isa.OpPUTC, isa.OpJR:
+			if !need(1) {
+				return bad, false
+			}
+			ra, ok := reg(0)
+			if !ok {
+				return bad, false
+			}
+			return isa.Inst{Op: op, Ra: ra}, true
+		case isa.OpJALR:
+			// "jalr ra" (link to lr) or "jalr rd, ra".
+			switch len(ops) {
+			case 1:
+				ra, ok := reg(0)
+				if !ok {
+					return bad, false
+				}
+				return isa.Inst{Op: op, Rd: isa.RLR, Ra: ra}, true
+			case 2:
+				rd, ok1 := reg(0)
+				ra, ok2 := reg(1)
+				if !ok1 || !ok2 {
+					return bad, false
+				}
+				return isa.Inst{Op: op, Rd: rd, Ra: ra}, true
+			default:
+				p.errorf(s.head, "jalr: want 1 or 2 operands, got %d", len(ops))
+				return bad, false
+			}
+		case isa.OpFSQRT, isa.OpFMOV, isa.OpFNEG, isa.OpFABS, isa.OpCVTIF, isa.OpCVTFI:
+			if !need(2) {
+				return bad, false
+			}
+			rd, ok1 := reg(0)
+			ra, ok2 := reg(1)
+			if !ok1 || !ok2 {
+				return bad, false
+			}
+			return isa.Inst{Op: op, Rd: rd, Ra: ra}, true
+		default:
+			if !need(3) {
+				return bad, false
+			}
+			rd, ok1 := reg(0)
+			ra, ok2 := reg(1)
+			rb, ok3 := reg(2)
+			if !ok1 || !ok2 || !ok3 {
+				return bad, false
+			}
+			return isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb}, true
+		}
+	case isa.FmtI:
+		if op == isa.OpLUI {
+			if !need(2) {
+				return bad, false
+			}
+			rd, ok1 := reg(0)
+			v, ok2 := imm(1)
+			if !ok1 || !ok2 {
+				return bad, false
+			}
+			return isa.Inst{Op: op, Rd: rd, Ra: isa.RZero, Imm: v}, true
+		}
+		if !need(3) {
+			return bad, false
+		}
+		rd, ok1 := reg(0)
+		ra, ok2 := reg(1)
+		v, ok3 := imm(2)
+		if !ok1 || !ok2 || !ok3 {
+			return bad, false
+		}
+		return isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: v}, true
+	case isa.FmtLS:
+		if !need(2) {
+			return bad, false
+		}
+		rd, ok := reg(0)
+		if !ok {
+			return bad, false
+		}
+		off, base, ok := p.memOperand(ops[1])
+		if !ok {
+			return bad, false
+		}
+		return isa.Inst{Op: op, Rd: rd, Ra: base, Imm: off}, true
+	case isa.FmtB:
+		if !need(3) {
+			return bad, false
+		}
+		ra, ok1 := reg(0)
+		rb, ok2 := reg(1)
+		if !ok1 || !ok2 {
+			return bad, false
+		}
+		return p.branch(u, op, ra, rb, ops[2])
+	case isa.FmtJ:
+		if !need(1) {
+			return bad, false
+		}
+		addr, ok := p.target(ops[0])
+		if !ok {
+			return bad, false
+		}
+		at := ops[0][0]
+		if addr%4 != 0 {
+			p.errorf(at, "jump target %#x is not instruction-aligned", addr)
+			return bad, false
+		}
+		if addr>>28 != (u.pc+4)>>28 {
+			p.errorf(at, "jump target %#x crosses a 256MB region", addr)
+			return bad, false
+		}
+		return isa.Inst{Op: op, Imm: int64((addr >> 2) & (1<<26 - 1))}, true
+	}
+	p.errorf(s.head, "unknown mnemonic %q", s.head.Text)
+	return bad, false
+}
+
+// branch resolves a conditional-branch target to a word displacement.
+func (p *parser) branch(u unit, op isa.Op, ra, rb isa.Reg, targetOp []lexer.Token) (isa.Inst, bool) {
+	addr, ok := p.target(targetOp)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	at := targetOp[0]
+	delta := int64(addr) - int64(u.pc) - 4
+	if delta%4 != 0 {
+		p.errorf(at, "branch target %#x is not instruction-aligned", addr)
+		return isa.Inst{}, false
+	}
+	disp := delta / 4
+	if disp < -(1<<15) || disp >= 1<<15 {
+		p.errorf(at, "branch target out of range (%d instructions away)", disp)
+		return isa.Inst{}, false
+	}
+	return isa.Inst{Op: op, Ra: ra, Rb: rb, Imm: disp}, true
+}

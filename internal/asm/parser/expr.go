@@ -1,0 +1,270 @@
+package parser
+
+import (
+	"strconv"
+
+	"prisim/internal/asm/lexer"
+)
+
+// Constant expressions are evaluated in the uint64 domain with wraparound,
+// so ".word -1" and ".word 0xFFFFFFFFFFFFFFFF" both mean the same bit
+// pattern, matching the old frontend's ParseInt/ParseUint fallback.
+// Addition, subtraction, multiplication, and the bitwise operators act on
+// the raw 64-bit pattern; division and modulo are signed; ">>" is logical.
+//
+// The parser is Pratt-style: every operator token carries a left binding
+// power; unary operators bind tighter than any binary one.
+
+type exprNode interface {
+	pos() lexer.Token
+}
+
+type litNode struct {
+	tok lexer.Token
+	val uint64
+}
+
+type symNode struct {
+	tok lexer.Token
+}
+
+type unaryNode struct {
+	tok lexer.Token // the operator
+	x   exprNode
+}
+
+type binNode struct {
+	tok  lexer.Token // the operator
+	x, y exprNode
+}
+
+func (n *litNode) pos() lexer.Token   { return n.tok }
+func (n *symNode) pos() lexer.Token   { return n.tok }
+func (n *unaryNode) pos() lexer.Token { return n.tok }
+func (n *binNode) pos() lexer.Token   { return n.tok }
+
+// binaryBP returns the left binding power of a binary operator token, or 0
+// if the kind is not a binary operator. C-like precedence.
+func binaryBP(k lexer.Kind) int {
+	switch k {
+	case lexer.Pipe:
+		return 10
+	case lexer.Caret:
+		return 20
+	case lexer.Amp:
+		return 30
+	case lexer.Shl, lexer.Shr:
+		return 40
+	case lexer.Plus, lexer.Minus:
+		return 50
+	case lexer.Star, lexer.Slash, lexer.Percent:
+		return 60
+	}
+	return 0
+}
+
+const unaryBP = 70
+
+// exprParser walks one operand's token slice.
+type exprParser struct {
+	p    *parser
+	toks []lexer.Token
+	pos  int
+	bad  bool // a diagnostic was already reported; stay quiet
+}
+
+func (e *exprParser) peek() lexer.Token {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos]
+	}
+	// Synthesize an EOF-ish token positioned just past the last real one.
+	if len(e.toks) > 0 {
+		last := e.toks[len(e.toks)-1]
+		return lexer.Token{Kind: lexer.EOF, Line: last.Line, Col: last.Col + last.Width()}
+	}
+	return lexer.Token{Kind: lexer.EOF, Line: 1, Col: 1}
+}
+
+func (e *exprParser) next() lexer.Token {
+	t := e.peek()
+	if e.pos < len(e.toks) {
+		e.pos++
+	}
+	return t
+}
+
+func (e *exprParser) errorf(tok lexer.Token, format string, args ...any) {
+	if !e.bad {
+		e.p.errorf(tok, format, args...)
+		e.bad = true
+	}
+}
+
+// parseExpr parses a complete expression from toks, requiring all tokens to
+// be consumed. Returns nil after reporting a diagnostic.
+func (p *parser) parseExpr(toks []lexer.Token) exprNode {
+	e := &exprParser{p: p, toks: toks}
+	if len(toks) == 0 {
+		p.errorf(lexer.Token{Line: 1, Col: 1}, "missing expression")
+		return nil
+	}
+	n := e.parseBP(0)
+	if n == nil {
+		return nil
+	}
+	if rest := e.peek(); rest.Kind != lexer.EOF {
+		e.errorf(rest, "unexpected %s after expression", rest)
+		return nil
+	}
+	return n
+}
+
+func (e *exprParser) parseBP(minBP int) exprNode {
+	var left exprNode
+	tok := e.next()
+	switch tok.Kind {
+	case lexer.Int:
+		v, err := strconv.ParseUint(tok.Text, 0, 64)
+		if err != nil {
+			// Out-of-range positive literals; negatives arrive via unary
+			// minus, so only overflow lands here.
+			e.errorf(tok, "integer literal %s overflows 64 bits", tok.Text)
+			return nil
+		}
+		left = &litNode{tok: tok, val: v}
+	case lexer.Ident:
+		left = &symNode{tok: tok}
+	case lexer.LParen:
+		inner := e.parseBP(0)
+		if inner == nil {
+			return nil
+		}
+		if close := e.next(); close.Kind != lexer.RParen {
+			e.errorf(close, "expected %q to close %q, found %s", ")", "(", close)
+			return nil
+		}
+		left = inner
+	case lexer.Minus, lexer.Plus, lexer.Tilde:
+		x := e.parseBP(unaryBP)
+		if x == nil {
+			return nil
+		}
+		left = &unaryNode{tok: tok, x: x}
+	case lexer.Float:
+		e.errorf(tok, "floating-point literal %s in integer expression (floats are only valid in .float)", tok.Text)
+		return nil
+	case lexer.MacroArg:
+		e.errorf(tok, `macro argument \%s outside a macro body`, tok.Text)
+		return nil
+	default:
+		e.errorf(tok, "expected expression, found %s", tok)
+		return nil
+	}
+
+	for {
+		op := e.peek()
+		bp := binaryBP(op.Kind)
+		if bp == 0 || bp <= minBP {
+			return left
+		}
+		e.next()
+		right := e.parseBP(bp) // left-associative
+		if right == nil {
+			return nil
+		}
+		left = &binNode{tok: op, x: left, y: right}
+	}
+}
+
+// eval computes the expression value over the parser's symbol tables.
+// Undefined symbols and division by zero report a diagnostic and return
+// ok=false.
+func (p *parser) eval(n exprNode) (uint64, bool) {
+	switch n := n.(type) {
+	case *litNode:
+		return n.val, true
+	case *symNode:
+		v, ok := p.lookup(n.tok.Text)
+		if !ok {
+			p.errorf(n.tok, "undefined symbol %q", n.tok.Text)
+			return 0, false
+		}
+		return v, true
+	case *unaryNode:
+		x, ok := p.eval(n.x)
+		if !ok {
+			return 0, false
+		}
+		switch n.tok.Kind {
+		case lexer.Minus:
+			return -x, true
+		case lexer.Tilde:
+			return ^x, true
+		default: // unary plus
+			return x, true
+		}
+	case *binNode:
+		x, ok := p.eval(n.x)
+		if !ok {
+			return 0, false
+		}
+		y, ok := p.eval(n.y)
+		if !ok {
+			return 0, false
+		}
+		switch n.tok.Kind {
+		case lexer.Plus:
+			return x + y, true
+		case lexer.Minus:
+			return x - y, true
+		case lexer.Star:
+			return x * y, true
+		case lexer.Slash:
+			if y == 0 {
+				p.errorf(n.tok, "division by zero in constant expression")
+				return 0, false
+			}
+			// Signed division so "-8/2" means -4; INT64_MIN / -1 would
+			// panic in Go, so it wraps to the two's-complement negate.
+			if int64(y) == -1 {
+				return -x, true
+			}
+			return uint64(int64(x) / int64(y)), true
+		case lexer.Percent:
+			if y == 0 {
+				p.errorf(n.tok, "modulo by zero in constant expression")
+				return 0, false
+			}
+			if int64(y) == -1 {
+				return 0, true
+			}
+			return uint64(int64(x) % int64(y)), true
+		case lexer.Amp:
+			return x & y, true
+		case lexer.Pipe:
+			return x | y, true
+		case lexer.Caret:
+			return x ^ y, true
+		case lexer.Shl:
+			if y >= 64 {
+				return 0, true
+			}
+			return x << y, true
+		case lexer.Shr:
+			if y >= 64 {
+				return 0, true
+			}
+			return x >> y, true
+		}
+	}
+	return 0, false
+}
+
+// evalToks parses and evaluates one operand as an integer expression.
+func (p *parser) evalToks(toks []lexer.Token) (uint64, bool) {
+	n := p.parseExpr(toks)
+	if n == nil {
+		return 0, false
+	}
+	return p.eval(n)
+}

@@ -6,6 +6,9 @@
 package asm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -39,6 +42,37 @@ type Program struct {
 
 // CodeEnd returns the first address past the code segment.
 func (p *Program) CodeEnd() uint64 { return p.CodeBase + 4*uint64(len(p.Code)) }
+
+// SHA256 returns the hex digest of the canonical image serialization:
+// schema tag, entry, code base, code words, and each data segment's base,
+// length, and bytes, all little-endian. Symbols are excluded — they do not
+// affect execution, so two images that run identically hash identically.
+// The digest is the content-addressed identity used by program-job cache
+// keys; changing the serialization is a cache-key schema change.
+func (p *Program) SHA256() string {
+	h := sha256.New()
+	h.Write([]byte("prisim-image-v1\n"))
+	var w [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	word(p.Entry)
+	word(p.CodeBase)
+	word(uint64(len(p.Code)))
+	var iw [4]byte
+	for _, c := range p.Code {
+		binary.LittleEndian.PutUint32(iw[:], c)
+		h.Write(iw[:])
+	}
+	word(uint64(len(p.Data)))
+	for _, seg := range p.Data {
+		word(seg.Base)
+		word(uint64(len(seg.Bytes)))
+		h.Write(seg.Bytes)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // InstAt decodes the instruction at addr, if addr lies in the code segment.
 func (p *Program) InstAt(addr uint64) (isa.Inst, bool) {

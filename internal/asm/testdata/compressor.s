@@ -1,0 +1,45 @@
+.data
+input:  .ascii "aaaabbbcccccccddaaaaaaaabbbbcdeffffffffggggggghhhhhhhhhiiiijjjjjjjjjkkkkklllllllm"
+inlen:  .word 81
+output: .space 256
+outlen: .space 8
+.text
+main:
+  la   r1, input
+  la   r2, output
+  la   r3, inlen
+  ldq  r3, 0(r3)
+  add  r4, r1, r3    ; end of input
+  li   r10, 0        ; output length
+loop:
+  ldbu r5, 0(r1)     ; current symbol
+  li   r6, 1         ; run length
+run:
+  addi r7, r1, 1
+  bgeu r7, r4, emit  ; end of input?
+  ldbu r8, 0(r7)
+  bne  r8, r5, emit
+  mov  r1, r7
+  addi r6, r6, 1
+  j    run
+emit:
+  stb  r5, 0(r2)     ; symbol
+  addi r6, r6, 48    ; run length as an ASCII digit (runs < 10 assumed per digit)
+  stb  r6, 1(r2)
+  addi r2, r2, 2
+  addi r10, r10, 2
+  addi r1, r1, 1
+  bltu r1, r4, loop
+  la   r9, outlen
+  stq  r10, 0(r9)
+  ; print the compressed form
+  la   r2, output
+print:
+  beqz r10, done
+  ldbu r5, 0(r2)
+  putc r5
+  addi r2, r2, 1
+  addi r10, r10, -1
+  j    print
+done:
+  halt

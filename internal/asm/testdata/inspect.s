@@ -1,0 +1,18 @@
+.data
+tbl: .space 2048
+.text
+main:
+  la   r1, tbl
+  li   r2, 300
+loop:
+  andi r3, r2, 255
+  slli r4, r3, 3
+  add  r5, r1, r4
+  ldq  r6, 0(r5)
+  addi r6, r6, 1
+  stq  r6, 0(r5)
+  mul  r7, r6, r3
+  add  r8, r8, r7
+  addi r2, r2, -1
+  bnez r2, loop
+  halt

@@ -1,0 +1,32 @@
+.data
+text:  .space 4096
+hist:  .space 2048
+.text
+main:
+  la   r1, text
+  li   r2, 4096
+  li   r3, 1        ; lcg state
+fill:               ; synthesize "text" with a tiny LCG
+  li   r4, 75
+  mul  r3, r3, r4
+  addi r3, r3, 74
+  andi r5, r3, 127  ; narrow symbol
+  stb  r5, 0(r1)
+  addi r1, r1, 1
+  addi r2, r2, -1
+  bnez r2, fill
+
+  la   r1, text
+  la   r6, hist
+  li   r2, 4096
+count:
+  ldbu r5, 0(r1)    ; narrow byte
+  slli r7, r5, 2
+  add  r8, r6, r7
+  ldl  r9, 0(r8)    ; narrow counter
+  addi r9, r9, 1
+  stl  r9, 0(r8)
+  addi r1, r1, 1
+  addi r2, r2, -1
+  bnez r2, count
+  halt

@@ -1,457 +1,79 @@
 package asm
 
 import (
-	"fmt"
-	"math"
-	"strconv"
-	"strings"
+	"errors"
 
-	"prisim/internal/isa"
+	"prisim/internal/asm/parser"
 )
 
-func floatBits(v float64) uint64 { return math.Float64bits(v) }
+// Diagnostic is one positioned assembly error: file, 1-based rune-accurate
+// line/column, message, and a source excerpt. It is an alias for the
+// parser's type so callers can consume diagnostics without importing the
+// frontend packages.
+type Diagnostic = parser.Diagnostic
+
+// Diagnostics extracts the collected diagnostics from an error returned by
+// Assemble, or nil if err did not come from the assembler frontend. The
+// frontend collects every error it finds (capped), not just the first.
+func Diagnostics(err error) []Diagnostic {
+	var pe *parser.Error
+	if errors.As(err, &pe) {
+		return pe.Diags
+	}
+	return nil
+}
 
 // Assemble translates PRISC-64 assembly text into a program image.
 //
 // The syntax is conventional two-section assembly:
 //
+//	.equ    N, 8
 //	.data
-//	tbl:    .word 1, 2, 0x10
+//	tbl:    .word 1, 2, 3*N+1
 //	vec:    .float 1.0, -2.5
-//	msg:    .byte 104, 105, 10
-//	buf:    .space 4096
+//	msg:    .asciz "hi;#()\n"
+//	buf:    .space N*8
 //	.text
 //	main:   la   r1, tbl
-//	        ldq  r2, 8(r1)
+//	        ldq  r2, (N)(r1)
 //	loop:   addi r2, r2, -1
 //	        bnez r2, loop
 //	        halt
 //
-// Comments start with ';' or '#'. Pseudo-instructions: li, la, mov, beqz,
-// bnez, ret, plus the bare forms of jalr (link register implied). Data must
-// be declared before it is referenced by la; interleaving .data and .text
-// blocks is allowed as long as that ordering holds.
+// Comments run from ';' or '#' to end of line (except inside string
+// literals). Integer operands are constant expressions over literals,
+// .equ/.set constants, and symbols, with C-like precedence. Directives:
+// .data/.text (interleaving allowed; code may reference data declared in a
+// later .data block), .word/.byte/.float/.ascii/.asciz/.space/.align,
+// .equ/.set, and .macro/.endm with parameters (\name) and the \@
+// unique-label counter. Pseudo-instructions: li, la, mov, beqz, bnez, ret,
+// plus the bare form of jalr (link register implied).
+//
+// On failure the error carries every diagnostic found, each positioned
+// file:line:col with a source excerpt; see Diagnostics.
 func Assemble(src string) (*Program, error) {
-	b := NewBuilder()
-	type codeLine struct {
-		no   int
-		text string
-	}
-	var code []codeLine
-	inData := false
-
-	lines := strings.Split(src, "\n")
-	// First sweep: handle sections, labels, and data declarations; queue
-	// code lines so that data symbols exist before code references them.
-	var dataLabels []string // labels awaiting the next data directive
-	for no, raw := range lines {
-		line := raw
-		if i := strings.IndexAny(line, ";#"); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		switch {
-		case line == ".data":
-			inData = true
-			continue
-		case line == ".text":
-			inData = false
-			continue
-		}
-		// Peel off leading labels.
-		for {
-			i := strings.Index(line, ":")
-			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
-				break
-			}
-			label := line[:i]
-			line = strings.TrimSpace(line[i+1:])
-			if inData {
-				dataLabels = append(dataLabels, label)
-			} else {
-				code = append(code, codeLine{no + 1, label + ":"})
-			}
-		}
-		if line == "" {
-			continue
-		}
-		if inData {
-			if err := assembleData(b, line, dataLabels, no+1); err != nil {
-				return nil, err
-			}
-			dataLabels = nil
-		} else {
-			code = append(code, codeLine{no + 1, line})
-		}
-	}
-	if len(dataLabels) > 0 {
-		return nil, fmt.Errorf("asm: data label %q has no directive", dataLabels[0])
-	}
-
-	for _, cl := range code {
-		if strings.HasSuffix(cl.text, ":") {
-			label := strings.TrimSuffix(cl.text, ":")
-			if _, dup := b.labels[label]; dup {
-				return nil, fmt.Errorf("asm: line %d: duplicate label %q", cl.no, label)
-			}
-			b.Label(label)
-			continue
-		}
-		if err := assembleInst(b, cl.text); err != nil {
-			return nil, fmt.Errorf("asm: line %d: %w", cl.no, err)
-		}
-	}
-	return b.Finish()
+	return AssembleFile("<input>", src)
 }
 
-func assembleData(b *Builder, line string, labels []string, no int) error {
-	fields := strings.SplitN(line, " ", 2)
-	directive := fields[0]
-	rest := ""
-	if len(fields) > 1 {
-		rest = strings.TrimSpace(fields[1])
-	}
-	name := ""
-	if len(labels) > 0 {
-		name = labels[0]
-	}
-	defineExtra := func(addr uint64) {
-		for _, l := range labels[1:] {
-			b.defineDataSymbol(l, addr)
-		}
-	}
-	switch directive {
-	case ".word":
-		vals, err := parseInts(rest)
-		if err != nil {
-			return fmt.Errorf("asm: line %d: %w", no, err)
-		}
-		words := make([]uint64, len(vals))
-		for i, v := range vals {
-			words[i] = uint64(v)
-		}
-		defineExtra(b.Words(name, words))
-	case ".byte":
-		vals, err := parseInts(rest)
-		if err != nil {
-			return fmt.Errorf("asm: line %d: %w", no, err)
-		}
-		bytes := make([]byte, len(vals))
-		for i, v := range vals {
-			bytes[i] = byte(v)
-		}
-		defineExtra(b.Bytes(name, bytes))
-	case ".float":
-		var vals []float64
-		for _, f := range splitOperands(rest) {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return fmt.Errorf("asm: line %d: bad float %q", no, f)
-			}
-			vals = append(vals, v)
-		}
-		defineExtra(b.Floats(name, vals))
-	case ".space":
-		n, err := strconv.ParseUint(rest, 0, 64)
-		if err != nil {
-			return fmt.Errorf("asm: line %d: bad .space size %q", no, rest)
-		}
-		defineExtra(b.Space(name, n))
-	case ".ascii":
-		s, err := strconv.Unquote(rest)
-		if err != nil {
-			return fmt.Errorf("asm: line %d: bad .ascii string", no)
-		}
-		defineExtra(b.Bytes(name, []byte(s)))
-	default:
-		return fmt.Errorf("asm: line %d: unknown directive %q", no, directive)
-	}
-	return nil
-}
-
-func parseInts(s string) ([]int64, error) {
-	var out []int64
-	for _, f := range splitOperands(s) {
-		v, err := strconv.ParseInt(f, 0, 64)
-		if err != nil {
-			// Allow full-range unsigned hex like 0xFFFFFFFFFFFFFFFF.
-			u, uerr := strconv.ParseUint(f, 0, 64)
-			if uerr != nil {
-				return nil, fmt.Errorf("bad integer %q", f)
-			}
-			v = int64(u)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func splitOperands(s string) []string {
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func assembleInst(b *Builder, line string) error {
-	mnemonic, rest, _ := strings.Cut(line, " ")
-	mnemonic = strings.ToLower(mnemonic)
-	ops := splitOperands(strings.TrimSpace(rest))
-
-	reg := func(i int) (isa.Reg, error) {
-		if i >= len(ops) {
-			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
-		}
-		return isa.ParseReg(ops[i])
-	}
-	imm := func(i int) (int64, error) {
-		if i >= len(ops) {
-			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
-		}
-		v, err := strconv.ParseInt(ops[i], 0, 64)
-		if err != nil {
-			return 0, fmt.Errorf("%s: bad immediate %q", mnemonic, ops[i])
-		}
-		return v, nil
-	}
-	need := func(n int) error {
-		if len(ops) != n {
-			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(ops))
-		}
-		return nil
-	}
-
-	// Pseudo-instructions first.
-	switch mnemonic {
-	case "li":
-		if err := need(2); err != nil {
-			return err
-		}
-		rd, err := reg(0)
-		if err != nil {
-			return err
-		}
-		v, err := imm(1)
-		if err != nil {
-			return err
-		}
-		b.Li(rd, v)
-		return nil
-	case "la":
-		if err := need(2); err != nil {
-			return err
-		}
-		rd, err := reg(0)
-		if err != nil {
-			return err
-		}
-		addr, ok := b.symbols[ops[1]]
-		if !ok {
-			return fmt.Errorf("la: undefined data symbol %q", ops[1])
-		}
-		b.Li(rd, int64(addr))
-		return nil
-	case "mov":
-		if err := need(2); err != nil {
-			return err
-		}
-		rd, err := reg(0)
-		if err != nil {
-			return err
-		}
-		ra, err := reg(1)
-		if err != nil {
-			return err
-		}
-		if rd.IsFP() || ra.IsFP() {
-			b.R1(isa.OpFMOV, rd, ra)
-		} else {
-			b.Mov(rd, ra)
-		}
-		return nil
-	case "beqz", "bnez":
-		if err := need(2); err != nil {
-			return err
-		}
-		ra, err := reg(0)
-		if err != nil {
-			return err
-		}
-		op := isa.OpBEQ
-		if mnemonic == "bnez" {
-			op = isa.OpBNE
-		}
-		b.Br(op, ra, isa.RZero, ops[1])
-		return nil
-	case "ret":
-		b.Ret()
-		return nil
-	}
-
-	op, ok := isa.OpByName(mnemonic)
-	if !ok {
-		return fmt.Errorf("unknown mnemonic %q", mnemonic)
-	}
-	switch op.Format() {
-	case isa.FmtR:
-		switch op {
-		case isa.OpNOP, isa.OpHALT:
-			b.Emit(isa.Inst{Op: op})
-		case isa.OpPUTC, isa.OpJR:
-			ra, err := reg(0)
-			if err != nil {
-				return err
-			}
-			b.Emit(isa.Inst{Op: op, Ra: ra})
-		case isa.OpJALR:
-			// "jalr ra" (link to lr) or "jalr rd, ra".
-			switch len(ops) {
-			case 1:
-				ra, err := reg(0)
-				if err != nil {
-					return err
-				}
-				b.Emit(isa.Inst{Op: op, Rd: isa.RLR, Ra: ra})
-			case 2:
-				rd, err := reg(0)
-				if err != nil {
-					return err
-				}
-				ra, err := reg(1)
-				if err != nil {
-					return err
-				}
-				b.Emit(isa.Inst{Op: op, Rd: rd, Ra: ra})
-			default:
-				return fmt.Errorf("jalr: want 1 or 2 operands")
-			}
-		case isa.OpFSQRT, isa.OpFMOV, isa.OpFNEG, isa.OpFABS, isa.OpCVTIF, isa.OpCVTFI:
-			if err := need(2); err != nil {
-				return err
-			}
-			rd, err := reg(0)
-			if err != nil {
-				return err
-			}
-			ra, err := reg(1)
-			if err != nil {
-				return err
-			}
-			b.R1(op, rd, ra)
-		default:
-			if err := need(3); err != nil {
-				return err
-			}
-			rd, err := reg(0)
-			if err != nil {
-				return err
-			}
-			ra, err := reg(1)
-			if err != nil {
-				return err
-			}
-			rb, err := reg(2)
-			if err != nil {
-				return err
-			}
-			b.RR(op, rd, ra, rb)
-		}
-	case isa.FmtI:
-		if op == isa.OpLUI {
-			if err := need(2); err != nil {
-				return err
-			}
-			rd, err := reg(0)
-			if err != nil {
-				return err
-			}
-			v, err := imm(1)
-			if err != nil {
-				return err
-			}
-			b.RI(op, rd, isa.RZero, v)
-			return nil
-		}
-		if err := need(3); err != nil {
-			return err
-		}
-		rd, err := reg(0)
-		if err != nil {
-			return err
-		}
-		ra, err := reg(1)
-		if err != nil {
-			return err
-		}
-		v, err := imm(2)
-		if err != nil {
-			return err
-		}
-		b.RI(op, rd, ra, v)
-	case isa.FmtLS:
-		if err := need(2); err != nil {
-			return err
-		}
-		rd, err := reg(0)
-		if err != nil {
-			return err
-		}
-		off, base, err := parseMemOperand(ops[1])
-		if err != nil {
-			return err
-		}
-		b.Emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: off})
-	case isa.FmtB:
-		if err := need(3); err != nil {
-			return err
-		}
-		ra, err := reg(0)
-		if err != nil {
-			return err
-		}
-		rb, err := reg(1)
-		if err != nil {
-			return err
-		}
-		b.Br(op, ra, rb, ops[2])
-	case isa.FmtJ:
-		if err := need(1); err != nil {
-			return err
-		}
-		if op == isa.OpJ {
-			b.Jmp(ops[0])
-		} else {
-			b.Call(ops[0])
-		}
-	}
-	return nil
-}
-
-// parseMemOperand parses "off(base)" or "(base)".
-func parseMemOperand(s string) (int64, isa.Reg, error) {
-	open := strings.Index(s, "(")
-	if open < 0 || !strings.HasSuffix(s, ")") {
-		return 0, 0, fmt.Errorf("bad memory operand %q", s)
-	}
-	off := int64(0)
-	if open > 0 {
-		v, err := strconv.ParseInt(s[:open], 0, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("bad offset in %q", s)
-		}
-		off = v
-	}
-	base, err := isa.ParseReg(s[open+1 : len(s)-1])
+// AssembleFile is Assemble with a file name for diagnostics.
+func AssembleFile(name, src string) (*Program, error) {
+	img, err := parser.Parse(src, parser.Config{
+		File:     name,
+		CodeBase: DefaultCodeBase,
+		DataBase: DefaultDataBase,
+	})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return off, base, nil
+	data := make([]Segment, len(img.Data))
+	for i, s := range img.Data {
+		data[i] = Segment{Base: s.Base, Bytes: s.Bytes}
+	}
+	return &Program{
+		Entry:    img.Entry,
+		CodeBase: img.CodeBase,
+		Code:     img.Code,
+		Data:     data,
+		Symbols:  img.Symbols,
+	}, nil
 }

@@ -23,6 +23,12 @@ type Entry struct {
 	Created    time.Time               `json:"created"`
 	Request    prisimclient.JobRequest `json:"request"`
 	Result     prisim.Result           `json:"result"`
+
+	// Output is the console output of a program job ("prisim-prog-v1"
+	// keys); empty for simulate points. It is part of the deterministic
+	// outcome, so it is stored and replayed like the Result. The field is
+	// additive: v1 logs without it decode with Output nil.
+	Output []byte `json:"output,omitempty"`
 }
 
 // MatrixRecord is one durable matrix submission: replayed on restart so an

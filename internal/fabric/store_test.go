@@ -3,6 +3,7 @@ package fabric
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -50,7 +51,7 @@ func TestStorePersistsAcrossReopen(t *testing.T) {
 	if !ok {
 		t.Fatal("entry k1 lost across reopen")
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("entry changed across reopen:\n got %+v\nwant %+v", got, want)
 	}
 	mats := s2.Matrices()

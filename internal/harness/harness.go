@@ -16,6 +16,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -429,9 +430,20 @@ func (r *Runner) simulate(ctx context.Context, w workloads.Workload, cfg ooo.Con
 // same cycle boundary a single phase(n) call would. A slice that falls
 // short of its quota means the program halted, abandoning the rest.
 func runChunked(ctx context.Context, phase func(uint64) uint64, n uint64) error {
+	return runChunkedCheck(ctx, phase, n, nil)
+}
+
+// runChunkedCheck is runChunked with an optional between-chunk check (the
+// program-sandbox memory cap); a non-nil error from check aborts the run.
+func runChunkedCheck(ctx context.Context, phase func(uint64) uint64, n uint64, check func() error) error {
 	for n > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
 		}
 		c := uint64(ctxChunk)
 		if n < c {
@@ -442,6 +454,9 @@ func runChunked(ctx context.Context, phase func(uint64) uint64, n uint64) error 
 			break
 		}
 		n -= got
+	}
+	if check != nil {
+		return check()
 	}
 	return nil
 }
@@ -477,22 +492,38 @@ func buildResult(p *ooo.Pipeline, fp bool) *Result {
 	}
 }
 
+// ErrMemLimit aborts a program run whose simulated machine footprint
+// exceeded the caller's memory cap (see RunProgram's memLimit).
+var ErrMemLimit = errors.New("simulated memory limit exceeded")
+
 // RunProgram runs an arbitrary assembled program through the timing
 // pipeline, uncached (the caller owns the program, so there is no key to
 // memoize under). The budget is used verbatim — FastForward 0 skips nothing
 // and Run bounds committed instructions, stopping early if the program
 // halts. It honours ctx between instruction chunks, optionally streams an
 // O3PipeView trace to pipeview, and returns the run's Result alongside the
-// program's console output.
-func RunProgram(ctx context.Context, cfg ooo.Config, prog *asm.Program, fp bool, b Budget, pipeview io.Writer) (*Result, []byte, error) {
+// program's console output. memLimit > 0 caps the simulated machine's
+// resident footprint (checked between chunks, so a run can overshoot by at
+// most one chunk's worth of page touches); exceeding it fails the run with
+// an error wrapping ErrMemLimit.
+func RunProgram(ctx context.Context, cfg ooo.Config, prog *asm.Program, fp bool, b Budget, memLimit uint64, pipeview io.Writer) (*Result, []byte, error) {
 	p := ooo.New(cfg, prog)
 	if pipeview != nil {
 		p.SetPipeView(pipeview)
 	}
-	if err := runChunked(ctx, p.FastForward, b.FastForward); err != nil {
+	var check func() error
+	if memLimit > 0 {
+		check = func() error {
+			if fb := p.Machine().FootprintBytes(); fb > memLimit {
+				return fmt.Errorf("%w: footprint %d bytes > limit %d", ErrMemLimit, fb, memLimit)
+			}
+			return nil
+		}
+	}
+	if err := runChunkedCheck(ctx, p.FastForward, b.FastForward, check); err != nil {
 		return nil, nil, err
 	}
-	if err := runChunked(ctx, p.Run, b.Run); err != nil {
+	if err := runChunkedCheck(ctx, p.Run, b.Run, check); err != nil {
 		return nil, nil, err
 	}
 	if pipeview != nil {

@@ -294,7 +294,7 @@ func TestRunProducesSaneResult(t *testing.T) {
 func TestRunProgram(t *testing.T) {
 	w, _ := workloads.ByName("gzip")
 	res, _, err := RunProgram(bg, ooo.Width4(), w.Build(0), false,
-		Budget{FastForward: 100, Run: 2000}, nil)
+		Budget{FastForward: 100, Run: 2000}, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ const maxBodyBytes = 1 << 20
 //	GET    /api/v1/jobs/{id}/result finished job's result
 //	GET    /api/v1/jobs/{id}/events SSE progress stream
 //	DELETE /api/v1/jobs/{id}        cancel
+//	POST   /api/v1/programs         assemble-check a program (200, or 422 + diagnostics)
 //	GET    /api/v1/benchmarks       workload names
 //	GET    /api/v1/experiments      experiment names
 //	GET    /api/v1/version          build version
@@ -61,6 +62,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET", "/jobs/{id}/result", s.handleResult)
 	handle("GET", "/jobs/{id}/events", s.handleEvents)
 	handle("DELETE", "/jobs/{id}", s.handleCancel)
+	handle("POST", "/programs", s.handleProgramCheck)
 	handle("GET", "/benchmarks", func(w http.ResponseWriter, r *http.Request) {
 		names := []string{}
 		for _, b := range prisim.Benchmarks() {
@@ -166,7 +168,9 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req prisimclient.JobRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Submit bodies are tiny JSON documents except program jobs, whose
+	// base64 source may approach the sandbox's source cap (4/3 overhead).
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes+2*int64(s.cfg.Programs.MaxSourceBytes))
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
@@ -185,8 +189,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrCacheKeyMismatch):
 		writeError(w, http.StatusConflict, err.Error())
 	default:
+		var ae *AssemblyError
+		if errors.As(err, &ae) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":       ae.Error(),
+				"diagnostics": ae.Diags,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
+}
+
+// handleProgramCheck assembles a program without running it: 200 with the
+// image identity on success, 422 with every positioned diagnostic on
+// assembly failure.
+func (s *Server) handleProgramCheck(w http.ResponseWriter, r *http.Request) {
+	var req prisimclient.ProgramCheckRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes+2*int64(s.cfg.Programs.MaxSourceBytes))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Source) == 0 {
+		writeError(w, http.StatusBadRequest, "source is required")
+		return
+	}
+	jr := prisimclient.JobRequest{Kind: prisimclient.KindProgram, Source: req.Source}
+	prog, err := s.assembleRequest(&jr)
+	if err != nil {
+		var ae *AssemblyError
+		if errors.As(err, &ae) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":       ae.Error(),
+				"diagnostics": ae.Diags,
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dataBytes := 0
+	for _, seg := range prog.Data {
+		dataBytes += len(seg.Bytes)
+	}
+	writeJSON(w, http.StatusOK, prisimclient.ProgramInfo{
+		SHA256:       prog.SHA256(),
+		Entry:        prog.Entry,
+		CodeWords:    len(prog.Code),
+		DataSegments: len(prog.Data),
+		DataBytes:    dataBytes,
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -217,9 +270,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	v := j.view()
 	switch v.State {
 	case prisimclient.StateDone:
-		res, tables, by := j.payload()
+		res, tables, output, by := j.payload()
 		writeJSON(w, http.StatusOK, prisimclient.JobResult{
-			ID: j.id, Result: res, Tables: tables,
+			ID: j.id, Result: res, Tables: tables, Output: output,
 			KernelVersion: prisim.Version, CacheKey: j.cacheKey, ComputedBy: by,
 		})
 	case prisimclient.StateFailed, prisimclient.StateCancelled:

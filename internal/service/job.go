@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"prisim"
+	"prisim/internal/asm"
 	"prisim/prisimclient"
 )
 
@@ -14,7 +15,11 @@ import (
 type job struct {
 	id       string
 	req      prisimclient.JobRequest
-	cacheKey string // content hash of a simulate point; "" for experiments; set before enqueue, immutable after
+	cacheKey string // content hash of a simulate point or program run; "" for experiments; set before enqueue, immutable after
+
+	// Program jobs only; assembled at submit, immutable after.
+	prog      *asm.Program
+	imageHash string
 
 	ctx    context.Context    // derived from the server's root context
 	cancel context.CancelFunc // DELETE and drain-deadline both land here
@@ -26,8 +31,9 @@ type job struct {
 	created   time.Time             // guarded by mu
 	started   time.Time             // guarded by mu
 	finished  time.Time             // guarded by mu
-	result     *prisim.Result // guarded by mu; simulate jobs
+	result     *prisim.Result // guarded by mu; simulate and program jobs
 	tables     []prisim.Table // guarded by mu; experiment jobs
+	output     []byte         // guarded by mu; program console output
 	computedBy string         // guarded by mu; node that produced the result
 	subs      map[chan prisimclient.Event]struct{} // guarded by mu
 	doneCh    chan struct{} // closed when the job reaches a terminal state
@@ -183,12 +189,19 @@ func (j *job) setResult(res *prisim.Result, tables []prisim.Table) {
 	j.mu.Unlock()
 }
 
-// payload returns the stored result and its provenance (valid once state ==
-// done).
-func (j *job) payload() (*prisim.Result, []prisim.Table, string) {
+// setOutput stores a program job's console output.
+func (j *job) setOutput(out []byte) {
+	j.mu.Lock()
+	j.output = out
+	j.mu.Unlock()
+}
+
+// payload returns the stored result, output, and provenance (valid once
+// state == done).
+func (j *job) payload() (*prisim.Result, []prisim.Table, []byte, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.result, j.tables, j.computedBy
+	return j.result, j.tables, j.output, j.computedBy
 }
 
 // stateNow returns the current state.

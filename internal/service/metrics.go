@@ -26,7 +26,10 @@ type metrics struct {
 
 	terminal map[prisimclient.JobState]uint64 // guarded by mu; done/failed/cancelled counts
 	panics   uint64                           // guarded by mu
-	storeHit uint64                           // guarded by mu; simulate jobs served from the durable store
+	storeHit uint64                           // guarded by mu; simulate/program jobs served from the durable store
+
+	programsAssembled     uint64 // guarded by mu; program sources that assembled cleanly
+	programAssemblyErrors uint64 // guarded by mu; program sources rejected with diagnostics
 
 	latencies []time.Duration // guarded by mu; ring of recent terminal job latencies
 	latNext   int             // guarded by mu
@@ -44,6 +47,9 @@ func (m *metrics) incRejected()    { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) incHTTPRequest() { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
 func (m *metrics) incPanics()      { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 func (m *metrics) incStoreHit()    { m.mu.Lock(); m.storeHit++; m.mu.Unlock() }
+
+func (m *metrics) incProgramAssembled()     { m.mu.Lock(); m.programsAssembled++; m.mu.Unlock() }
+func (m *metrics) incProgramAssemblyError() { m.mu.Lock(); m.programAssemblyErrors++; m.mu.Unlock() }
 
 // observeTerminal records a job reaching a terminal state after latency
 // (measured from submit so queueing delay counts — that is what a client
@@ -93,6 +99,7 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 	m.mu.Lock()
 	submitted, rejected, httpReqs, panics := m.submitted, m.rejected, m.httpRequests, m.panics
 	storeHit := m.storeHit
+	progOK, progErr := m.programsAssembled, m.programAssemblyErrors
 	terminal := make(map[prisimclient.JobState]uint64, len(m.terminal))
 	for k, v := range m.terminal {
 		terminal[k] = v
@@ -123,6 +130,8 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 		fmt.Fprintf(sb, "prisimd_jobs_total{state=%q} %d\n", st, terminal[st])
 	}
 	counter("prisimd_worker_panics_total", "Worker panics recovered into job failures.", panics)
+	counter("prisimd_programs_assembled_total", "User-submitted program sources that assembled cleanly.", progOK)
+	counter("prisimd_program_assembly_errors_total", "User-submitted program sources rejected with diagnostics (422).", progErr)
 	gauge("prisimd_queue_depth", "Jobs waiting in the queue.", queueDepth)
 	gauge("prisimd_queue_capacity", "Queue capacity.", queueCap)
 	gauge("prisimd_jobs_running", "Jobs currently executing.", running)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"prisim"
+	"prisim/internal/asm"
 	"prisim/internal/fabric"
 	"prisim/prisimclient"
 )
@@ -34,6 +35,65 @@ var (
 	// skew between the submitting node and this one.
 	ErrCacheKeyMismatch = errors.New("cache key mismatch")
 )
+
+// AssemblyError rejects a program submission whose source failed to
+// assemble; the HTTP layer maps it to 422 with the structured diagnostics
+// in the body.
+type AssemblyError struct {
+	Diags []prisimclient.Diagnostic
+	err   error
+}
+
+// Error keeps the message itself short — the structured diagnostics carry
+// the positions and excerpts, so repeating the assembler's full rendering
+// here would print everything twice on the client.
+func (e *AssemblyError) Error() string {
+	n := len(e.Diags)
+	if n == 1 {
+		return "program failed to assemble: 1 error"
+	}
+	return fmt.Sprintf("program failed to assemble: %d errors", n)
+}
+
+// Unwrap exposes the underlying assembler error.
+func (e *AssemblyError) Unwrap() error { return e.err }
+
+// ProgramLimits is the sandbox for user-submitted program jobs. Zero fields
+// select the defaults; the limits bound resources only and never change a
+// successful run's outcome, so they are excluded from program cache keys.
+type ProgramLimits struct {
+	// MaxSourceBytes bounds the assembly source size (default 1MB).
+	MaxSourceBytes int
+	// MaxRun caps measured instructions per program run (default 50M). A
+	// request's Run 0 ("to completion") becomes exactly this cap; an
+	// explicit Run above it is rejected at submit rather than clamped, so a
+	// request never silently measures less than it asked for.
+	MaxRun uint64
+	// MaxMemoryBytes caps the simulated machine's resident footprint
+	// (default 256MB), checked between instruction chunks.
+	MaxMemoryBytes uint64
+}
+
+// Default program sandbox limits.
+const (
+	DefaultMaxProgramSource = 1 << 20   // 1MB of assembly text
+	DefaultMaxProgramRun    = 50 << 20  // ~50M instructions
+	DefaultMaxProgramMemory = 256 << 20 // 256MB simulated footprint
+)
+
+// withDefaults fills zero fields.
+func (l ProgramLimits) withDefaults() ProgramLimits {
+	if l.MaxSourceBytes <= 0 {
+		l.MaxSourceBytes = DefaultMaxProgramSource
+	}
+	if l.MaxRun == 0 {
+		l.MaxRun = DefaultMaxProgramRun
+	}
+	if l.MaxMemoryBytes == 0 {
+		l.MaxMemoryBytes = DefaultMaxProgramMemory
+	}
+	return l
+}
 
 // Config sizes a Server. The zero value selects sane defaults.
 type Config struct {
@@ -51,6 +111,10 @@ type Config struct {
 	Logger *log.Logger
 	// Engine overrides the server-built engine (tests); normally nil.
 	Engine *prisim.Engine
+
+	// Programs is the sandbox for user-submitted program jobs; zero fields
+	// take the defaults (see ProgramLimits).
+	Programs ProgramLimits
 
 	// NodeID stamps ComputedBy on results this node executes; "" selects
 	// "local".
@@ -98,6 +162,7 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
+	cfg.Programs = cfg.Programs.withDefaults()
 	eng := cfg.Engine
 	if eng == nil {
 		eng = prisim.NewEngine(
@@ -151,6 +216,13 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	}
 	// Validate names up front so a bad request fails at submit, not inside
 	// a worker.
+	var prog *asm.Program
+	if req.Kind == prisimclient.KindProgram {
+		var err error
+		if prog, err = s.assembleRequest(&req); err != nil {
+			return nil, err
+		}
+	}
 	if req.Kind == prisimclient.KindSimulate {
 		if _, err := prisim.MachineJSON(req.Options()); err != nil {
 			return nil, err
@@ -165,7 +237,7 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 		if !found {
 			return nil, fmt.Errorf("unknown benchmark %q", req.Benchmark)
 		}
-	} else {
+	} else if req.Kind == prisimclient.KindExperiment {
 		found := false
 		for _, name := range prisim.ExperimentNames() {
 			if name == req.Experiment {
@@ -184,8 +256,9 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	// hashed different inputs than this node will simulate, almost always
 	// kernel-version skew, and trusting it would poison every store keyed on
 	// the hash.
-	var cacheKey string
-	if req.Kind == prisimclient.KindSimulate {
+	var cacheKey, imageHash string
+	switch req.Kind {
+	case prisimclient.KindSimulate:
 		eff := req
 		if eff.FastForward == 0 {
 			eff.FastForward = s.cfg.Budget.FastForward
@@ -194,6 +267,20 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 			eff.Run = s.cfg.Budget.Run
 		}
 		cacheKey = prisimclient.CacheKeyFor(prisim.Version, eff)
+		if req.CacheKey != "" && req.CacheKey != cacheKey {
+			return nil, fmt.Errorf("%w: client sent %.12s..., server (kernel %s) computes %.12s...",
+				ErrCacheKeyMismatch, req.CacheKey, prisim.Version, cacheKey)
+		}
+	case prisimclient.KindProgram:
+		// Programs key on the assembled image's content hash, not the
+		// source text, with the budget resolved to what will actually run
+		// (Run 0 = the sandbox instruction cap).
+		imageHash = prog.SHA256()
+		eff := req
+		if eff.Run == 0 {
+			eff.Run = s.cfg.Programs.MaxRun
+		}
+		cacheKey = prisimclient.CacheKeyForProgram(prisim.Version, imageHash, eff)
 		if req.CacheKey != "" && req.CacheKey != cacheKey {
 			return nil, fmt.Errorf("%w: client sent %.12s..., server (kernel %s) computes %.12s...",
 				ErrCacheKeyMismatch, req.CacheKey, prisim.Version, cacheKey)
@@ -209,6 +296,8 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, req, s.rootCtx, time.Now())
 	j.cacheKey = cacheKey
+	j.imageHash = imageHash
+	j.prog = prog
 	select {
 	case s.queue <- j:
 	default:
@@ -223,6 +312,39 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	s.metrics.incSubmitted()
 	s.logf("job=%s state=queued kind=%s bench=%q experiment=%q", id, req.Kind, req.Benchmark, req.Experiment)
 	return j, nil
+}
+
+// assembleRequest enforces the program sandbox's submit-time limits and
+// assembles the source, recording the outcome in the program metrics. An
+// assembly failure returns *AssemblyError so the HTTP layer can answer 422
+// with every positioned diagnostic.
+func (s *Server) assembleRequest(req *prisimclient.JobRequest) (*asm.Program, error) {
+	lim := s.cfg.Programs
+	if len(req.Source) > lim.MaxSourceBytes {
+		return nil, fmt.Errorf("program source is %d bytes; limit %d", len(req.Source), lim.MaxSourceBytes)
+	}
+	if req.Run > lim.MaxRun {
+		return nil, fmt.Errorf("program run budget %d exceeds the server cap %d", req.Run, lim.MaxRun)
+	}
+	if _, err := prisim.MachineJSON(req.Options()); err != nil {
+		return nil, err
+	}
+	prog, err := asm.AssembleFile("program.s", string(req.Source))
+	if err != nil {
+		s.metrics.incProgramAssemblyError()
+		return nil, &AssemblyError{Diags: wireDiags(asm.Diagnostics(err)), err: err}
+	}
+	s.metrics.incProgramAssembled()
+	return prog, nil
+}
+
+// wireDiags converts assembler diagnostics to the client wire type.
+func wireDiags(ds []asm.Diagnostic) []prisimclient.Diagnostic {
+	out := make([]prisimclient.Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = prisimclient.Diagnostic{File: d.File, Line: d.Line, Col: d.Col, Msg: d.Msg, Excerpt: d.Excerpt}
+	}
+	return out
 }
 
 // jobByID looks a job up.
@@ -327,6 +449,40 @@ func (s *Server) runJob(j *job) {
 		tables, err = eng.ExperimentTables(ctx, j.req.Experiment, j.req.Options())
 		if err == nil {
 			j.setResult(nil, tables)
+		}
+	case prisimclient.KindProgram:
+		if s.store != nil {
+			if e, ok := s.store.Get(j.cacheKey); ok {
+				res := e.Result
+				j.setComputedBy(e.ComputedBy)
+				j.setProgress(1, 1)
+				j.setResult(&res, nil)
+				j.setOutput(e.Output)
+				s.metrics.incStoreHit()
+				break
+			}
+		}
+		opts := j.req.Options()
+		if opts.Run == 0 {
+			opts.Run = s.cfg.Programs.MaxRun
+		}
+		opts.MemLimit = s.cfg.Programs.MaxMemoryBytes
+		var pres prisim.ProgramResult
+		pres, err = s.engine.SimulateProgram(ctx, prisim.NewProgram(j.prog), opts)
+		if err == nil {
+			j.setComputedBy(s.nodeID)
+			j.setProgress(1, 1)
+			j.setResult(&pres.Result, nil)
+			j.setOutput(pres.Output)
+			s.metrics.observeSimulate(pres.Committed, time.Since(started))
+			if s.store != nil {
+				if perr := s.store.Put(fabric.Entry{
+					Key: j.cacheKey, Kernel: prisim.Version, ComputedBy: s.nodeID,
+					Created: time.Now(), Request: j.req, Result: pres.Result, Output: pres.Output,
+				}); perr != nil {
+					s.logf("job=%s store append failed: %v", j.id, perr)
+				}
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.req.Kind)

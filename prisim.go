@@ -100,6 +100,13 @@ type Options struct {
 	// (registers bind at writeback instead of rename).
 	DelayedAllocation bool
 
+	// MemLimit, when nonzero, caps the simulated machine's resident memory
+	// footprint in bytes for SimulateProgram runs (the service's program
+	// sandbox); exceeding it fails the run with an error matching
+	// errors.Is(err, ErrMemLimit). Ignored by Simulate: the named workloads
+	// are compiled in and have known footprints.
+	MemLimit uint64
+
 	// MachineJSON, when non-empty, overrides the Width-selected machine
 	// with a JSON configuration (the format MachineJSON produces); Policy,
 	// PhysRegs, and the extension flags still apply on top. Runs with a

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"prisim"
@@ -25,6 +26,7 @@ import (
 const (
 	KindSimulate   = "simulate"   // one benchmark at one machine point
 	KindExperiment = "experiment" // one of the paper's tables/figures
+	KindProgram    = "program"    // a user-submitted assembly program
 )
 
 // JobState is a job's lifecycle state.
@@ -59,6 +61,16 @@ type JobRequest struct {
 	// Experiment name (Kind == KindExperiment), e.g. "fig8".
 	Experiment string `json:"experiment,omitempty"`
 
+	// Source is the PRISC-64 assembly text of a program job (Kind ==
+	// KindProgram), transported base64-encoded by encoding/json. The server
+	// assembles it inside a sandbox (source-size, instruction-budget, and
+	// memory caps); assembly failures reject the submission with 422 and
+	// positioned diagnostics. The machine-selection fields (Width, Policy,
+	// PhysRegs, extension flags) apply as for simulate jobs; FastForward and
+	// Run are taken verbatim, with Run 0 meaning "to completion" up to the
+	// server's instruction cap.
+	Source []byte `json:"source,omitempty"`
+
 	// Per-run measurement budget; zero fields take the server defaults.
 	FastForward uint64 `json:"fast_forward,omitempty"`
 	Run         uint64 `json:"run,omitempty"`
@@ -83,6 +95,9 @@ func (r JobRequest) Validate() error {
 		if r.Experiment != "" {
 			return errors.New("simulate job must not set experiment")
 		}
+		if len(r.Source) > 0 {
+			return errors.New("simulate job must not set source")
+		}
 	case KindExperiment:
 		if r.Experiment == "" {
 			return errors.New("experiment job requires an experiment name")
@@ -90,8 +105,18 @@ func (r JobRequest) Validate() error {
 		if r.Benchmark != "" {
 			return errors.New("experiment job must not set benchmark")
 		}
+		if len(r.Source) > 0 {
+			return errors.New("experiment job must not set source")
+		}
+	case KindProgram:
+		if len(r.Source) == 0 {
+			return errors.New("program job requires source")
+		}
+		if r.Benchmark != "" || r.Experiment != "" {
+			return errors.New("program job must not set benchmark or experiment")
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want %q or %q)", r.Kind, KindSimulate, KindExperiment)
+		return fmt.Errorf("unknown job kind %q (want %q, %q, or %q)", r.Kind, KindSimulate, KindExperiment, KindProgram)
 	}
 	if r.Kind == KindExperiment && r.CacheKey != "" {
 		return errors.New("experiment job must not set cache_key (experiments are not single content-addressed points)")
@@ -139,6 +164,80 @@ func CacheKeyFor(kernelVersion string, r JobRequest) string {
 		CacheKeySchema, kernelVersion, r.Benchmark, width, policy, r.PhysRegs,
 		r.RenameInline, r.DelayedAllocation, ff, run)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ProgramCacheKeySchema names the content-hash schema CacheKeyForProgram
+// implements; it is folded into the hash so program keys can never collide
+// with simulate-point keys or a future schema revision.
+const ProgramCacheKeySchema = "prisim-prog-v1"
+
+// CacheKeyForProgram returns the SHA-256 content hash (hex) addressing one
+// program run: kernel version, the assembled image's content hash (the
+// asm.Program SHA-256, which excludes symbol names), the machine parameters,
+// and the measurement budget taken verbatim. Source text is deliberately
+// absent — two sources assembling to the same image (renamed labels, macro
+// spellings, comments) share a key and therefore a stored result. Sandbox
+// limits like the memory cap are excluded too: they bound resources, never
+// change a successful run's outcome. Callers must pass the effective
+// budget, with defaults already resolved, because unlike simulate points a
+// program's Run 0 means "to completion" and the server caps it.
+func CacheKeyForProgram(kernelVersion, imageSHA256 string, r JobRequest) string {
+	width := r.Width
+	if width == 0 {
+		width = 4
+	}
+	policy := r.Policy
+	if policy == "" {
+		policy = string(prisim.PolicyBase)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nkernel=%s\nimage=%s\nwidth=%d\npolicy=%s\nphys_regs=%d\nrename_inline=%t\ndelayed_alloc=%t\nfast_forward=%d\nrun=%d\n",
+		ProgramCacheKeySchema, kernelVersion, imageSHA256, width, policy, r.PhysRegs,
+		r.RenameInline, r.DelayedAllocation, r.FastForward, r.Run)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Diagnostic is one positioned assembly error, carried by 422 responses to
+// program submissions (see APIError.Diagnostics). Line and Col are 1-based
+// and rune-accurate; Excerpt is the offending source line.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Msg     string `json:"msg"`
+	Excerpt string `json:"excerpt,omitempty"`
+}
+
+// String renders "file:line:col: msg" followed, when the server included
+// the source excerpt, by the offending line with a caret under the column —
+// the same shape the assembler prints locally.
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:%d:%d: %s", d.File, d.Line, d.Col, d.Msg)
+	if d.Excerpt != "" {
+		display := strings.ReplaceAll(d.Excerpt, "\t", " ")
+		fmt.Fprintf(&sb, "\n    %s", display)
+		if d.Col >= 1 && d.Col <= len([]rune(display))+1 {
+			fmt.Fprintf(&sb, "\n    %s^", strings.Repeat(" ", d.Col-1))
+		}
+	}
+	return sb.String()
+}
+
+// ProgramCheckRequest is the body of POST /api/v1/programs: assemble-check a
+// source without running it.
+type ProgramCheckRequest struct {
+	Source []byte `json:"source"`
+}
+
+// ProgramInfo describes a successfully assembled program. SHA256 is the
+// image content hash that CacheKeyForProgram folds into program cache keys.
+type ProgramInfo struct {
+	SHA256       string `json:"sha256"`
+	Entry        uint64 `json:"entry"`
+	CodeWords    int    `json:"code_words"`
+	DataSegments int    `json:"data_segments"`
+	DataBytes    int    `json:"data_bytes"`
 }
 
 // Options converts the request's simulation parameters to engine options.
@@ -189,11 +288,13 @@ type Job struct {
 }
 
 // JobResult is the body of GET /api/v1/jobs/{id}/result: exactly one of
-// Result (simulate jobs) or Tables (experiment jobs) is set.
+// Result (simulate and program jobs) or Tables (experiment jobs) is set.
+// Program jobs additionally carry the program's console output.
 type JobResult struct {
 	ID     string         `json:"id"`
 	Result *prisim.Result `json:"result,omitempty"`
 	Tables []prisim.Table `json:"tables,omitempty"`
+	Output []byte         `json:"output,omitempty"` // program console output (putc)
 
 	// Content-addressing metadata (v1 additions); see Job.
 	KernelVersion string `json:"kernel_version,omitempty"`
@@ -336,7 +437,10 @@ type RegisterWorkerRequest struct {
 	URL string `json:"url"`
 }
 
-// apiError is the JSON error body every non-2xx response carries.
+// apiError is the JSON error body every non-2xx response carries; 422
+// responses to program submissions additionally carry the collected
+// assembly diagnostics.
 type apiError struct {
-	Error string `json:"error"`
+	Error       string       `json:"error"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 }

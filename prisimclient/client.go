@@ -28,6 +28,10 @@ var (
 	// client-computed CacheKey the server disagrees with — almost always
 	// kernel-version skew between client and server builds.
 	ErrCacheKeyMismatch = errors.New("cache key mismatch")
+	// ErrAssembly matches 422 responses: a submitted program failed to
+	// assemble. The *APIError carries every positioned diagnostic the
+	// frontend collected in Diagnostics.
+	ErrAssembly = errors.New("program failed to assemble")
 )
 
 // APIError is a non-2xx response from the service.
@@ -35,6 +39,9 @@ type APIError struct {
 	StatusCode int
 	Message    string
 	RetryAfter time.Duration // from Retry-After on 429/503, else 0
+	// Diagnostics carries the positioned assembly errors of a 422 response
+	// to a program submission or check; empty otherwise.
+	Diagnostics []Diagnostic
 }
 
 func (e *APIError) Error() string {
@@ -52,6 +59,8 @@ func (e *APIError) Is(target error) bool {
 		return e.StatusCode == http.StatusNotFound
 	case ErrCacheKeyMismatch:
 		return e.StatusCode == http.StatusConflict && strings.Contains(e.Message, "cache key")
+	case ErrAssembly:
+		return e.StatusCode == http.StatusUnprocessableEntity
 	}
 	return false
 }
@@ -182,8 +191,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 func decodeError(resp *http.Response) error {
 	apiErr := &APIError{StatusCode: resp.StatusCode}
 	var body apiError
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
 		apiErr.Message = body.Error
+		apiErr.Diagnostics = body.Diagnostics
 	} else {
 		apiErr.Message = http.StatusText(resp.StatusCode)
 	}
@@ -205,6 +215,29 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		return nil, err
 	}
 	return &j, nil
+}
+
+// SubmitProgram enqueues a program job: src is PRISC-64 assembly text the
+// server assembles and runs under its sandbox limits, with the machine
+// parameters and budget taken from opts (Kind and Source are overwritten).
+// Assembly failures surface as an error matching errors.Is(err,
+// ErrAssembly) whose *APIError carries the positioned diagnostics.
+func (c *Client) SubmitProgram(ctx context.Context, src []byte, opts JobRequest) (*Job, error) {
+	opts.Kind = KindProgram
+	opts.Source = src
+	return c.Submit(ctx, opts)
+}
+
+// CheckProgram assembles src on the server without running it, returning
+// the assembled image's identity. Assembly failures surface as an error
+// matching errors.Is(err, ErrAssembly) whose *APIError carries the
+// positioned diagnostics.
+func (c *Client) CheckProgram(ctx context.Context, src []byte) (*ProgramInfo, error) {
+	var info ProgramInfo
+	if err := c.do(ctx, http.MethodPost, "/programs", ProgramCheckRequest{Source: src}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }
 
 // Job fetches one job's current state.
