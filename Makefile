@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench benchgate sweepgate fuzz lint prilint staticcheck govulncheck
+.PHONY: build test race bench benchgate sweepgate fuzz lint prilint lintprog staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
-# fuzz is the assembler-frontend fuzz smoke CI runs on every push: the
-# lexer/parser must never panic and every failure must carry positioned
-# diagnostics. FUZZTIME=5m for a longer local soak.
+# fuzz is the frontend fuzz smoke CI runs on every push: the lexer/parser
+# must never panic and every failure must carry positioned diagnostics,
+# and the priscan analyzers must never panic or produce findings outside
+# the code segment on anything the assembler accepts. FUZZTIME=5m for a
+# longer local soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/asm/analysis -run '^$$' -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME)
 
 # benchgate is the kernel throughput regression gate: the steady-state
 # kernel benchmark must sustain at least 80% of the floor recorded in
@@ -65,6 +68,15 @@ lint: prilint
 
 prilint:
 	$(GO) run ./cmd/prilint ./...
+
+# lintprog runs priscan — the guest-program static analyzer — over every
+# built-in workload image and every example program the repo ships. The
+# workload sweep is warn-only (four reasoned dead-write findings are pinned
+# by TestWorkloadSweep; the images cannot change without invalidating the
+# fig8 golden hashes), but the user-facing fixture programs must be clean.
+lintprog:
+	$(GO) run ./cmd/priscan -workloads
+	$(GO) run ./cmd/priscan -Werror internal/asm/testdata/*.s
 
 staticcheck:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)

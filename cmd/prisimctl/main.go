@@ -9,7 +9,7 @@
 //	simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
 //	experiment <name> [-ff N] [-run N] [-wait]
 //	run-program <file.s> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
-//	check-program <file.s>
+//	check-program <file.s> [-Werror]
 //	status <job-id>
 //	result <job-id>
 //	wait <job-id>
@@ -53,7 +53,7 @@ commands:
   simulate <bench> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
   experiment <name> [-ff N] [-run N] [-wait]
   run-program <file.s> [-width N] [-policy P] [-prs N] [-ff N] [-run N] [-wait]
-  check-program <file.s>
+  check-program <file.s> [-Werror]
   status|result|wait|watch|cancel <job-id>
   jobs | benchmarks | experiments | metrics | version
 fabric commands (against a coordinator):
@@ -94,14 +94,7 @@ func main() {
 	case "run-program":
 		err = runProgram(ctx, c, args)
 	case "check-program":
-		err = withJobID(args, func(path string) error {
-			src, rerr := os.ReadFile(path)
-			if rerr != nil {
-				return rerr
-			}
-			info, cerr := c.CheckProgram(ctx, src)
-			return printJSON(info, cerr)
-		})
+		err = checkProgram(ctx, c, args)
 	case "status":
 		err = withJobID(args, func(id string) error {
 			j, err := c.Job(ctx, id)
@@ -353,6 +346,41 @@ func submitMatrix(ctx context.Context, c *prisimclient.Client, args []string) er
 		return fmt.Errorf("matrix %s %s: %s", final.ID, final.State, final.Error)
 	}
 	return printMatrixResult(ctx, c, final.ID)
+}
+
+// checkProgram assemble-checks a source file on the server without
+// running it: the image identity and inlinability summary print as JSON
+// on stdout, priscan warnings print with carets on stderr. Exit status
+// follows the prias -lint convention: 0 clean, 1 when warnings were
+// reported and -Werror is set, 2 when the server rejected the program
+// (assembly failure or a provable static-analysis error — both 422 with
+// positioned diagnostics, rendered by fatal).
+func checkProgram(ctx context.Context, c *prisimclient.Client, args []string) error {
+	fs := flag.NewFlagSet("check-program", flag.ExitOnError)
+	werror := fs.Bool("Werror", false, "exit 1 when the server reported warnings")
+	if len(args) < 1 || args[0] == "" || args[0][0] == '-' {
+		fmt.Fprintln(os.Stderr, "usage: prisimctl check-program <file.s> [-Werror]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fs.Parse(args[1:])
+	info, err := c.CheckProgram(ctx, src)
+	if err != nil {
+		return err
+	}
+	for _, d := range info.Warnings {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if err := printJSON(info, nil); err != nil {
+		return err
+	}
+	if *werror && len(info.Warnings) > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // runProgram assembles nothing locally: it reads the source file, submits

@@ -27,6 +27,7 @@ tbl: .space 2048
 main:
   la   r1, tbl
   li   r2, 300
+  li   r8, 0          ; checksum accumulator
 loop:
   andi r3, r2, 255
   slli r4, r3, 3

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"sort"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// block is one basic block: a maximal straight-line run of code words.
+type block struct {
+	start, end int   // code-word index range [start, end)
+	succs      []int // successor block indices, deterministic order
+	preds      []int
+	// indirect marks blocks whose successor set was over-approximated
+	// through a register jump (jr/jalr).
+	indirect bool
+	// fallsOff marks blocks from which control can leave the code
+	// segment: a final instruction that falls through past the last
+	// word, or a direct branch/jump target outside the segment.
+	fallsOff bool
+}
+
+// graph is the control-flow graph over a program's code segment. Every
+// code word belongs to exactly one block; unreachable words still get
+// blocks so analyzers can report on them.
+type graph struct {
+	prog    *asm.Program
+	insts   []isa.Inst
+	blocks  []block
+	blockOf []int // code-word index -> block index
+	entry   int   // block index of the program entry, -1 if out of range
+}
+
+func (g *graph) addrOf(i int) uint64 { return g.prog.CodeBase + 4*uint64(i) }
+
+// indexOf maps a code address to its word index, or -1 when the address
+// lies outside the code segment or is misaligned.
+func (g *graph) indexOf(addr uint64) int {
+	if addr < g.prog.CodeBase || addr%4 != 0 {
+		return -1
+	}
+	i := (addr - g.prog.CodeBase) / 4
+	if i >= uint64(len(g.insts)) {
+		return -1
+	}
+	return int(i)
+}
+
+// terminator returns the last instruction of block b.
+func (g *graph) terminator(b *block) isa.Inst { return g.insts[b.end-1] }
+
+// blockEnder reports whether control cannot implicitly continue past in.
+func blockEnder(in isa.Inst) bool {
+	return in.Op.IsControl() || in.Op == isa.OpHALT || in.Op == isa.OpInvalid
+}
+
+func buildCFG(prog *asm.Program) *graph {
+	g := &graph{prog: prog, entry: -1}
+	g.insts = make([]isa.Inst, len(prog.Code))
+	for i, w := range prog.Code {
+		g.insts[i] = isa.Decode(w)
+	}
+	if len(g.insts) == 0 {
+		g.blockOf = []int{}
+		return g
+	}
+
+	// Leaders: the first word, the entry, every direct control target,
+	// everything after a control transfer, every labeled code address
+	// (indirect-jump candidates), and every call return site.
+	leader := make([]bool, len(g.insts))
+	leader[0] = true
+	entryIdx := g.indexOf(prog.Entry)
+	if entryIdx >= 0 {
+		leader[entryIdx] = true
+	}
+	var labeled, retSites []int
+	names := make([]string, 0, len(prog.Symbols))
+	//lint:ignore determinism the keys are collected and sorted before any use, so iteration order cannot leak
+	for name := range prog.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seenLabel := make(map[int]bool)
+	for _, name := range names {
+		if t := g.indexOf(prog.Symbols[name]); t >= 0 && !seenLabel[t] {
+			leader[t] = true
+			seenLabel[t] = true
+			labeled = append(labeled, t)
+		}
+	}
+	sort.Ints(labeled)
+	for i, in := range g.insts {
+		if blockEnder(in) && i+1 < len(g.insts) {
+			leader[i+1] = true
+		}
+		switch in.Op.Format() {
+		case isa.FmtB, isa.FmtJ:
+			if t := g.indexOf(in.BranchTarget(g.addrOf(i))); t >= 0 {
+				leader[t] = true
+			}
+		}
+		if in.Op.IsCall() && i+1 < len(g.insts) {
+			retSites = append(retSites, i+1)
+		}
+	}
+
+	// Partition into blocks.
+	g.blockOf = make([]int, len(g.insts))
+	for i := range g.insts {
+		if leader[i] {
+			g.blocks = append(g.blocks, block{start: i})
+		}
+		g.blockOf[i] = len(g.blocks) - 1
+	}
+	for bi := range g.blocks {
+		if bi+1 < len(g.blocks) {
+			g.blocks[bi].end = g.blocks[bi+1].start
+		} else {
+			g.blocks[bi].end = len(g.insts)
+		}
+	}
+	if entryIdx >= 0 {
+		g.entry = g.blockOf[entryIdx]
+	}
+	labeledBlocks := uniqueBlocks(g, labeled)
+	retBlocks := uniqueBlocks(g, retSites)
+
+	// Edges.
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		last := b.end - 1
+		in := g.insts[last]
+		addEdge := func(t int) {
+			if t < 0 {
+				b.fallsOff = true
+				return
+			}
+			b.succs = append(b.succs, g.blockOf[t])
+		}
+		fallsThrough := func() {
+			if last+1 < len(g.insts) {
+				addEdge(last + 1)
+			} else {
+				b.fallsOff = true
+			}
+		}
+		switch {
+		case in.Op == isa.OpHALT, in.Op == isa.OpInvalid:
+			// Exit (HALT) or fault (Invalid): no successors.
+		case in.Op.Format() == isa.FmtB:
+			addEdge(g.indexOf(in.BranchTarget(g.addrOf(last))))
+			fallsThrough()
+		case in.Op.Format() == isa.FmtJ: // j, jal
+			addEdge(g.indexOf(in.BranchTarget(g.addrOf(last))))
+		case in.Op == isa.OpJR && in.IsReturn():
+			// jr lr: over-approximate to every call return site. With no
+			// calls in the program this is an exit.
+			b.succs = append(b.succs, retBlocks...)
+			b.indirect = true
+		case in.Op == isa.OpJR:
+			// Computed jump: any labeled block or return site.
+			b.succs = mergeSorted(labeledBlocks, retBlocks)
+			b.indirect = true
+		case in.Op == isa.OpJALR:
+			// Indirect call: any labeled block.
+			b.succs = append(b.succs, labeledBlocks...)
+			b.indirect = true
+		default:
+			fallsThrough()
+		}
+		b.succs = dedupSorted(b.succs)
+	}
+	for bi := range g.blocks {
+		for _, s := range g.blocks[bi].succs {
+			g.blocks[s].preds = append(g.blocks[s].preds, bi)
+		}
+	}
+	return g
+}
+
+// uniqueBlocks maps sorted instruction indices to their sorted, deduped
+// block indices.
+func uniqueBlocks(g *graph, idxs []int) []int {
+	out := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.blockOf[i])
+	}
+	return dedupSorted(out)
+}
+
+func dedupSorted(s []int) []int {
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return dedupSorted(out)
+}
+
+// reach returns the blocks reachable from the entry.
+func (g *graph) reach() []bool {
+	seen := make([]bool, len(g.blocks))
+	if g.entry < 0 {
+		return seen
+	}
+	work := []int{g.entry}
+	seen[g.entry] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.blocks[b].succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

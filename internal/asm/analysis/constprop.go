@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"math"
+	"math/bits"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+// ival is a signed value interval [lo, hi]. The bottom element (unreached
+// / no value) is bot; top is [MinInt64, MaxInt64].
+type ival struct {
+	lo, hi int64
+	bot    bool
+}
+
+func top() ival            { return ival{lo: math.MinInt64, hi: math.MaxInt64} }
+func cst(v int64) ival     { return ival{lo: v, hi: v} }
+func bot() ival            { return ival{bot: true} }
+func (a ival) isTop() bool { return !a.bot && a.lo == math.MinInt64 && a.hi == math.MaxInt64 }
+
+func (a ival) constVal() (int64, bool) {
+	if !a.bot && a.lo == a.hi {
+		return a.lo, true
+	}
+	return 0, false
+}
+
+// within reports a ⊆ [lo, hi].
+func (a ival) within(lo, hi int64) bool { return !a.bot && a.lo >= lo && a.hi <= hi }
+
+// outside reports that a and [lo, hi] are provably disjoint.
+func (a ival) outside(lo, hi int64) bool { return !a.bot && (a.hi < lo || a.lo > hi) }
+
+func join(a, b ival) ival {
+	if a.bot {
+		return b
+	}
+	if b.bot {
+		return a
+	}
+	return ival{lo: min64(a.lo, b.lo), hi: max64(a.hi, b.hi)}
+}
+
+// widen jumps any bound that still grows to infinity, guaranteeing the
+// fixpoint terminates no matter how slowly a loop counter creeps.
+func widen(old, next ival) ival {
+	if old.bot {
+		return next
+	}
+	w := next
+	if next.lo < old.lo {
+		w.lo = math.MinInt64
+	}
+	if next.hi > old.hi {
+		w.hi = math.MaxInt64
+	}
+	return w
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// regState is one interval per architected register (unified 0..63 space).
+type regState [isa.NumArchRegs]ival
+
+func (s *regState) get(r isa.Reg) ival {
+	if r == isa.RZero {
+		return cst(0)
+	}
+	return s[r]
+}
+
+func (s *regState) set(r isa.Reg, v ival) {
+	if r != isa.RZero {
+		s[r] = v
+	}
+}
+
+func joinState(a, b *regState) (regState, bool) {
+	var out regState
+	changed := false
+	for i := range a {
+		out[i] = join(a[i], b[i])
+		if out[i] != a[i] {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// widenJoins is how many times a block's in-state may grow by plain join
+// before further growth is widened to infinity.
+const widenJoins = 8
+
+// constFacts is the solved interval analysis: the register state at entry
+// to every reachable block.
+type constFacts struct {
+	g    *graph
+	in   []regState
+	seen []bool // block ever reached by propagation
+	opts Options
+}
+
+// entryState is the architectural state the emulator guarantees at
+// program start: every register zero except SP, which holds the stack
+// top.
+func entryState() regState {
+	var st regState
+	for i := range st {
+		st[i] = cst(0)
+	}
+	st[isa.RSP] = cst(asm.DefaultStackTop)
+	return st
+}
+
+func solveConst(g *graph, reachable []bool, opts Options) *constFacts {
+	cf := &constFacts{
+		g:    g,
+		in:   make([]regState, len(g.blocks)),
+		seen: make([]bool, len(g.blocks)),
+		opts: opts,
+	}
+	for i := range cf.in {
+		for r := range cf.in[i] {
+			cf.in[i][r] = bot()
+		}
+	}
+	if g.entry < 0 {
+		return cf
+	}
+	cf.in[g.entry] = entryState()
+	cf.seen[g.entry] = true
+	joins := make([]int, len(g.blocks))
+	work := []int{g.entry}
+	inWork := make([]bool, len(g.blocks))
+	inWork[g.entry] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		out := cf.outState(bi)
+		for _, s := range g.blocks[bi].succs {
+			next, changed := joinState(&cf.in[s], &out)
+			if !cf.seen[s] {
+				cf.seen[s] = true
+				changed = true
+			}
+			if !changed {
+				continue
+			}
+			joins[s]++
+			if joins[s] > widenJoins {
+				for r := range next {
+					next[r] = widen(cf.in[s][r], next[r])
+				}
+			}
+			cf.in[s] = next
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return cf
+}
+
+// outState runs the block's transfer function over its in-state.
+func (cf *constFacts) outState(bi int) regState {
+	st := cf.in[bi]
+	b := &cf.g.blocks[bi]
+	for i := b.start; i < b.end; i++ {
+		transfer(&st, cf.g.insts[i], cf.g.addrOf(i))
+	}
+	return st
+}
+
+// walk visits every instruction of block bi in order, passing the
+// register state just before it executes.
+func (cf *constFacts) walk(bi int, f func(i int, in isa.Inst, st *regState)) {
+	st := cf.in[bi]
+	b := &cf.g.blocks[bi]
+	for i := b.start; i < b.end; i++ {
+		in := cf.g.insts[i]
+		f(i, in, &st)
+		transfer(&st, in, cf.g.addrOf(i))
+	}
+}
+
+// addIval adds two intervals, going to top on any overflow.
+func addIval(a, b ival) ival {
+	if a.bot || b.bot {
+		return bot()
+	}
+	lo, ok1 := addOv(a.lo, b.lo)
+	hi, ok2 := addOv(a.hi, b.hi)
+	if !ok1 || !ok2 {
+		return top()
+	}
+	return ival{lo: lo, hi: hi}
+}
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func negIval(a ival) ival {
+	if a.bot {
+		return bot()
+	}
+	if a.lo == math.MinInt64 {
+		return top()
+	}
+	return ival{lo: -a.hi, hi: -a.lo}
+}
+
+// orMax bounds x|y for non-negative x ≤ a, y ≤ b: the result cannot set a
+// bit above the highest bit of a|b.
+func orMax(a, b int64) int64 {
+	n := bits.Len64(uint64(a) | uint64(b))
+	if n >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<n - 1
+}
+
+// transfer applies one instruction's effect on the register intervals.
+// Anything not modeled precisely goes to top — the analysis only ever
+// claims what it can prove.
+func transfer(st *regState, in isa.Inst, pc uint64) {
+	rd, writes := in.Dest()
+	if !writes {
+		return // stores, branches, putc, nop, halt: no register effect
+	}
+	a := st.get(in.Ra)
+	b := st.get(in.Rb)
+	res := top()
+	switch in.Op {
+	case isa.OpADD:
+		res = addIval(a, b)
+	case isa.OpSUB:
+		res = addIval(a, negIval(b))
+	case isa.OpADDI:
+		res = addIval(a, cst(in.Imm))
+	case isa.OpLUI:
+		res = cst(in.Imm << 16)
+	case isa.OpANDI:
+		// Immediate is zero-extended: the result keeps only low bits of
+		// the mask, so it lands in [0, imm] regardless of the operand.
+		res = ival{lo: 0, hi: in.Imm}
+	case isa.OpAND:
+		switch {
+		case a.within(0, math.MaxInt64) && b.within(0, math.MaxInt64):
+			res = ival{lo: 0, hi: min64(a.hi, b.hi)}
+		case a.within(0, math.MaxInt64):
+			res = ival{lo: 0, hi: a.hi}
+		case b.within(0, math.MaxInt64):
+			res = ival{lo: 0, hi: b.hi}
+		}
+	case isa.OpORI:
+		if a.within(0, math.MaxInt64) {
+			res = ival{lo: 0, hi: orMax(a.hi, in.Imm)}
+		}
+	case isa.OpXORI:
+		if a.within(0, math.MaxInt64) {
+			res = ival{lo: 0, hi: orMax(a.hi, in.Imm)}
+		}
+	case isa.OpOR, isa.OpXOR:
+		if a.within(0, math.MaxInt64) && b.within(0, math.MaxInt64) {
+			res = ival{lo: 0, hi: orMax(a.hi, b.hi)}
+		}
+	case isa.OpSLT, isa.OpSLTU, isa.OpSLTI, isa.OpSEQ,
+		isa.OpFCLT, isa.OpFCLE, isa.OpFCEQ:
+		res = ival{lo: 0, hi: 1}
+	case isa.OpSLLI:
+		res = shlIval(a, uint(in.Imm)&63)
+	case isa.OpSRLI:
+		res = shrlIval(a, uint(in.Imm)&63)
+	case isa.OpSRAI:
+		res = shraIval(a, uint(in.Imm)&63)
+	case isa.OpSLL:
+		if sh, ok := b.constVal(); ok {
+			res = shlIval(a, uint(sh)&63)
+		}
+	case isa.OpSRL:
+		if sh, ok := b.constVal(); ok {
+			res = shrlIval(a, uint(sh)&63)
+		}
+	case isa.OpSRA:
+		if sh, ok := b.constVal(); ok {
+			res = shraIval(a, uint(sh)&63)
+		}
+	case isa.OpMUL:
+		res = mulIval(a, b)
+	case isa.OpLDB:
+		res = ival{lo: -128, hi: 127}
+	case isa.OpLDBU:
+		res = ival{lo: 0, hi: 255}
+	case isa.OpLDL:
+		res = ival{lo: math.MinInt32, hi: math.MaxInt32}
+	case isa.OpJAL, isa.OpJALR:
+		res = cst(int64(pc + 4))
+	case isa.OpCMOVEQ, isa.OpCMOVNE:
+		res = join(st.get(in.Rd), b)
+	case isa.OpFMOV:
+		res = a // bit-pattern copy
+	case isa.OpCVTIF:
+		// Converting integer zero yields +0.0, whose bit pattern is zero.
+		if v, ok := a.constVal(); ok && v == 0 {
+			res = cst(0)
+		}
+	}
+	st.set(rd, res)
+}
+
+func shlIval(a ival, sh uint) ival {
+	if a.bot {
+		return bot()
+	}
+	lo, hi := a.lo<<sh, a.hi<<sh
+	if lo>>sh != a.lo || hi>>sh != a.hi || lo > hi {
+		return top()
+	}
+	return ival{lo: lo, hi: hi}
+}
+
+func shrlIval(a ival, sh uint) ival {
+	if a.bot {
+		return bot()
+	}
+	if sh == 0 {
+		return a
+	}
+	if a.within(0, math.MaxInt64) {
+		return ival{lo: a.lo >> sh, hi: a.hi >> sh}
+	}
+	// A negative operand shifts in zeros from a huge unsigned value: the
+	// result is non-negative and below 2^(64-sh).
+	return ival{lo: 0, hi: int64(^uint64(0) >> sh)}
+}
+
+func shraIval(a ival, sh uint) ival {
+	if a.bot {
+		return bot()
+	}
+	return ival{lo: a.lo >> sh, hi: a.hi >> sh}
+}
+
+// mulIval multiplies conservatively: exact only when all corner products
+// stay comfortably inside 64 bits.
+func mulIval(a, b ival) ival {
+	if a.bot || b.bot {
+		return bot()
+	}
+	const lim = math.MaxInt32
+	if a.lo < -lim || a.hi > lim || b.lo < -lim || b.hi > lim {
+		return top()
+	}
+	p1, p2, p3, p4 := a.lo*b.lo, a.lo*b.hi, a.hi*b.lo, a.hi*b.hi
+	return ival{
+		lo: min64(min64(p1, p2), min64(p3, p4)),
+		hi: max64(max64(p1, p2), max64(p3, p4)),
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"prisim/internal/isa"
+)
+
+var defuseAnalyzer = &Analyzer{
+	Name: "defuse",
+	Doc: "flags registers read before any write along some path from the " +
+		"entry (they read the loader's zero, which is rarely what was " +
+		"meant) and register writes whose value no path ever reads",
+	run: runDefuse,
+}
+
+// regMask is a register set over the unified 0..63 space.
+type regMask uint64
+
+func (m regMask) has(r isa.Reg) bool { return m&(1<<uint(r)) != 0 }
+func (m *regMask) add(r isa.Reg)     { *m |= 1 << uint(r) }
+func (m *regMask) remove(r isa.Reg)  { *m &^= 1 << uint(r) }
+
+const allRegs = ^regMask(0)
+
+// entryWritten is what the loader initializes: the hardwired zero and the
+// stack pointer.
+const entryWritten = regMask(1<<uint(isa.RZero) | 1<<uint(isa.RSP))
+
+func runDefuse(p *pass) {
+	g := p.cfg
+	mustIn := mustWritten(p)
+	liveOut := liveness(p)
+
+	var srcs []isa.Reg
+	for bi := range g.blocks {
+		if !p.reachable[bi] {
+			continue
+		}
+		b := &g.blocks[bi]
+		written := mustIn[bi]
+		live := liveOut[bi]
+		// Forward pass: maybe-uninitialized reads.
+		for i := b.start; i < b.end; i++ {
+			in := g.insts[i]
+			srcs = in.Sources(srcs[:0])
+			for _, r := range srcs {
+				if !written.has(r) {
+					p.reportf(SevWarn, i,
+						"register %s may be read before it is written (registers start at zero)", r)
+				}
+			}
+			if rd, ok := in.Dest(); ok {
+				written.add(rd)
+			}
+		}
+		// Backward pass: dead register writes.
+		for i := b.end - 1; i >= b.start; i-- {
+			in := g.insts[i]
+			if rd, ok := in.Dest(); ok {
+				if !live.has(rd) && !in.Op.IsCall() {
+					p.reportf(SevWarn, i,
+						"value written to %s is never read", rd)
+				}
+				live.remove(rd)
+			}
+			srcs = in.Sources(srcs[:0])
+			for _, r := range srcs {
+				live.add(r)
+			}
+		}
+	}
+}
+
+// mustWritten solves the forward must-be-written dataflow: a register is
+// in the set only if every path from the entry writes it first.
+func mustWritten(p *pass) []regMask {
+	g := p.cfg
+	mustIn := make([]regMask, len(g.blocks))
+	for i := range mustIn {
+		mustIn[i] = allRegs // ⊤ for intersection; unreached stays ⊤
+	}
+	if g.entry < 0 {
+		return mustIn
+	}
+	mustIn[g.entry] = entryWritten
+	work := []int{g.entry}
+	inWork := make([]bool, len(g.blocks))
+	inWork[g.entry] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		out := mustIn[bi]
+		b := &g.blocks[bi]
+		for i := b.start; i < b.end; i++ {
+			if rd, ok := g.insts[i].Dest(); ok {
+				out.add(rd)
+			}
+		}
+		for _, s := range g.blocks[bi].succs {
+			// The entry starts at entryWritten (not ⊤), so the virtual
+			// program-start edge is already part of its meet.
+			next := mustIn[s] & out
+			if next != mustIn[s] {
+				mustIn[s] = next
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return mustIn
+}
+
+// liveness solves backward may-be-read liveness per block. Exit blocks
+// (halt, invalid) end with nothing live; blocks from which control leaves
+// the analyzed code (falls off the end, or an indirect jump that resolved
+// to no successor) conservatively keep everything live so nothing
+// downstream of them is called dead.
+func liveness(p *pass) []regMask {
+	g := p.cfg
+	liveOut := make([]regMask, len(g.blocks))
+	work := make([]int, 0, len(g.blocks))
+	inWork := make([]bool, len(g.blocks))
+	var srcs []isa.Reg
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		if b.fallsOff || (len(b.succs) == 0 && g.terminator(b).Op.IsIndirect()) {
+			liveOut[bi] = allRegs
+		}
+		work = append(work, bi)
+		inWork[bi] = true
+	}
+	liveIn := func(bi int) regMask {
+		live := liveOut[bi]
+		b := &g.blocks[bi]
+		for i := b.end - 1; i >= b.start; i-- {
+			in := g.insts[i]
+			if rd, ok := in.Dest(); ok {
+				live.remove(rd)
+			}
+			srcs = in.Sources(srcs[:0])
+			for _, r := range srcs {
+				live.add(r)
+			}
+		}
+		return live
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		in := liveIn(bi)
+		for _, pr := range g.blocks[bi].preds {
+			next := liveOut[pr] | in
+			if next != liveOut[pr] {
+				liveOut[pr] = next
+				if !inWork[pr] {
+					inWork[pr] = true
+					work = append(work, pr)
+				}
+			}
+		}
+	}
+	return liveOut
+}

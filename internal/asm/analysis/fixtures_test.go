@@ -1,0 +1,184 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/asm/analysis"
+)
+
+// want is one expected finding, parsed from a fixture annotation of the
+// form
+//
+//	;want analyzer "substring of the message"
+//	;want analyzer error "substring"
+//
+// on the source line the finding must anchor to. Severity defaults to
+// warning when omitted.
+type want struct {
+	analyzer string
+	severity string
+	substr   string
+	line     int
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`(\w+)(?:\s+(warning|error))?\s+"([^"]*)"`)
+
+func parseWants(t *testing.T, src string) []*want {
+	t.Helper()
+	var wants []*want
+	for i, line := range strings.Split(src, "\n") {
+		_, rest, ok := strings.Cut(line, ";want ")
+		if !ok {
+			continue
+		}
+		ms := wantRe.FindAllStringSubmatch(rest, -1)
+		if len(ms) == 0 {
+			t.Fatalf("line %d: unparsable ;want annotation %q", i+1, rest)
+		}
+		for _, m := range ms {
+			sev := m[2]
+			if sev == "" {
+				sev = "warning"
+			}
+			wants = append(wants, &want{analyzer: m[1], severity: sev, substr: m[3], line: i + 1})
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs the analyzers over every golden fixture and checks the
+// findings against the in-file ;want annotations, both ways: every
+// diagnostic must be annotated on its line, and every annotation must be
+// hit.
+func TestFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			prog, err := asm.AssembleFile(file, src)
+			if err != nil {
+				t.Fatalf("fixture does not assemble: %v", err)
+			}
+			rep := analysis.Analyze(prog, analysis.Options{})
+			diags := rep.Diagnostics(prog, file, src)
+			wants := parseWants(t, src)
+			for _, d := range diags {
+				found := false
+				for _, w := range wants {
+					if w.line == d.Line && w.analyzer == d.Analyzer &&
+						w.severity == d.Severity && strings.Contains(d.Msg, w.substr) {
+						w.matched = true
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("unannotated finding: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("line %d: want %s %s %q, but no such finding", w.line, w.analyzer, w.severity, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestNarrownessSummary pins the static inlinability classification on a
+// fixture whose four integer defs are exactly known: li 5 and 5+5 fit the
+// 7-bit inline width, li 1000 and li 100 provably do not.
+func TestNarrownessSummary(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "narrowcheck.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.AssembleFile("narrowcheck.s", string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analysis.Analyze(prog, analysis.Options{})
+	got := rep.Inlinability
+	wantSum := analysis.Inlinability{
+		NarrowBits: 7, Defs: 4, Narrow: 2, Wide: 2, Unknown: 0, FPDefs: 0,
+		StaticFrac: 0.5, WeightedFrac: 0.5,
+	}
+	if got != wantSum {
+		t.Errorf("inlinability = %+v, want %+v", got, wantSum)
+	}
+	if len(rep.Loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(rep.Loops))
+	}
+}
+
+// TestLoopTripCounts pins the trip-count lattice on the loopbudget
+// fixture: the counted loop resolves to 8 bounded trips, the second loop
+// is infinite (no exit edge).
+func TestLoopTripCounts(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "loopbudget.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.AssembleFile("loopbudget.s", string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analysis.Analyze(prog, analysis.Options{})
+	if len(rep.Loops) != 2 {
+		t.Fatalf("loops = %+v, want 2", rep.Loops)
+	}
+	if rep.Loops[0].Trip != analysis.TripBounded || rep.Loops[0].Trips != 8 {
+		t.Errorf("first loop = %+v, want bounded with 8 trips", rep.Loops[0])
+	}
+	if rep.Loops[1].Trip != analysis.TripInfinite {
+		t.Errorf("second loop = %+v, want infinite", rep.Loops[1])
+	}
+}
+
+// TestCFGThroughMacroLabels is a regression test for control flow routed
+// through macro-generated \@ labels: each expansion mints a distinct loop
+// label, and the CFG must resolve both back edges and both trip counts
+// without spurious findings.
+func TestCFGThroughMacroLabels(t *testing.T) {
+	const src = `.macro cnt
+loop\@:
+  addi r1, r1, -1
+  bnez r1, loop\@
+.endm
+.text
+main:
+  li   r1, 4
+  cnt
+  li   r1, 4
+  cnt
+  halt
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	rep := analysis.Analyze(prog, analysis.Options{})
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding: %s: %s", f.Analyzer, f.Msg)
+	}
+	if len(rep.Loops) != 2 {
+		t.Fatalf("loops = %+v, want 2", rep.Loops)
+	}
+	for i, l := range rep.Loops {
+		if l.Trip != analysis.TripBounded || l.Trips != 4 {
+			t.Errorf("loop %d = %+v, want bounded with 4 trips", i, l)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prisim/internal/asm"
+	"prisim/internal/asm/analysis"
+)
+
+// fuzzSeeds mirrors the assembler's fuzz corpus shapes plus programs that
+// stress the CFG and lattice: register jumps, self-loops, branches at the
+// segment boundary, macro-generated labels.
+var fuzzSeeds = []string{
+	"",
+	".text\nmain: halt\n",
+	".text\nmain:\n  li r1, 8\nspin:\n  addi r1, r1, -1\n  bnez r1, spin\n  halt\n",
+	".text\nmain:\n  j main\n",
+	".text\nmain:\n  jr lr\n",
+	".text\nmain:\n  la r1, main\n  jr r1\n",
+	".text\nmain:\n  jal sub\n  halt\nsub:\n  jr lr\n",
+	".text\nmain:\n  beqz r1, main\n",
+	".data\nv: .space 8\n.text\nmain:\n  la r1, v\n  stq r1, -8(r1)\n  halt\n",
+	".macro cnt\nloop\\@:\n  addi r1, r1, -1\n  bnez r1, loop\\@\n.endm\n.text\nmain:\n  li r1, 4\n  cnt\n  cnt\n  halt\n",
+	".text\nmain:\n  slli r1, r1, 63\n  srai r2, r1, 1\n  mul r3, r1, r2\n  stq r3, 0(sp)\n  halt\n",
+	".text\nmain:\n  fadd f1, f2, f3\n  cvtif f4, r0\n  fmov f5, f4\n  halt\n",
+}
+
+// FuzzAnalyze asserts the analyzers never panic and always terminate on
+// any program the assembler accepts, and that every finding stays within
+// the program's code segment. Run longer with:
+// go test ./internal/asm/analysis -fuzz FuzzAnalyze -fuzztime 30s
+func FuzzAnalyze(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, dir := range []string{"testdata", filepath.Join("..", "testdata")} {
+		if files, _ := filepath.Glob(filepath.Join(dir, "*.s")); files != nil {
+			for _, file := range files {
+				if src, err := os.ReadFile(file); err == nil {
+					f.Add(string(src))
+				}
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return // the assembler's own fuzzer covers rejection paths
+		}
+		rep := analysis.Analyze(prog, analysis.Options{})
+		for _, fd := range rep.Findings {
+			if fd.Index < -1 || fd.Index >= len(prog.Code) {
+				t.Fatalf("finding index %d outside code segment of %d words", fd.Index, len(prog.Code))
+			}
+			if fd.Msg == "" || fd.Analyzer == "" {
+				t.Fatalf("finding without message or analyzer: %+v", fd)
+			}
+		}
+		// Positioning and suppression parsing must not panic either.
+		_ = rep.Diagnostics(prog, "fuzz.s", src)
+	})
+}

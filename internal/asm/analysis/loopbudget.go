@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"sort"
+
+	"prisim/internal/isa"
+)
+
+var loopbudgetAnalyzer = &Analyzer{
+	Name: "loopbudget",
+	Doc: "detects back edges and natural loops, solves a trip-count " +
+		"lattice (unknown / bounded(n) / infinite) per loop, and flags " +
+		"loops with no exit edge — they run until the sandbox's " +
+		"instruction cap and burn the whole budget",
+	run: runLoopbudget,
+}
+
+// naturalLoop is one loop found via dominator back edges, plus the
+// SCC-based fallback for irreducible cycles.
+type naturalLoop struct {
+	header int
+	body   []int // block indices, sorted, header included
+}
+
+func runLoopbudget(p *pass) {
+	g := p.cfg
+	loops := findLoops(g, p.reachable)
+	p.loopOf = make([][]int, len(g.blocks))
+	for li, nl := range loops {
+		info := Loop{HeadAddr: g.addrOf(g.blocks[nl.header].start), Blocks: len(nl.body)}
+		inBody := make(map[int]bool, len(nl.body))
+		for _, bi := range nl.body {
+			inBody[bi] = true
+			info.Insts += g.blocks[bi].end - g.blocks[bi].start
+			p.loopOf[bi] = append(p.loopOf[bi], li)
+		}
+		hasExit := false
+		for _, bi := range nl.body {
+			if g.blocks[bi].fallsOff {
+				hasExit = true // leaves the analyzed code entirely
+			}
+			for _, s := range g.blocks[bi].succs {
+				if !inBody[s] {
+					hasExit = true
+				}
+			}
+		}
+		if !hasExit {
+			info.Trip = TripInfinite
+			p.reportf(SevWarn, g.blocks[nl.header].start,
+				"loop has no exit edge: it runs until the instruction cap and burns the whole run budget")
+		} else if trips, ok := tripCount(p, nl, inBody); ok {
+			info.Trip = TripBounded
+			info.Trips = trips
+		} else {
+			checkInvariantExit(p, nl, inBody)
+		}
+		p.loops = append(p.loops, info)
+	}
+}
+
+// findLoops returns the program's loops: natural loops of dominator back
+// edges (merged per header), plus any irreducible SCC cycle that no
+// natural loop covers. Results are ordered by header block.
+func findLoops(g *graph, reachable []bool) []naturalLoop {
+	idom := dominators(g, reachable)
+	bodyOf := map[int]map[int]bool{}
+	for bi := range g.blocks {
+		if !reachable[bi] {
+			continue
+		}
+		for _, s := range g.blocks[bi].succs {
+			if dominates(idom, s, bi) {
+				// Back edge bi -> s: the natural loop is everything that
+				// reaches bi without passing through s.
+				body := bodyOf[s]
+				if body == nil {
+					body = map[int]bool{s: true}
+					bodyOf[s] = body
+				}
+				collectLoop(g, body, bi)
+			}
+		}
+	}
+	covered := make([]bool, len(g.blocks))
+	var loops []naturalLoop
+	headers := make([]int, 0, len(bodyOf))
+	//lint:ignore determinism the headers are collected and sorted before any use, so iteration order cannot leak
+	for h := range bodyOf {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		nl := naturalLoop{header: h}
+		//lint:ignore determinism body indices are sorted below and covered[] is a set, so iteration order cannot leak
+		for bi := range bodyOf[h] {
+			nl.body = append(nl.body, bi)
+			covered[bi] = true
+		}
+		sort.Ints(nl.body)
+		loops = append(loops, nl)
+	}
+	// Irreducible cycles (multi-entry loops) have no dominating header;
+	// catch them as SCCs so a no-exit cycle can never hide.
+	for _, scc := range stronglyConnected(g, reachable) {
+		cyclic := len(scc) > 1
+		if !cyclic {
+			for _, s := range g.blocks[scc[0]].succs {
+				if s == scc[0] {
+					cyclic = true
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		all := true
+		for _, bi := range scc {
+			if !covered[bi] {
+				all = false
+			}
+		}
+		if all {
+			continue
+		}
+		nl := naturalLoop{header: scc[0], body: append([]int(nil), scc...)}
+		sort.Ints(nl.body)
+		nl.header = nl.body[0]
+		loops = append(loops, nl)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].header < loops[j].header })
+	return loops
+}
+
+func collectLoop(g *graph, body map[int]bool, from int) {
+	if body[from] {
+		return
+	}
+	body[from] = true
+	work := []int{from}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, pr := range g.blocks[bi].preds {
+			if !body[pr] {
+				body[pr] = true
+				work = append(work, pr)
+			}
+		}
+	}
+}
+
+// dominators computes immediate dominators with the simple iterative
+// algorithm (Cooper/Harvey/Kennedy) over reverse postorder.
+func dominators(g *graph, reachable []bool) []int {
+	idom := make([]int, len(g.blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	if g.entry < 0 {
+		return idom
+	}
+	rpo := postorder(g, reachable)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	rpoNum := make([]int, len(g.blocks))
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	idom[g.entry] = g.entry
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range rpo {
+			if bi == g.entry {
+				continue
+			}
+			newIdom := -1
+			for _, pr := range g.blocks[bi].preds {
+				if !reachable[pr] || idom[pr] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(newIdom, pr)
+				}
+			}
+			if newIdom >= 0 && idom[bi] != newIdom {
+				idom[bi] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func dominates(idom []int, a, b int) bool {
+	if idom[b] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if idom[b] == b || idom[b] < 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+func postorder(g *graph, reachable []bool) []int {
+	var order []int
+	seen := make([]bool, len(g.blocks))
+	var visit func(int)
+	visit = func(bi int) {
+		seen[bi] = true
+		for _, s := range g.blocks[bi].succs {
+			if !seen[s] && reachable[s] {
+				visit(s)
+			}
+		}
+		order = append(order, bi)
+	}
+	if g.entry >= 0 {
+		visit(g.entry)
+	}
+	return order
+}
+
+// stronglyConnected returns the SCCs of the reachable subgraph (iterative
+// Tarjan), each sorted, in deterministic order.
+func stronglyConnected(g *graph, reachable []bool) [][]int {
+	const unvisited = -1
+	index := make([]int, len(g.blocks))
+	low := make([]int, len(g.blocks))
+	onStack := make([]bool, len(g.blocks))
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack, sccsOrder []int
+	var sccs [][]int
+	next := 0
+	type frame struct{ v, succIdx int }
+	for root := range g.blocks {
+		if !reachable[root] || index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			b := &g.blocks[f.v]
+			if f.succIdx < len(b.succs) {
+				s := b.succs[f.succIdx]
+				f.succIdx++
+				if !reachable[s] {
+					continue
+				}
+				if index[s] == unvisited {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{s, 0})
+				} else if onStack[s] && index[s] < low[f.v] {
+					low[f.v] = index[s]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if low[v] < low[frames[len(frames)-1].v] {
+					low[frames[len(frames)-1].v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(scc)
+				sccs = append(sccs, scc)
+				sccsOrder = append(sccsOrder, scc[0])
+			}
+		}
+	}
+	sort.SliceStable(sccs, func(i, j int) bool { return sccsOrder[i] < sccsOrder[j] })
+	return sccs
+}
+
+// tripCount recognizes the canonical counted loop: an exit branch
+// beqz/bnez on a register whose only in-loop def is "addi r, r, ±step",
+// entering the loop with a constant value. Anything fancier stays
+// TripUnknown.
+func tripCount(p *pass, nl naturalLoop, inBody map[int]bool) (uint64, bool) {
+	g := p.cfg
+	// Find the counter candidates: exit branches on (reg, rzero).
+	var ctr isa.Reg
+	found := false
+	for _, bi := range nl.body {
+		b := &g.blocks[bi]
+		in := g.terminator(b)
+		if in.Op != isa.OpBNE && in.Op != isa.OpBEQ {
+			continue
+		}
+		exits := false
+		t := g.indexOf(in.BranchTarget(g.addrOf(b.end - 1)))
+		if t < 0 || !inBody[g.blockOf[t]] {
+			exits = true
+		}
+		if b.end < len(g.insts) && !inBody[g.blockOf[b.end]] {
+			exits = true
+		}
+		if !exits || in.Rb != isa.RZero || in.Ra == isa.RZero {
+			continue
+		}
+		if found && ctr != in.Ra {
+			return 0, false // two different exit counters: give up
+		}
+		ctr, found = in.Ra, true
+	}
+	if !found {
+		return 0, false
+	}
+	// The counter must have exactly one def in the loop: addi ctr, ctr, step.
+	var step int64
+	defs := 0
+	for _, bi := range nl.body {
+		b := &g.blocks[bi]
+		for i := b.start; i < b.end; i++ {
+			in := g.insts[i]
+			if rd, ok := in.Dest(); ok && rd == ctr {
+				defs++
+				if in.Op == isa.OpADDI && in.Ra == ctr {
+					step = in.Imm
+				} else {
+					return 0, false
+				}
+			}
+		}
+	}
+	if defs != 1 || step >= 0 {
+		return 0, false // only down-counters are recognized
+	}
+	// Entry value: join of the counter's interval along non-loop edges
+	// into the header.
+	init := bot()
+	for _, pr := range g.blocks[nl.header].preds {
+		if inBody[pr] {
+			continue
+		}
+		out := p.consts.outState(pr)
+		init = join(init, out.get(ctr))
+	}
+	if g.entry == nl.header {
+		st := entryState()
+		init = join(init, st.get(ctr))
+	}
+	n, ok := init.constVal()
+	if !ok || n <= 0 || n%(-step) != 0 {
+		return 0, false
+	}
+	return uint64(n / -step), true
+}
+
+// checkInvariantExit warns when every register an exit branch tests is
+// never written inside the loop: the exit decision can never change, so
+// the loop either exits immediately or never.
+func checkInvariantExit(p *pass, nl naturalLoop, inBody map[int]bool) {
+	g := p.cfg
+	var written regMask
+	for _, bi := range nl.body {
+		b := &g.blocks[bi]
+		for i := b.start; i < b.end; i++ {
+			if rd, ok := g.insts[i].Dest(); ok {
+				written.add(rd)
+			}
+		}
+	}
+	var srcs []isa.Reg
+	for _, bi := range nl.body {
+		b := &g.blocks[bi]
+		in := g.terminator(b)
+		if !in.Op.IsBranch() {
+			continue
+		}
+		exits := false
+		if t := g.indexOf(in.BranchTarget(g.addrOf(b.end - 1))); t < 0 || !inBody[g.blockOf[t]] {
+			exits = true
+		}
+		if b.end < len(g.insts) && !inBody[g.blockOf[b.end]] {
+			exits = true
+		}
+		if !exits {
+			continue
+		}
+		invariant := true
+		srcs = in.Sources(srcs[:0])
+		for _, r := range srcs {
+			if written.has(r) {
+				invariant = false
+			}
+		}
+		if invariant {
+			p.reportf(SevWarn, b.end-1,
+				"loop exit condition never changes inside the loop: it either exits on the first test or never")
+		}
+	}
+}

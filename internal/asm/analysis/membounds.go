@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+
+	"prisim/internal/asm"
+	"prisim/internal/isa"
+)
+
+var memboundsAnalyzer = &Analyzer{
+	Name: "membounds",
+	Doc: "constant-propagates load/store addresses and flags accesses " +
+		"provably outside the image's code/data/stack regions (stores are " +
+		"errors, loads read zero and warn), stores into the code segment, " +
+		"and misaligned constant addresses",
+	run: runMembounds,
+}
+
+// region is one half-open address range the program may legitimately touch.
+type region struct {
+	name   string
+	lo, hi int64 // [lo, hi)
+}
+
+func accessRegions(prog *asm.Program, opts Options) []region {
+	var regs []region
+	if len(prog.Code) > 0 {
+		regs = append(regs, region{"code", int64(prog.CodeBase), int64(prog.CodeEnd())})
+	}
+	dataBase := int64(asm.DefaultDataBase)
+	if limit := prog.DataLimit(); int64(limit) > dataBase {
+		lo := dataBase
+		for _, seg := range prog.Data {
+			if int64(seg.Base) < lo {
+				lo = int64(seg.Base)
+			}
+		}
+		regs = append(regs, region{"data", lo, int64(limit)})
+	}
+	// The loader parks SP at the stack top with a little headroom above;
+	// a window below it is legitimate stack.
+	top := int64(asm.DefaultStackTop)
+	regs = append(regs, region{"stack", top - int64(opts.StackWindow), top + 0x100})
+	return regs
+}
+
+func accessSize(op isa.Op) int64 {
+	switch op {
+	case isa.OpLDB, isa.OpLDBU, isa.OpSTB:
+		return 1
+	case isa.OpLDL, isa.OpSTL:
+		return 4
+	default: // ldq, stq, fld, fst
+		return 8
+	}
+}
+
+func runMembounds(p *pass) {
+	g := p.cfg
+	regions := accessRegions(p.prog, p.opts)
+	codeLo, codeHi := int64(p.prog.CodeBase), int64(p.prog.CodeEnd())
+	for bi := range g.blocks {
+		if !p.reachable[bi] {
+			continue
+		}
+		p.consts.walk(bi, func(i int, in isa.Inst, st *regState) {
+			if !in.Op.IsLoad() && !in.Op.IsStore() {
+				return
+			}
+			addr := addIval(st.get(in.Ra), cst(in.Imm))
+			if addr.bot || addr.isTop() {
+				return
+			}
+			size := accessSize(in.Op)
+			last := addIval(addr, cst(size-1))
+			// The full byte span the access can touch; an access is only
+			// flagged when this provably misses every region.
+			span := ival{lo: addr.lo, hi: last.hi}
+			if last.bot || last.isTop() {
+				span = top()
+			}
+			inside := false
+			for _, r := range regions {
+				if !span.outside(r.lo, r.hi-1) {
+					inside = true
+					break
+				}
+			}
+			kind := "load"
+			if in.Op.IsStore() {
+				kind = "store"
+			}
+			if !inside {
+				sev := SevWarn
+				verb := "reads zero"
+				if in.Op.IsStore() {
+					sev = SevError
+					verb = "is lost"
+				}
+				p.reportf(sev, i,
+					"%d-byte %s at %s is outside the program image (%s) and %s",
+					size, kind, describeAddr(addr), describeRegions(regions), verb)
+				return
+			}
+			if in.Op.IsStore() && addr.within(codeLo, codeHi-1) {
+				p.reportf(SevWarn, i,
+					"store at %s writes into the code segment (self-modifying code is not refetched)",
+					describeAddr(addr))
+			}
+			if v, ok := addr.constVal(); ok && size > 1 && v%size != 0 {
+				p.reportf(SevWarn, i,
+					"%d-byte %s at %#x is not %d-byte aligned", size, kind, uint64(v), size)
+			}
+		})
+	}
+}
+
+func describeAddr(a ival) string {
+	if v, ok := a.constVal(); ok {
+		return fmt.Sprintf("%#x", uint64(v))
+	}
+	return fmt.Sprintf("addresses %#x..%#x", uint64(a.lo), uint64(a.hi))
+}
+
+func describeRegions(regs []region) string {
+	out := ""
+	for i, r := range regs {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %#x-%#x", r.name, uint64(r.lo), uint64(r.hi))
+	}
+	return out
+}

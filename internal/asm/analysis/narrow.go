@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"prisim/internal/isa"
+)
+
+var narrowAnalyzer = &Analyzer{
+	Name: "narrowness",
+	Doc: "classifies every reachable register def by whether its value " +
+		"provably fits the PRI inline width (narrow), provably does not " +
+		"(wide), or cannot be proven either way; the per-program summary " +
+		"is comparable against the simulator's measured inlining rate",
+	run: runNarrow,
+}
+
+// tripWeight caps and defaults the per-loop execution weight used for the
+// weighted inlinability fraction: a loop with an unknown or huge trip
+// count contributes this much per nesting level. It is a reporting
+// heuristic, not a soundness claim.
+const tripWeight = 64
+
+func runNarrow(p *pass) {
+	g := p.cfg
+	bits := p.opts.NarrowBits
+	lo := -(int64(1) << uint(bits-1))
+	hi := int64(1)<<uint(bits-1) - 1
+	sum := Inlinability{NarrowBits: bits}
+	var weighted, weightedNarrow float64
+	for bi := range g.blocks {
+		if !p.reachable[bi] {
+			continue
+		}
+		w := p.blockWeight(bi)
+		p.consts.walk(bi, func(i int, in isa.Inst, st *regState) {
+			rd, ok := in.Dest()
+			if !ok {
+				return
+			}
+			var res regState = *st
+			transfer(&res, in, g.addrOf(i))
+			v := res.get(rd)
+			sum.Defs++
+			weighted += w
+			narrow := false
+			switch {
+			case rd.IsFP():
+				sum.FPDefs++
+				// The paper inlines an FP value only when its bit
+				// pattern is all zeroes or all ones.
+				if v.within(0, 0) || v.within(-1, -1) {
+					narrow = true
+					sum.Narrow++
+				} else {
+					sum.Unknown++
+				}
+			case v.within(lo, hi):
+				narrow = true
+				sum.Narrow++
+			case v.outside(lo, hi):
+				sum.Wide++
+			default:
+				sum.Unknown++
+			}
+			if narrow {
+				weightedNarrow += w
+			}
+		})
+	}
+	if sum.Defs > 0 {
+		sum.StaticFrac = float64(sum.Narrow) / float64(sum.Defs)
+	}
+	if weighted > 0 {
+		sum.WeightedFrac = weightedNarrow / weighted
+	}
+	p.setInlinability(sum)
+}
+
+// blockWeight estimates how often a block executes relative to the entry:
+// the product of the trip counts of every loop containing it, with
+// unknown and unbounded loops weighted at tripWeight per level.
+func (p *pass) blockWeight(bi int) float64 {
+	w := 1.0
+	if p.loopOf == nil {
+		return w
+	}
+	for _, li := range p.loopOf[bi] {
+		l := p.loops[li]
+		if l.Trip == TripBounded && l.Trips > 0 && l.Trips < tripWeight {
+			w *= float64(l.Trips)
+		} else {
+			w *= tripWeight
+		}
+	}
+	return w
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import "prisim/internal/isa"
+
+var reachAnalyzer = &Analyzer{
+	Name: "reachability",
+	Doc: "flags code the entry can never reach (dead blocks, code after " +
+		"unconditional jumps), reachable invalid instruction words, direct " +
+		"control targets outside the code segment, and paths where control " +
+		"can run off the end of the code into zeroed memory",
+	run: runReach,
+}
+
+func runReach(p *pass) {
+	g := p.cfg
+	// Merge consecutive unreachable words into one finding each.
+	runStart, runLen := -1, 0
+	flush := func() {
+		if runStart >= 0 {
+			plural := ""
+			if runLen > 1 {
+				plural = "s"
+			}
+			p.reportf(SevWarn, runStart,
+				"unreachable code (%d instruction%s)", runLen, plural)
+		}
+		runStart, runLen = -1, 0
+	}
+	for i := range g.insts {
+		if !p.reachable[g.blockOf[i]] {
+			if runStart < 0 {
+				runStart = i
+			}
+			runLen++
+			continue
+		}
+		flush()
+	}
+	flush()
+
+	for bi := range g.blocks {
+		if !p.reachable[bi] {
+			continue
+		}
+		b := &g.blocks[bi]
+		for i := b.start; i < b.end; i++ {
+			if g.insts[i].Op == isa.OpInvalid {
+				p.reportf(SevWarn, i,
+					"reachable invalid instruction word %#08x", p.prog.Code[i])
+			}
+		}
+		if !b.fallsOff {
+			continue
+		}
+		last := b.end - 1
+		in := g.insts[last]
+		isDirect := in.Op.Format() == isa.FmtB || in.Op.Format() == isa.FmtJ
+		if isDirect {
+			if t := in.BranchTarget(g.addrOf(last)); g.indexOf(t) < 0 {
+				p.reportf(SevWarn, last,
+					"control target %#x lies outside the code segment", t)
+			}
+		}
+		// A conditional branch (or any non-jump) at the very end of the
+		// code can also fall through past the last word.
+		if in.Op.Format() != isa.FmtJ && last+1 >= len(g.insts) &&
+			in.Op != isa.OpHALT && in.Op != isa.OpInvalid && !in.Op.IsIndirect() {
+			p.reportf(SevWarn, last,
+				"control can run off the end of the code segment into zeroed memory")
+		}
+	}
+}

@@ -1,0 +1,9 @@
+; defuse fixture: a register read before any path writes it, and a write
+; whose value no path ever reads.
+.text
+main:
+  add  r3, r1, r0       ;want defuse "register r1 may be read before it is written"
+  li   r5, 7            ;want defuse "value written to r5 is never read"
+  add  r4, r3, r3
+  stq  r4, 0(sp)
+  halt

@@ -1,0 +1,14 @@
+; loopbudget fixture: a counted down-loop the trip analysis resolves to 8
+; iterations (no finding), then a loop with no exit edge at all.
+.text
+main:
+  li   r1, 8
+spin:
+  addi r1, r1, -1
+  bnez r1, spin
+  li   r3, 0
+  li   r2, 1
+forever:
+  add  r3, r3, r2        ;want loopbudget "loop has no exit edge"
+  j    forever
+  halt                   ;want reachability "unreachable code (1 instruction)"

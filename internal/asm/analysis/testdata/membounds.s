@@ -1,0 +1,14 @@
+; membounds fixture: a store whose only possible address lies outside
+; every region of the image (a provable error), an out-of-image load
+; (reads zero: warning), and a misaligned constant address.
+.data
+buf: .space 64
+.text
+main:
+  la   r1, buf
+  li   r2, 1
+  stq  r2, -8(r1)       ;want membounds error "outside the program image"
+  ldq  r4, -16(r1)      ;want membounds "reads zero"
+  stq  r2, 3(r1)        ;want membounds "is not 8-byte aligned"
+  add  r0, r4, r4
+  halt

@@ -1,0 +1,13 @@
+; narrowness fixture: four defs with exactly known classifications at the
+; default 7-bit inline width. The companion test pins the Inlinability
+; summary: r1 and r4 narrow, r2 and r3 wide.
+.text
+main:
+  li   r1, 5
+  li   r2, 1000
+  li   r3, 100
+  add  r4, r1, r1
+  stq  r4, 0(sp)
+  stq  r2, 8(sp)
+  stq  r3, 16(sp)
+  halt

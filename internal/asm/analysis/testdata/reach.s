@@ -1,0 +1,11 @@
+; reachability fixture: dead code after an unconditional jump and a
+; conditional branch sitting on the last code word, so control can fall
+; off the end of the segment.
+.text
+main:
+  li   r1, 2
+  j    skip
+  addi r1, r1, 1        ;want reachability "unreachable code (2 instructions)"
+  addi r1, r1, 2
+skip:
+  beqz r1, main          ;want reachability "run off the end of the code segment"

@@ -274,6 +274,7 @@ func (b *Builder) Finish() (*Program, error) {
 		Code:     code,
 		Data:     append([]Segment(nil), b.data...),
 		Symbols:  syms,
+		DataEnd:  b.dataNext,
 	}, nil
 }
 

@@ -113,10 +113,12 @@ func (p *parser) lowerLi(s stmt, mnem string) ([]isa.Inst, bool) {
 // and the instructions are encoded. Statements that already failed emit
 // nops to keep subsequent addresses aligned with the sizing pass; once any
 // diagnostic exists no image is produced, so the filler is never observed.
-func (p *parser) encodeCode(units []unit) []uint32 {
+func (p *parser) encodeCode(units []unit) ([]uint32, []Pos) {
 	var code []uint32
+	var lines []Pos
 	nop := isa.Inst{Op: isa.OpNOP}
 	for _, u := range units {
+		at := Pos{Line: u.s.head.Line, Col: u.s.head.Col}
 		insts := u.li
 		if insts == nil && !u.bad {
 			in, ok := p.encodeInst(u)
@@ -130,6 +132,7 @@ func (p *parser) encodeCode(units []unit) []uint32 {
 			for i := 0; i < u.n; i++ {
 				w, _ := nop.Encode()
 				code = append(code, w)
+				lines = append(lines, at)
 			}
 			continue
 		}
@@ -140,9 +143,10 @@ func (p *parser) encodeCode(units []unit) []uint32 {
 				w, _ = nop.Encode()
 			}
 			code = append(code, w)
+			lines = append(lines, at)
 		}
 	}
-	return code
+	return code, lines
 }
 
 // regOperand requires op to be a single register token.

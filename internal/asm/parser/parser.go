@@ -48,6 +48,12 @@ type Segment struct {
 	Bytes []byte
 }
 
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
 // Image is a fully linked program: the parser's output.
 type Image struct {
 	Entry    uint64
@@ -58,6 +64,13 @@ type Image struct {
 	// included: they are values, not addresses, and would pollute
 	// address-keyed disassembly annotations.
 	Symbols map[string]uint64
+	// Lines maps each code word to the source position of the statement
+	// that emitted it (li/la expansion words share their statement's
+	// position). len(Lines) == len(Code).
+	Lines []Pos
+	// DataEnd is the first address past the laid-out data section,
+	// including .space reservations, which materialize no Segment.
+	DataEnd uint64
 }
 
 // Parse assembles src. On failure the returned error is an *Error carrying
@@ -83,7 +96,7 @@ func Parse(src string, cfg Config) (*Image, error) {
 	}
 	p.flushOrphanLabels()
 	units := p.sizeCode()
-	code := p.encodeCode(units)
+	code, codeLines := p.encodeCode(units)
 	data := p.fillData()
 	if len(p.diags) > 0 {
 		sortDiags(p.diags)
@@ -99,6 +112,8 @@ func Parse(src string, cfg Config) (*Image, error) {
 		Code:     code,
 		Data:     data,
 		Symbols:  p.symbols,
+		Lines:    codeLines,
+		DataEnd:  p.dataNext,
 	}, nil
 }
 

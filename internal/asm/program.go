@@ -31,17 +31,58 @@ type Segment struct {
 	Bytes []byte
 }
 
+// SrcPos is a 1-based source position for one code word; the zero value
+// means "position unknown" (builder-generated programs carry no positions).
+type SrcPos struct {
+	Line int
+	Col  int
+}
+
 // Program is a fully linked PRISC-64 program image.
+//
+// Lines and DataEnd are analysis metadata: like Symbols they do not affect
+// execution and are excluded from the SHA256 identity.
 type Program struct {
 	Entry    uint64
 	CodeBase uint64
 	Code     []uint32 // encoded instructions, CodeBase-relative
 	Data     []Segment
 	Symbols  map[string]uint64
+	// Lines, when non-nil, maps each code word to the source position of
+	// the assembly statement that emitted it (len(Lines) == len(Code)).
+	Lines []SrcPos
+	// DataEnd is the first address past the laid-out data section,
+	// including .space reservations, which materialize no Segment.
+	// Zero when unknown (e.g. images decoded from old JSON dumps).
+	DataEnd uint64
 }
 
 // CodeEnd returns the first address past the code segment.
 func (p *Program) CodeEnd() uint64 { return p.CodeBase + 4*uint64(len(p.Code)) }
+
+// DataLimit returns the first address past the valid data region: DataEnd
+// when recorded, otherwise the highest initialized segment end.
+func (p *Program) DataLimit() uint64 {
+	limit := p.DataEnd
+	for _, seg := range p.Data {
+		if end := seg.Base + uint64(len(seg.Bytes)); end > limit {
+			limit = end
+		}
+	}
+	return limit
+}
+
+// PosAt returns the recorded source position for the code word at addr.
+func (p *Program) PosAt(addr uint64) (SrcPos, bool) {
+	if p.Lines == nil || addr < p.CodeBase || addr%4 != 0 {
+		return SrcPos{}, false
+	}
+	i := (addr - p.CodeBase) / 4
+	if i >= uint64(len(p.Lines)) {
+		return SrcPos{}, false
+	}
+	return p.Lines[i], true
+}
 
 // SHA256 returns the hex digest of the canonical image serialization:
 // schema tag, entry, code base, code words, and each data segment's base,

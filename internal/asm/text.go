@@ -69,11 +69,17 @@ func AssembleFile(name, src string) (*Program, error) {
 	for i, s := range img.Data {
 		data[i] = Segment{Base: s.Base, Bytes: s.Bytes}
 	}
+	lines := make([]SrcPos, len(img.Lines))
+	for i, pos := range img.Lines {
+		lines[i] = SrcPos{Line: pos.Line, Col: pos.Col}
+	}
 	return &Program{
 		Entry:    img.Entry,
 		CodeBase: img.CodeBase,
 		Code:     img.Code,
 		Data:     data,
 		Symbols:  img.Symbols,
+		Lines:    lines,
+		DataEnd:  img.DataEnd,
 	}, nil
 }

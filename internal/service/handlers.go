@@ -189,16 +189,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrCacheKeyMismatch):
 		writeError(w, http.StatusConflict, err.Error())
 	default:
-		var ae *AssemblyError
-		if errors.As(err, &ae) {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-				"error":       ae.Error(),
-				"diagnostics": ae.Diags,
-			})
+		if code, body := rejectionBody(err); body != nil {
+			writeJSON(w, code, body)
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
+}
+
+// rejectionBody maps an assembly or static-analysis rejection to its 422
+// response body (nil when err is neither).
+func rejectionBody(err error) (int, map[string]any) {
+	var ae *AssemblyError
+	if errors.As(err, &ae) {
+		return http.StatusUnprocessableEntity, map[string]any{
+			"error":       ae.Error(),
+			"diagnostics": ae.Diags,
+		}
+	}
+	var le *LintError
+	if errors.As(err, &le) {
+		return http.StatusUnprocessableEntity, map[string]any{
+			"error":       le.Error(),
+			"diagnostics": le.Diags,
+		}
+	}
+	return 0, nil
 }
 
 // handleProgramCheck assembles a program without running it: 200 with the
@@ -216,29 +232,29 @@ func (s *Server) handleProgramCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jr := prisimclient.JobRequest{Kind: prisimclient.KindProgram, Source: req.Source}
-	prog, err := s.assembleRequest(&jr)
+	checked, err := s.assembleRequest(&jr)
 	if err != nil {
-		var ae *AssemblyError
-		if errors.As(err, &ae) {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-				"error":       ae.Error(),
-				"diagnostics": ae.Diags,
-			})
+		if code, body := rejectionBody(err); body != nil {
+			writeJSON(w, code, body)
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	prog := checked.prog
 	dataBytes := 0
 	for _, seg := range prog.Data {
 		dataBytes += len(seg.Bytes)
 	}
+	inl := checked.inlinability
 	writeJSON(w, http.StatusOK, prisimclient.ProgramInfo{
 		SHA256:       prog.SHA256(),
 		Entry:        prog.Entry,
 		CodeWords:    len(prog.Code),
 		DataSegments: len(prog.Data),
 		DataBytes:    dataBytes,
+		Warnings:     checked.warnings,
+		Inlinability: &inl,
 	})
 }
 

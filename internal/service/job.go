@@ -17,9 +17,10 @@ type job struct {
 	req      prisimclient.JobRequest
 	cacheKey string // content hash of a simulate point or program run; "" for experiments; set before enqueue, immutable after
 
-	// Program jobs only; assembled at submit, immutable after.
+	// Program jobs only; assembled and analyzed at submit, immutable after.
 	prog      *asm.Program
 	imageHash string
+	warnings  []prisimclient.Diagnostic // priscan warning findings
 
 	ctx    context.Context    // derived from the server's root context
 	cancel context.CancelFunc // DELETE and drain-deadline both land here
@@ -74,6 +75,7 @@ func (j *job) viewLocked() prisimclient.Job {
 		KernelVersion: prisim.Version,
 		CacheKey:      j.cacheKey,
 		ComputedBy:    j.computedBy,
+		Warnings:      j.warnings,
 	}
 }
 

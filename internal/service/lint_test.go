@@ -1,0 +1,177 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"prisim/prisimclient"
+)
+
+// oobProgram stores through a constant address that is provably outside
+// every region of the image — the one class of finding priscan grades as
+// an error and the submit path must reject.
+const oobProgram = `main:
+  li  r1, 0x500000
+  stq r1, 0(r1)          ; lost: 0x500000 is no code, data, or stack
+  halt
+`
+
+// warnProgram reads r1 before any write (a warning-severity finding) but
+// is otherwise a perfectly runnable program.
+const warnProgram = `main:
+  add r3, r1, r0
+  stq r3, 0(sp)
+  halt
+`
+
+// TestLintRejectsProvableError pins the gate: a program with a provable
+// out-of-image store is rejected at submit with 422 and a positioned
+// error diagnostic, and the engine is never dispatched.
+func TestLintRejectsProvableError(t *testing.T) {
+	_, c := boot(t, Config{Workers: 1})
+
+	checkReject := func(t *testing.T, err error) {
+		t.Helper()
+		if !errors.Is(err, prisimclient.ErrAssembly) {
+			t.Fatalf("err = %v, want 422 (ErrAssembly)", err)
+		}
+		var apiErr *prisimclient.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err = %v, want *APIError", err)
+		}
+		if !strings.Contains(apiErr.Message, "static analysis") {
+			t.Errorf("message %q does not name static analysis", apiErr.Message)
+		}
+		found := false
+		for _, d := range apiErr.Diagnostics {
+			if d.Analyzer == "membounds" && d.Severity == "error" {
+				found = true
+				if d.File != "program.s" || d.Line != 3 || d.Col <= 0 {
+					t.Errorf("diagnostic %+v, want positioned at program.s:3", d)
+				}
+				if !strings.Contains(d.Msg, "outside the program image") {
+					t.Errorf("msg %q does not explain the lost store", d.Msg)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no membounds error diagnostic in %v", apiErr.Diagnostics)
+		}
+	}
+
+	_, err := c.SubmitProgram(bg, []byte(oobProgram), prisimclient.JobRequest{})
+	checkReject(t, err)
+
+	// The dry-run endpoint rejects identically.
+	_, err = c.CheckProgram(bg, []byte(oobProgram))
+	checkReject(t, err)
+
+	page, err := c.Metrics(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, page, "prisimd_programs_lint_rejected_total"); got != 2 {
+		t.Errorf("prisimd_programs_lint_rejected_total = %g, want 2", got)
+	}
+	if got := metricValue(t, page, "prisimd_jobs_submitted_total"); got != 0 {
+		t.Errorf("rejected program was enqueued: submitted = %g, want 0", got)
+	}
+	if got := metricValue(t, page, "prisimd_sim_committed_instructions_total"); got != 0 {
+		t.Errorf("rejected program dispatched the engine: committed = %g", got)
+	}
+}
+
+// TestLintWarningsRideAlong pins the warn path: a program with only
+// warning findings runs to completion, and the warnings appear on the
+// accepted job, on its status view, and on the dry-run response together
+// with the inlinability summary.
+func TestLintWarningsRideAlong(t *testing.T) {
+	_, c := boot(t, Config{Workers: 1})
+
+	wantWarning := func(t *testing.T, ws []prisimclient.Diagnostic) {
+		t.Helper()
+		if len(ws) != 1 {
+			t.Fatalf("warnings = %v, want exactly 1", ws)
+		}
+		w := ws[0]
+		if w.Analyzer != "defuse" || w.Severity != "warning" || w.Line != 2 {
+			t.Errorf("warning = %+v, want defuse warning at line 2", w)
+		}
+		if !strings.Contains(w.Msg, "read before it is written") {
+			t.Errorf("msg %q does not describe the uninitialized read", w.Msg)
+		}
+	}
+
+	j, err := c.SubmitProgram(bg, []byte(warnProgram), prisimclient.JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWarning(t, j.Warnings)
+	final, err := c.Wait(bg, j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != prisimclient.StateDone {
+		t.Fatalf("job state = %s (%s), want done despite warnings", final.State, final.Error)
+	}
+	wantWarning(t, final.Warnings)
+
+	info, err := c.CheckProgram(bg, []byte(warnProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWarning(t, info.Warnings)
+	if info.Inlinability == nil || info.Inlinability.Defs == 0 || info.Inlinability.NarrowBits == 0 {
+		t.Errorf("inlinability = %+v, want a populated summary", info.Inlinability)
+	}
+
+	page, err := c.Metrics(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, page, "prisimd_programs_lint_warnings_total"); got != 2 {
+		t.Errorf("prisimd_programs_lint_warnings_total = %g, want 2 (submit + check)", got)
+	}
+	if got := metricValue(t, page, "prisimd_programs_lint_rejected_total"); got != 0 {
+		t.Errorf("prisimd_programs_lint_rejected_total = %g, want 0", got)
+	}
+}
+
+// TestLintSuppressionOverTheWire pins that a ;lint:ignore annotation in
+// submitted source suppresses the finding server-side — including an
+// error finding, which converts a rejection into an accepted job (the
+// author has explicitly taken responsibility for the store).
+func TestLintSuppressionOverTheWire(t *testing.T) {
+	_, c := boot(t, Config{Workers: 1})
+
+	const suppressedWarn = `main:
+  add r3, r1, r0 ;lint:ignore defuse r1 is the loader's zero on purpose
+  stq r3, 0(sp)
+  halt
+`
+	info, err := c.CheckProgram(bg, []byte(suppressedWarn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Warnings) != 0 {
+		t.Errorf("warnings = %v, want suppressed", info.Warnings)
+	}
+
+	const suppressedErr = `main:
+  li  r1, 0x500000
+  stq r1, 0(r1) ;lint:ignore membounds deliberately writing to the void
+  halt
+`
+	j, err := c.SubmitProgram(bg, []byte(suppressedErr), prisimclient.JobRequest{})
+	if err != nil {
+		t.Fatalf("suppressed error still rejected: %v", err)
+	}
+	final, err := c.Wait(bg, j.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != prisimclient.StateDone {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+}

@@ -30,6 +30,8 @@ type metrics struct {
 
 	programsAssembled     uint64 // guarded by mu; program sources that assembled cleanly
 	programAssemblyErrors uint64 // guarded by mu; program sources rejected with diagnostics
+	programLintWarnings   uint64 // guarded by mu; priscan warning findings on accepted programs
+	programLintRejected   uint64 // guarded by mu; programs rejected by priscan error findings
 
 	latencies []time.Duration // guarded by mu; ring of recent terminal job latencies
 	latNext   int             // guarded by mu
@@ -50,6 +52,13 @@ func (m *metrics) incStoreHit()    { m.mu.Lock(); m.storeHit++; m.mu.Unlock() }
 
 func (m *metrics) incProgramAssembled()     { m.mu.Lock(); m.programsAssembled++; m.mu.Unlock() }
 func (m *metrics) incProgramAssemblyError() { m.mu.Lock(); m.programAssemblyErrors++; m.mu.Unlock() }
+func (m *metrics) incProgramLintRejected()  { m.mu.Lock(); m.programLintRejected++; m.mu.Unlock() }
+
+func (m *metrics) addProgramLintWarnings(n int) {
+	m.mu.Lock()
+	m.programLintWarnings += uint64(n)
+	m.mu.Unlock()
+}
 
 // observeTerminal records a job reaching a terminal state after latency
 // (measured from submit so queueing delay counts — that is what a client
@@ -100,6 +109,7 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 	submitted, rejected, httpReqs, panics := m.submitted, m.rejected, m.httpRequests, m.panics
 	storeHit := m.storeHit
 	progOK, progErr := m.programsAssembled, m.programAssemblyErrors
+	lintWarn, lintRej := m.programLintWarnings, m.programLintRejected
 	terminal := make(map[prisimclient.JobState]uint64, len(m.terminal))
 	for k, v := range m.terminal {
 		terminal[k] = v
@@ -132,6 +142,8 @@ func (m *metrics) render(sb *strings.Builder, cache prisim.CacheStats, queueDept
 	counter("prisimd_worker_panics_total", "Worker panics recovered into job failures.", panics)
 	counter("prisimd_programs_assembled_total", "User-submitted program sources that assembled cleanly.", progOK)
 	counter("prisimd_program_assembly_errors_total", "User-submitted program sources rejected with diagnostics (422).", progErr)
+	counter("prisimd_programs_lint_warnings_total", "Priscan warning findings reported on accepted programs.", lintWarn)
+	counter("prisimd_programs_lint_rejected_total", "Programs rejected with 422 by priscan error findings.", lintRej)
 	gauge("prisimd_queue_depth", "Jobs waiting in the queue.", queueDepth)
 	gauge("prisimd_queue_capacity", "Queue capacity.", queueCap)
 	gauge("prisimd_jobs_running", "Jobs currently executing.", running)

@@ -21,6 +21,7 @@ import (
 
 	"prisim"
 	"prisim/internal/asm"
+	"prisim/internal/asm/analysis"
 	"prisim/internal/fabric"
 	"prisim/prisimclient"
 )
@@ -57,6 +58,29 @@ func (e *AssemblyError) Error() string {
 
 // Unwrap exposes the underlying assembler error.
 func (e *AssemblyError) Unwrap() error { return e.err }
+
+// LintError rejects a program submission whose static analysis found a
+// provable defect (e.g. a store whose every possible address lies outside
+// the program image). The HTTP layer maps it to 422 with the full
+// diagnostic list — errors and the accompanying warnings — so the client
+// sees everything in one round trip. Warning-only findings never produce
+// a LintError; they ride along on the accepted job instead.
+type LintError struct {
+	Diags []prisimclient.Diagnostic
+}
+
+func (e *LintError) Error() string {
+	n := 0
+	for _, d := range e.Diags {
+		if d.Severity == "error" {
+			n++
+		}
+	}
+	if n == 1 {
+		return "program rejected by static analysis: 1 error"
+	}
+	return fmt.Sprintf("program rejected by static analysis: %d errors", n)
+}
 
 // ProgramLimits is the sandbox for user-submitted program jobs. Zero fields
 // select the defaults; the limits bound resources only and never change a
@@ -216,10 +240,10 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	}
 	// Validate names up front so a bad request fails at submit, not inside
 	// a worker.
-	var prog *asm.Program
+	var checked *checkedProgram
 	if req.Kind == prisimclient.KindProgram {
 		var err error
-		if prog, err = s.assembleRequest(&req); err != nil {
+		if checked, err = s.assembleRequest(&req); err != nil {
 			return nil, err
 		}
 	}
@@ -275,7 +299,7 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 		// Programs key on the assembled image's content hash, not the
 		// source text, with the budget resolved to what will actually run
 		// (Run 0 = the sandbox instruction cap).
-		imageHash = prog.SHA256()
+		imageHash = checked.prog.SHA256()
 		eff := req
 		if eff.Run == 0 {
 			eff.Run = s.cfg.Programs.MaxRun
@@ -297,7 +321,10 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	j := newJob(id, req, s.rootCtx, time.Now())
 	j.cacheKey = cacheKey
 	j.imageHash = imageHash
-	j.prog = prog
+	if checked != nil {
+		j.prog = checked.prog
+		j.warnings = checked.warnings
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -314,11 +341,23 @@ func (s *Server) Submit(req prisimclient.JobRequest) (*job, error) {
 	return j, nil
 }
 
-// assembleRequest enforces the program sandbox's submit-time limits and
-// assembles the source, recording the outcome in the program metrics. An
-// assembly failure returns *AssemblyError so the HTTP layer can answer 422
-// with every positioned diagnostic.
-func (s *Server) assembleRequest(req *prisimclient.JobRequest) (*asm.Program, error) {
+// checkedProgram is a program submission that survived assembly and the
+// priscan static analysis: the image plus the warning-severity findings
+// and the inlinability summary, all computed once at submit time.
+type checkedProgram struct {
+	prog         *asm.Program
+	warnings     []prisimclient.Diagnostic
+	inlinability prisimclient.Inlinability
+}
+
+// assembleRequest enforces the program sandbox's submit-time limits,
+// assembles the source, and runs the priscan analyzers over the image,
+// recording the outcomes in the program metrics. An assembly failure
+// returns *AssemblyError and an analysis finding of error severity
+// returns *LintError, so the HTTP layer can answer 422 with every
+// positioned diagnostic; in both cases no engine run is ever dispatched.
+// Warning findings never reject: they come back on the checkedProgram.
+func (s *Server) assembleRequest(req *prisimclient.JobRequest) (*checkedProgram, error) {
 	lim := s.cfg.Programs
 	if len(req.Source) > lim.MaxSourceBytes {
 		return nil, fmt.Errorf("program source is %d bytes; limit %d", len(req.Source), lim.MaxSourceBytes)
@@ -335,7 +374,35 @@ func (s *Server) assembleRequest(req *prisimclient.JobRequest) (*asm.Program, er
 		return nil, &AssemblyError{Diags: wireDiags(asm.Diagnostics(err)), err: err}
 	}
 	s.metrics.incProgramAssembled()
-	return prog, nil
+
+	rep := analysis.Analyze(prog, analysis.Options{})
+	diags := rep.Diagnostics(prog, "program.s", string(req.Source))
+	nerrors := 0
+	for _, d := range diags {
+		if d.Severity == analysis.SevError.String() {
+			nerrors++
+		}
+	}
+	if nerrors > 0 {
+		s.metrics.incProgramLintRejected()
+		return nil, &LintError{Diags: wireLintDiags(diags)}
+	}
+	s.metrics.addProgramLintWarnings(len(diags))
+	inl := rep.Inlinability
+	return &checkedProgram{
+		prog:     prog,
+		warnings: wireLintDiags(diags),
+		inlinability: prisimclient.Inlinability{
+			NarrowBits:   inl.NarrowBits,
+			Defs:         inl.Defs,
+			Narrow:       inl.Narrow,
+			Wide:         inl.Wide,
+			Unknown:      inl.Unknown,
+			FPDefs:       inl.FPDefs,
+			StaticFrac:   inl.StaticFrac,
+			WeightedFrac: inl.WeightedFrac,
+		},
+	}, nil
 }
 
 // wireDiags converts assembler diagnostics to the client wire type.
@@ -343,6 +410,18 @@ func wireDiags(ds []asm.Diagnostic) []prisimclient.Diagnostic {
 	out := make([]prisimclient.Diagnostic, len(ds))
 	for i, d := range ds {
 		out[i] = prisimclient.Diagnostic{File: d.File, Line: d.Line, Col: d.Col, Msg: d.Msg, Excerpt: d.Excerpt}
+	}
+	return out
+}
+
+// wireLintDiags converts priscan diagnostics to the client wire type.
+func wireLintDiags(ds []analysis.Diag) []prisimclient.Diagnostic {
+	out := make([]prisimclient.Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = prisimclient.Diagnostic{
+			File: d.File, Line: d.Line, Col: d.Col, Msg: d.Msg, Excerpt: d.Excerpt,
+			Analyzer: d.Analyzer, Severity: d.Severity, Addr: d.Addr,
+		}
 	}
 	return out
 }

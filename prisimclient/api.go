@@ -197,23 +197,44 @@ func CacheKeyForProgram(kernelVersion, imageSHA256 string, r JobRequest) string 
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Diagnostic is one positioned assembly error, carried by 422 responses to
-// program submissions (see APIError.Diagnostics). Line and Col are 1-based
-// and rune-accurate; Excerpt is the offending source line.
+// Diagnostic is one positioned assembly error or static-analysis finding,
+// carried by 422 responses to program submissions (see
+// APIError.Diagnostics) and, for warnings, by accepted jobs and
+// program-check responses. Line and Col are 1-based and rune-accurate;
+// Excerpt is the offending source line. The Analyzer, Severity, and Addr
+// fields are additive: assembler diagnostics leave them empty, priscan
+// findings fill them (Severity "warning" or "error"; Addr the instruction
+// address, which positions findings whose source line is unknown).
 type Diagnostic struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Msg     string `json:"msg"`
-	Excerpt string `json:"excerpt,omitempty"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Msg      string `json:"msg"`
+	Excerpt  string `json:"excerpt,omitempty"`
+	Analyzer string `json:"analyzer,omitempty"`
+	Severity string `json:"severity,omitempty"`
+	Addr     uint64 `json:"addr,omitempty"`
 }
 
-// String renders "file:line:col: msg" followed, when the server included
-// the source excerpt, by the offending line with a caret under the column —
-// the same shape the assembler prints locally.
+// String renders "file:line:col: msg" (with the severity prefixed and the
+// analyzer appended when the server set them) followed, when the server
+// included the source excerpt, by the offending line with a caret under
+// the column — the same shape the assembler and priscan print locally.
+// Findings with no source position render by instruction address.
 func (d Diagnostic) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s:%d:%d: %s", d.File, d.Line, d.Col, d.Msg)
+	if d.Line > 0 {
+		fmt.Fprintf(&sb, "%s:%d:%d: ", d.File, d.Line, d.Col)
+	} else {
+		fmt.Fprintf(&sb, "%s: %#06x: ", d.File, d.Addr)
+	}
+	if d.Severity != "" {
+		fmt.Fprintf(&sb, "%s: ", d.Severity)
+	}
+	sb.WriteString(d.Msg)
+	if d.Analyzer != "" {
+		fmt.Fprintf(&sb, " [%s]", d.Analyzer)
+	}
 	if d.Excerpt != "" {
 		display := strings.ReplaceAll(d.Excerpt, "\t", " ")
 		fmt.Fprintf(&sb, "\n    %s", display)
@@ -231,13 +252,36 @@ type ProgramCheckRequest struct {
 }
 
 // ProgramInfo describes a successfully assembled program. SHA256 is the
-// image content hash that CacheKeyForProgram folds into program cache keys.
+// image content hash that CacheKeyForProgram folds into program cache
+// keys. Warnings and Inlinability are additive v1 fields filled by the
+// priscan static analysis that runs before a program is accepted: warnings
+// never block a program (provable errors reject it with 422 instead), and
+// the inlinability summary is the static analogue of the simulator's
+// measured PRI inlining rate.
 type ProgramInfo struct {
-	SHA256       string `json:"sha256"`
-	Entry        uint64 `json:"entry"`
-	CodeWords    int    `json:"code_words"`
-	DataSegments int    `json:"data_segments"`
-	DataBytes    int    `json:"data_bytes"`
+	SHA256       string        `json:"sha256"`
+	Entry        uint64        `json:"entry"`
+	CodeWords    int           `json:"code_words"`
+	DataSegments int           `json:"data_segments"`
+	DataBytes    int           `json:"data_bytes"`
+	Warnings     []Diagnostic  `json:"warnings,omitempty"`
+	Inlinability *Inlinability `json:"inlinability,omitempty"`
+}
+
+// Inlinability is the static narrowness summary priscan computes for a
+// program: of its register defs, how many provably produce values fitting
+// the PRI inline width (narrow), provably do not (wide), or are unknown.
+// WeightedFrac weights each def by an estimate of its execution frequency
+// from the loop trip-count analysis.
+type Inlinability struct {
+	NarrowBits   int     `json:"narrow_bits"`
+	Defs         int     `json:"defs"`
+	Narrow       int     `json:"narrow"`
+	Wide         int     `json:"wide"`
+	Unknown      int     `json:"unknown"`
+	FPDefs       int     `json:"fp_defs"`
+	StaticFrac   float64 `json:"static_frac"`
+	WeightedFrac float64 `json:"weighted_frac"`
 }
 
 // Options converts the request's simulation parameters to engine options.
@@ -285,6 +329,12 @@ type Job struct {
 	KernelVersion string `json:"kernel_version,omitempty"`
 	CacheKey      string `json:"cache_key,omitempty"`
 	ComputedBy    string `json:"computed_by,omitempty"`
+
+	// Warnings are the priscan static-analysis findings recorded when a
+	// program job was accepted (additive v1 field; always empty for
+	// simulate and experiment jobs). Provable errors reject the submission
+	// with 422 instead, so an accepted job carries warnings only.
+	Warnings []Diagnostic `json:"warnings,omitempty"`
 }
 
 // JobResult is the body of GET /api/v1/jobs/{id}/result: exactly one of

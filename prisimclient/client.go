@@ -29,8 +29,11 @@ var (
 	// kernel-version skew between client and server builds.
 	ErrCacheKeyMismatch = errors.New("cache key mismatch")
 	// ErrAssembly matches 422 responses: a submitted program failed to
-	// assemble. The *APIError carries every positioned diagnostic the
-	// frontend collected in Diagnostics.
+	// assemble, or the priscan static analysis found a provable error
+	// (e.g. a store whose every possible address lies outside the program
+	// image). The *APIError carries every positioned diagnostic the
+	// frontend collected in Diagnostics; analysis findings additionally
+	// fill the Analyzer and Severity fields.
 	ErrAssembly = errors.New("program failed to assemble")
 )
 

@@ -99,6 +99,100 @@ func TestV0JobResultDecodes(t *testing.T) {
 	}
 }
 
+// The payloads below are verbatim recordings of pre-priscan v1 traffic
+// (the program-job wire surface as it shipped): the Warnings,
+// Inlinability, Analyzer, Severity, and Addr additions must decode them
+// unchanged and stay off the wire when unset.
+
+const preLintProgramInfo = `{
+  "sha256": "3f786850e387550fdab836ed7e6dc881de23001b1a6e1b4c1b5e9f1f8e2a0b3c",
+  "entry": 65536,
+  "code_words": 21,
+  "data_segments": 2,
+  "data_bytes": 24
+}`
+
+const preLintDiagnostic = `{
+  "file": "program.s",
+  "line": 2,
+  "col": 8,
+  "msg": "unknown register r99",
+  "excerpt": "  addi r1, r99, 1"
+}`
+
+func TestPreLintProgramInfoDecodes(t *testing.T) {
+	var info ProgramInfo
+	if err := json.Unmarshal([]byte(preLintProgramInfo), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Entry != 65536 || info.CodeWords != 21 || info.DataSegments != 2 || info.DataBytes != 24 {
+		t.Fatalf("pre-lint program info decoded wrong: %+v", info)
+	}
+	if info.Warnings != nil || info.Inlinability != nil {
+		t.Errorf("lint fields must be zero on a pre-lint payload: %+v", info)
+	}
+	out, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"sha256"`, `"entry"`, `"code_words"`, `"data_segments"`, `"data_bytes"`} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("re-encoded info lost field %s: %s", name, out)
+		}
+	}
+	for _, name := range []string{"warnings", "inlinability"} {
+		if strings.Contains(string(out), name) {
+			t.Errorf("unset %s must not appear on the wire: %s", name, out)
+		}
+	}
+}
+
+func TestPreLintDiagnosticDecodes(t *testing.T) {
+	var d Diagnostic
+	if err := json.Unmarshal([]byte(preLintDiagnostic), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.File != "program.s" || d.Line != 2 || d.Col != 8 || d.Msg != "unknown register r99" {
+		t.Fatalf("pre-lint diagnostic decoded wrong: %+v", d)
+	}
+	if d.Analyzer != "" || d.Severity != "" || d.Addr != 0 {
+		t.Errorf("analysis fields must be zero on a pre-lint payload: %+v", d)
+	}
+	// An assembler diagnostic (no severity) renders exactly as before the
+	// analysis fields existed.
+	if got := d.String(); !strings.HasPrefix(got, "program.s:2:8: unknown register r99") {
+		t.Errorf("pre-lint rendering changed: %q", got)
+	}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"analyzer", "severity", "addr"} {
+		if strings.Contains(string(out), name) {
+			t.Errorf("unset %s must not appear on the wire: %s", name, out)
+		}
+	}
+}
+
+func TestPreLintJobDecodes(t *testing.T) {
+	// A pre-lint job payload has no warnings array; the field must decode
+	// to nil and stay off the wire on re-encode.
+	var j Job
+	if err := json.Unmarshal([]byte(v0Job), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Warnings != nil {
+		t.Errorf("warnings must be nil on a pre-lint payload: %+v", j.Warnings)
+	}
+	out, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "warnings") {
+		t.Errorf("unset warnings must not appear on the wire: %s", out)
+	}
+}
+
 func TestCacheKeyForNormalizesDefaults(t *testing.T) {
 	// A defaulted request and its explicit-default spelling are the same
 	// point, so they must hash identically; the key must be sensitive to
